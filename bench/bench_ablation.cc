@@ -1,0 +1,86 @@
+/// \file bench_ablation.cc
+/// \brief Experiment E8: ablation of the three optimization layers (Fig. 1).
+///
+/// The same covariance batch evaluated with each optimization disabled in
+/// turn:
+///   - full LMFAO (merge + multi-output + factorized registers),
+///   - no view merging (fresh views per query),
+///   - no multi-output grouping (one scan per view),
+///   - no factorization (per-tuple evaluation inside the same trie join).
+/// Results are identical across configurations (asserted in the tests);
+/// only the cost changes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "engine/engine.h"
+
+namespace lmfao {
+namespace {
+
+constexpr int64_t kRows = 200000;
+
+QueryBatch AblationBatch(FavoritaData& db) {
+  auto cov = BuildCovarianceBatch(bench::FavoritaFeatures(db), db.catalog);
+  LMFAO_CHECK(cov.ok());
+  return cov->batch;
+}
+
+void RunConfig(benchmark::State& state, bool merge, bool multi_output,
+               bool factorize) {
+  FavoritaData& db = bench::Favorita(kRows);
+  const QueryBatch batch = AblationBatch(db);
+  EngineOptions options;
+  options.view_generation.merge_views = merge;
+  options.grouping.multi_output = multi_output;
+  options.plan.factorize = factorize;
+  Engine engine(&db.catalog, &db.tree, options);
+  int views = 0;
+  int groups = 0;
+  for (auto _ : state) {
+    auto result = engine.Evaluate(batch);
+    LMFAO_CHECK(result.ok()) << result.status().ToString();
+    views = result->stats.num_views;
+    groups = result->stats.num_groups;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["queries"] = batch.size();
+  state.counters["views"] = views;
+  state.counters["groups"] = groups;
+}
+
+void BM_Ablation_FullLmfao(benchmark::State& state) {
+  RunConfig(state, true, true, true);
+}
+BENCHMARK(BM_Ablation_FullLmfao)->Unit(benchmark::kMillisecond)->MinTime(2.0);
+
+void BM_Ablation_NoViewMerging(benchmark::State& state) {
+  RunConfig(state, false, true, true);
+}
+BENCHMARK(BM_Ablation_NoViewMerging)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+void BM_Ablation_NoMultiOutput(benchmark::State& state) {
+  RunConfig(state, true, false, true);
+}
+BENCHMARK(BM_Ablation_NoMultiOutput)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+void BM_Ablation_NoFactorization(benchmark::State& state) {
+  RunConfig(state, true, true, false);
+}
+BENCHMARK(BM_Ablation_NoFactorization)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+void BM_Ablation_NothingShared(benchmark::State& state) {
+  RunConfig(state, false, false, false);
+}
+BENCHMARK(BM_Ablation_NothingShared)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace lmfao

@@ -1,0 +1,103 @@
+/// \file bench_cart.cc
+/// \brief Experiment E6: decision-tree node batches (Section 3).
+///
+/// One CART node evaluates thousands of SUM(1)/SUM(Y)/SUM(Y^2) aggregates
+/// under threshold conditions (3,141 for the paper's Retailer setup; ~3.4k
+/// for this synthetic schema). Benchmarked: one node batch via LMFAO versus
+/// one pass over the materialized join, and full-tree training.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/naive_engine.h"
+#include "bench_common.h"
+#include "engine/engine.h"
+#include "ml/cart.h"
+
+namespace lmfao {
+namespace {
+
+constexpr int64_t kRows = 100000;
+
+CartOptions BenchCartOptions() {
+  CartOptions options;
+  options.max_depth = 2;
+  options.num_thresholds = 32;
+  return options;
+}
+
+void BM_Cart_RootNodeBatch_Lmfao(benchmark::State& state) {
+  RetailerData& db = bench::Retailer(kRows);
+  const FeatureSet features = bench::RetailerFeatures(db);
+  CartTrainer trainer(features, &db.catalog, BenchCartOptions());
+  const QueryBatch batch = trainer.BuildNodeBatch({});
+  Engine engine(&db.catalog, &db.tree, EngineOptions{});
+  for (auto _ : state) {
+    auto result = engine.Evaluate(batch);
+    LMFAO_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["node_aggregates"] = trainer.NodeAggregateCount();
+  state.counters["rows"] = static_cast<double>(kRows);
+}
+BENCHMARK(BM_Cart_RootNodeBatch_Lmfao)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(2.0);
+
+void BM_Cart_RootNodeBatch_ScanBaseline(benchmark::State& state) {
+  RetailerData& db = bench::Retailer(kRows);
+  const FeatureSet features = bench::RetailerFeatures(db);
+  CartTrainer trainer(features, &db.catalog, BenchCartOptions());
+  const QueryBatch batch = trainer.BuildNodeBatch({});
+  const Relation& joined = bench::RetailerJoin(kRows);
+  for (auto _ : state) {
+    auto results = EvaluateBatchSharedScan(joined, batch);
+    LMFAO_CHECK(results.ok());
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["node_aggregates"] = trainer.NodeAggregateCount();
+}
+BENCHMARK(BM_Cart_RootNodeBatch_ScanBaseline)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+/// Deeper nodes carry longer condition chains; the batch stays one pass.
+void BM_Cart_DepthTwoNodeBatch_Lmfao(benchmark::State& state) {
+  RetailerData& db = bench::Retailer(kRows);
+  const FeatureSet features = bench::RetailerFeatures(db);
+  CartTrainer trainer(features, &db.catalog, BenchCartOptions());
+  const std::vector<CartCondition> path = {
+      {db.maxtemp, FunctionKind::kIndicatorLe, 70.0},
+      {db.category, FunctionKind::kIndicatorEq, 3.0}};
+  const QueryBatch batch = trainer.BuildNodeBatch(path);
+  Engine engine(&db.catalog, &db.tree, EngineOptions{});
+  for (auto _ : state) {
+    auto result = engine.Evaluate(batch);
+    LMFAO_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Cart_DepthTwoNodeBatch_Lmfao)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(2.0);
+
+void BM_Cart_FullTree_Lmfao(benchmark::State& state) {
+  RetailerData& db = bench::Retailer(kRows);
+  const FeatureSet features = bench::RetailerFeatures(db);
+  CartTrainer trainer(features, &db.catalog, BenchCartOptions());
+  Engine engine(&db.catalog, &db.tree, EngineOptions{});
+  LmfaoCartProvider provider(&engine);
+  int nodes = 0;
+  for (auto _ : state) {
+    auto tree = trainer.Train(&provider);
+    LMFAO_CHECK(tree.ok());
+    nodes = tree->num_nodes;
+    benchmark::DoNotOptimize(tree);
+  }
+  state.counters["tree_nodes"] = nodes;
+}
+BENCHMARK(BM_Cart_FullTree_Lmfao)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+}  // namespace
+}  // namespace lmfao

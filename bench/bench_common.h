@@ -1,0 +1,110 @@
+/// \file bench_common.h
+/// \brief Shared fixtures for the benchmark binaries: lazily-built dataset
+/// instances (one per scale) and small helpers. Each binary regenerates one
+/// experiment of EXPERIMENTS.md.
+
+#ifndef LMFAO_BENCH_BENCH_COMMON_H_
+#define LMFAO_BENCH_BENCH_COMMON_H_
+
+#include <map>
+#include <memory>
+
+#include "baseline/join.h"
+#include "data/favorita.h"
+#include "data/retailer.h"
+#include "ml/feature.h"
+#include "util/logging.h"
+
+namespace lmfao {
+namespace bench {
+
+/// Favorita instance cache, keyed by number of sales rows.
+inline FavoritaData& Favorita(int64_t num_sales) {
+  static std::map<int64_t, std::unique_ptr<FavoritaData>> cache;
+  auto it = cache.find(num_sales);
+  if (it == cache.end()) {
+    FavoritaOptions options;
+    options.num_sales = num_sales;
+    options.num_dates = 366;
+    options.num_stores = 54;
+    options.num_items = 4000;
+    auto data = MakeFavorita(options);
+    LMFAO_CHECK(data.ok()) << data.status().ToString();
+    it = cache.emplace(num_sales, std::move(data).value()).first;
+  }
+  return *it->second;
+}
+
+/// Retailer instance cache, keyed by number of inventory rows.
+inline RetailerData& Retailer(int64_t num_inventory) {
+  static std::map<int64_t, std::unique_ptr<RetailerData>> cache;
+  auto it = cache.find(num_inventory);
+  if (it == cache.end()) {
+    RetailerOptions options;
+    options.num_inventory = num_inventory;
+    options.num_locations = 100;
+    options.num_dates = 200;
+    options.num_items = 2000;
+    options.num_zips = 50;
+    auto data = MakeRetailer(options);
+    LMFAO_CHECK(data.ok()) << data.status().ToString();
+    it = cache.emplace(num_inventory, std::move(data).value()).first;
+  }
+  return *it->second;
+}
+
+/// Materialized join cache for the baselines.
+inline const Relation& FavoritaJoin(int64_t num_sales) {
+  static std::map<int64_t, std::unique_ptr<Relation>> cache;
+  auto it = cache.find(num_sales);
+  if (it == cache.end()) {
+    FavoritaData& db = Favorita(num_sales);
+    auto joined = MaterializeJoin(db.catalog, db.tree, db.sales);
+    LMFAO_CHECK(joined.ok()) << joined.status().ToString();
+    it = cache
+             .emplace(num_sales,
+                      std::make_unique<Relation>(std::move(joined).value()))
+             .first;
+  }
+  return *it->second;
+}
+
+inline const Relation& RetailerJoin(int64_t num_inventory) {
+  static std::map<int64_t, std::unique_ptr<Relation>> cache;
+  auto it = cache.find(num_inventory);
+  if (it == cache.end()) {
+    RetailerData& db = Retailer(num_inventory);
+    auto joined = MaterializeJoin(db.catalog, db.tree, db.inventory);
+    LMFAO_CHECK(joined.ok()) << joined.status().ToString();
+    it = cache
+             .emplace(num_inventory,
+                      std::make_unique<Relation>(std::move(joined).value()))
+             .first;
+  }
+  return *it->second;
+}
+
+/// The paper's Retailer learning task.
+inline FeatureSet RetailerFeatures(const RetailerData& db) {
+  FeatureSet features;
+  features.label = db.inventoryunits;
+  for (AttrId a : db.continuous) {
+    if (a != db.inventoryunits) features.continuous.push_back(a);
+  }
+  features.categorical = db.categorical;
+  return features;
+}
+
+/// A Favorita learning task (for covariance/e2e benches).
+inline FeatureSet FavoritaFeatures(const FavoritaData& db) {
+  FeatureSet features;
+  features.label = db.units;
+  features.continuous = {db.txns, db.price};
+  features.categorical = {db.stype, db.family, db.promo, db.cluster};
+  return features;
+}
+
+}  // namespace bench
+}  // namespace lmfao
+
+#endif  // LMFAO_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,122 @@
+/// \file bench_e2e_batch.cc
+/// \brief Experiment E4: LMFAO versus the join-then-aggregate baselines,
+/// end to end (the Section 1 claim that batch evaluation over the
+/// non-materialized join outperforms mainstream pipelines).
+///
+/// Three engines per workload:
+///   - LMFAO (this repository's engine, join never materialized),
+///   - materialize-join + one shared scan for the whole batch,
+///   - materialize-join + one scan per query.
+/// The baselines are charged for the materialization (they need D), with
+/// the join executed bottom-up over the same join tree (hash joins).
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/naive_engine.h"
+#include "bench_common.h"
+#include "engine/engine.h"
+
+namespace lmfao {
+namespace {
+
+constexpr int64_t kFavoritaRows = 400000;
+constexpr int64_t kRetailerRows = 200000;
+
+void BM_E2E_Favorita_Lmfao(benchmark::State& state) {
+  FavoritaData& db = bench::Favorita(kFavoritaRows);
+  const QueryBatch batch = MakeExampleBatch(db);
+  Engine engine(&db.catalog, &db.tree, EngineOptions{});
+  for (auto _ : state) {
+    auto result = engine.Evaluate(batch);
+    LMFAO_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["queries"] = batch.size();
+}
+BENCHMARK(BM_E2E_Favorita_Lmfao)->Unit(benchmark::kMillisecond);
+
+void BM_E2E_Favorita_MaterializeSharedScan(benchmark::State& state) {
+  FavoritaData& db = bench::Favorita(kFavoritaRows);
+  const QueryBatch batch = MakeExampleBatch(db);
+  for (auto _ : state) {
+    auto joined = MaterializeJoin(db.catalog, db.tree, db.sales);
+    LMFAO_CHECK(joined.ok());
+    auto results = EvaluateBatchSharedScan(*joined, batch);
+    LMFAO_CHECK(results.ok());
+    benchmark::DoNotOptimize(results);
+  }
+}
+BENCHMARK(BM_E2E_Favorita_MaterializeSharedScan)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E2E_Favorita_MaterializePerQueryScan(benchmark::State& state) {
+  FavoritaData& db = bench::Favorita(kFavoritaRows);
+  const QueryBatch batch = MakeExampleBatch(db);
+  for (auto _ : state) {
+    auto joined = MaterializeJoin(db.catalog, db.tree, db.sales);
+    LMFAO_CHECK(joined.ok());
+    auto results = EvaluateBatchPerQueryScan(*joined, batch);
+    LMFAO_CHECK(results.ok());
+    benchmark::DoNotOptimize(results);
+  }
+}
+BENCHMARK(BM_E2E_Favorita_MaterializePerQueryScan)
+    ->Unit(benchmark::kMillisecond);
+
+/// The large-batch regime the paper targets: the full covariance batch.
+void BM_E2E_RetailerCovariance_Lmfao(benchmark::State& state) {
+  RetailerData& db = bench::Retailer(kRetailerRows);
+  auto cov = BuildCovarianceBatch(bench::RetailerFeatures(db), db.catalog);
+  LMFAO_CHECK(cov.ok());
+  Engine engine(&db.catalog, &db.tree, EngineOptions{});
+  for (auto _ : state) {
+    auto result = engine.Evaluate(cov->batch);
+    LMFAO_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["queries"] = cov->batch.size();
+}
+BENCHMARK(BM_E2E_RetailerCovariance_Lmfao)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(2.0);
+
+void BM_E2E_RetailerCovariance_MaterializeSharedScan(
+    benchmark::State& state) {
+  RetailerData& db = bench::Retailer(kRetailerRows);
+  auto cov = BuildCovarianceBatch(bench::RetailerFeatures(db), db.catalog);
+  LMFAO_CHECK(cov.ok());
+  for (auto _ : state) {
+    auto joined = MaterializeJoin(db.catalog, db.tree, db.inventory);
+    LMFAO_CHECK(joined.ok());
+    auto results = EvaluateBatchSharedScan(*joined, cov->batch);
+    LMFAO_CHECK(results.ok());
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["queries"] = cov->batch.size();
+}
+BENCHMARK(BM_E2E_RetailerCovariance_MaterializeSharedScan)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+/// Scaling in the number of sales rows, LMFAO only (shape: near-linear).
+void BM_E2E_FavoritaCovariance_LmfaoScaling(benchmark::State& state) {
+  FavoritaData& db = bench::Favorita(state.range(0));
+  auto cov = BuildCovarianceBatch(bench::FavoritaFeatures(db), db.catalog);
+  LMFAO_CHECK(cov.ok());
+  Engine engine(&db.catalog, &db.tree, EngineOptions{});
+  for (auto _ : state) {
+    auto result = engine.Evaluate(cov->batch);
+    LMFAO_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rows"] = static_cast<double>(state.range(0));
+  state.counters["queries"] = cov->batch.size();
+}
+BENCHMARK(BM_E2E_FavoritaCovariance_LmfaoScaling)
+    ->Arg(100000)
+    ->Arg(400000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lmfao

@@ -1,0 +1,82 @@
+/// \file bench_fig2_view_generation.cc
+/// \brief Experiments E1 + E2: the View Generation and Group Views layers on
+/// the paper's running example (Fig. 2) and on large application batches.
+///
+/// Reports, as counters: the number of merged views (Fig. 2 middle: 6 for
+/// Q1-Q3), the number of groups (Fig. 2 right: 7), and the compile-time
+/// costs of the optimization layers — demonstrating that sharing reduces the
+/// view count from #queries x #edges to the merged count.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "engine/engine.h"
+
+namespace lmfao {
+namespace {
+
+void BM_Fig2_ExampleBatchViewGeneration(benchmark::State& state) {
+  FavoritaData& db = bench::Favorita(100000);
+  const QueryBatch batch = MakeExampleBatch(db);
+  Engine engine(&db.catalog, &db.tree, EngineOptions{});
+  int views = 0;
+  int groups = 0;
+  for (auto _ : state) {
+    auto compiled = engine.Compile(batch);
+    LMFAO_CHECK(compiled.ok());
+    views = compiled->workload.NumInnerViews();
+    groups = static_cast<int>(compiled->grouped.groups.size());
+    benchmark::DoNotOptimize(compiled);
+  }
+  state.counters["merged_views"] = views;        // Paper: 6.
+  state.counters["view_groups"] = groups;        // Paper: 7.
+  state.counters["queries"] = batch.size();
+}
+BENCHMARK(BM_Fig2_ExampleBatchViewGeneration);
+
+void BM_Fig2_NoMergingViewCount(benchmark::State& state) {
+  FavoritaData& db = bench::Favorita(100000);
+  const QueryBatch batch = MakeExampleBatch(db);
+  EngineOptions options;
+  options.view_generation.merge_views = false;
+  Engine engine(&db.catalog, &db.tree, options);
+  int views = 0;
+  for (auto _ : state) {
+    auto compiled = engine.Compile(batch);
+    LMFAO_CHECK(compiled.ok());
+    views = compiled->workload.NumInnerViews();
+    benchmark::DoNotOptimize(compiled);
+  }
+  state.counters["unmerged_views"] = views;  // #queries x #edges = 15.
+}
+BENCHMARK(BM_Fig2_NoMergingViewCount);
+
+/// Compile-time scaling on the Retailer covariance batch (814 queries).
+void BM_Fig2_CovarianceBatchCompilation(benchmark::State& state) {
+  RetailerData& db = bench::Retailer(10000);
+  auto cov = BuildCovarianceBatch(bench::RetailerFeatures(db), db.catalog);
+  LMFAO_CHECK(cov.ok());
+  Engine engine(&db.catalog, &db.tree, EngineOptions{});
+  int views = 0;
+  int groups = 0;
+  int aggregates = 0;
+  for (auto _ : state) {
+    auto compiled = engine.Compile(cov->batch);
+    LMFAO_CHECK(compiled.ok());
+    views = compiled->workload.NumInnerViews();
+    groups = static_cast<int>(compiled->grouped.groups.size());
+    aggregates = 0;
+    for (const ViewInfo& v : compiled->workload.views) {
+      aggregates += static_cast<int>(v.aggregates.size());
+    }
+    benchmark::DoNotOptimize(compiled);
+  }
+  state.counters["queries"] = cov->batch.size();  // 814.
+  state.counters["merged_views"] = views;
+  state.counters["view_groups"] = groups;
+  state.counters["aggregate_slots"] = aggregates;
+}
+BENCHMARK(BM_Fig2_CovarianceBatchCompilation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lmfao

@@ -1,0 +1,96 @@
+/// \file bench_linreg.cc
+/// \brief Experiment E5: the linear-regression workload of Section 3.
+///
+/// Covariance-matrix computation (the 814-query batch for Retailer) with
+/// LMFAO versus the materialize+scan baseline, plus the per-iteration cost
+/// of BGD reusing Sigma — the reason the aggregates are computed once.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "engine/engine.h"
+#include "ml/linreg.h"
+
+namespace lmfao {
+namespace {
+
+constexpr int64_t kRows = 200000;
+
+void BM_Linreg_SigmaLmfao(benchmark::State& state) {
+  RetailerData& db = bench::Retailer(kRows);
+  const FeatureSet features = bench::RetailerFeatures(db);
+  Engine engine(&db.catalog, &db.tree, EngineOptions{});
+  for (auto _ : state) {
+    auto sigma = ComputeSigmaLmfao(&engine, features, db.catalog);
+    LMFAO_CHECK(sigma.ok());
+    benchmark::DoNotOptimize(sigma);
+  }
+  auto cov = BuildCovarianceBatch(features, db.catalog);
+  state.counters["queries"] = cov.ok() ? cov->batch.size() : 0;  // 814.
+  state.counters["rows"] = static_cast<double>(kRows);
+}
+BENCHMARK(BM_Linreg_SigmaLmfao)->Unit(benchmark::kMillisecond)->MinTime(2.0);
+
+void BM_Linreg_SigmaLmfaoParallel(benchmark::State& state) {
+  RetailerData& db = bench::Retailer(kRows);
+  const FeatureSet features = bench::RetailerFeatures(db);
+  EngineOptions options;
+  options.parallel_mode = ParallelMode::kTask;
+  options.num_threads = static_cast<int>(state.range(0));
+  Engine engine(&db.catalog, &db.tree, options);
+  for (auto _ : state) {
+    auto sigma = ComputeSigmaLmfao(&engine, features, db.catalog);
+    LMFAO_CHECK(sigma.ok());
+    benchmark::DoNotOptimize(sigma);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Linreg_SigmaLmfaoParallel)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(2.0);
+
+void BM_Linreg_SigmaScanBaseline(benchmark::State& state) {
+  RetailerData& db = bench::Retailer(kRows);
+  const FeatureSet features = bench::RetailerFeatures(db);
+  for (auto _ : state) {
+    auto joined = MaterializeJoin(db.catalog, db.tree, db.inventory);
+    LMFAO_CHECK(joined.ok());
+    auto sigma = ComputeSigmaScan(*joined, features, db.catalog);
+    LMFAO_CHECK(sigma.ok());
+    benchmark::DoNotOptimize(sigma);
+  }
+}
+BENCHMARK(BM_Linreg_SigmaScanBaseline)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+/// BGD over a precomputed Sigma: the data-independent part. Hundreds of
+/// iterations cost less than recomputing a single aggregate batch.
+void BM_Linreg_BgdOverSigma(benchmark::State& state) {
+  RetailerData& db = bench::Retailer(kRows);
+  const FeatureSet features = bench::RetailerFeatures(db);
+  Engine engine(&db.catalog, &db.tree, EngineOptions{});
+  auto sigma = ComputeSigmaLmfao(&engine, features, db.catalog);
+  LMFAO_CHECK(sigma.ok());
+  BgdOptions options;
+  options.max_iterations = static_cast<int>(state.range(0));
+  options.tolerance = 0;  // Run all iterations.
+  int iterations = 0;
+  for (auto _ : state) {
+    auto model = TrainRidgeBgd(*sigma, options);
+    LMFAO_CHECK(model.ok());
+    iterations = model->iterations;
+    benchmark::DoNotOptimize(model);
+  }
+  state.counters["bgd_iterations"] = iterations;
+  state.counters["sigma_dim"] = sigma->index.dim;
+}
+BENCHMARK(BM_Linreg_BgdOverSigma)
+    ->Arg(100)
+    ->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lmfao

@@ -1,0 +1,63 @@
+/// \file bench_parallel.cc
+/// \brief Experiment E9: task and domain parallelism (Section 2: "LMFAO
+/// computes the groups in parallel by exploiting both task and domain
+/// parallelism").
+///
+/// Thread scaling of the Retailer covariance batch under both modes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "engine/engine.h"
+
+namespace lmfao {
+namespace {
+
+constexpr int64_t kRows = 200000;
+
+void RunParallel(benchmark::State& state, ParallelMode mode, int threads) {
+  RetailerData& db = bench::Retailer(kRows);
+  auto cov = BuildCovarianceBatch(bench::RetailerFeatures(db), db.catalog);
+  LMFAO_CHECK(cov.ok());
+  EngineOptions options;
+  options.parallel_mode = mode;
+  options.num_threads = threads;
+  Engine engine(&db.catalog, &db.tree, options);
+  for (auto _ : state) {
+    auto result = engine.Evaluate(cov->batch);
+    LMFAO_CHECK(result.ok()) << result.status().ToString();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["threads"] = threads;
+  state.counters["queries"] = cov->batch.size();
+}
+
+void BM_Parallel_Sequential(benchmark::State& state) {
+  RunParallel(state, ParallelMode::kNone, 1);
+}
+BENCHMARK(BM_Parallel_Sequential)->Unit(benchmark::kMillisecond)->MinTime(2.0);
+
+void BM_Parallel_Task(benchmark::State& state) {
+  RunParallel(state, ParallelMode::kTask,
+              static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_Parallel_Task)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(2.0);
+
+void BM_Parallel_Domain(benchmark::State& state) {
+  RunParallel(state, ParallelMode::kDomain,
+              static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_Parallel_Domain)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(2.0);
+
+}  // namespace
+}  // namespace lmfao

@@ -1,0 +1,108 @@
+/// \file bench_rkmeans.cc
+/// \brief Experiment E7: Rk-means (Section 3 + Fig. 4(d)).
+///
+/// Benchmarks the aggregate-driven steps (per-dimension projections and the
+/// grid-coreset query, both via LMFAO) against conventional Lloyd's over
+/// the materialized join, and reports the Fig. 4(d) quality counters:
+/// relative approximation and relative coreset size.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/naive_engine.h"
+#include "bench_common.h"
+#include "ml/rkmeans.h"
+
+namespace lmfao {
+namespace {
+
+constexpr int64_t kRows = 200000;
+constexpr int kClusters = 5;
+
+std::vector<std::pair<RelationId, RelationId>> FavoritaEdges(
+    const FavoritaData& db) {
+  return {{db.sales, db.transactions},
+          {db.sales, db.holidays},
+          {db.sales, db.items},
+          {db.transactions, db.stores},
+          {db.transactions, db.oil}};
+}
+
+std::vector<AttrId> Dims(const FavoritaData& db) {
+  return {db.store, db.item, db.item_class, db.cluster};
+}
+
+void BM_RkMeans_Full(benchmark::State& state) {
+  FavoritaData& db = bench::Favorita(kRows);
+  RkMeansOptions options;
+  options.k = kClusters;
+  size_t coreset = 0;
+  double data_size = 0;
+  for (auto _ : state) {
+    auto result = RunRkMeans(&db.catalog, FavoritaEdges(db), Dims(db),
+                             options);
+    LMFAO_CHECK(result.ok()) << result.status().ToString();
+    coreset = result->coreset_size;
+    data_size = result->data_size;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["coreset_points"] = static_cast<double>(coreset);
+  state.counters["relative_coreset_size"] =
+      static_cast<double>(coreset) / data_size;
+}
+BENCHMARK(BM_RkMeans_Full)->Unit(benchmark::kMillisecond);
+
+void BM_RkMeans_LloydsBaseline(benchmark::State& state) {
+  FavoritaData& db = bench::Favorita(kRows);
+  const Relation& joined = bench::FavoritaJoin(kRows);
+  const std::vector<AttrId> dims = Dims(db);
+  std::vector<int> cols;
+  for (AttrId a : dims) cols.push_back(joined.ColumnIndex(a));
+  std::vector<double> points;
+  points.reserve(joined.num_rows() * dims.size());
+  for (size_t row = 0; row < joined.num_rows(); ++row) {
+    for (int col : cols) points.push_back(joined.column(col).AsDouble(row));
+  }
+  std::vector<double> ones(joined.num_rows(), 1.0);
+  KMeansOptions options;
+  options.k = kClusters;
+  for (auto _ : state) {
+    auto result =
+        WeightedKMeans(points, static_cast<int>(dims.size()), ones, options);
+    LMFAO_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["points"] = static_cast<double>(joined.num_rows());
+}
+BENCHMARK(BM_RkMeans_LloydsBaseline)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+/// Quality report (single evaluation, printed as counters): the Fig. 4(d)
+/// relative approximation over Lloyd's and the coreset size ratio.
+void BM_RkMeans_QualityReport(benchmark::State& state) {
+  FavoritaData& db = bench::Favorita(kRows);
+  RkMeansOptions options;
+  options.k = kClusters;
+  auto result =
+      RunRkMeans(&db.catalog, FavoritaEdges(db), Dims(db), options);
+  LMFAO_CHECK(result.ok());
+  const Relation& joined = bench::FavoritaJoin(kRows);
+  double rel_approx = 0.0;
+  double rel_size = 0.0;
+  for (auto _ : state) {
+    auto quality =
+        EvaluateRkMeansQuality(joined, Dims(db), *result, /*lloyd_runs=*/3);
+    LMFAO_CHECK(quality.ok());
+    rel_approx = quality->relative_approximation;
+    rel_size = quality->relative_coreset_size;
+    benchmark::DoNotOptimize(quality);
+  }
+  state.counters["relative_approximation"] = rel_approx;
+  state.counters["relative_coreset_size"] = rel_size;
+}
+BENCHMARK(BM_RkMeans_QualityReport)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace lmfao

@@ -1,0 +1,132 @@
+/// \file lmfao_cli.cpp
+/// \brief Interactive/driver CLI over a generated database: type SQL-ish
+/// queries, get results — the closest analogue of the demo's Input tab.
+///
+/// Usage:
+///   ./lmfao_cli favorita|retailer [rows] [query...]
+///
+/// With query arguments, runs them as one batch and prints results; without,
+/// reads semicolon-terminated queries from stdin.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "data/favorita.h"
+#include "data/retailer.h"
+#include "engine/engine.h"
+#include "engine/report.h"
+#include "query/parser.h"
+
+using namespace lmfao;
+
+namespace {
+
+void PrintResult(const Catalog& catalog, const Query& query,
+                 const QueryResult& result) {
+  std::printf("-- %s\n", query.ToString(&catalog).c_str());
+  // Header.
+  for (AttrId a : result.group_by) {
+    std::printf("%s\t", catalog.attr(a).name.c_str());
+  }
+  for (size_t i = 0; i < query.aggregates.size(); ++i) {
+    std::printf("agg%zu\t", i);
+  }
+  std::printf("\n");
+  size_t shown = 0;
+  result.data.ForEach([&](const TupleKey& key, const double* payload) {
+    if (shown++ >= 20) return;
+    for (int i = 0; i < key.size(); ++i) {
+      std::printf("%lld\t", static_cast<long long>(key[i]));
+    }
+    for (size_t i = 0; i < query.aggregates.size(); ++i) {
+      std::printf("%.6g\t", payload[i]);
+    }
+    std::printf("\n");
+  });
+  if (shown > 20) {
+    std::printf("... (%zu more rows)\n", shown - 20);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s favorita|retailer [rows] [\"query;\"...]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string dataset = argv[1];
+  const int64_t rows = argc > 2 ? std::atoll(argv[2]) : 100000;
+
+  Catalog* catalog = nullptr;
+  JoinTree* tree = nullptr;
+  std::unique_ptr<FavoritaData> favorita;
+  std::unique_ptr<RetailerData> retailer;
+  if (dataset == "favorita") {
+    FavoritaOptions options;
+    options.num_sales = rows;
+    auto data = MakeFavorita(options);
+    if (!data.ok()) {
+      std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+      return 1;
+    }
+    favorita = std::move(data).value();
+    catalog = &favorita->catalog;
+    tree = &favorita->tree;
+  } else if (dataset == "retailer") {
+    RetailerOptions options;
+    options.num_inventory = rows;
+    auto data = MakeRetailer(options);
+    if (!data.ok()) {
+      std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+      return 1;
+    }
+    retailer = std::move(data).value();
+    catalog = &retailer->catalog;
+    tree = &retailer->tree;
+  } else {
+    std::fprintf(stderr, "unknown dataset: %s\n", dataset.c_str());
+    return 2;
+  }
+  std::printf("%s", catalog->ToString().c_str());
+
+  std::string text;
+  if (argc > 3) {
+    std::ostringstream joined;
+    for (int i = 3; i < argc; ++i) joined << argv[i] << " ";
+    text = joined.str();
+  } else {
+    std::printf("enter semicolon-terminated queries, end with EOF:\n");
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  }
+
+  auto batch = ParseQueryBatch(text, *catalog);
+  if (!batch.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 batch.status().ToString().c_str());
+    return 1;
+  }
+  Engine engine(catalog, tree, EngineOptions{});
+  auto compiled = engine.Compile(*batch);
+  if (compiled.ok()) {
+    std::printf("\n%s\n", ReportViewGroups(*compiled, *catalog).c_str());
+  }
+  auto result = engine.Evaluate(*batch);
+  if (!result.ok()) {
+    std::fprintf(stderr, "execution error: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  for (int q = 0; q < batch->size(); ++q) {
+    PrintResult(*catalog, batch->query(q), result->results[static_cast<size_t>(q)]);
+  }
+  std::printf("%s", ReportExecution(result->stats, *catalog).c_str());
+  return 0;
+}

@@ -1,0 +1,35 @@
+/// \file join.h
+/// \brief Join materialization along the join tree.
+///
+/// The baseline strategy the paper compares against: compute the full
+/// natural join D, then aggregate over it (naive_engine.h). Joins are hash
+/// joins executed bottom-up over the join tree, so the materialization
+/// itself is as efficient as the acyclic structure allows — the baseline's
+/// handicap is materializing and rescanning D, not a poor join order.
+
+#ifndef LMFAO_BASELINE_JOIN_H_
+#define LMFAO_BASELINE_JOIN_H_
+
+#include "jointree/join_tree.h"
+#include "storage/catalog.h"
+#include "storage/relation.h"
+#include "util/status.h"
+
+namespace lmfao {
+
+/// \brief Hash-joins two relations on their shared attributes.
+///
+/// The result schema is `left`'s schema followed by `right`'s non-shared
+/// attributes. Rows are produced in left-row order.
+StatusOr<Relation> HashJoin(const Relation& left, const Relation& right,
+                            const Catalog& catalog);
+
+/// \brief Materializes the natural join of all relations, bottom-up over
+/// the join tree, rooted at `root` (defaults to node 0).
+StatusOr<Relation> MaterializeJoin(const Catalog& catalog,
+                                   const JoinTree& tree,
+                                   RelationId root = 0);
+
+}  // namespace lmfao
+
+#endif  // LMFAO_BASELINE_JOIN_H_

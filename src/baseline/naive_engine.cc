@@ -1,0 +1,134 @@
+#include "baseline/naive_engine.h"
+
+#include <cmath>
+
+namespace lmfao {
+namespace {
+
+/// Per-query evaluation state resolved against the joined relation.
+struct ResolvedQuery {
+  std::vector<int> key_cols;
+  /// Per aggregate: (column, function) factor list.
+  std::vector<std::vector<std::pair<int, Function>>> aggs;
+};
+
+StatusOr<ResolvedQuery> Resolve(const Relation& joined, const Query& q) {
+  ResolvedQuery out;
+  for (AttrId a : q.group_by) {
+    const int col = joined.ColumnIndex(a);
+    if (col < 0) {
+      return Status::InvalidArgument("group-by attribute missing from join");
+    }
+    out.key_cols.push_back(col);
+  }
+  for (const Aggregate& agg : q.aggregates) {
+    std::vector<std::pair<int, Function>> factors;
+    for (const Factor& f : agg.factors()) {
+      const int col = joined.ColumnIndex(f.attr);
+      if (col < 0) {
+        return Status::InvalidArgument("factor attribute missing from join");
+      }
+      factors.emplace_back(col, f.fn);
+    }
+    out.aggs.push_back(std::move(factors));
+  }
+  return out;
+}
+
+void Accumulate(const Relation& joined, const ResolvedQuery& rq,
+                size_t row, QueryResult* result) {
+  TupleKey key(static_cast<int>(rq.key_cols.size()));
+  for (size_t i = 0; i < rq.key_cols.size(); ++i) {
+    key.set(static_cast<int>(i), joined.column(rq.key_cols[i]).AsInt(row));
+  }
+  double* payload = result->data.Upsert(key);
+  for (size_t a = 0; a < rq.aggs.size(); ++a) {
+    double prod = 1.0;
+    for (const auto& [col, fn] : rq.aggs[a]) {
+      prod *= fn.Eval(joined.column(col).AsDouble(row));
+    }
+    payload[a] += prod;
+  }
+}
+
+QueryResult MakeResult(const Query& q) {
+  QueryResult r;
+  r.query_id = q.id;
+  r.group_by = q.group_by;
+  r.data = ViewMap(static_cast<int>(q.group_by.size()),
+                   static_cast<int>(q.aggregates.size()));
+  return r;
+}
+
+}  // namespace
+
+StatusOr<std::vector<QueryResult>> EvaluateBatchSharedScan(
+    const Relation& joined, const QueryBatch& batch) {
+  std::vector<ResolvedQuery> resolved;
+  std::vector<QueryResult> results;
+  for (const Query& q : batch.queries()) {
+    LMFAO_ASSIGN_OR_RETURN(ResolvedQuery rq, Resolve(joined, q));
+    resolved.push_back(std::move(rq));
+    results.push_back(MakeResult(q));
+  }
+  for (size_t row = 0; row < joined.num_rows(); ++row) {
+    for (size_t qi = 0; qi < resolved.size(); ++qi) {
+      Accumulate(joined, resolved[qi], row, &results[qi]);
+    }
+  }
+  return results;
+}
+
+StatusOr<std::vector<QueryResult>> EvaluateBatchPerQueryScan(
+    const Relation& joined, const QueryBatch& batch) {
+  std::vector<QueryResult> results;
+  for (const Query& q : batch.queries()) {
+    LMFAO_ASSIGN_OR_RETURN(ResolvedQuery rq, Resolve(joined, q));
+    QueryResult result = MakeResult(q);
+    for (size_t row = 0; row < joined.num_rows(); ++row) {
+      Accumulate(joined, rq, row, &result);
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+namespace {
+
+bool PayloadsAgree(const double* a, const double* b, int width,
+                   double rel_tol) {
+  for (int i = 0; i < width; ++i) {
+    const double x = a == nullptr ? 0.0 : a[i];
+    const double y = b == nullptr ? 0.0 : b[i];
+    const double scale = std::max({std::fabs(x), std::fabs(y), 1.0});
+    if (std::fabs(x - y) > rel_tol * scale) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ResultsEquivalent(const QueryResult& a, const QueryResult& b,
+                       double rel_tol) {
+  if (a.group_by != b.group_by) return false;
+  if (a.data.width() != b.data.width()) return false;
+  const int width = a.data.width();
+  bool ok = true;
+  a.data.ForEach([&](const TupleKey& key, const double* payload) {
+    if (!ok) return;
+    if (!PayloadsAgree(payload, b.data.Lookup(key), width, rel_tol)) {
+      ok = false;
+    }
+  });
+  if (!ok) return false;
+  b.data.ForEach([&](const TupleKey& key, const double* payload) {
+    if (!ok) return;
+    if (a.data.Lookup(key) == nullptr &&
+        !PayloadsAgree(nullptr, payload, width, rel_tol)) {
+      ok = false;
+    }
+  });
+  return ok;
+}
+
+}  // namespace lmfao

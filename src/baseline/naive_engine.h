@@ -1,0 +1,41 @@
+/// \file naive_engine.h
+/// \brief Scan-based batch evaluation over the materialized join.
+///
+/// This is the mainstream "compute the join, then aggregate" strategy that
+/// the paper's experiments compare LMFAO against (PostgreSQL/MonetDB-style
+/// pipelines, and the TensorFlow/scikit-learn exports that first build the
+/// design matrix). Two variants:
+///   - a *shared scan* computing every query of the batch in one pass over
+///     D (the strongest reasonable scan baseline), and
+///   - a *per-query scan* issuing one pass per query (how a SQL front-end
+///     issuing independent statements behaves).
+
+#ifndef LMFAO_BASELINE_NAIVE_ENGINE_H_
+#define LMFAO_BASELINE_NAIVE_ENGINE_H_
+
+#include <vector>
+
+#include "query/query.h"
+#include "storage/relation.h"
+#include "util/status.h"
+
+namespace lmfao {
+
+/// \brief Evaluates the whole batch in one pass over the materialized join.
+StatusOr<std::vector<QueryResult>> EvaluateBatchSharedScan(
+    const Relation& joined, const QueryBatch& batch);
+
+/// \brief Evaluates each query with its own pass over the materialized join.
+StatusOr<std::vector<QueryResult>> EvaluateBatchPerQueryScan(
+    const Relation& joined, const QueryBatch& batch);
+
+/// \brief Compares two result sets (missing keys count as zero payloads).
+///
+/// Returns true when every (key, slot) pair agrees within `rel_tol`
+/// relative tolerance (plus a tiny absolute floor for near-zero values).
+bool ResultsEquivalent(const QueryResult& a, const QueryResult& b,
+                       double rel_tol = 1e-9);
+
+}  // namespace lmfao
+
+#endif  // LMFAO_BASELINE_NAIVE_ENGINE_H_

@@ -1,0 +1,183 @@
+#include "data/favorita.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace lmfao {
+
+StatusOr<std::unique_ptr<FavoritaData>> MakeFavorita(
+    const FavoritaOptions& options) {
+  auto data = std::make_unique<FavoritaData>();
+  Catalog& cat = data->catalog;
+  Rng rng(options.seed);
+
+  // Attributes (natural-join semantics: shared names join).
+  LMFAO_ASSIGN_OR_RETURN(data->date,
+                         cat.AddAttribute("date", AttrType::kInt));
+  LMFAO_ASSIGN_OR_RETURN(data->store,
+                         cat.AddAttribute("store", AttrType::kInt));
+  LMFAO_ASSIGN_OR_RETURN(data->item,
+                         cat.AddAttribute("item", AttrType::kInt));
+  LMFAO_ASSIGN_OR_RETURN(data->units,
+                         cat.AddAttribute("units", AttrType::kDouble));
+  LMFAO_ASSIGN_OR_RETURN(data->promo,
+                         cat.AddAttribute("promo", AttrType::kInt));
+  LMFAO_ASSIGN_OR_RETURN(data->htype,
+                         cat.AddAttribute("htype", AttrType::kInt));
+  LMFAO_ASSIGN_OR_RETURN(data->locale,
+                         cat.AddAttribute("locale", AttrType::kInt));
+  LMFAO_ASSIGN_OR_RETURN(data->transferred,
+                         cat.AddAttribute("transferred", AttrType::kInt));
+  LMFAO_ASSIGN_OR_RETURN(data->city,
+                         cat.AddAttribute("city", AttrType::kInt));
+  LMFAO_ASSIGN_OR_RETURN(data->state,
+                         cat.AddAttribute("state", AttrType::kInt));
+  LMFAO_ASSIGN_OR_RETURN(data->stype,
+                         cat.AddAttribute("stype", AttrType::kInt));
+  LMFAO_ASSIGN_OR_RETURN(data->cluster,
+                         cat.AddAttribute("cluster", AttrType::kInt));
+  LMFAO_ASSIGN_OR_RETURN(data->family,
+                         cat.AddAttribute("family", AttrType::kInt));
+  LMFAO_ASSIGN_OR_RETURN(data->item_class,
+                         cat.AddAttribute("class", AttrType::kInt));
+  LMFAO_ASSIGN_OR_RETURN(data->perishable,
+                         cat.AddAttribute("perishable", AttrType::kInt));
+  LMFAO_ASSIGN_OR_RETURN(data->txns,
+                         cat.AddAttribute("txns", AttrType::kDouble));
+  LMFAO_ASSIGN_OR_RETURN(data->price,
+                         cat.AddAttribute("price", AttrType::kDouble));
+
+  // Relations, in the order of Fig. 2 (Sales is relation 0).
+  LMFAO_ASSIGN_OR_RETURN(
+      data->sales,
+      cat.AddRelation("Sales", {"date", "store", "item", "units", "promo"}));
+  LMFAO_ASSIGN_OR_RETURN(
+      data->holidays,
+      cat.AddRelation("Holidays", {"date", "htype", "locale", "transferred"}));
+  LMFAO_ASSIGN_OR_RETURN(
+      data->stores,
+      cat.AddRelation("StoRes", {"store", "city", "state", "stype", "cluster"}));
+  LMFAO_ASSIGN_OR_RETURN(
+      data->items,
+      cat.AddRelation("Items", {"item", "family", "class", "perishable"}));
+  LMFAO_ASSIGN_OR_RETURN(
+      data->transactions,
+      cat.AddRelation("Transactions", {"date", "store", "txns"}));
+  LMFAO_ASSIGN_OR_RETURN(data->oil, cat.AddRelation("Oil", {"date", "price"}));
+
+  // --- Data generation (dimension tables cover every key so that the
+  // natural join preserves all Sales rows, like the paper's prepared data).
+  Relation& sales = cat.mutable_relation(data->sales);
+  Relation& holidays = cat.mutable_relation(data->holidays);
+  Relation& stores = cat.mutable_relation(data->stores);
+  Relation& items = cat.mutable_relation(data->items);
+  Relation& transactions = cat.mutable_relation(data->transactions);
+  Relation& oil = cat.mutable_relation(data->oil);
+
+  for (int64_t d = 0; d < options.num_dates; ++d) {
+    const bool holiday = rng.Bernoulli(0.12);
+    holidays.AppendRowUnchecked(
+        {Value::Int(d), Value::Int(holiday ? rng.UniformInt(1, 5) : 0),
+         Value::Int(rng.UniformInt(0, 2)),
+         Value::Int(rng.Bernoulli(0.1) ? 1 : 0)});
+    // Oil price follows a slow random walk around 60.
+    const double price = 60.0 + 15.0 * std::sin(0.07 * static_cast<double>(d)) +
+                         rng.Normal(0.0, 2.0);
+    oil.AppendRowUnchecked({Value::Int(d), Value::Double(price)});
+  }
+  for (int64_t s = 0; s < options.num_stores; ++s) {
+    stores.AppendRowUnchecked(
+        {Value::Int(s), Value::Int(rng.UniformInt(0, options.num_cities - 1)),
+         Value::Int(rng.UniformInt(0, options.num_states - 1)),
+         Value::Int(rng.UniformInt(0, 4)), Value::Int(rng.UniformInt(1, 17))});
+  }
+  for (int64_t i = 0; i < options.num_items; ++i) {
+    items.AppendRowUnchecked(
+        {Value::Int(i), Value::Int(rng.UniformInt(0, options.num_families - 1)),
+         Value::Int(rng.UniformInt(0, options.num_classes - 1)),
+         Value::Int(rng.Bernoulli(0.25) ? 1 : 0)});
+  }
+  for (int64_t d = 0; d < options.num_dates; ++d) {
+    for (int64_t s = 0; s < options.num_stores; ++s) {
+      transactions.AppendRowUnchecked(
+          {Value::Int(d), Value::Int(s),
+           Value::Double(800.0 + rng.Normal(0.0, 150.0))});
+    }
+  }
+  ZipfTable item_zipf(static_cast<uint64_t>(options.num_items),
+                      options.item_skew);
+  for (int64_t r = 0; r < options.num_sales; ++r) {
+    const int64_t d = rng.UniformInt(0, options.num_dates - 1);
+    const int64_t s = rng.UniformInt(0, options.num_stores - 1);
+    const int64_t i = static_cast<int64_t>(item_zipf.Sample(&rng));
+    const bool promo = rng.Bernoulli(0.15);
+    double units = std::max(0.0, rng.Normal(7.0, 4.0)) * (promo ? 1.6 : 1.0);
+    sales.AppendRowUnchecked({Value::Int(d), Value::Int(s), Value::Int(i),
+                              Value::Double(units),
+                              Value::Int(promo ? 1 : 0)});
+  }
+  cat.RefreshDomainSizes();
+
+  // Join tree of Fig. 2: Sales-{Transactions,Holidays,Items},
+  // Transactions-{StoRes,Oil}.
+  LMFAO_ASSIGN_OR_RETURN(
+      data->tree,
+      JoinTree::FromEdges(cat, {{data->sales, data->transactions},
+                                {data->sales, data->holidays},
+                                {data->sales, data->items},
+                                {data->transactions, data->stores},
+                                {data->transactions, data->oil}}));
+  return data;
+}
+
+QueryBatch MakeExampleBatch(const FavoritaData& data) {
+  QueryBatch batch;
+
+  // Q1 = SELECT SUM(units) FROM D
+  Query q1;
+  q1.name = "Q1";
+  q1.aggregates.push_back(Aggregate::Sum(data.units));
+  q1.root_hint = data.sales;
+  batch.Add(std::move(q1));
+
+  // Q2 = SELECT store, SUM(g(item)*h(date)) FROM D GROUP BY store.
+  // Deterministic dictionaries standing in for the paper's user-defined
+  // numeric functions g and h.
+  auto g = std::make_shared<FunctionDict>();
+  g->name = "g";
+  g->default_value = 1.0;
+  const int64_t item_domain =
+      data.catalog.attr(data.item).domain_size;
+  for (int64_t i = 0; i < item_domain; ++i) {
+    g->table[i] = 1.0 + 0.01 * static_cast<double>(i % 17);
+  }
+  auto h = std::make_shared<FunctionDict>();
+  h->name = "h";
+  h->default_value = 1.0;
+  const int64_t date_domain = data.catalog.attr(data.date).domain_size;
+  for (int64_t d = 0; d < date_domain; ++d) {
+    h->table[d] = 1.0 + 0.02 * static_cast<double>(d % 7);
+  }
+  Query q2;
+  q2.name = "Q2";
+  q2.group_by = {data.store};
+  q2.aggregates.push_back(
+      Aggregate({Factor{data.item, Function::Dictionary(g)},
+                 Factor{data.date, Function::Dictionary(h)}}));
+  q2.root_hint = data.sales;
+  batch.Add(std::move(q2));
+
+  // Q3 = SELECT class, SUM(units*price) FROM D GROUP BY class.
+  Query q3;
+  q3.name = "Q3";
+  q3.group_by = {data.item_class};
+  q3.aggregates.push_back(Aggregate::SumProduct(data.units, data.price));
+  q3.root_hint = data.items;
+  batch.Add(std::move(q3));
+
+  return batch;
+}
+
+}  // namespace lmfao

@@ -1,0 +1,81 @@
+/// \file favorita.h
+/// \brief Synthetic generator for the Favorita dataset (Fig. 2 schema).
+///
+/// The paper evaluates on the public Corporación Favorita grocery-sales
+/// Kaggle dataset (120M tuples) with the 6-relation schema of Fig. 2:
+///
+///   Sales:        date, store, item, units, promo
+///   Holidays:     date, htype, locale, transferred
+///   StoRes:       store, city, state, stype, cluster
+///   Items:        item, family, class, perishable
+///   Transactions: date, store, txns
+///   Oil:          date, price
+///
+/// The raw Kaggle CSVs are not available offline, so this generator builds a
+/// deterministic synthetic instance with the same schema, the same
+/// foreign-key join shape (every Sales row joins exactly one row of every
+/// other relation, so |D| = |Sales| as in the paper's prepared dataset),
+/// realistic domain sizes and Zipf-skewed item/date frequencies. All engine
+/// behaviour under study depends only on these structural properties; see
+/// DESIGN.md §3.
+
+#ifndef LMFAO_DATA_FAVORITA_H_
+#define LMFAO_DATA_FAVORITA_H_
+
+#include <memory>
+
+#include "jointree/join_tree.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace lmfao {
+
+/// \brief Scale knobs of the generator. Defaults give a small instance fit
+/// for unit tests; benchmarks scale num_sales up.
+struct FavoritaOptions {
+  int64_t num_sales = 10000;
+  int64_t num_dates = 90;
+  int64_t num_stores = 18;
+  int64_t num_items = 400;
+  int64_t num_families = 12;
+  int64_t num_classes = 40;
+  int64_t num_cities = 8;
+  int64_t num_states = 5;
+  /// Zipf exponent for item popularity (0 = uniform).
+  double item_skew = 0.8;
+  uint64_t seed = 42;
+};
+
+/// \brief A generated Favorita instance: catalog, join tree and attribute
+/// handles used by queries.
+struct FavoritaData {
+  Catalog catalog;
+  JoinTree tree;
+
+  /// Attribute ids, resolved once.
+  AttrId date, store, item, units, promo;
+  AttrId htype, locale, transferred;
+  AttrId city, state, stype, cluster;
+  AttrId family, item_class, perishable;
+  AttrId txns, price;
+
+  RelationId sales, holidays, stores, items, transactions, oil;
+};
+
+/// \brief Generates a Favorita instance.
+StatusOr<std::unique_ptr<FavoritaData>> MakeFavorita(
+    const FavoritaOptions& options = {});
+
+/// \brief The paper's running-example batch (Section 2):
+///   Q1 = SELECT SUM(units) FROM D
+///   Q2 = SELECT store, SUM(g(item)*h(date)) FROM D GROUP BY store
+///   Q3 = SELECT class, SUM(units*price) FROM D GROUP BY class
+///
+/// `g` and `h` are user-defined dictionary functions; deterministic tables
+/// are generated from the instance's domains.
+QueryBatch MakeExampleBatch(const FavoritaData& data);
+
+}  // namespace lmfao
+
+#endif  // LMFAO_DATA_FAVORITA_H_

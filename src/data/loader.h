@@ -1,0 +1,35 @@
+/// \file loader.h
+/// \brief CSV import/export for relations.
+///
+/// Lets users load the real Favorita/Retailer exports (or any CSV) into a
+/// catalog: one file per relation, columns matched to the relation's schema
+/// by position, values parsed according to the attribute types.
+
+#ifndef LMFAO_DATA_LOADER_H_
+#define LMFAO_DATA_LOADER_H_
+
+#include <string>
+
+#include "storage/catalog.h"
+#include "util/csv.h"
+#include "util/status.h"
+
+namespace lmfao {
+
+/// \brief Appends the rows of a CSV file to `relation` (columns by
+/// position). Int columns require integral values.
+Status LoadRelationCsv(const std::string& path, const Catalog& catalog,
+                       Relation* relation, const CsvOptions& options = {});
+
+/// \brief Parses CSV text into an existing relation (testable core of
+/// LoadRelationCsv).
+Status LoadRelationCsvText(const std::string& text, const Catalog& catalog,
+                           Relation* relation,
+                           const CsvOptions& options = {});
+
+/// \brief Serializes a relation to CSV (header = attribute names).
+std::string RelationToCsv(const Relation& relation, const Catalog& catalog);
+
+}  // namespace lmfao
+
+#endif  // LMFAO_DATA_LOADER_H_

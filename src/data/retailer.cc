@@ -1,0 +1,200 @@
+#include "data/retailer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace lmfao {
+namespace {
+
+/// Registers a double attribute and tracks it as continuous.
+StatusOr<AttrId> AddCont(Catalog* cat, RetailerData* data,
+                         const std::string& name) {
+  LMFAO_ASSIGN_OR_RETURN(AttrId id, cat->AddAttribute(name, AttrType::kDouble));
+  data->continuous.push_back(id);
+  return id;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<RetailerData>> MakeRetailer(
+    const RetailerOptions& options) {
+  auto data = std::make_unique<RetailerData>();
+  Catalog& cat = data->catalog;
+  Rng rng(options.seed);
+
+  // Keys.
+  LMFAO_ASSIGN_OR_RETURN(data->locn, cat.AddAttribute("locn", AttrType::kInt));
+  LMFAO_ASSIGN_OR_RETURN(data->dateid,
+                         cat.AddAttribute("dateid", AttrType::kInt));
+  LMFAO_ASSIGN_OR_RETURN(data->ksn, cat.AddAttribute("ksn", AttrType::kInt));
+  LMFAO_ASSIGN_OR_RETURN(data->inventoryunits,
+                         AddCont(&cat, data.get(), "inventoryunits"));
+  LMFAO_ASSIGN_OR_RETURN(data->zip, cat.AddAttribute("zip", AttrType::kInt));
+
+  // Location continuous attributes.
+  const std::vector<std::string> location_cont = {
+      "rgn_cd",
+      "clim_zn_nbr",
+      "tot_area_sq_ft",
+      "sell_area_sq_ft",
+      "avghhi",
+      "supertargetdistance",
+      "supertargetdrivetime",
+      "targetdistance",
+      "targetdrivetime",
+      "walmartdistance",
+      "walmartdrivetime",
+      "walmartsupercenterdistance",
+      "walmartsupercenterdrivetime",
+  };
+  std::vector<AttrId> location_attrs;
+  for (const auto& name : location_cont) {
+    LMFAO_ASSIGN_OR_RETURN(AttrId id, AddCont(&cat, data.get(), name));
+    location_attrs.push_back(id);
+  }
+
+  // Census continuous attributes.
+  const std::vector<std::string> census_cont = {
+      "population",  "white",      "asian",
+      "pacific",     "black",      "medianage",
+      "occupiedhouseunits", "houseunits", "families",
+      "households",  "husbwife",   "males",
+      "females",     "householdschildren", "hispanic",
+  };
+  std::vector<AttrId> census_attrs;
+  for (const auto& name : census_cont) {
+    LMFAO_ASSIGN_OR_RETURN(AttrId id, AddCont(&cat, data.get(), name));
+    census_attrs.push_back(id);
+  }
+
+  // Item: categorical hierarchy + price.
+  LMFAO_ASSIGN_OR_RETURN(data->subcategory,
+                         cat.AddAttribute("subcategory", AttrType::kInt));
+  LMFAO_ASSIGN_OR_RETURN(data->category,
+                         cat.AddAttribute("category", AttrType::kInt));
+  LMFAO_ASSIGN_OR_RETURN(data->category_cluster,
+                         cat.AddAttribute("categoryCluster", AttrType::kInt));
+  data->categorical = {data->subcategory, data->category,
+                       data->category_cluster};
+  LMFAO_ASSIGN_OR_RETURN(data->prize, AddCont(&cat, data.get(), "prize"));
+
+  // Weather.
+  LMFAO_ASSIGN_OR_RETURN(data->rain, cat.AddAttribute("rain", AttrType::kInt));
+  LMFAO_ASSIGN_OR_RETURN(data->snow, cat.AddAttribute("snow", AttrType::kInt));
+  LMFAO_ASSIGN_OR_RETURN(data->maxtemp, AddCont(&cat, data.get(), "maxtemp"));
+  LMFAO_ASSIGN_OR_RETURN(data->mintemp, AddCont(&cat, data.get(), "mintemp"));
+  LMFAO_ASSIGN_OR_RETURN(data->meanwind,
+                         AddCont(&cat, data.get(), "meanwind"));
+  LMFAO_ASSIGN_OR_RETURN(data->thunder,
+                         cat.AddAttribute("thunder", AttrType::kInt));
+  data->categorical.push_back(data->rain);
+  data->categorical.push_back(data->snow);
+  data->categorical.push_back(data->thunder);
+
+  // Relations (Inventory is relation 0 = the fact table).
+  LMFAO_ASSIGN_OR_RETURN(
+      data->inventory,
+      cat.AddRelation("Inventory",
+                      {"locn", "dateid", "ksn", "inventoryunits"}));
+  std::vector<std::string> location_schema = {"locn", "zip"};
+  location_schema.insert(location_schema.end(), location_cont.begin(),
+                         location_cont.end());
+  LMFAO_ASSIGN_OR_RETURN(data->location,
+                         cat.AddRelation("Location", location_schema));
+  std::vector<std::string> census_schema = {"zip"};
+  census_schema.insert(census_schema.end(), census_cont.begin(),
+                       census_cont.end());
+  LMFAO_ASSIGN_OR_RETURN(data->census,
+                         cat.AddRelation("Census", census_schema));
+  LMFAO_ASSIGN_OR_RETURN(
+      data->item, cat.AddRelation("Item", {"ksn", "subcategory", "category",
+                                           "categoryCluster", "prize"}));
+  LMFAO_ASSIGN_OR_RETURN(
+      data->weather,
+      cat.AddRelation("Weather", {"locn", "dateid", "rain", "snow", "maxtemp",
+                                  "mintemp", "meanwind", "thunder"}));
+
+  // --- Data.
+  Relation& inventory = cat.mutable_relation(data->inventory);
+  Relation& location = cat.mutable_relation(data->location);
+  Relation& census = cat.mutable_relation(data->census);
+  Relation& item = cat.mutable_relation(data->item);
+  Relation& weather = cat.mutable_relation(data->weather);
+
+  for (int64_t l = 0; l < options.num_locations; ++l) {
+    std::vector<Value> row;
+    row.push_back(Value::Int(l));
+    row.push_back(Value::Int(rng.UniformInt(0, options.num_zips - 1)));
+    row.push_back(Value::Double(static_cast<double>(rng.UniformInt(1, 9))));
+    row.push_back(Value::Double(static_cast<double>(rng.UniformInt(1, 12))));
+    row.push_back(Value::Double(rng.UniformDouble(40000, 220000)));
+    row.push_back(Value::Double(rng.UniformDouble(25000, 180000)));
+    row.push_back(Value::Double(rng.UniformDouble(35000, 150000)));
+    for (int d = 0; d < 8; ++d) {
+      row.push_back(Value::Double(rng.UniformDouble(0.5, 40.0)));
+    }
+    location.AppendRowUnchecked(row);
+  }
+  for (int64_t z = 0; z < options.num_zips; ++z) {
+    std::vector<Value> row;
+    row.push_back(Value::Int(z));
+    const double pop = rng.UniformDouble(5000, 80000);
+    row.push_back(Value::Double(pop));
+    // Demographic slices as fractions of the population.
+    for (int i = 0; i < 4; ++i) {
+      row.push_back(Value::Double(pop * rng.UniformDouble(0.02, 0.6)));
+    }
+    row.push_back(Value::Double(rng.UniformDouble(24, 48)));  // medianage
+    const double houses = pop * rng.UniformDouble(0.3, 0.5);
+    row.push_back(Value::Double(houses * rng.UniformDouble(0.8, 0.98)));
+    row.push_back(Value::Double(houses));
+    row.push_back(Value::Double(houses * rng.UniformDouble(0.5, 0.8)));
+    row.push_back(Value::Double(houses * rng.UniformDouble(0.85, 1.0)));
+    row.push_back(Value::Double(houses * rng.UniformDouble(0.3, 0.6)));
+    row.push_back(Value::Double(pop * rng.UniformDouble(0.45, 0.55)));
+    row.push_back(Value::Double(pop * rng.UniformDouble(0.45, 0.55)));
+    row.push_back(Value::Double(houses * rng.UniformDouble(0.2, 0.5)));
+    row.push_back(Value::Double(pop * rng.UniformDouble(0.05, 0.4)));
+    census.AppendRowUnchecked(row);
+  }
+  for (int64_t k = 0; k < options.num_items; ++k) {
+    const int64_t category = rng.UniformInt(0, 19);
+    item.AppendRowUnchecked(
+        {Value::Int(k), Value::Int(category * 5 + rng.UniformInt(0, 4)),
+         Value::Int(category), Value::Int(category / 4),
+         Value::Double(rng.UniformDouble(0.5, 120.0))});
+  }
+  for (int64_t l = 0; l < options.num_locations; ++l) {
+    for (int64_t d = 0; d < options.num_dates; ++d) {
+      const double maxtemp = rng.UniformDouble(30, 100);
+      weather.AppendRowUnchecked(
+          {Value::Int(l), Value::Int(d),
+           Value::Int(rng.Bernoulli(0.25) ? 1 : 0),
+           Value::Int(rng.Bernoulli(0.05) ? 1 : 0), Value::Double(maxtemp),
+           Value::Double(maxtemp - rng.UniformDouble(8, 25)),
+           Value::Double(rng.UniformDouble(0, 25)),
+           Value::Int(rng.Bernoulli(0.08) ? 1 : 0)});
+    }
+  }
+  ZipfTable ksn_zipf(static_cast<uint64_t>(options.num_items), 0.7);
+  for (int64_t r = 0; r < options.num_inventory; ++r) {
+    inventory.AppendRowUnchecked(
+        {Value::Int(rng.UniformInt(0, options.num_locations - 1)),
+         Value::Int(rng.UniformInt(0, options.num_dates - 1)),
+         Value::Int(static_cast<int64_t>(ksn_zipf.Sample(&rng))),
+         Value::Double(std::max(0.0, rng.Normal(20.0, 12.0)))});
+  }
+  cat.RefreshDomainSizes();
+
+  LMFAO_ASSIGN_OR_RETURN(
+      data->tree,
+      JoinTree::FromEdges(cat, {{data->inventory, data->location},
+                                {data->location, data->census},
+                                {data->inventory, data->item},
+                                {data->inventory, data->weather}}));
+  return data;
+}
+
+}  // namespace lmfao

@@ -1,0 +1,71 @@
+/// \file retailer.h
+/// \brief Synthetic generator for the Retailer dataset.
+///
+/// The paper's second benchmark dataset is a commercial retailer database
+/// (84M tuples) that cannot be redistributed; its schema is documented in
+/// the companion SIGMOD'19 paper [5]:
+///
+///   Inventory: locn, dateid, ksn, inventoryunits
+///   Location:  locn, zip, rgn_cd, clim_zn_nbr, tot_area_sq_ft,
+///              sell_area_sq_ft, avghhi, supertargetdistance,
+///              supertargetdrivetime, targetdistance, targetdrivetime,
+///              walmartdistance, walmartdrivetime,
+///              walmartsupercenterdistance, walmartsupercenterdrivetime
+///   Census:    zip, population, white, asian, pacific, black, medianage,
+///              occupiedhouseunits, houseunits, families, households,
+///              husbwife, males, females, householdschildren, hispanic
+///   Item:      ksn, subcategory, category, categoryCluster, prize
+///   Weather:   locn, dateid, rain, snow, maxtemp, mintemp, meanwind, thunder
+///
+/// (43 attributes overall.) This generator reproduces the schema, key/FK
+/// structure and realistic value distributions at configurable scale; the
+/// aggregate-batch sizes of Section 3 (LR covariance batch, decision-tree
+/// node batches) depend only on this schema.
+
+#ifndef LMFAO_DATA_RETAILER_H_
+#define LMFAO_DATA_RETAILER_H_
+
+#include <memory>
+#include <vector>
+
+#include "jointree/join_tree.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace lmfao {
+
+/// \brief Scale knobs; defaults suit unit tests.
+struct RetailerOptions {
+  int64_t num_inventory = 10000;
+  int64_t num_locations = 30;
+  int64_t num_dates = 80;
+  int64_t num_items = 300;
+  int64_t num_zips = 20;
+  uint64_t seed = 7;
+};
+
+/// \brief A generated Retailer instance.
+struct RetailerData {
+  Catalog catalog;
+  JoinTree tree;
+
+  AttrId locn, dateid, ksn, inventoryunits;
+  AttrId zip;
+  AttrId subcategory, category, category_cluster, prize;
+  AttrId rain, snow, maxtemp, mintemp, meanwind, thunder;
+  /// All continuous (double) attributes, in catalog order — the feature
+  /// set of the paper's learning tasks (label = inventoryunits).
+  std::vector<AttrId> continuous;
+  /// Categorical (int) non-key attributes.
+  std::vector<AttrId> categorical;
+
+  RelationId inventory, location, census, item, weather;
+};
+
+/// \brief Generates a Retailer instance.
+StatusOr<std::unique_ptr<RetailerData>> MakeRetailer(
+    const RetailerOptions& options = {});
+
+}  // namespace lmfao
+
+#endif  // LMFAO_DATA_RETAILER_H_

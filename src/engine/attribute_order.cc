@@ -1,0 +1,109 @@
+#include "engine/attribute_order.h"
+
+#include <algorithm>
+
+namespace lmfao {
+
+StatusOr<std::vector<AttrId>> ComputeAttributeOrder(
+    const Workload& workload, const ViewGroup& group,
+    const Catalog& catalog) {
+  // The trie is built over the *node relation's* join attributes only
+  // (Section 2: "a total order on the join attributes of the node
+  // relation"). Attributes carried by incoming views but absent from the
+  // relation (group-by attributes travelling towards their root) are not
+  // levels: the executor iterates the views' matching entry ranges instead.
+  const std::vector<AttrId>& rel_attrs =
+      SortedUnique(catalog.relation(group.node).schema().attrs());
+  std::vector<AttrId> universe;
+  for (ViewId v : group.incoming) {
+    for (AttrId a : workload.view(v).key) {
+      if (SetContains(rel_attrs, a)) universe.push_back(a);
+    }
+  }
+  for (ViewId v : group.outputs) {
+    for (AttrId a : workload.view(v).key) {
+      if (SetContains(rel_attrs, a)) universe.push_back(a);
+    }
+  }
+  universe = SortedUnique(std::move(universe));
+  for (AttrId a : universe) {
+    if (catalog.attr(a).type != AttrType::kInt) {
+      return Status::InvalidArgument("trie attribute " + catalog.attr(a).name +
+                                     " must be int-typed");
+    }
+  }
+
+  // Rule 1: outgoing *view* key attributes first (query outputs excluded:
+  // they accumulate into hash maps anyway), so inner views are produced in
+  // key order at shallow levels.
+  std::vector<AttrId> order;
+  auto take = [&](AttrId a) {
+    if (!SetContains(universe, a)) return;
+    if (std::find(order.begin(), order.end(), a) == order.end()) {
+      order.push_back(a);
+    }
+  };
+  for (ViewId v : group.outputs) {
+    const ViewInfo& info = workload.view(v);
+    if (info.IsQueryOutput()) continue;
+    for (AttrId a : info.key) take(a);
+  }
+
+  // Rule 2/3: greedily complete incoming-view keys; prefer attributes
+  // referenced by more views, then smaller domains.
+  std::vector<AttrId> remaining;
+  for (AttrId a : universe) {
+    if (std::find(order.begin(), order.end(), a) == order.end()) {
+      remaining.push_back(a);
+    }
+  }
+  auto count_in_keys = [&](AttrId a) {
+    int n = 0;
+    for (ViewId v : group.incoming) {
+      if (SetContains(workload.view(v).key, a)) ++n;
+    }
+    return n;
+  };
+  while (!remaining.empty()) {
+    AttrId best = remaining.front();
+    int best_completions = -1;
+    int best_refs = -1;
+    int64_t best_domain = 0;
+    for (AttrId a : remaining) {
+      // How many incoming views have all their *relation* key attributes
+      // bound once `a` is next?
+      int completions = 0;
+      for (ViewId v : group.incoming) {
+        const auto& key = workload.view(v).key;
+        if (!SetContains(key, a)) continue;
+        bool complete = true;
+        for (AttrId k : key) {
+          if (k == a || !SetContains(universe, k)) continue;
+          if (std::find(order.begin(), order.end(), k) == order.end()) {
+            complete = false;
+            break;
+          }
+        }
+        if (complete) ++completions;
+      }
+      const int refs = count_in_keys(a);
+      const int64_t domain = catalog.attr(a).domain_size;
+      const bool better =
+          completions > best_completions ||
+          (completions == best_completions && refs > best_refs) ||
+          (completions == best_completions && refs == best_refs &&
+           (best_domain <= 0 || (domain > 0 && domain < best_domain)));
+      if (better) {
+        best = a;
+        best_completions = completions;
+        best_refs = refs;
+        best_domain = domain;
+      }
+    }
+    order.push_back(best);
+    remaining.erase(std::find(remaining.begin(), remaining.end(), best));
+  }
+  return order;
+}
+
+}  // namespace lmfao

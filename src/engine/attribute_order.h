@@ -1,0 +1,39 @@
+/// \file attribute_order.h
+/// \brief Per-group total orders on join attributes.
+///
+/// The Multi-Output Optimization layer constructs, for each view group, a
+/// total order on the attributes over which the group's relation and
+/// incoming views are organized as tries (Section 2). The order determines
+/// where view lookups complete, where outputs are written, and how much
+/// computation can be hoisted out of inner loops, so the heuristic aims to:
+///   1. put key attributes of *outgoing views* first — their writes then
+///      happen at the shallowest levels and the views are produced in key
+///      order;
+///   2. among the rest, greedily pick attributes that complete the keys of
+///      as many incoming views as possible (lookups become loop-invariant
+///      early, Fig. 3's alpha registers);
+///   3. break ties towards attributes referenced by more incoming views,
+///      then smaller estimated domains.
+
+#ifndef LMFAO_ENGINE_ATTRIBUTE_ORDER_H_
+#define LMFAO_ENGINE_ATTRIBUTE_ORDER_H_
+
+#include <vector>
+
+#include "engine/ir.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace lmfao {
+
+/// \brief Computes the trie attribute order for one group.
+///
+/// The order contains exactly the union of incoming-view key attributes and
+/// output key attributes; attributes used only inside local factors are
+/// handled at the leaf (per-tuple) level by the executor.
+StatusOr<std::vector<AttrId>> ComputeAttributeOrder(
+    const Workload& workload, const ViewGroup& group, const Catalog& catalog);
+
+}  // namespace lmfao
+
+#endif  // LMFAO_ENGINE_ATTRIBUTE_ORDER_H_

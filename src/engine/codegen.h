@@ -1,0 +1,49 @@
+/// \file codegen.h
+/// \brief The Code Generation layer: lowers group plans to C++ source.
+///
+/// The generated code is specialized to the schema and join tree exactly as
+/// described in Section 2: trie iteration becomes nested loops over sorted
+/// columns, view lookups become seeks into sorted key arrays, aggregate
+/// functions are inlined, alpha/beta registers become local variables and
+/// running sums. The same GroupPlan drives both this generator and the
+/// interpreter (executor.h), so the two lowerings agree by construction;
+/// GenerateStandaloneProgram additionally embeds a concrete dataset so that
+/// the emitted program can be compiled and *run*, validating the generated
+/// code end to end against interpreter results.
+
+#ifndef LMFAO_ENGINE_CODEGEN_H_
+#define LMFAO_ENGINE_CODEGEN_H_
+
+#include <string>
+
+#include "engine/executor.h"
+#include "engine/plan.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace lmfao {
+
+/// \brief Emits the specialized C++ function of one group.
+///
+/// The output contains an `Input`/`Output` struct pair and a function
+/// `lmfao_group_<id>` implementing the multi-output plan. It is
+/// self-contained modulo dictionary-function definitions, which are emitted
+/// as forward declarations (the standalone program defines them).
+std::string GenerateGroupCode(const GroupPlan& plan, const Workload& workload,
+                              const Catalog& catalog);
+
+/// \brief Emits a complete runnable program for one group.
+///
+/// Embeds the (sorted) node relation and consumed incoming views as literal
+/// arrays, defines any dictionary functions, calls the group function and
+/// prints, for every output, its entry count and per-slot totals with full
+/// precision. Compiling and running this program and comparing its output
+/// against the interpreter is the codegen integration test.
+StatusOr<std::string> GenerateStandaloneProgram(
+    const GroupPlan& plan, const Workload& workload, const Catalog& catalog,
+    const Relation& sorted_relation,
+    const std::vector<const ConsumedView*>& views);
+
+}  // namespace lmfao
+
+#endif  // LMFAO_ENGINE_CODEGEN_H_

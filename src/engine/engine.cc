@@ -1,0 +1,214 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "engine/attribute_order.h"
+#include "engine/executor.h"
+#include "engine/parallel.h"
+#include "storage/sort.h"
+#include "util/timer.h"
+
+namespace lmfao {
+
+Engine::Engine(const Catalog* catalog, const JoinTree* tree,
+               EngineOptions options)
+    : catalog_(catalog), tree_(tree), options_(std::move(options)) {
+  LMFAO_CHECK(catalog_ != nullptr);
+  LMFAO_CHECK(tree_ != nullptr);
+}
+
+void Engine::InvalidateCaches() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  sorted_cache_.clear();
+}
+
+StatusOr<CompiledBatch> Engine::Compile(const QueryBatch& batch) const {
+  CompiledBatch compiled;
+  LMFAO_ASSIGN_OR_RETURN(
+      compiled.workload,
+      GenerateViews(batch, *catalog_, *tree_, options_.view_generation));
+  LMFAO_ASSIGN_OR_RETURN(compiled.grouped,
+                         GroupViews(compiled.workload, *catalog_, options_.grouping));
+  for (const ViewGroup& group : compiled.grouped.groups) {
+    LMFAO_ASSIGN_OR_RETURN(
+        std::vector<AttrId> order,
+        ComputeAttributeOrder(compiled.workload, group, *catalog_));
+    LMFAO_ASSIGN_OR_RETURN(
+        GroupPlan plan,
+        BuildGroupPlan(compiled.workload, group, *catalog_, order,
+                       options_.plan));
+    compiled.attr_orders.push_back(std::move(order));
+    compiled.plans.push_back(std::move(plan));
+  }
+  return compiled;
+}
+
+StatusOr<const Relation*> Engine::SortedRelation(
+    RelationId node, const std::vector<AttrId>& order) {
+  const Relation& base = catalog_->relation(node);
+  std::vector<AttrId> sub;
+  for (AttrId a : order) {
+    if (base.schema().Contains(a)) sub.push_back(a);
+  }
+  if (sub.empty()) return &base;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = sorted_cache_.find({node, sub});
+    if (it != sorted_cache_.end()) return it->second.get();
+  }
+  // Copy and sort outside the lock; duplicated work on a race is harmless.
+  auto copy = std::make_unique<Relation>(base);
+  LMFAO_RETURN_NOT_OK(SortRelation(copy.get(), sub));
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto [it, inserted] = sorted_cache_.emplace(
+      std::make_pair(node, std::move(sub)), std::move(copy));
+  return it->second.get();
+}
+
+StatusOr<BatchResult> Engine::Evaluate(const QueryBatch& batch) {
+  Timer total_timer;
+  BatchResult result;
+  result.stats.num_queries = batch.size();
+
+  Timer phase_timer;
+  LMFAO_ASSIGN_OR_RETURN(
+      Workload workload,
+      GenerateViews(batch, *catalog_, *tree_, options_.view_generation));
+  result.stats.viewgen_seconds = phase_timer.ElapsedSeconds();
+  result.stats.num_views = workload.NumInnerViews();
+  for (const ViewInfo& v : workload.views) {
+    result.stats.num_aggregates += static_cast<int>(v.aggregates.size());
+  }
+
+  phase_timer.Reset();
+  LMFAO_ASSIGN_OR_RETURN(GroupedWorkload grouped,
+                         GroupViews(workload, *catalog_, options_.grouping));
+  result.stats.grouping_seconds = phase_timer.ElapsedSeconds();
+  result.stats.num_groups = static_cast<int>(grouped.groups.size());
+
+  phase_timer.Reset();
+  std::vector<GroupPlan> plans;
+  plans.reserve(grouped.groups.size());
+  for (const ViewGroup& group : grouped.groups) {
+    LMFAO_ASSIGN_OR_RETURN(std::vector<AttrId> order,
+                           ComputeAttributeOrder(workload, group, *catalog_));
+    LMFAO_ASSIGN_OR_RETURN(
+        GroupPlan plan,
+        BuildGroupPlan(workload, group, *catalog_, order, options_.plan));
+    plans.push_back(std::move(plan));
+  }
+  result.stats.plan_seconds = phase_timer.ElapsedSeconds();
+
+  // Execution: produced view maps indexed by ViewId.
+  phase_timer.Reset();
+  std::vector<std::unique_ptr<ViewMap>> produced(workload.views.size());
+  result.stats.groups.resize(grouped.groups.size());
+
+  const int threads = options_.num_threads > 0
+                          ? options_.num_threads
+                          : static_cast<int>(ThreadPool::DefaultThreadCount());
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.parallel_mode != ParallelMode::kNone && threads > 1) {
+    pool = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
+  }
+
+  auto run_group = [&](int gid) -> Status {
+    Timer group_timer;
+    const ViewGroup& group = grouped.groups[static_cast<size_t>(gid)];
+    const GroupPlan& plan = plans[static_cast<size_t>(gid)];
+    LMFAO_ASSIGN_OR_RETURN(const Relation* rel,
+                           SortedRelation(group.node, plan.attr_order));
+    // Build consumed forms of the incoming views.
+    std::vector<ConsumedView> consumed;
+    std::vector<const ConsumedView*> consumed_ptrs;
+    consumed.reserve(plan.incoming.size());
+    for (const auto& in : plan.incoming) {
+      const ViewMap* map = produced[static_cast<size_t>(in.view)].get();
+      if (map == nullptr) {
+        return Status::Internal("incoming view not yet produced");
+      }
+      consumed.push_back(BuildConsumedView(*map, in));
+    }
+    for (const ConsumedView& cv : consumed) consumed_ptrs.push_back(&cv);
+
+    // Allocate output maps.
+    std::vector<std::unique_ptr<ViewMap>> out_maps;
+    std::vector<ViewMap*> out_ptrs;
+    for (const auto& out : plan.outputs) {
+      const ViewInfo& info = workload.view(out.view);
+      out_maps.push_back(std::make_unique<ViewMap>(
+          static_cast<int>(info.key.size()), out.width));
+      out_ptrs.push_back(out_maps.back().get());
+    }
+
+    if (options_.parallel_mode == ParallelMode::kDomain && pool != nullptr &&
+        plan.num_levels() > 0) {
+      const int shards = threads;
+      std::vector<std::vector<std::unique_ptr<ViewMap>>> shard_maps(
+          static_cast<size_t>(shards));
+      std::vector<Status> shard_status(static_cast<size_t>(shards));
+      ParallelFor(pool.get(), static_cast<size_t>(shards), [&](size_t s) {
+        auto& maps = shard_maps[s];
+        std::vector<ViewMap*> ptrs;
+        for (const auto& out : plan.outputs) {
+          const ViewInfo& info = workload.view(out.view);
+          maps.push_back(std::make_unique<ViewMap>(
+              static_cast<int>(info.key.size()), out.width));
+          ptrs.push_back(maps.back().get());
+        }
+        GroupExecutor executor(plan, *rel, consumed_ptrs);
+        shard_status[s] =
+            executor.ExecuteShard(ptrs, static_cast<int>(s), shards);
+      });
+      for (const Status& st : shard_status) LMFAO_RETURN_NOT_OK(st);
+      for (int s = 0; s < shards; ++s) {
+        for (size_t o = 0; o < out_ptrs.size(); ++o) {
+          out_ptrs[o]->MergeAdd(*shard_maps[static_cast<size_t>(s)][o]);
+        }
+      }
+    } else {
+      GroupExecutor executor(plan, *rel, consumed_ptrs);
+      LMFAO_RETURN_NOT_OK(executor.Execute(out_ptrs));
+    }
+
+    // Publish outputs.
+    size_t entries = 0;
+    for (size_t o = 0; o < plan.outputs.size(); ++o) {
+      entries += out_maps[o]->size();
+      produced[static_cast<size_t>(plan.outputs[o].view)] =
+          std::move(out_maps[o]);
+    }
+    GroupStats& gs = result.stats.groups[static_cast<size_t>(gid)];
+    gs.group_id = gid;
+    gs.node = group.node;
+    gs.num_outputs = static_cast<int>(group.outputs.size());
+    gs.seconds = group_timer.ElapsedSeconds();
+    gs.output_entries = entries;
+    return Status::OK();
+  };
+
+  ThreadPool* task_pool =
+      options_.parallel_mode == ParallelMode::kTask ? pool.get() : nullptr;
+  LMFAO_RETURN_NOT_OK(ScheduleGroups(grouped, task_pool, run_group));
+  result.stats.execute_seconds = phase_timer.ElapsedSeconds();
+
+  // Extract query results.
+  result.results.resize(static_cast<size_t>(batch.size()));
+  for (QueryId q = 0; q < batch.size(); ++q) {
+    const ViewId out = workload.query_outputs[static_cast<size_t>(q)];
+    QueryResult& qr = result.results[static_cast<size_t>(q)];
+    qr.query_id = q;
+    qr.group_by = workload.view(out).key;
+    std::unique_ptr<ViewMap>& map = produced[static_cast<size_t>(out)];
+    if (map == nullptr) {
+      return Status::Internal("query output was not produced");
+    }
+    qr.data = std::move(*map);
+    map.reset();
+  }
+  result.stats.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace lmfao

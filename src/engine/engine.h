@@ -1,0 +1,130 @@
+/// \file engine.h
+/// \brief The LMFAO engine: end-to-end evaluation of aggregate batches.
+///
+/// Ties the layers together (Fig. 1): View Generation lowers the batch into
+/// a workload of merged directional views; Multi-Output Optimization groups
+/// the views and compiles one register program per group; execution runs the
+/// groups over the join tree, sequentially or in parallel, and extracts one
+/// result map per query.
+
+#ifndef LMFAO_ENGINE_ENGINE_H_
+#define LMFAO_ENGINE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "engine/grouping.h"
+#include "engine/ir.h"
+#include "engine/plan.h"
+#include "engine/view_generation.h"
+#include "jointree/join_tree.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace lmfao {
+
+/// \brief Parallelism strategy of Engine::Evaluate.
+enum class ParallelMode {
+  /// Sequential execution in topological group order.
+  kNone,
+  /// Task parallelism: independent groups run concurrently.
+  kTask,
+  /// Domain parallelism: groups run in topological order, each sharded over
+  /// its top-level trie values.
+  kDomain,
+};
+
+/// \brief All engine options, including the ablation toggles benchmarked by
+/// bench_ablation.
+struct EngineOptions {
+  ViewGenerationOptions view_generation;
+  GroupingOptions grouping;
+  PlanOptions plan;
+  ParallelMode parallel_mode = ParallelMode::kNone;
+  /// Thread count for kTask/kDomain (0 = hardware concurrency).
+  int num_threads = 0;
+};
+
+/// \brief Per-group execution statistics.
+struct GroupStats {
+  int group_id = -1;
+  RelationId node = kInvalidRelation;
+  int num_outputs = 0;
+  double seconds = 0.0;
+  size_t output_entries = 0;
+};
+
+/// \brief Statistics of one batch evaluation.
+struct ExecutionStats {
+  int num_queries = 0;
+  int num_views = 0;        ///< Inner (directional) views after merging.
+  int num_aggregates = 0;   ///< Aggregate slots across all views/outputs.
+  int num_groups = 0;
+  double viewgen_seconds = 0.0;
+  double grouping_seconds = 0.0;
+  double plan_seconds = 0.0;
+  double execute_seconds = 0.0;
+  double total_seconds = 0.0;
+  std::vector<GroupStats> groups;
+};
+
+/// \brief The result of evaluating a batch.
+struct BatchResult {
+  std::vector<QueryResult> results;  ///< Parallel to the batch's queries.
+  ExecutionStats stats;
+};
+
+/// \brief Inspection artifacts (used by the demo-style examples and the
+/// structural benchmarks reproducing Fig. 2 / Fig. 3).
+struct CompiledBatch {
+  Workload workload;
+  GroupedWorkload grouped;
+  std::vector<std::vector<AttrId>> attr_orders;  ///< Per group.
+  std::vector<GroupPlan> plans;                  ///< Per group.
+};
+
+/// \brief The optimization and execution engine.
+///
+/// The engine borrows the catalog and join tree; both must outlive it.
+/// Sorted copies of node relations are cached across Evaluate calls (keyed
+/// by relation and sort order); call InvalidateCaches() after mutating
+/// relations.
+class Engine {
+ public:
+  Engine(const Catalog* catalog, const JoinTree* tree,
+         EngineOptions options = {});
+
+  /// Compiles the batch through all optimization layers without executing.
+  StatusOr<CompiledBatch> Compile(const QueryBatch& batch) const;
+
+  /// Evaluates the batch end to end.
+  StatusOr<BatchResult> Evaluate(const QueryBatch& batch);
+
+  /// Drops cached sorted relations.
+  void InvalidateCaches();
+
+  const EngineOptions& options() const { return options_; }
+  EngineOptions& mutable_options() { return options_; }
+
+ private:
+  /// Returns the node relation sorted by the subsequence of `order` present
+  /// in it (cached). Returns the original relation when no sort is needed.
+  StatusOr<const Relation*> SortedRelation(RelationId node,
+                                           const std::vector<AttrId>& order);
+
+  const Catalog* catalog_;
+  const JoinTree* tree_;
+  EngineOptions options_;
+  std::map<std::pair<RelationId, std::vector<AttrId>>,
+           std::unique_ptr<Relation>>
+      sorted_cache_;
+  std::mutex cache_mu_;
+};
+
+}  // namespace lmfao
+
+#endif  // LMFAO_ENGINE_ENGINE_H_

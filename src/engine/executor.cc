@@ -1,0 +1,519 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+
+namespace lmfao {
+
+ConsumedView BuildConsumedView(const ViewMap& produced,
+                               const GroupPlan::IncomingView& incoming) {
+  ConsumedView out;
+  out.width = produced.width();
+  // Permute each key into (relation components by level, then extras).
+  std::vector<std::pair<TupleKey, const double*>> entries;
+  entries.reserve(produced.size());
+  const int arity = static_cast<int>(incoming.key_perm.size() +
+                                     incoming.extra_perm.size());
+  produced.ForEach([&](const TupleKey& key, const double* payload) {
+    TupleKey permuted(arity);
+    int c = 0;
+    for (int pos : incoming.key_perm) permuted.set(c++, key[pos]);
+    for (int pos : incoming.extra_perm) permuted.set(c++, key[pos]);
+    entries.emplace_back(permuted, payload);
+  });
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.keys.reserve(entries.size());
+  out.payloads.resize(entries.size() * static_cast<size_t>(out.width));
+  for (size_t i = 0; i < entries.size(); ++i) {
+    out.keys.push_back(entries[i].first);
+    std::copy(entries[i].second, entries[i].second + out.width,
+              out.payloads.begin() +
+                  static_cast<long>(i * static_cast<size_t>(out.width)));
+  }
+  return out;
+}
+
+GroupExecutor::GroupExecutor(const GroupPlan& plan,
+                             const Relation& sorted_relation,
+                             std::vector<const ConsumedView*> views)
+    : plan_(plan), relation_(sorted_relation), views_(std::move(views)) {
+  const int levels = plan_.num_levels();
+  level_rel_column_.assign(static_cast<size_t>(levels) + 1, nullptr);
+  level_views_.assign(static_cast<size_t>(levels) + 1, {});
+  for (int level = 1; level <= levels; ++level) {
+    const int col = plan_.level_column[static_cast<size_t>(level - 1)];
+    level_rel_column_[static_cast<size_t>(level)] =
+        relation_.column(col).ints().data();
+  }
+  level_bound_views_.assign(static_cast<size_t>(levels) + 1, {});
+  effective_level_.assign(plan_.incoming.size(), {});
+  for (size_t v = 0; v < plan_.incoming.size(); ++v) {
+    const auto& in = plan_.incoming[v];
+    for (size_t c = 0; c < in.key_levels.size(); ++c) {
+      level_views_[static_cast<size_t>(in.key_levels[c])].emplace_back(
+          static_cast<int>(v), static_cast<int>(c));
+    }
+    if (!in.IsMultiEntry() && in.bound_level >= 1) {
+      level_bound_views_[static_cast<size_t>(in.bound_level)].push_back(
+          static_cast<int>(v));
+    }
+    auto& eff = effective_level_[v];
+    eff.assign(static_cast<size_t>(levels) + 1, 0);
+    for (int l = 1; l <= levels; ++l) {
+      const bool participates =
+          std::find(in.key_levels.begin(), in.key_levels.end(), l) !=
+          in.key_levels.end();
+      eff[static_cast<size_t>(l)] =
+          participates ? l : eff[static_cast<size_t>(l - 1)];
+    }
+  }
+  auto resolve = [this](const std::vector<std::pair<int, Function>>& factors) {
+    std::vector<ResolvedFactor> out;
+    for (const auto& [col, fn] : factors) {
+      ResolvedFactor rf;
+      rf.fn = fn;
+      if (relation_.column(col).type() == AttrType::kInt) {
+        rf.icol = relation_.column(col).ints().data();
+      } else {
+        rf.dcol = relation_.column(col).doubles().data();
+      }
+      out.push_back(rf);
+    }
+    return out;
+  };
+  for (const auto& sum : plan_.leaf_sums) {
+    leaf_factors_.push_back(resolve(sum.factors));
+  }
+  for (const auto& w : plan_.leaf_writes) {
+    leaf_write_factors_.push_back(resolve(w.leaf_factors));
+  }
+}
+
+Status GroupExecutor::Validate() const {
+  if (views_.size() != plan_.incoming.size()) {
+    return Status::InvalidArgument("executor: view count mismatch");
+  }
+  for (size_t v = 0; v < views_.size(); ++v) {
+    if (views_[v]->width != plan_.incoming[v].width) {
+      return Status::InvalidArgument("executor: view width mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+void GroupExecutor::Prepare(const std::vector<ViewMap*>& outputs) {
+  const int levels = plan_.num_levels();
+  rel_range_.assign(static_cast<size_t>(levels) + 1, Range{});
+  rel_range_[0] = Range{0, relation_.num_rows()};
+  view_range_.assign(views_.size(), {});
+  for (size_t v = 0; v < views_.size(); ++v) {
+    view_range_[v].assign(static_cast<size_t>(levels) + 1, Range{});
+    view_range_[v][0] = Range{0, views_[v]->keys.size()};
+  }
+  bound_.assign(static_cast<size_t>(levels) + 1, 0);
+  view_payload_cache_.assign(views_.size(), nullptr);
+  alpha_vals_.assign(plan_.alphas.size(), 0.0);
+  beta_vals_.assign(plan_.betas.size(), 0.0);
+  leaf_vals_.assign(plan_.leaf_sums.size(), 0.0);
+  outputs_ = outputs;
+}
+
+Status GroupExecutor::Execute(const std::vector<ViewMap*>& outputs) {
+  return ExecuteShard(outputs, 0, 1);
+}
+
+Status GroupExecutor::ExecuteShard(const std::vector<ViewMap*>& outputs,
+                                   int shard, int num_shards) {
+  LMFAO_RETURN_NOT_OK(Validate());
+  if (outputs.size() != plan_.outputs.size()) {
+    return Status::InvalidArgument("executor: output count mismatch");
+  }
+  Prepare(outputs);
+  const int levels = plan_.num_levels();
+  if (levels == 0) {
+    // Single flat scan; only shard 0 contributes.
+    if (shard == 0) {
+      for (double& v : leaf_vals_) v = 0.0;
+      LeafLoop(rel_range_[0]);
+      WriteOutputs(0);
+    }
+    return Status::OK();
+  }
+  for (int b : plan_.betas_at_level[1]) {
+    beta_vals_[static_cast<size_t>(b)] = 0.0;
+  }
+  IterateLevel(1, shard, num_shards);
+  // Write outputs with empty write level; their beta values are
+  // shard-partial sums, so every shard emits and the caller merges.
+  WriteOutputs(0);
+  return Status::OK();
+}
+
+void GroupExecutor::IterateLevel(int level, int shard, int num_shards) {
+  const int64_t* rel_col = level_rel_column_[static_cast<size_t>(level)];
+  const Range rel = rel_range_[static_cast<size_t>(level - 1)];
+  const auto& vps = level_views_[static_cast<size_t>(level)];
+
+  size_t rel_pos = rel.lo;
+  // Small inline cursor buffer: IterateLevel is called once per parent
+  // value, so heap allocation here would dominate small subtries.
+  size_t vpos[kMaxLevelViews];
+  size_t vhis[kMaxLevelViews];
+  LMFAO_CHECK_LE(vps.size(), kMaxLevelViews);
+  for (size_t i = 0; i < vps.size(); ++i) {
+    const Range parent = ViewRangeAt(vps[i].first, level - 1);
+    vpos[i] = parent.lo;
+    vhis[i] = parent.hi;
+  }
+  auto view_hi = [&](size_t i) { return vhis[i]; };
+  auto view_val = [&](size_t i) {
+    const ConsumedView* v = views_[static_cast<size_t>(vps[i].first)];
+    return v->keys[vpos[i]][vps[i].second];
+  };
+
+  if (rel.empty()) return;
+  for (size_t i = 0; i < vps.size(); ++i) {
+    if (vpos[i] >= view_hi(i)) return;
+  }
+
+  size_t match_index = 0;
+  for (;;) {
+    int64_t target = rel_col[rel_pos];
+    bool exhausted = false;
+    for (;;) {
+      bool all_equal = true;
+      if (rel_col[rel_pos] < target) {
+        rel_pos = static_cast<size_t>(
+            std::lower_bound(rel_col + rel_pos, rel_col + rel.hi, target) -
+            rel_col);
+        if (rel_pos >= rel.hi) {
+          exhausted = true;
+          break;
+        }
+      }
+      if (rel_col[rel_pos] > target) {
+        target = rel_col[rel_pos];
+        all_equal = false;
+      }
+      for (size_t i = 0; i < vps.size(); ++i) {
+        if (view_val(i) < target) {
+          const ConsumedView* v = views_[static_cast<size_t>(vps[i].first)];
+          const int comp = vps[i].second;
+          size_t lo = vpos[i];
+          size_t hi = view_hi(i);
+          while (lo < hi) {
+            const size_t mid = (lo + hi) / 2;
+            if (v->keys[mid][comp] < target) {
+              lo = mid + 1;
+            } else {
+              hi = mid;
+            }
+          }
+          vpos[i] = lo;
+          if (vpos[i] >= view_hi(i)) {
+            exhausted = true;
+            break;
+          }
+        }
+        if (view_val(i) > target) {
+          target = view_val(i);
+          all_equal = false;
+        }
+      }
+      if (exhausted) break;
+      if (all_equal && rel_col[rel_pos] == target) break;
+    }
+    if (exhausted) return;
+
+    // Equal runs for each participant.
+    const size_t rel_run_end = static_cast<size_t>(
+        std::upper_bound(rel_col + rel_pos, rel_col + rel.hi, target) -
+        rel_col);
+    rel_range_[static_cast<size_t>(level)] = Range{rel_pos, rel_run_end};
+    for (size_t i = 0; i < vps.size(); ++i) {
+      const ConsumedView* v = views_[static_cast<size_t>(vps[i].first)];
+      const int comp = vps[i].second;
+      size_t lo = vpos[i];
+      size_t hi = view_hi(i);
+      while (lo < hi) {
+        const size_t mid = (lo + hi) / 2;
+        if (v->keys[mid][comp] <= target) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      view_range_[static_cast<size_t>(vps[i].first)]
+                 [static_cast<size_t>(level)] = Range{vpos[i], lo};
+    }
+
+    const bool mine =
+        level > 1 || num_shards <= 1 ||
+        (match_index % static_cast<size_t>(num_shards)) ==
+            static_cast<size_t>(shard);
+    if (mine) {
+      ProcessMatch(level, target, shard, num_shards);
+    }
+    ++match_index;
+
+    rel_pos = rel_range_[static_cast<size_t>(level)].hi;
+    if (rel_pos >= rel.hi) return;
+    for (size_t i = 0; i < vps.size(); ++i) {
+      vpos[i] = view_range_[static_cast<size_t>(vps[i].first)]
+                           [static_cast<size_t>(level)]
+                               .hi;
+      if (vpos[i] >= view_hi(i)) return;
+    }
+  }
+}
+
+void GroupExecutor::ProcessMatch(int level, int64_t value, int shard,
+                                 int num_shards) {
+  bound_[static_cast<size_t>(level)] = value;
+  for (int v : level_bound_views_[static_cast<size_t>(level)]) {
+    const Range& r =
+        view_range_[static_cast<size_t>(v)][static_cast<size_t>(level)];
+    view_payload_cache_[static_cast<size_t>(v)] =
+        views_[static_cast<size_t>(v)]->payload(r.lo);
+  }
+  EvalAlphas(level);
+  const int levels = plan_.num_levels();
+  if (level == levels) {
+    for (double& v : leaf_vals_) v = 0.0;
+    LeafLoop(rel_range_[static_cast<size_t>(level)]);
+  } else {
+    for (int b : plan_.betas_at_level[static_cast<size_t>(level + 1)]) {
+      beta_vals_[static_cast<size_t>(b)] = 0.0;
+    }
+    IterateLevel(level + 1, shard, num_shards);
+  }
+  AccumulateBetas(level);
+  WriteOutputs(level);
+}
+
+void GroupExecutor::LeafLoop(const Range& range) {
+  for (size_t row = range.lo; row < range.hi; ++row) {
+    for (size_t s = 0; s < leaf_factors_.size(); ++s) {
+      double prod = 1.0;
+      for (const ResolvedFactor& rf : leaf_factors_[s]) {
+        const double x = rf.icol != nullptr
+                             ? static_cast<double>(rf.icol[row])
+                             : rf.dcol[row];
+        prod *= rf.fn.Eval(x);
+      }
+      leaf_vals_[s] += prod;
+    }
+    for (size_t w = 0; w < plan_.leaf_writes.size(); ++w) {
+      EmitLeafWrite(w, row);
+    }
+  }
+}
+
+GroupExecutor::Range GroupExecutor::ViewRangeAt(int view_index,
+                                                int level) const {
+  const int effective =
+      effective_level_[static_cast<size_t>(view_index)]
+                      [static_cast<size_t>(level)];
+  return view_range_[static_cast<size_t>(view_index)]
+                    [static_cast<size_t>(effective)];
+}
+
+double GroupExecutor::EvalPart(const PlanPart& part) const {
+  switch (part.kind) {
+    case PlanPart::Kind::kFactor:
+      return part.factor.fn.Eval(
+          static_cast<double>(bound_[static_cast<size_t>(part.level)]));
+    case PlanPart::Kind::kViewPayload:
+      return view_payload_cache_[static_cast<size_t>(part.view_index)]
+                                [part.slot];
+    case PlanPart::Kind::kViewRangeSum: {
+      const Range r = ViewRangeAt(part.view_index, part.level);
+      const ConsumedView* v = views_[static_cast<size_t>(part.view_index)];
+      double sum = 0.0;
+      for (size_t i = r.lo; i < r.hi; ++i) sum += v->payload(i)[part.slot];
+      return sum;
+    }
+  }
+  return 1.0;
+}
+
+double GroupExecutor::SuffixValue(const GroupPlan::Suffix& suffix) const {
+  switch (suffix.kind) {
+    case GroupPlan::SuffixKind::kOne:
+      return 1.0;
+    case GroupPlan::SuffixKind::kLeaf:
+      return leaf_vals_[static_cast<size_t>(suffix.index)];
+    case GroupPlan::SuffixKind::kBeta:
+      return beta_vals_[static_cast<size_t>(suffix.index)];
+  }
+  return 1.0;
+}
+
+void GroupExecutor::EvalAlphas(int level) {
+  for (int a : plan_.alphas_at_level[static_cast<size_t>(level)]) {
+    const GroupPlan::AlphaReg& reg = plan_.alphas[static_cast<size_t>(a)];
+    double v =
+        reg.prev >= 0 ? alpha_vals_[static_cast<size_t>(reg.prev)] : 1.0;
+    for (const PlanPart& p : reg.parts) v *= EvalPart(p);
+    alpha_vals_[static_cast<size_t>(a)] = v;
+  }
+}
+
+void GroupExecutor::AccumulateBetas(int level) {
+  for (int b : plan_.betas_at_level[static_cast<size_t>(level)]) {
+    const GroupPlan::BetaReg& reg = plan_.betas[static_cast<size_t>(b)];
+    double v = SuffixValue(reg.next);
+    for (const PlanPart& p : reg.parts) v *= EvalPart(p);
+    beta_vals_[static_cast<size_t>(b)] += v;
+  }
+}
+
+void GroupExecutor::EmitWrite(const GroupPlan::Write& w, int level) {
+  const GroupPlan::OutputInfo& o =
+      plan_.outputs[static_cast<size_t>(w.output)];
+  double base = w.alpha >= 0 ? alpha_vals_[static_cast<size_t>(w.alpha)] : 1.0;
+  base *= SuffixValue(w.suffix);
+
+  TupleKey key(static_cast<int>(o.key_sources.size()));
+  // Fill level-sourced components once.
+  for (size_t i = 0; i < o.key_sources.size(); ++i) {
+    const GroupPlan::KeySource& src = o.key_sources[i];
+    if (src.from_level) {
+      key.set(static_cast<int>(i), bound_[static_cast<size_t>(src.level)]);
+    }
+  }
+  if (o.key_views.empty()) {
+    outputs_[static_cast<size_t>(w.output)]->Upsert(key)[w.slot] += base;
+    return;
+  }
+  // Iterate the cross product of the key views' entry ranges.
+  const size_t nv = o.key_views.size();
+  if (entry_cursor_.size() < nv) {
+    entry_cursor_.resize(nv);
+    write_ranges_.resize(nv);
+  }
+  for (size_t i = 0; i < nv; ++i) {
+    write_ranges_[i] = ViewRangeAt(o.key_views[i], level);
+    if (write_ranges_[i].empty()) return;
+    entry_cursor_[i] = write_ranges_[i].lo;
+  }
+  for (;;) {
+    double value = base;
+    for (size_t i = 0; i < nv; ++i) {
+      value *= views_[static_cast<size_t>(o.key_views[i])]
+                   ->payload(entry_cursor_[i])[w.entry_slots[i]];
+    }
+    for (size_t i = 0; i < o.key_sources.size(); ++i) {
+      const GroupPlan::KeySource& src = o.key_sources[i];
+      if (src.from_level) continue;
+      // Locate the cursor of this source's view.
+      for (size_t kv = 0; kv < nv; ++kv) {
+        if (o.key_views[kv] == src.view_index) {
+          key.set(static_cast<int>(i),
+                  views_[static_cast<size_t>(src.view_index)]
+                      ->keys[entry_cursor_[kv]][src.comp]);
+          break;
+        }
+      }
+    }
+    outputs_[static_cast<size_t>(w.output)]->Upsert(key)[w.slot] += value;
+    // Advance the odometer.
+    size_t i = 0;
+    for (; i < nv; ++i) {
+      if (++entry_cursor_[i] < write_ranges_[i].hi) break;
+      entry_cursor_[i] = write_ranges_[i].lo;
+    }
+    if (i == nv) break;
+  }
+}
+
+void GroupExecutor::WriteOutputs(int level) {
+  // Writes for the same output are consecutive (the plan lowers slots in
+  // order); outputs without key views share one key probe per match.
+  int last_output = -1;
+  double* payload = nullptr;
+  for (const GroupPlan::Write& w :
+       plan_.writes_at_level[static_cast<size_t>(level)]) {
+    const GroupPlan::OutputInfo& o =
+        plan_.outputs[static_cast<size_t>(w.output)];
+    if (!o.key_views.empty()) {
+      EmitWrite(w, level);
+      continue;
+    }
+    if (w.output != last_output) {
+      TupleKey key(static_cast<int>(o.key_sources.size()));
+      for (size_t i = 0; i < o.key_sources.size(); ++i) {
+        key.set(static_cast<int>(i),
+                bound_[static_cast<size_t>(o.key_sources[i].level)]);
+      }
+      payload = outputs_[static_cast<size_t>(w.output)]->Upsert(key);
+      last_output = w.output;
+    }
+    double v = w.alpha >= 0 ? alpha_vals_[static_cast<size_t>(w.alpha)] : 1.0;
+    v *= SuffixValue(w.suffix);
+    payload[w.slot] += v;
+  }
+}
+
+void GroupExecutor::EmitLeafWrite(size_t leaf_write_index, size_t row) {
+  const GroupPlan::LeafWrite& lw = plan_.leaf_writes[leaf_write_index];
+  const GroupPlan::OutputInfo& o =
+      plan_.outputs[static_cast<size_t>(lw.output)];
+  const int levels = plan_.num_levels();
+  double base = 1.0;
+  for (const PlanPart& p : lw.parts) base *= EvalPart(p);
+  for (const ResolvedFactor& rf : leaf_write_factors_[leaf_write_index]) {
+    const double x =
+        rf.icol != nullptr ? static_cast<double>(rf.icol[row]) : rf.dcol[row];
+    base *= rf.fn.Eval(x);
+  }
+  TupleKey key(static_cast<int>(o.key_sources.size()));
+  for (size_t i = 0; i < o.key_sources.size(); ++i) {
+    const GroupPlan::KeySource& src = o.key_sources[i];
+    if (src.from_level) {
+      key.set(static_cast<int>(i), bound_[static_cast<size_t>(src.level)]);
+    }
+  }
+  if (o.key_views.empty()) {
+    outputs_[static_cast<size_t>(lw.output)]->Upsert(key)[lw.slot] += base;
+    return;
+  }
+  const size_t nv = o.key_views.size();
+  if (entry_cursor_.size() < nv) {
+    entry_cursor_.resize(nv);
+    write_ranges_.resize(nv);
+  }
+  for (size_t i = 0; i < nv; ++i) {
+    write_ranges_[i] = ViewRangeAt(o.key_views[i], levels);
+    if (write_ranges_[i].empty()) return;
+    entry_cursor_[i] = write_ranges_[i].lo;
+  }
+  for (;;) {
+    double value = base;
+    for (size_t i = 0; i < nv; ++i) {
+      value *= views_[static_cast<size_t>(o.key_views[i])]
+                   ->payload(entry_cursor_[i])[lw.entry_slots[i]];
+    }
+    for (size_t i = 0; i < o.key_sources.size(); ++i) {
+      const GroupPlan::KeySource& src = o.key_sources[i];
+      if (src.from_level) continue;
+      for (size_t kv = 0; kv < nv; ++kv) {
+        if (o.key_views[kv] == src.view_index) {
+          key.set(static_cast<int>(i),
+                  views_[static_cast<size_t>(src.view_index)]
+                      ->keys[entry_cursor_[kv]][src.comp]);
+          break;
+        }
+      }
+    }
+    outputs_[static_cast<size_t>(lw.output)]->Upsert(key)[lw.slot] += value;
+    size_t i = 0;
+    for (; i < nv; ++i) {
+      if (++entry_cursor_[i] < write_ranges_[i].hi) break;
+      entry_cursor_[i] = write_ranges_[i].lo;
+    }
+    if (i == nv) break;
+  }
+}
+
+}  // namespace lmfao

@@ -1,0 +1,138 @@
+/// \file executor.h
+/// \brief Interpreter of group register programs.
+///
+/// Executes one GroupPlan over the (sorted) node relation and the consumed
+/// incoming views: a multiway sorted intersection (leapfrog style) drives
+/// the trie iteration level by level; alpha/beta/leaf registers are
+/// evaluated exactly where the plan placed them; multi-entry views (those
+/// carrying group-by attributes that are not relation attributes) expose
+/// contiguous entry ranges that writes iterate and marginalizing parts sum
+/// over. This interpreter and the C++ code generator (codegen.h) lower the
+/// same plan, so they produce identical results.
+
+#ifndef LMFAO_ENGINE_EXECUTOR_H_
+#define LMFAO_ENGINE_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/plan.h"
+#include "storage/relation.h"
+#include "storage/view.h"
+#include "util/status.h"
+
+namespace lmfao {
+
+/// \brief An incoming view re-sorted for consumption by one group.
+///
+/// Keys are permuted into (relation components in trie-level order, then
+/// extra components) and sorted lexicographically; payloads are copied
+/// contiguously. Entries agreeing on the bound relation components are
+/// therefore contiguous.
+struct ConsumedView {
+  int width = 0;
+  std::vector<TupleKey> keys;
+  std::vector<double> payloads;
+
+  const double* payload(size_t i) const {
+    return payloads.data() + i * static_cast<size_t>(width);
+  }
+};
+
+/// \brief Builds the consumed (trie-ordered, sorted) form of a produced view.
+ConsumedView BuildConsumedView(const ViewMap& produced,
+                               const GroupPlan::IncomingView& incoming);
+
+/// \brief Executes one group plan.
+///
+/// The caller provides the node relation sorted by the plan's attribute
+/// order, the consumed incoming views (parallel to plan.incoming), and one
+/// result map per plan output (created with the output's key arity and
+/// width).
+class GroupExecutor {
+ public:
+  GroupExecutor(const GroupPlan& plan, const Relation& sorted_relation,
+                std::vector<const ConsumedView*> views);
+
+  /// Runs the whole group.
+  Status Execute(const std::vector<ViewMap*>& outputs);
+
+  /// Domain parallelism: processes only the top-level value matches with
+  /// index % num_shards == shard. Results from all shards must be merged
+  /// with ViewMap::MergeAdd to obtain the full group result.
+  Status ExecuteShard(const std::vector<ViewMap*>& outputs, int shard,
+                      int num_shards);
+
+ private:
+  struct Range {
+    size_t lo = 0;
+    size_t hi = 0;
+    bool empty() const { return lo >= hi; }
+  };
+
+  /// Upper bound on views participating at one trie level (inline cursor
+  /// buffers); far above any realistic group.
+  static constexpr size_t kMaxLevelViews = 64;
+
+  Status Validate() const;
+  void Prepare(const std::vector<ViewMap*>& outputs);
+  void IterateLevel(int level, int shard, int num_shards);
+  void ProcessMatch(int level, int64_t value, int shard, int num_shards);
+  void LeafLoop(const Range& range);
+  void EvalAlphas(int level);
+  void AccumulateBetas(int level);
+  void WriteOutputs(int level);
+  double EvalPart(const PlanPart& part) const;
+  double SuffixValue(const GroupPlan::Suffix& suffix) const;
+  /// Entry range of a view at (or below) its bound level.
+  Range ViewRangeAt(int view_index, int level) const;
+  /// Emits one aggregate write, iterating the output's key-view entries.
+  void EmitWrite(const GroupPlan::Write& w, int level);
+  /// Per-tuple write of the non-factorized ablation.
+  void EmitLeafWrite(size_t leaf_write_index, size_t row);
+
+  const GroupPlan& plan_;
+  const Relation& relation_;
+  std::vector<const ConsumedView*> views_;
+
+  // Per-level participation, precomputed.
+  std::vector<const int64_t*> level_rel_column_;
+  // (view index, key component) pairs participating per level.
+  std::vector<std::vector<std::pair<int, int>>> level_views_;
+  // Single-entry views whose last key component binds at each level; their
+  // payload pointers are cached once per match instead of being re-derived
+  // for every register evaluation.
+  std::vector<std::vector<int>> level_bound_views_;
+  // effective_level_[v][l] = deepest level <= l at which view v's range was
+  // narrowed (v participates). Ranges are only written at participation
+  // levels; reads indirect through this table instead of copying every
+  // view's range on every match.
+  std::vector<std::vector<int>> effective_level_;
+
+  // Execution state.
+  std::vector<Range> rel_range_;                // per level 0..L
+  std::vector<std::vector<Range>> view_range_;  // per view, per level 0..L
+  std::vector<int64_t> bound_;                  // per level 1..L
+  std::vector<double> alpha_vals_;
+  std::vector<double> beta_vals_;
+  std::vector<double> leaf_vals_;
+  std::vector<ViewMap*> outputs_;
+  // Cached payload pointer per single-entry view (set when it binds).
+  std::vector<const double*> view_payload_cache_;
+  // Scratch for key-view entry iteration (no per-write allocation).
+  std::vector<size_t> entry_cursor_;
+  std::vector<Range> write_ranges_;
+
+  // Resolved leaf factor columns.
+  struct ResolvedFactor {
+    const int64_t* icol = nullptr;
+    const double* dcol = nullptr;
+    Function fn = Function::Identity();
+  };
+  std::vector<std::vector<ResolvedFactor>> leaf_factors_;
+  std::vector<std::vector<ResolvedFactor>> leaf_write_factors_;
+};
+
+}  // namespace lmfao
+
+#endif  // LMFAO_ENGINE_EXECUTOR_H_

@@ -1,0 +1,40 @@
+/// \file grouping.h
+/// \brief The Group Views step of the Multi-Output Optimization layer.
+///
+/// Outputs (inner views and query outputs) computed at the same join-tree
+/// node are grouped so that one pass over the node's relation, with lookups
+/// into the incoming views, computes all of them. Grouping must keep the
+/// group dependency graph acyclic: a query rooted at node n may depend
+/// (transitively, through other nodes) on a view produced at n, in which
+/// case the two cannot share a group — this is exactly why Fig. 2 of the
+/// paper keeps Q3 (Group 7) apart from V_{I->S} (Group 5).
+
+#ifndef LMFAO_ENGINE_GROUPING_H_
+#define LMFAO_ENGINE_GROUPING_H_
+
+#include "engine/ir.h"
+#include "util/status.h"
+
+namespace lmfao {
+
+/// \brief Options of the grouping step.
+struct GroupingOptions {
+  /// When false, every output view forms its own group (the "no
+  /// multi-output" ablation: each view is computed by its own scan).
+  bool multi_output = true;
+};
+
+/// \brief Partitions the workload's views into groups and computes the group
+/// dependency graph.
+///
+/// Merging is greedy and ordered by decreasing node-relation size: sharing a
+/// scan of a large relation saves more than sharing a small one, and an
+/// early merge can block a later one through the acyclicity constraint (in
+/// Fig. 2, merging at Sales first is what keeps Q3 and V_{I->S} apart).
+StatusOr<GroupedWorkload> GroupViews(const Workload& workload,
+                                     const Catalog& catalog,
+                                     const GroupingOptions& options = {});
+
+}  // namespace lmfao
+
+#endif  // LMFAO_ENGINE_GROUPING_H_

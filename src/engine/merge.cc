@@ -1,0 +1,151 @@
+/// \file merge.cc
+/// \brief Implementations of the workload IR helpers (signatures, printing,
+/// topological ordering). The merge registry itself lives inside the view
+/// generator (view_generation.cc); this file provides the structural
+/// signature it keys on.
+
+#include <deque>
+#include <sstream>
+
+#include "engine/ir.h"
+#include "util/hash.h"
+
+namespace lmfao {
+
+uint64_t ViewAggregate::Signature() const {
+  uint64_t h = 0x243f6a8885a308d3ULL;
+  for (const Factor& f : local_factors) h = HashCombine(h, f.Signature());
+  h = HashCombine(h, 0xfeedULL);
+  for (const auto& [view, slot] : child_refs) {
+    h = HashCombine(h, Mix64(static_cast<uint64_t>(view) * 1000003u +
+                             static_cast<uint64_t>(slot)));
+  }
+  return h;
+}
+
+std::string ViewInfo::ToString(const Catalog& catalog) const {
+  std::ostringstream out;
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(catalog.num_attrs()));
+  for (AttrId a = 0; a < catalog.num_attrs(); ++a) {
+    names.push_back(catalog.attr(a).name);
+  }
+  if (IsQueryOutput()) {
+    out << "Q" << query_id << "[root=" << catalog.relation(origin).name()
+        << "]";
+  } else {
+    out << "V" << id << "[" << catalog.relation(origin).name() << "->"
+        << catalog.relation(target).name() << "]";
+  }
+  out << "(";
+  for (size_t i = 0; i < key.size(); ++i) {
+    if (i > 0) out << ",";
+    out << names[static_cast<size_t>(key[i])];
+  }
+  out << " | ";
+  for (size_t i = 0; i < aggregates.size(); ++i) {
+    if (i > 0) out << ", ";
+    const ViewAggregate& agg = aggregates[i];
+    bool first = true;
+    if (agg.local_factors.empty() && agg.child_refs.empty()) {
+      out << "1";
+      first = false;
+    }
+    for (const Factor& f : agg.local_factors) {
+      if (!first) out << "*";
+      first = false;
+      Aggregate one({f});
+      std::string s = one.ToString(&names);
+      // Strip the "SUM(...)" wrapper; the slot prints as a product.
+      out << s.substr(4, s.size() - 5);
+    }
+    for (const auto& [view, slot] : agg.child_refs) {
+      if (!first) out << "*";
+      first = false;
+      out << "V" << view << "." << slot;
+    }
+  }
+  out << ")";
+  return out.str();
+}
+
+int Workload::NumInnerViews() const {
+  int n = 0;
+  for (const ViewInfo& v : views) {
+    if (!v.IsQueryOutput()) ++n;
+  }
+  return n;
+}
+
+std::unordered_map<uint64_t, int> Workload::ViewsPerDirection() const {
+  std::unordered_map<uint64_t, int> out;
+  for (const ViewInfo& v : views) {
+    if (v.IsQueryOutput()) continue;
+    const uint64_t key = (static_cast<uint64_t>(v.origin) << 32) |
+                         static_cast<uint32_t>(v.target);
+    ++out[key];
+  }
+  return out;
+}
+
+std::string Workload::ToString(const Catalog& catalog) const {
+  std::ostringstream out;
+  for (const ViewInfo& v : views) {
+    out << "  " << v.ToString(catalog) << "\n";
+  }
+  return out.str();
+}
+
+std::string ViewGroup::ToString(const Workload& workload,
+                                const Catalog& catalog) const {
+  std::ostringstream out;
+  out << "Group " << id << " @ " << catalog.relation(node).name() << ":";
+  for (ViewId v : outputs) {
+    out << " " << workload.view(v).ToString(catalog);
+  }
+  if (!depends_on.empty()) {
+    out << "  [depends on:";
+    for (int g : depends_on) out << " " << g;
+    out << "]";
+  }
+  return out.str();
+}
+
+std::vector<int> GroupedWorkload::TopologicalOrder() const {
+  const size_t n = groups.size();
+  std::vector<int> indegree(n, 0);
+  std::vector<std::vector<int>> successors(n);
+  for (const ViewGroup& g : groups) {
+    for (int dep : g.depends_on) {
+      successors[static_cast<size_t>(dep)].push_back(g.id);
+      ++indegree[static_cast<size_t>(g.id)];
+    }
+  }
+  std::deque<int> ready;
+  for (size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push_back(static_cast<int>(i));
+  }
+  std::vector<int> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const int g = ready.front();
+    ready.pop_front();
+    order.push_back(g);
+    for (int s : successors[static_cast<size_t>(g)]) {
+      if (--indegree[static_cast<size_t>(s)] == 0) ready.push_back(s);
+    }
+  }
+  LMFAO_CHECK_EQ(order.size(), n) << "cycle in group dependency graph";
+  return order;
+}
+
+std::string GroupedWorkload::ToString(const Workload& workload,
+                                      const Catalog& catalog) const {
+  std::ostringstream out;
+  for (const ViewGroup& g : groups) {
+    out << g.ToString(workload, catalog) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace lmfao

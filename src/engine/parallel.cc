@@ -1,0 +1,92 @@
+#include "engine/parallel.h"
+
+#include <condition_variable>
+#include <mutex>
+
+namespace lmfao {
+
+namespace {
+
+/// Shared state of one scheduling run.
+struct SchedulerState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<int> pending;
+  std::vector<std::vector<int>> successors;
+  size_t completed = 0;
+  size_t total = 0;
+  Status first_error = Status::OK();
+  bool aborted = false;
+};
+
+/// Marks `gid` complete (without running it) and recursively completes any
+/// successors that become ready while aborted. Caller holds the lock.
+void CompleteSkipped(SchedulerState* state, int gid) {
+  ++state->completed;
+  for (int s : state->successors[static_cast<size_t>(gid)]) {
+    if (--state->pending[static_cast<size_t>(s)] == 0) {
+      CompleteSkipped(state, s);
+    }
+  }
+}
+
+}  // namespace
+
+Status ScheduleGroups(const GroupedWorkload& grouped, ThreadPool* pool,
+                      const std::function<Status(int)>& run_group) {
+  const size_t n = grouped.groups.size();
+  if (n == 0) return Status::OK();
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    for (int g : grouped.TopologicalOrder()) {
+      LMFAO_RETURN_NOT_OK(run_group(g));
+    }
+    return Status::OK();
+  }
+
+  SchedulerState state;
+  state.total = n;
+  state.pending.assign(n, 0);
+  state.successors.assign(n, {});
+  for (const ViewGroup& g : grouped.groups) {
+    state.pending[static_cast<size_t>(g.id)] =
+        static_cast<int>(g.depends_on.size());
+    for (int dep : g.depends_on) {
+      state.successors[static_cast<size_t>(dep)].push_back(g.id);
+    }
+  }
+
+  std::function<void(int)> submit = [&](int gid) {
+    pool->Submit([&, gid] {
+      const Status st = run_group(gid);
+      std::vector<int> ready;
+      {
+        std::lock_guard<std::mutex> lock(state.mu);
+        ++state.completed;
+        if (!st.ok() && state.first_error.ok()) {
+          state.first_error = st;
+          state.aborted = true;
+        }
+        for (int s : state.successors[static_cast<size_t>(gid)]) {
+          if (--state.pending[static_cast<size_t>(s)] == 0) {
+            if (state.aborted) {
+              CompleteSkipped(&state, s);
+            } else {
+              ready.push_back(s);
+            }
+          }
+        }
+        state.cv.notify_all();
+      }
+      for (int s : ready) submit(s);
+    });
+  };
+
+  for (const ViewGroup& g : grouped.groups) {
+    if (g.depends_on.empty()) submit(g.id);
+  }
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.cv.wait(lock, [&] { return state.completed >= state.total; });
+  return state.first_error;
+}
+
+}  // namespace lmfao

@@ -1,0 +1,32 @@
+/// \file parallel.h
+/// \brief Parallel execution of view groups.
+///
+/// LMFAO "computes the groups in parallel by exploiting both task and
+/// domain parallelism" (Section 2). Task parallelism schedules whole groups
+/// over the group dependency graph; domain parallelism splits one group's
+/// top-level trie values across threads, giving each shard private result
+/// maps that are merged afterwards.
+
+#ifndef LMFAO_ENGINE_PARALLEL_H_
+#define LMFAO_ENGINE_PARALLEL_H_
+
+#include <functional>
+
+#include "engine/ir.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace lmfao {
+
+/// \brief Runs `run_group(group_id)` for every group, respecting the
+/// dependency graph, using `pool` (or inline when pool is null).
+///
+/// `run_group` is called at most once per group; groups whose dependencies
+/// are complete run concurrently. The first non-OK status aborts scheduling
+/// of further groups and is returned.
+Status ScheduleGroups(const GroupedWorkload& grouped, ThreadPool* pool,
+                      const std::function<Status(int)>& run_group);
+
+}  // namespace lmfao
+
+#endif  // LMFAO_ENGINE_PARALLEL_H_

@@ -1,0 +1,75 @@
+#include "engine/report.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace lmfao {
+
+std::string ReportViewGeneration(const CompiledBatch& compiled,
+                                 const Catalog& catalog) {
+  std::ostringstream out;
+  out << "View Generation\n";
+  out << "  queries: " << compiled.workload.query_outputs.size()
+      << ", merged views: " << compiled.workload.NumInnerViews() << "\n";
+  out << "  roots:\n";
+  for (size_t q = 0; q < compiled.workload.roots.size(); ++q) {
+    out << "    Q" << q << " -> "
+        << catalog.relation(compiled.workload.roots[q]).name() << "\n";
+  }
+  out << "  views per direction (arrow widths):\n";
+  for (const auto& [key, count] : compiled.workload.ViewsPerDirection()) {
+    const RelationId origin = static_cast<RelationId>(key >> 32);
+    const RelationId target = static_cast<RelationId>(key & 0xffffffff);
+    out << "    " << catalog.relation(origin).name() << " -> "
+        << catalog.relation(target).name() << ": " << count << "\n";
+  }
+  out << "  views:\n";
+  for (const ViewInfo& v : compiled.workload.views) {
+    out << "    " << v.ToString(catalog) << "\n";
+  }
+  return out.str();
+}
+
+std::string ReportViewGroups(const CompiledBatch& compiled,
+                             const Catalog& catalog) {
+  std::ostringstream out;
+  out << "View Groups (" << compiled.grouped.groups.size() << ")\n";
+  for (const ViewGroup& g : compiled.grouped.groups) {
+    out << "  " << g.ToString(compiled.workload, catalog) << "\n";
+    out << "    attribute order:";
+    for (AttrId a : compiled.attr_orders[static_cast<size_t>(g.id)]) {
+      out << " " << catalog.attr(a).name;
+    }
+    const GroupPlan& plan = compiled.plans[static_cast<size_t>(g.id)];
+    out << "  (" << plan.alphas.size() << " alphas, " << plan.betas.size()
+        << " betas, " << plan.leaf_sums.size() << " leaf sums)\n";
+  }
+  return out.str();
+}
+
+std::string ReportExecution(const ExecutionStats& stats,
+                            const Catalog& catalog) {
+  std::ostringstream out;
+  out << "Execution\n";
+  out << StringPrintf(
+      "  %d queries -> %d views (%d aggregate slots) in %d groups\n",
+      stats.num_queries, stats.num_views, stats.num_aggregates,
+      stats.num_groups);
+  out << StringPrintf(
+      "  view generation %.2f ms, grouping %.2f ms, planning %.2f ms, "
+      "execution %.2f ms, total %.2f ms\n",
+      stats.viewgen_seconds * 1e3, stats.grouping_seconds * 1e3,
+      stats.plan_seconds * 1e3, stats.execute_seconds * 1e3,
+      stats.total_seconds * 1e3);
+  for (const GroupStats& g : stats.groups) {
+    out << StringPrintf("    group %d @ %-14s %8.2f ms, %d outputs, %zu "
+                        "entries\n",
+                        g.group_id,
+                        catalog.relation(g.node).name().c_str(),
+                        g.seconds * 1e3, g.num_outputs, g.output_entries);
+  }
+  return out.str();
+}
+
+}  // namespace lmfao

@@ -1,0 +1,30 @@
+/// \file report.h
+/// \brief Human-readable reports over compiled batches and execution stats
+/// — the textual counterpart of the demo UI's panels (Fig. 4).
+
+#ifndef LMFAO_ENGINE_REPORT_H_
+#define LMFAO_ENGINE_REPORT_H_
+
+#include <string>
+
+#include "engine/engine.h"
+
+namespace lmfao {
+
+/// \brief The View Generation panel: per-edge view counts ("arrow widths"),
+/// the merged views, and per-query roots.
+std::string ReportViewGeneration(const CompiledBatch& compiled,
+                                 const Catalog& catalog);
+
+/// \brief The View Groups panel: groups, their nodes, outputs and
+/// dependencies.
+std::string ReportViewGroups(const CompiledBatch& compiled,
+                             const Catalog& catalog);
+
+/// \brief Execution breakdown: per-phase and per-group timings.
+std::string ReportExecution(const ExecutionStats& stats,
+                            const Catalog& catalog);
+
+}  // namespace lmfao
+
+#endif  // LMFAO_ENGINE_REPORT_H_

@@ -1,0 +1,47 @@
+/// \file view_generation.h
+/// \brief The View Generation layer: Find Roots, Aggregate Pushdown, Merge
+/// Views (Fig. 1 of the paper).
+///
+/// Given a query batch, the join tree and the catalog's cardinality
+/// constraints, produces the Workload: one root per query, one directional
+/// view per traversed join-tree edge, merged across queries whenever
+/// direction and group-by attributes coincide.
+
+#ifndef LMFAO_ENGINE_VIEW_GENERATION_H_
+#define LMFAO_ENGINE_VIEW_GENERATION_H_
+
+#include <vector>
+
+#include "engine/ir.h"
+#include "jointree/join_tree.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace lmfao {
+
+/// \brief Options of the View Generation layer.
+struct ViewGenerationOptions {
+  /// Merge views with equal direction and group-by across queries and
+  /// deduplicate aggregates structurally. Disabling this reproduces the
+  /// "no sharing" ablation: every query gets fresh views.
+  bool merge_views = true;
+};
+
+/// \brief Chooses the root node for one query ("a simple heuristic" [5]).
+///
+/// Prefers the node covering the query's group-by attributes with the
+/// largest product of covered domain sizes (so large-domain group-by
+/// attributes do not travel through views); ties are broken towards larger
+/// relations, then smaller node ids. Queries with a root_hint keep it.
+RelationId AssignRoot(const Query& query, const Catalog& catalog,
+                      const JoinTree& tree);
+
+/// \brief Runs the full View Generation layer over a batch.
+StatusOr<Workload> GenerateViews(const QueryBatch& batch,
+                                 const Catalog& catalog, const JoinTree& tree,
+                                 const ViewGenerationOptions& options = {});
+
+}  // namespace lmfao
+
+#endif  // LMFAO_ENGINE_VIEW_GENERATION_H_

@@ -1,0 +1,50 @@
+/// \file hypergraph.h
+/// \brief The join hypergraph of a database: one hyperedge per relation.
+///
+/// Used to construct join trees (join_tree.h) when the user does not supply
+/// one. Natural-join semantics: two relations are joinable when their
+/// schemas share attributes.
+
+#ifndef LMFAO_JOINTREE_HYPERGRAPH_H_
+#define LMFAO_JOINTREE_HYPERGRAPH_H_
+
+#include <vector>
+
+#include "storage/catalog.h"
+#include "storage/schema.h"
+
+namespace lmfao {
+
+/// \brief Lightweight view of the catalog's join structure.
+class Hypergraph {
+ public:
+  /// Builds the hypergraph from all relations in `catalog`.
+  explicit Hypergraph(const Catalog& catalog);
+
+  int num_nodes() const { return static_cast<int>(node_attrs_.size()); }
+
+  /// Sorted attribute set of relation `r`.
+  const std::vector<AttrId>& attrs(RelationId r) const {
+    return node_attrs_[static_cast<size_t>(r)];
+  }
+
+  /// Sorted set of attributes shared by relations `a` and `b`.
+  std::vector<AttrId> SharedAttrs(RelationId a, RelationId b) const;
+
+  /// Relations whose schema contains `attr`.
+  const std::vector<RelationId>& RelationsWith(AttrId attr) const {
+    return attr_to_relations_[static_cast<size_t>(attr)];
+  }
+
+  /// True if the join graph (edges between relations sharing attributes) is
+  /// connected.
+  bool IsConnected() const;
+
+ private:
+  std::vector<std::vector<AttrId>> node_attrs_;
+  std::vector<std::vector<RelationId>> attr_to_relations_;
+};
+
+}  // namespace lmfao
+
+#endif  // LMFAO_JOINTREE_HYPERGRAPH_H_

@@ -1,0 +1,103 @@
+/// \file join_tree.h
+/// \brief Join trees: the backbone of every LMFAO plan.
+///
+/// A join tree has one node per relation; an edge between two nodes carries
+/// the *separator* — the attributes shared between the two sides. A valid
+/// join tree satisfies the running intersection property (RIP): for every
+/// attribute, the nodes whose relations contain it form a connected subtree.
+///
+/// The View Generation layer decomposes every query of the batch into one
+/// directional view per edge, rooted at the query's assigned node
+/// (Section 2 of the paper).
+
+#ifndef LMFAO_JOINTREE_JOIN_TREE_H_
+#define LMFAO_JOINTREE_JOIN_TREE_H_
+
+#include <array>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "jointree/hypergraph.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace lmfao {
+
+/// \brief Identifier of an undirected join-tree edge.
+using EdgeId = int32_t;
+
+/// \brief An undirected tree over the catalog's relations.
+class JoinTree {
+ public:
+  /// Constructs an empty tree; assign from FromEdges()/Construct().
+  JoinTree() = default;
+
+  /// Builds a join tree from explicit edges (pairs of relation ids).
+  /// Verifies the edges form a tree and satisfy the RIP.
+  static StatusOr<JoinTree> FromEdges(
+      const Catalog& catalog,
+      const std::vector<std::pair<RelationId, RelationId>>& edges);
+
+  /// Constructs a join tree automatically: maximum-weight spanning tree on
+  /// the pairwise shared-attribute counts, then RIP verification.
+  static StatusOr<JoinTree> Construct(const Catalog& catalog);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  /// Endpoints of edge `e`.
+  std::pair<RelationId, RelationId> edge(EdgeId e) const {
+    return edges_[static_cast<size_t>(e)];
+  }
+
+  /// Separator (sorted shared attributes) of edge `e`.
+  const std::vector<AttrId>& separator(EdgeId e) const {
+    return separators_[static_cast<size_t>(e)];
+  }
+
+  /// Edges incident to node `n`.
+  const std::vector<EdgeId>& IncidentEdges(RelationId n) const {
+    return incident_[static_cast<size_t>(n)];
+  }
+
+  /// The neighbor of `n` across edge `e`.
+  RelationId NeighborAcross(RelationId n, EdgeId e) const;
+
+  /// Sorted attribute set of the subtree reachable from `n` through edge `e`
+  /// (i.e. the side of `e` containing the neighbor of `n`).
+  const std::vector<AttrId>& SubtreeAttrs(RelationId n, EdgeId e) const;
+
+  /// Sorted attribute set of node `n`'s relation.
+  const std::vector<AttrId>& NodeAttrs(RelationId n) const {
+    return node_attrs_[static_cast<size_t>(n)];
+  }
+
+  /// For each node on the path from `from` to `to`, the edge taken.
+  /// Returns the sequence of (node, edge-to-next) pairs excluding `to`.
+  std::vector<std::pair<RelationId, EdgeId>> Path(RelationId from,
+                                                  RelationId to) const;
+
+  /// Verifies the running intersection property.
+  Status VerifyRip(const Catalog& catalog) const;
+
+  /// Renders edges with separators for debugging.
+  std::string ToString(const Catalog& catalog) const;
+
+ private:
+  void BuildIndexes(const Catalog& catalog);
+
+  int num_nodes_ = 0;
+  std::vector<std::pair<RelationId, RelationId>> edges_;
+  std::vector<std::vector<AttrId>> separators_;
+  std::vector<std::vector<EdgeId>> incident_;
+  std::vector<std::vector<AttrId>> node_attrs_;
+  /// subtree_attrs_[e][side]: attributes of the subtree on the side of
+  /// edges_[e].first (side 0) / .second (side 1), where "side of x" means
+  /// the component containing x after removing edge e.
+  std::vector<std::array<std::vector<AttrId>, 2>> subtree_attrs_;
+};
+
+}  // namespace lmfao
+
+#endif  // LMFAO_JOINTREE_JOIN_TREE_H_

@@ -1,0 +1,99 @@
+#include "ml/feature.h"
+
+namespace lmfao {
+
+std::vector<AttrId> FeatureSet::AllContinuous() const {
+  std::vector<AttrId> out;
+  out.reserve(continuous.size() + 1);
+  out.push_back(label);
+  out.insert(out.end(), continuous.begin(), continuous.end());
+  return out;
+}
+
+StatusOr<CovarianceBatch> BuildCovarianceBatch(const FeatureSet& features,
+                                               const Catalog& catalog) {
+  if (features.label == kInvalidAttr) {
+    return Status::InvalidArgument("feature set has no label");
+  }
+  if (catalog.attr(features.label).type != AttrType::kDouble) {
+    return Status::InvalidArgument("label must be continuous");
+  }
+  for (AttrId a : features.categorical) {
+    if (catalog.attr(a).type != AttrType::kInt) {
+      return Status::InvalidArgument("categorical feature " +
+                                     catalog.attr(a).name +
+                                     " must be int-typed");
+    }
+  }
+  CovarianceBatch out;
+  const std::vector<AttrId> cont = features.AllContinuous();
+  const int nc = static_cast<int>(cont.size());
+  const int nk = static_cast<int>(features.categorical.size());
+
+  auto add = [&out](Query q, SigmaQueryInfo info) {
+    out.batch.Add(std::move(q));
+    out.info.push_back(info);
+  };
+
+  // SUM(1).
+  {
+    Query q;
+    q.name = "count";
+    q.aggregates.push_back(Aggregate::Count());
+    add(std::move(q), {SigmaQueryInfo::Kind::kCount, -1, -1});
+  }
+  // SUM(Xi) for each continuous (label included).
+  for (int i = 0; i < nc; ++i) {
+    Query q;
+    q.name = "sum_c" + std::to_string(i);
+    q.aggregates.push_back(Aggregate::Sum(cont[static_cast<size_t>(i)]));
+    add(std::move(q), {SigmaQueryInfo::Kind::kContSum, i, -1});
+  }
+  // SUM(Xi*Xj), i <= j.
+  for (int i = 0; i < nc; ++i) {
+    for (int j = i; j < nc; ++j) {
+      Query q;
+      q.name = "cc_" + std::to_string(i) + "_" + std::to_string(j);
+      if (i == j) {
+        q.aggregates.push_back(
+            Aggregate::SumSquare(cont[static_cast<size_t>(i)]));
+      } else {
+        q.aggregates.push_back(Aggregate::SumProduct(
+            cont[static_cast<size_t>(i)], cont[static_cast<size_t>(j)]));
+      }
+      add(std::move(q), {SigmaQueryInfo::Kind::kContPair, i, j});
+    }
+  }
+  // GROUP BY cat, SUM(1).
+  for (int i = 0; i < nk; ++i) {
+    Query q;
+    q.name = "cat_" + std::to_string(i);
+    q.group_by = {features.categorical[static_cast<size_t>(i)]};
+    q.aggregates.push_back(Aggregate::Count());
+    add(std::move(q), {SigmaQueryInfo::Kind::kCatCount, i, -1});
+  }
+  // GROUP BY cat, SUM(cont).
+  for (int i = 0; i < nk; ++i) {
+    for (int j = 0; j < nc; ++j) {
+      Query q;
+      q.name = "kc_" + std::to_string(i) + "_" + std::to_string(j);
+      q.group_by = {features.categorical[static_cast<size_t>(i)]};
+      q.aggregates.push_back(Aggregate::Sum(cont[static_cast<size_t>(j)]));
+      add(std::move(q), {SigmaQueryInfo::Kind::kCatCont, i, j});
+    }
+  }
+  // GROUP BY cat_i, cat_j, SUM(1), i < j.
+  for (int i = 0; i < nk; ++i) {
+    for (int j = i + 1; j < nk; ++j) {
+      Query q;
+      q.name = "kk_" + std::to_string(i) + "_" + std::to_string(j);
+      q.group_by = {features.categorical[static_cast<size_t>(i)],
+                    features.categorical[static_cast<size_t>(j)]};
+      q.aggregates.push_back(Aggregate::Count());
+      add(std::move(q), {SigmaQueryInfo::Kind::kCatPair, i, j});
+    }
+  }
+  return out;
+}
+
+}  // namespace lmfao

@@ -1,0 +1,75 @@
+/// \file feature.h
+/// \brief Feature sets and the covariance aggregate batch (Section 3).
+///
+/// A FeatureSet names the label, the continuous features and the categorical
+/// features of a learning task over the feature-extraction join D. The
+/// non-centered covariance matrix Sigma = sum_{x in D} x x^T required by
+/// ridge regression decomposes into one aggregate query per entry:
+///   - continuous x continuous: SELECT SUM(Xj*Xk) FROM D
+///   - categorical Xj (one-hot): SELECT Xj, SUM(Xk) FROM D GROUP BY Xj
+///   - two categorical:          SELECT Xj, Xk, SUM(1) FROM D GROUP BY Xj,Xk
+/// plus first moments (SUM(Xj)) and the dataset size (SUM(1)) for the
+/// intercept row. For the paper's Retailer schema this batch has exactly
+/// 814 queries.
+
+#ifndef LMFAO_ML_FEATURE_H_
+#define LMFAO_ML_FEATURE_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace lmfao {
+
+/// \brief The feature specification of a learning task.
+struct FeatureSet {
+  /// Continuous label (also folded into the covariance matrix, with its
+  /// model parameter fixed to -1 as in Section 3).
+  AttrId label = kInvalidAttr;
+  /// Continuous features (excluding the label).
+  std::vector<AttrId> continuous;
+  /// Categorical features (int-typed; one-hot encoded by the model).
+  std::vector<AttrId> categorical;
+
+  /// Label + continuous, label first.
+  std::vector<AttrId> AllContinuous() const;
+};
+
+/// \brief Identifies which Sigma entries a covariance query provides.
+struct SigmaQueryInfo {
+  enum class Kind {
+    kCount,        ///< SUM(1): the (intercept, intercept) entry = |D|.
+    kContSum,      ///< SUM(Xi): (intercept, cont i).
+    kContPair,     ///< SUM(Xi*Xj): (cont i, cont j).
+    kCatCount,     ///< GROUP BY cat i, SUM(1): (intercept, cat i) + diagonal.
+    kCatCont,      ///< GROUP BY cat i, SUM(Xj): (cat i, cont j).
+    kCatPair,      ///< GROUP BY cat i, cat j, SUM(1): (cat i, cat j).
+  };
+  Kind kind = Kind::kCount;
+  /// Indexes into FeatureSet::AllContinuous() / FeatureSet::categorical.
+  int i = -1;
+  int j = -1;
+};
+
+/// \brief The covariance batch plus its entry map.
+struct CovarianceBatch {
+  QueryBatch batch;
+  /// Parallel to batch.queries().
+  std::vector<SigmaQueryInfo> info;
+};
+
+/// \brief Builds the covariance batch for a feature set.
+StatusOr<CovarianceBatch> BuildCovarianceBatch(const FeatureSet& features,
+                                               const Catalog& catalog);
+
+/// \brief The default Retailer learning task of the paper: label
+/// inventoryunits, all other continuous attributes as continuous features,
+/// the item hierarchy and weather flags as categoricals.
+/// (Declared here; defined with the dataset in data/retailer.h users.)
+
+}  // namespace lmfao
+
+#endif  // LMFAO_ML_FEATURE_H_

@@ -1,0 +1,178 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace lmfao {
+namespace {
+
+double SquaredDistance(const double* a, const double* b, int dims) {
+  double d = 0.0;
+  for (int i = 0; i < dims; ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+}  // namespace
+
+StatusOr<KMeansResult> WeightedKMeans(const std::vector<double>& points,
+                                      int dims,
+                                      const std::vector<double>& weights,
+                                      const KMeansOptions& options) {
+  if (dims <= 0) return Status::InvalidArgument("dims must be positive");
+  if (points.size() % static_cast<size_t>(dims) != 0) {
+    return Status::InvalidArgument("points size not divisible by dims");
+  }
+  const size_t n = points.size() / static_cast<size_t>(dims);
+  if (n == 0) return Status::InvalidArgument("no points");
+  if (weights.size() != n) {
+    return Status::InvalidArgument("weights size mismatch");
+  }
+  const int k = std::min<int>(options.k, static_cast<int>(n));
+
+  KMeansResult result;
+  result.dims = dims;
+  result.k = k;
+  result.assignment.assign(n, 0);
+  result.centroids.assign(static_cast<size_t>(k) * static_cast<size_t>(dims),
+                          0.0);
+
+  // k-means++ seeding over weighted points.
+  Rng rng(options.seed);
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  {
+    // First centroid: weighted draw.
+    double total_weight = 0.0;
+    for (double w : weights) total_weight += std::max(0.0, w);
+    double pick = rng.UniformDouble() * total_weight;
+    size_t first = 0;
+    for (size_t i = 0; i < n; ++i) {
+      pick -= std::max(0.0, weights[i]);
+      if (pick <= 0) {
+        first = i;
+        break;
+      }
+    }
+    std::copy(points.begin() + static_cast<long>(first * static_cast<size_t>(dims)),
+              points.begin() + static_cast<long>((first + 1) * static_cast<size_t>(dims)),
+              result.centroids.begin());
+    for (int c = 1; c < k; ++c) {
+      double sum = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const double d = SquaredDistance(
+            points.data() + i * static_cast<size_t>(dims),
+            result.centroids.data() +
+                static_cast<size_t>(c - 1) * static_cast<size_t>(dims),
+            dims);
+        min_dist[i] = std::min(min_dist[i], d);
+        sum += std::max(0.0, weights[i]) * min_dist[i];
+      }
+      size_t chosen = 0;
+      if (sum > 0) {
+        double target = rng.UniformDouble() * sum;
+        for (size_t i = 0; i < n; ++i) {
+          target -= std::max(0.0, weights[i]) * min_dist[i];
+          if (target <= 0) {
+            chosen = i;
+            break;
+          }
+        }
+      } else {
+        chosen = rng.Uniform(n);
+      }
+      std::copy(
+          points.begin() + static_cast<long>(chosen * static_cast<size_t>(dims)),
+          points.begin() + static_cast<long>((chosen + 1) * static_cast<size_t>(dims)),
+          result.centroids.begin() +
+              static_cast<long>(static_cast<size_t>(c) *
+                                static_cast<size_t>(dims)));
+    }
+  }
+
+  std::vector<double> new_centroids(result.centroids.size());
+  std::vector<double> cluster_weight(static_cast<size_t>(k));
+  double prev_cost = std::numeric_limits<double>::infinity();
+  for (int it = 0; it < options.max_iterations; ++it) {
+    // Assignment step.
+    double cost = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double* p = points.data() + i * static_cast<size_t>(dims);
+      int best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        const double d = SquaredDistance(
+            p,
+            result.centroids.data() +
+                static_cast<size_t>(c) * static_cast<size_t>(dims),
+            dims);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      result.assignment[i] = best;
+      cost += std::max(0.0, weights[i]) * best_d;
+    }
+    result.cost = cost;
+    result.iterations = it + 1;
+    if (prev_cost - cost <= options.tolerance * std::max(1.0, prev_cost) &&
+        it > 0) {
+      break;
+    }
+    prev_cost = cost;
+
+    // Update step.
+    std::fill(new_centroids.begin(), new_centroids.end(), 0.0);
+    std::fill(cluster_weight.begin(), cluster_weight.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const double w = std::max(0.0, weights[i]);
+      const int c = result.assignment[i];
+      cluster_weight[static_cast<size_t>(c)] += w;
+      for (int d = 0; d < dims; ++d) {
+        new_centroids[static_cast<size_t>(c) * static_cast<size_t>(dims) +
+                      static_cast<size_t>(d)] +=
+            w * points[i * static_cast<size_t>(dims) + static_cast<size_t>(d)];
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      if (cluster_weight[static_cast<size_t>(c)] <= 0) continue;  // Keep old.
+      for (int d = 0; d < dims; ++d) {
+        result.centroids[static_cast<size_t>(c) * static_cast<size_t>(dims) +
+                         static_cast<size_t>(d)] =
+            new_centroids[static_cast<size_t>(c) * static_cast<size_t>(dims) +
+                          static_cast<size_t>(d)] /
+            cluster_weight[static_cast<size_t>(c)];
+      }
+    }
+  }
+  return result;
+}
+
+double KMeansCost(const std::vector<double>& points, int dims,
+                  const std::vector<double>& weights,
+                  const std::vector<double>& centroids, int k) {
+  LMFAO_CHECK_GT(dims, 0);
+  const size_t n = points.size() / static_cast<size_t>(dims);
+  double cost = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double* p = points.data() + i * static_cast<size_t>(dims);
+    double best = std::numeric_limits<double>::infinity();
+    for (int c = 0; c < k; ++c) {
+      best = std::min(
+          best, SquaredDistance(p,
+                                centroids.data() + static_cast<size_t>(c) *
+                                                       static_cast<size_t>(dims),
+                                dims));
+    }
+    cost += std::max(0.0, weights[i]) * best;
+  }
+  return cost;
+}
+
+}  // namespace lmfao

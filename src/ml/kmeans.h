@@ -1,0 +1,56 @@
+/// \file kmeans.h
+/// \brief Weighted k-means (Lloyd's algorithm) used by Rk-means.
+///
+/// Rk-means (Step 2 and Step 4) runs weighted k-means on small point sets:
+/// per-dimension projections of D and the grid coreset. The same routine,
+/// run over the full dataset, provides the conventional-Lloyd's baseline
+/// for the quality report of Fig. 4(d).
+
+#ifndef LMFAO_ML_KMEANS_H_
+#define LMFAO_ML_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lmfao {
+
+/// \brief Options of weighted Lloyd's.
+struct KMeansOptions {
+  int k = 4;
+  int max_iterations = 60;
+  double tolerance = 1e-9;  ///< Stop when cost improves less (relatively).
+  uint64_t seed = 42;       ///< k-means++ seeding.
+};
+
+/// \brief A clustering of weighted points.
+struct KMeansResult {
+  /// k x dims centroids, row-major.
+  std::vector<double> centroids;
+  /// Per input point: index of its centroid.
+  std::vector<int> assignment;
+  /// Weighted sum of squared distances to the assigned centroids.
+  double cost = 0.0;
+  int iterations = 0;
+  int dims = 0;
+  int k = 0;
+};
+
+/// \brief Runs weighted Lloyd's with k-means++ initialization.
+///
+/// `points` is n x dims row-major; `weights` has n entries (pass all-ones
+/// for unweighted clustering). k is capped at the number of points.
+StatusOr<KMeansResult> WeightedKMeans(const std::vector<double>& points,
+                                      int dims,
+                                      const std::vector<double>& weights,
+                                      const KMeansOptions& options);
+
+/// \brief Cost of assigning `points` (with weights) to fixed centroids.
+double KMeansCost(const std::vector<double>& points, int dims,
+                  const std::vector<double>& weights,
+                  const std::vector<double>& centroids, int k);
+
+}  // namespace lmfao
+
+#endif  // LMFAO_ML_KMEANS_H_

@@ -1,0 +1,121 @@
+#include "ml/moments.h"
+
+#include <algorithm>
+
+namespace lmfao {
+namespace {
+
+/// Enumerates all non-decreasing index sequences (multisets) of length
+/// `degree` over [0, n).
+void EnumerateMultisets(int n, int degree, std::vector<int>* current,
+                        std::vector<std::vector<int>>* out) {
+  if (static_cast<int>(current->size()) == degree) {
+    out->push_back(*current);
+    return;
+  }
+  const int start = current->empty() ? 0 : current->back();
+  for (int i = start; i < n; ++i) {
+    current->push_back(i);
+    EnumerateMultisets(n, degree, current, out);
+    current->pop_back();
+  }
+}
+
+}  // namespace
+
+StatusOr<MomentBatch> BuildMomentBatch(const std::vector<AttrId>& attrs,
+                                       int degree, const Catalog& catalog) {
+  if (degree < 0) return Status::InvalidArgument("degree must be >= 0");
+  if (attrs.empty()) return Status::InvalidArgument("no attributes");
+  for (AttrId a : attrs) {
+    if (a < 0 || a >= catalog.num_attrs()) {
+      return Status::InvalidArgument("unknown attribute id " +
+                                     std::to_string(a));
+    }
+  }
+  MomentBatch out;
+  const int n = static_cast<int>(attrs.size());
+  for (int d = 0; d <= degree; ++d) {
+    std::vector<std::vector<int>> multisets;
+    std::vector<int> scratch;
+    EnumerateMultisets(n, d, &scratch, &multisets);
+    for (const auto& multiset : multisets) {
+      Query q;
+      std::vector<Factor> factors;
+      std::vector<AttrId> monomial;
+      for (int i : multiset) {
+        factors.push_back(
+            Factor{attrs[static_cast<size_t>(i)], Function::Identity()});
+        monomial.push_back(attrs[static_cast<size_t>(i)]);
+      }
+      std::sort(monomial.begin(), monomial.end());
+      q.name = "m" + std::to_string(out.batch.size());
+      q.aggregates.push_back(Aggregate(std::move(factors)));
+      out.batch.Add(std::move(q));
+      out.monomials.push_back(std::move(monomial));
+    }
+  }
+  return out;
+}
+
+StatusOr<MomentTensor> ComputeMomentsLmfao(Engine* engine,
+                                           const std::vector<AttrId>& attrs,
+                                           int degree,
+                                           const Catalog& catalog) {
+  LMFAO_ASSIGN_OR_RETURN(MomentBatch moments,
+                         BuildMomentBatch(attrs, degree, catalog));
+  LMFAO_ASSIGN_OR_RETURN(BatchResult result,
+                         engine->Evaluate(moments.batch));
+  MomentTensor tensor;
+  for (size_t q = 0; q < moments.monomials.size(); ++q) {
+    const double* payload = result.results[q].data.Lookup(TupleKey());
+    tensor[moments.monomials[q]] = payload == nullptr ? 0.0 : payload[0];
+  }
+  return tensor;
+}
+
+StatusOr<MomentTensor> ComputeMomentsScan(const Relation& joined,
+                                          const std::vector<AttrId>& attrs,
+                                          int degree) {
+  std::vector<int> cols;
+  for (AttrId a : attrs) {
+    const int col = joined.ColumnIndex(a);
+    if (col < 0) {
+      return Status::InvalidArgument("attribute missing from join");
+    }
+    cols.push_back(col);
+  }
+  const int n = static_cast<int>(attrs.size());
+  MomentTensor tensor;
+  std::vector<std::vector<int>> all_multisets;
+  for (int d = 0; d <= degree; ++d) {
+    std::vector<int> scratch;
+    EnumerateMultisets(n, d, &scratch, &all_multisets);
+  }
+  // Initialize keys.
+  std::vector<std::vector<AttrId>> monomials;
+  for (const auto& multiset : all_multisets) {
+    std::vector<AttrId> monomial;
+    for (int i : multiset) monomial.push_back(attrs[static_cast<size_t>(i)]);
+    std::sort(monomial.begin(), monomial.end());
+    tensor[monomial] = 0.0;
+    monomials.push_back(std::move(monomial));
+  }
+  std::vector<double> values(static_cast<size_t>(n));
+  for (size_t row = 0; row < joined.num_rows(); ++row) {
+    for (int i = 0; i < n; ++i) {
+      values[static_cast<size_t>(i)] =
+          joined.column(cols[static_cast<size_t>(i)]).AsDouble(row);
+    }
+    for (size_t m = 0; m < all_multisets.size(); ++m) {
+      double prod = 1.0;
+      for (int i : all_multisets[m]) {
+        prod *= values[static_cast<size_t>(i)];
+      }
+      tensor[monomials[m]] += prod;
+    }
+  }
+  return tensor;
+}
+
+}  // namespace lmfao

@@ -1,0 +1,58 @@
+/// \file moments.h
+/// \brief Higher-degree moment batches over the join.
+///
+/// The covariance matrix of Section 3 is the degree-2 moment tensor of the
+/// feature distribution. The same decomposition extends to any degree —
+/// which is what in-database learning of models with interaction terms
+/// (polynomial regression, factorization machines; see the paper's list of
+/// further supported models and the AC/DC predecessor [1]) requires: one
+/// aggregate query per monomial
+///
+///   SELECT SUM(X_{i1} * X_{i2} * ... * X_{id}) FROM D
+///
+/// for every multiset {i1..id} of continuous features. LMFAO evaluates the
+/// whole tensor in one batch, sharing views and partial products.
+
+#ifndef LMFAO_ML_MOMENTS_H_
+#define LMFAO_ML_MOMENTS_H_
+
+#include <map>
+#include <vector>
+
+#include "engine/engine.h"
+#include "ml/feature.h"
+#include "storage/relation.h"
+#include "util/status.h"
+
+namespace lmfao {
+
+/// \brief The moment batch plus its monomial index.
+struct MomentBatch {
+  QueryBatch batch;
+  /// Per query: the (sorted, with repetition) attribute multiset of the
+  /// monomial; the empty vector is the count.
+  std::vector<std::vector<AttrId>> monomials;
+};
+
+/// \brief Builds the batch of all moments of the given continuous
+/// attributes up to `degree` (inclusive; degree 0 is the count).
+StatusOr<MomentBatch> BuildMomentBatch(const std::vector<AttrId>& attrs,
+                                       int degree, const Catalog& catalog);
+
+/// \brief The evaluated tensor: monomial (sorted attribute multiset) to
+/// SUM over D.
+using MomentTensor = std::map<std::vector<AttrId>, double>;
+
+/// \brief Evaluates the moment batch with LMFAO.
+StatusOr<MomentTensor> ComputeMomentsLmfao(Engine* engine,
+                                           const std::vector<AttrId>& attrs,
+                                           int degree, const Catalog& catalog);
+
+/// \brief Reference implementation over the materialized join.
+StatusOr<MomentTensor> ComputeMomentsScan(const Relation& joined,
+                                          const std::vector<AttrId>& attrs,
+                                          int degree);
+
+}  // namespace lmfao
+
+#endif  // LMFAO_ML_MOMENTS_H_

@@ -1,0 +1,114 @@
+#include "ml/pca.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lmfao {
+
+StatusOr<PcaResult> ComputePca(const SigmaMatrix& sigma,
+                               const PcaOptions& options) {
+  if (sigma.count <= 1) {
+    return Status::InvalidArgument("need at least two tuples for PCA");
+  }
+  const double n = sigma.count;
+  const int full_dim = sigma.index.dim;
+  const int dim = full_dim - 1;  // Drop the intercept position 0.
+  if (dim < 1) return Status::InvalidArgument("no features");
+
+  // Centered covariance: C[i][j] = Sigma(i,j)/n - mean_i * mean_j, over all
+  // positions except the intercept; optionally scaled to correlations.
+  std::vector<double> mean(static_cast<size_t>(dim));
+  std::vector<double> scale(static_cast<size_t>(dim), 1.0);
+  for (int i = 0; i < dim; ++i) {
+    mean[static_cast<size_t>(i)] = sigma.At(0, i + 1) / n;
+  }
+  if (options.standardize) {
+    for (int i = 0; i < dim; ++i) {
+      const double var = sigma.At(i + 1, i + 1) / n -
+                         mean[static_cast<size_t>(i)] *
+                             mean[static_cast<size_t>(i)];
+      scale[static_cast<size_t>(i)] = var > 1e-14 ? 1.0 / std::sqrt(var) : 0.0;
+    }
+  }
+  std::vector<double> cov(static_cast<size_t>(dim) *
+                          static_cast<size_t>(dim));
+  double total_variance = 0.0;
+  for (int i = 0; i < dim; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      const double centered =
+          sigma.At(i + 1, j + 1) / n -
+          mean[static_cast<size_t>(i)] * mean[static_cast<size_t>(j)];
+      cov[static_cast<size_t>(i) * static_cast<size_t>(dim) +
+          static_cast<size_t>(j)] = centered *
+                                    scale[static_cast<size_t>(i)] *
+                                    scale[static_cast<size_t>(j)];
+    }
+    total_variance += cov[static_cast<size_t>(i) * static_cast<size_t>(dim) +
+                          static_cast<size_t>(i)];
+  }
+  if (total_variance <= 0) {
+    return Status::InvalidArgument("features have no variance");
+  }
+
+  PcaResult result;
+  result.dim = dim;
+  const int k = std::min(options.num_components, dim);
+  result.num_components = k;
+
+  // Deflated power iteration.
+  std::vector<double> vec(static_cast<size_t>(dim));
+  std::vector<double> next(static_cast<size_t>(dim));
+  for (int c = 0; c < k; ++c) {
+    // Deterministic start vector, not orthogonal to anything reasonable.
+    for (int i = 0; i < dim; ++i) {
+      vec[static_cast<size_t>(i)] =
+          1.0 + 0.01 * static_cast<double>((i * 37 + c * 101) % 17);
+    }
+    double eigenvalue = 0.0;
+    for (int it = 0; it < options.max_iterations; ++it) {
+      // next = C * vec.
+      for (int i = 0; i < dim; ++i) {
+        double sum = 0.0;
+        for (int j = 0; j < dim; ++j) {
+          sum += cov[static_cast<size_t>(i) * static_cast<size_t>(dim) +
+                     static_cast<size_t>(j)] *
+                 vec[static_cast<size_t>(j)];
+        }
+        next[static_cast<size_t>(i)] = sum;
+      }
+      // Deflate against previous components.
+      for (int p = 0; p < c; ++p) {
+        const double* comp =
+            result.components.data() + static_cast<size_t>(p) *
+                                            static_cast<size_t>(dim);
+        double dot = 0.0;
+        for (int i = 0; i < dim; ++i) {
+          dot += next[static_cast<size_t>(i)] * comp[i];
+        }
+        for (int i = 0; i < dim; ++i) {
+          next[static_cast<size_t>(i)] -= dot * comp[i];
+        }
+      }
+      double norm = 0.0;
+      for (double v : next) norm += v * v;
+      norm = std::sqrt(norm);
+      if (norm < 1e-300) break;  // Degenerate (eigenvalue ~ 0).
+      const double new_eigenvalue = norm;
+      for (int i = 0; i < dim; ++i) {
+        next[static_cast<size_t>(i)] /= norm;
+      }
+      const bool converged =
+          std::fabs(new_eigenvalue - eigenvalue) <=
+          options.tolerance * std::max(1.0, std::fabs(eigenvalue));
+      eigenvalue = new_eigenvalue;
+      vec.swap(next);
+      if (converged && it > 0) break;
+    }
+    result.components.insert(result.components.end(), vec.begin(), vec.end());
+    result.eigenvalues.push_back(eigenvalue);
+    result.explained_variance_ratio.push_back(eigenvalue / total_variance);
+  }
+  return result;
+}
+
+}  // namespace lmfao

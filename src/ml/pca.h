@@ -1,0 +1,51 @@
+/// \file pca.h
+/// \brief Principal component analysis over the covariance matrix.
+///
+/// The paper lists (robust) PCA among the further models the LMFAO approach
+/// supports: like ridge regression, PCA's data-intensive part is exactly
+/// the non-centered covariance matrix Sigma that one aggregate batch
+/// computes; the model-specific part (eigenvectors of the centered
+/// covariance) is data-independent. This module extracts the top principal
+/// components from a SigmaMatrix by deflated power iteration.
+
+#ifndef LMFAO_ML_PCA_H_
+#define LMFAO_ML_PCA_H_
+
+#include <vector>
+
+#include "ml/linreg.h"
+#include "util/status.h"
+
+namespace lmfao {
+
+/// \brief Options for the eigensolver.
+struct PcaOptions {
+  int num_components = 2;
+  int max_iterations = 1000;
+  double tolerance = 1e-10;
+  /// Standardize features (correlation PCA) instead of covariance PCA.
+  bool standardize = true;
+};
+
+/// \brief Principal components of the feature distribution.
+struct PcaResult {
+  /// Dimension of the analyzed space (continuous features incl. the label,
+  /// one-hot positions; the intercept is excluded).
+  int dim = 0;
+  int num_components = 0;
+  /// num_components x dim eigenvectors, row-major, unit length.
+  std::vector<double> components;
+  /// Eigenvalues, descending.
+  std::vector<double> eigenvalues;
+  /// Fraction of total variance captured by each component.
+  std::vector<double> explained_variance_ratio;
+};
+
+/// \brief Computes the top principal components of the (centered,
+/// optionally standardized) covariance derived from Sigma.
+StatusOr<PcaResult> ComputePca(const SigmaMatrix& sigma,
+                               const PcaOptions& options = {});
+
+}  // namespace lmfao
+
+#endif  // LMFAO_ML_PCA_H_

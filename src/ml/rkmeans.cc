@@ -1,0 +1,250 @@
+#include "ml/rkmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "util/timer.h"
+
+namespace lmfao {
+
+int RkMeansResult::ClosestCentroid(const std::vector<double>& point) const {
+  LMFAO_CHECK_EQ(static_cast<int>(point.size()), dims);
+  int best = -1;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (int c = 0; c < k; ++c) {
+    double d = 0.0;
+    for (int j = 0; j < dims; ++j) {
+      const double diff =
+          point[static_cast<size_t>(j)] -
+          centroids[static_cast<size_t>(c) * static_cast<size_t>(dims) +
+                    static_cast<size_t>(j)];
+      d += diff * diff;
+    }
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+StatusOr<RkMeansResult> RunRkMeans(
+    Catalog* catalog,
+    const std::vector<std::pair<RelationId, RelationId>>& tree_edges,
+    const std::vector<AttrId>& dims, const RkMeansOptions& options,
+    const EngineOptions& engine_options) {
+  if (dims.empty()) return Status::InvalidArgument("no dimensions");
+  if (static_cast<int>(dims.size()) > TupleKey::kMaxArity) {
+    return Status::InvalidArgument("too many clustering dimensions");
+  }
+  for (AttrId a : dims) {
+    if (catalog->attr(a).type != AttrType::kInt) {
+      return Status::InvalidArgument(
+          "clustering dimension " + catalog->attr(a).name +
+          " must be int-typed (projections are group-by queries)");
+    }
+  }
+  Timer total_timer;
+  RkMeansResult result;
+  result.k = options.k;
+  result.dims = static_cast<int>(dims.size());
+  const int per_dim_k =
+      options.per_dimension_k > 0 ? options.per_dimension_k : options.k;
+
+  // --- Step 1: one projection query per dimension.
+  LMFAO_ASSIGN_OR_RETURN(JoinTree tree,
+                         JoinTree::FromEdges(*catalog, tree_edges));
+  QueryBatch projections;
+  for (size_t j = 0; j < dims.size(); ++j) {
+    Query q;
+    q.name = "proj_" + catalog->attr(dims[j]).name;
+    q.group_by = {dims[j]};
+    q.aggregates.push_back(Aggregate::Count());
+    projections.Add(std::move(q));
+  }
+  Engine step1_engine(catalog, &tree, engine_options);
+  Timer step1_timer;
+  LMFAO_ASSIGN_OR_RETURN(BatchResult step1, step1_engine.Evaluate(projections));
+
+  // --- Step 2: weighted 1-D k-means per dimension.
+  struct DimensionClustering {
+    std::vector<double> centroids;                   // per_dim_k values
+    std::unordered_map<int64_t, int64_t> assignment; // value -> cluster
+  };
+  std::vector<DimensionClustering> dimension(dims.size());
+  for (size_t j = 0; j < dims.size(); ++j) {
+    Timer dim_timer;
+    std::vector<double> values;
+    std::vector<double> weights;
+    std::vector<int64_t> raw;
+    step1.results[j].data.ForEach(
+        [&](const TupleKey& key, const double* payload) {
+          raw.push_back(key[0]);
+          values.push_back(static_cast<double>(key[0]));
+          weights.push_back(payload[0]);
+        });
+    if (values.empty()) {
+      return Status::Internal("empty projection for dimension " +
+                              catalog->attr(dims[j]).name);
+    }
+    KMeansOptions opts = options.kmeans;
+    opts.k = per_dim_k;
+    opts.seed = options.kmeans.seed + j;
+    LMFAO_ASSIGN_OR_RETURN(KMeansResult km,
+                           WeightedKMeans(values, 1, weights, opts));
+    dimension[j].centroids = km.centroids;
+    for (size_t i = 0; i < raw.size(); ++i) {
+      dimension[j].assignment[raw[i]] = km.assignment[i];
+    }
+    result.dimension_seconds.push_back(dim_timer.ElapsedSeconds() +
+                                       (j == 0 ? step1_timer.ElapsedSeconds() /
+                                                     static_cast<double>(
+                                                         dims.size())
+                                               : 0.0));
+  }
+
+  // --- Step 3: derived assignment columns + the grid-coreset query.
+  std::vector<AttrId> derived;
+  for (size_t j = 0; j < dims.size(); ++j) {
+    // Owning relation: first relation containing the dimension.
+    RelationId owner = kInvalidRelation;
+    for (RelationId r = 0; r < catalog->num_relations(); ++r) {
+      if (catalog->relation(r).schema().Contains(dims[j])) {
+        owner = r;
+        break;
+      }
+    }
+    if (owner == kInvalidRelation) {
+      return Status::Internal("dimension attribute not found in any relation");
+    }
+    const std::string name =
+        "__rk_c" + std::to_string(j) + "_" + catalog->attr(dims[j]).name;
+    StatusOr<AttrId> added = catalog->AttrIdOf(name);
+    AttrId cj;
+    if (added.ok()) {
+      cj = added.value();  // Re-running: attribute already registered.
+    } else {
+      LMFAO_ASSIGN_OR_RETURN(cj, catalog->AddAttribute(name, AttrType::kInt));
+    }
+    Relation& rel = catalog->mutable_relation(owner);
+    const int src_col = rel.ColumnIndex(dims[j]);
+    std::vector<int64_t> column(rel.num_rows());
+    const auto& src = rel.column(src_col).ints();
+    for (size_t i = 0; i < rel.num_rows(); ++i) {
+      const auto it = dimension[j].assignment.find(src[i]);
+      column[i] = it == dimension[j].assignment.end() ? 0 : it->second;
+    }
+    if (rel.schema().Contains(cj)) {
+      // Overwrite in place on re-runs.
+      rel.mutable_column(rel.ColumnIndex(cj)).mutable_ints() =
+          std::move(column);
+    } else {
+      LMFAO_RETURN_NOT_OK(rel.AddDerivedIntColumn(cj, std::move(column))
+                              .status());
+    }
+    derived.push_back(cj);
+  }
+  catalog->RefreshDomainSizes();
+  LMFAO_ASSIGN_OR_RETURN(JoinTree tree3,
+                         JoinTree::FromEdges(*catalog, tree_edges));
+  QueryBatch coreset_batch;
+  {
+    Query q;
+    q.name = "grid_coreset";
+    q.group_by = derived;
+    q.aggregates.push_back(Aggregate::Count());
+    coreset_batch.Add(std::move(q));
+  }
+  Engine step3_engine(catalog, &tree3, engine_options);
+  Timer coreset_timer;
+  LMFAO_ASSIGN_OR_RETURN(BatchResult step3,
+                         step3_engine.Evaluate(coreset_batch));
+  result.coreset_seconds = coreset_timer.ElapsedSeconds();
+
+  // --- Step 4: weighted k-means over the occupied grid points.
+  // The coreset key order is sorted by attribute id; derived attributes were
+  // registered in dimension order, so positions match dims order.
+  std::vector<AttrId> sorted_derived = SortedUnique(derived);
+  std::vector<int> key_pos(dims.size());
+  for (size_t j = 0; j < derived.size(); ++j) {
+    for (size_t p = 0; p < sorted_derived.size(); ++p) {
+      if (sorted_derived[p] == derived[j]) key_pos[j] = static_cast<int>(p);
+    }
+  }
+  std::vector<double> grid_points;
+  std::vector<double> grid_weights;
+  step3.results[0].data.ForEach(
+      [&](const TupleKey& key, const double* payload) {
+        for (size_t j = 0; j < dims.size(); ++j) {
+          const int64_t cluster = key[key_pos[j]];
+          grid_points.push_back(
+              dimension[j].centroids[static_cast<size_t>(cluster)]);
+        }
+        grid_weights.push_back(payload[0]);
+      });
+  result.coreset_size = grid_weights.size();
+  for (double w : grid_weights) result.data_size += w;
+
+  KMeansOptions final_opts = options.kmeans;
+  final_opts.k = options.k;
+  LMFAO_ASSIGN_OR_RETURN(
+      KMeansResult final_km,
+      WeightedKMeans(grid_points, result.dims, grid_weights, final_opts));
+  result.centroids = final_km.centroids;
+  result.k = final_km.k;
+  result.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+StatusOr<RkMeansQuality> EvaluateRkMeansQuality(
+    const Relation& joined, const std::vector<AttrId>& dims,
+    const RkMeansResult& result, int lloyd_runs,
+    const KMeansOptions& lloyd_options) {
+  RkMeansQuality quality;
+  const int d = static_cast<int>(dims.size());
+  std::vector<int> cols;
+  for (AttrId a : dims) {
+    const int col = joined.ColumnIndex(a);
+    if (col < 0) {
+      return Status::InvalidArgument("dimension missing from join");
+    }
+    cols.push_back(col);
+  }
+  std::vector<double> points;
+  points.reserve(joined.num_rows() * static_cast<size_t>(d));
+  for (size_t row = 0; row < joined.num_rows(); ++row) {
+    for (int j = 0; j < d; ++j) {
+      points.push_back(joined.column(cols[static_cast<size_t>(j)])
+                           .AsDouble(row));
+    }
+  }
+  std::vector<double> ones(joined.num_rows(), 1.0);
+  quality.rkmeans_cost =
+      KMeansCost(points, d, ones, result.centroids, result.k);
+
+  double total_rel = 0.0;
+  double best_lloyd = std::numeric_limits<double>::infinity();
+  for (int run = 0; run < lloyd_runs; ++run) {
+    KMeansOptions opts = lloyd_options;
+    opts.k = result.k;
+    opts.seed = lloyd_options.seed + static_cast<uint64_t>(run) * 7919;
+    LMFAO_ASSIGN_OR_RETURN(KMeansResult lloyd,
+                           WeightedKMeans(points, d, ones, opts));
+    best_lloyd = std::min(best_lloyd, lloyd.cost);
+    if (lloyd.cost > 0) {
+      total_rel += (quality.rkmeans_cost - lloyd.cost) / lloyd.cost;
+    }
+  }
+  quality.lloyds_cost = best_lloyd;
+  quality.relative_approximation =
+      total_rel / static_cast<double>(std::max(1, lloyd_runs));
+  quality.relative_coreset_size =
+      result.data_size > 0
+          ? static_cast<double>(result.coreset_size) / result.data_size
+          : 0.0;
+  return quality;
+}
+
+}  // namespace lmfao

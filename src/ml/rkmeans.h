@@ -1,0 +1,100 @@
+/// \file rkmeans.h
+/// \brief Rk-means: relational clustering via a grid coreset (Section 3).
+///
+/// The four steps of the algorithm, with LMFAO computing Steps 1 and 3:
+///   1. per-dimension weighted projections:
+///        SELECT Xj, SUM(1) FROM D GROUP BY Xj          (one query per dim)
+///   2. weighted 1-D k-means on each projection, producing a cluster
+///      assignment Aj: value -> centroid index;
+///   3. the grid-coreset weights:
+///        SELECT C1,...,Cn, SUM(1) FROM D JOIN A1 ... An GROUP BY C1..Cn
+///      realized by attaching the assignments as derived columns to the
+///      relations owning each dimension (the join with Aj of the paper);
+///   4. weighted k-means on the (at most k^n, usually far fewer) occupied
+///      grid points.
+///
+/// The quality/size numbers of Fig. 4(d) — relative intra-cluster distance
+/// versus conventional Lloyd's and relative coreset size — are computed by
+/// EvaluateRkMeansQuality over the materialized join.
+
+#ifndef LMFAO_ML_RKMEANS_H_
+#define LMFAO_ML_RKMEANS_H_
+
+#include <vector>
+
+#include "engine/engine.h"
+#include "jointree/join_tree.h"
+#include "ml/kmeans.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace lmfao {
+
+/// \brief Options of Rk-means.
+struct RkMeansOptions {
+  /// Number of output clusters (k).
+  int k = 4;
+  /// Per-dimension clusters of Step 2 (0 = use k).
+  int per_dimension_k = 0;
+  KMeansOptions kmeans;  ///< Inner Lloyd's settings (k fields overridden).
+};
+
+/// \brief Output of Rk-means.
+struct RkMeansResult {
+  /// k x n final centroids (row-major), in the order of `dims`.
+  std::vector<double> centroids;
+  int k = 0;
+  int dims = 0;
+  /// Number of occupied grid-coreset points (|G|).
+  size_t coreset_size = 0;
+  /// |D| (sum of coreset weights).
+  double data_size = 0.0;
+  /// Per-dimension Step 1+2 wall times in seconds (the Fig. 4(d) panel).
+  std::vector<double> dimension_seconds;
+  /// Wall time of the coreset query (Step 3).
+  double coreset_seconds = 0.0;
+  /// Total wall time.
+  double total_seconds = 0.0;
+
+  /// Index of the centroid closest to `point` (size = dims).
+  int ClosestCentroid(const std::vector<double>& point) const;
+};
+
+/// \brief Runs Rk-means over the join defined by `catalog` + `tree`.
+///
+/// `dims` are the clustering dimensions; they must be int-typed attributes
+/// (projections are group-by queries). The catalog is mutated: Step 3
+/// attaches one derived assignment column per dimension (attributes named
+/// "__rk_c<i>"); the derived columns are left in place so callers can
+/// inspect them, and a fresh join tree is built internally for Step 3.
+StatusOr<RkMeansResult> RunRkMeans(Catalog* catalog,
+                                   const std::vector<std::pair<RelationId,
+                                                               RelationId>>&
+                                       tree_edges,
+                                   const std::vector<AttrId>& dims,
+                                   const RkMeansOptions& options,
+                                   const EngineOptions& engine_options = {});
+
+/// \brief Quality report of Fig. 4(d).
+struct RkMeansQuality {
+  double rkmeans_cost = 0.0;
+  double lloyds_cost = 0.0;
+  /// (rkmeans - lloyds) / lloyds, averaged over `lloyd_runs` seeds.
+  double relative_approximation = 0.0;
+  /// |G| / |D|.
+  double relative_coreset_size = 0.0;
+};
+
+/// \brief Evaluates clustering quality over the materialized join.
+///
+/// Runs conventional Lloyd's `lloyd_runs` times with different seeds on the
+/// full projection of D onto `dims` and reports the average relative excess
+/// cost of the Rk-means centroids, as the demo's interface does.
+StatusOr<RkMeansQuality> EvaluateRkMeansQuality(
+    const Relation& joined, const std::vector<AttrId>& dims,
+    const RkMeansResult& result, int lloyd_runs = 3,
+    const KMeansOptions& lloyd_options = {});
+
+}  // namespace lmfao
+
+#endif  // LMFAO_ML_RKMEANS_H_

@@ -1,0 +1,110 @@
+#include "query/aggregate.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/hash.h"
+
+namespace lmfao {
+
+uint64_t Factor::Signature() const {
+  return HashCombine(Mix64(static_cast<uint64_t>(attr) + 0x7ad3),
+                     fn.Signature());
+}
+
+namespace {
+void SortFactors(std::vector<Factor>* factors) {
+  std::sort(factors->begin(), factors->end(),
+            [](const Factor& a, const Factor& b) {
+              if (a.attr != b.attr) return a.attr < b.attr;
+              return a.fn.Signature() < b.fn.Signature();
+            });
+}
+}  // namespace
+
+Aggregate::Aggregate(std::vector<Factor> factors)
+    : factors_(std::move(factors)) {
+  SortFactors(&factors_);
+}
+
+Aggregate Aggregate::Count() { return Aggregate(); }
+
+Aggregate Aggregate::Sum(AttrId attr) {
+  return Aggregate({Factor{attr, Function::Identity()}});
+}
+
+Aggregate Aggregate::SumSquare(AttrId attr) {
+  return Aggregate({Factor{attr, Function::Square()}});
+}
+
+Aggregate Aggregate::SumProduct(AttrId a, AttrId b) {
+  return Aggregate(
+      {Factor{a, Function::Identity()}, Factor{b, Function::Identity()}});
+}
+
+void Aggregate::AddFactor(Factor f) {
+  factors_.push_back(std::move(f));
+  SortFactors(&factors_);
+}
+
+Aggregate Aggregate::Restrict(const std::vector<AttrId>& attrs) const {
+  std::vector<Factor> kept;
+  for (const Factor& f : factors_) {
+    if (SetContains(attrs, f.attr)) kept.push_back(f);
+  }
+  return Aggregate(std::move(kept));
+}
+
+std::vector<AttrId> Aggregate::Attributes() const {
+  std::vector<AttrId> out;
+  out.reserve(factors_.size());
+  for (const Factor& f : factors_) out.push_back(f.attr);
+  return SortedUnique(std::move(out));
+}
+
+uint64_t Aggregate::Signature() const {
+  uint64_t h = 0x517cc1b727220a95ULL;
+  for (const Factor& f : factors_) h = HashCombine(h, f.Signature());
+  return h;
+}
+
+std::string Aggregate::ToString(
+    const std::vector<std::string>* attr_names) const {
+  auto attr_name = [&](AttrId a) {
+    if (attr_names != nullptr && a >= 0 &&
+        static_cast<size_t>(a) < attr_names->size()) {
+      return (*attr_names)[static_cast<size_t>(a)];
+    }
+    return "X" + std::to_string(a);
+  };
+  if (factors_.empty()) return "SUM(1)";
+  std::ostringstream out;
+  out << "SUM(";
+  for (size_t i = 0; i < factors_.size(); ++i) {
+    if (i > 0) out << " * ";
+    const Factor& f = factors_[i];
+    switch (f.fn.kind()) {
+      case FunctionKind::kIdentity:
+        out << attr_name(f.attr);
+        break;
+      case FunctionKind::kSquare:
+        out << attr_name(f.attr) << "^2";
+        break;
+      case FunctionKind::kDictionary:
+        out << f.fn.dict()->name << "(" << attr_name(f.attr) << ")";
+        break;
+      default: {
+        std::string s = f.fn.ToString();
+        // Replace the placeholder "x" with the attribute name.
+        const size_t pos = s.find('x');
+        if (pos != std::string::npos) s.replace(pos, 1, attr_name(f.attr));
+        out << s;
+        break;
+      }
+    }
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace lmfao

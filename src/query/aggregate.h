@@ -1,0 +1,85 @@
+/// \file aggregate.h
+/// \brief Aggregates as products of unary functions over attributes.
+///
+/// An Aggregate denotes SUM over the (non-materialized) join D of
+/// `f_1(X_{a1}) * f_2(X_{a2}) * ... * f_k(X_{ak})`. The empty product is the
+/// COUNT aggregate, SUM(1). Factors over the same attribute may repeat
+/// (e.g. X*X), though Square is the idiomatic spelling.
+///
+/// Aggregates are *structurally deduplicated* throughout the engine (view
+/// merging, register sharing); Signature() provides the dedup key.
+
+#ifndef LMFAO_QUERY_AGGREGATE_H_
+#define LMFAO_QUERY_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "query/function.h"
+#include "storage/schema.h"
+#include "storage/types.h"
+
+namespace lmfao {
+
+/// \brief One factor of an aggregate product: a function applied to an
+/// attribute.
+struct Factor {
+  AttrId attr = kInvalidAttr;
+  Function fn = Function::Identity();
+
+  bool operator==(const Factor& o) const {
+    return attr == o.attr && fn == o.fn;
+  }
+  uint64_t Signature() const;
+};
+
+/// \brief SUM of a product of factors over the join.
+class Aggregate {
+ public:
+  /// SUM(1).
+  Aggregate() = default;
+
+  explicit Aggregate(std::vector<Factor> factors);
+
+  /// \name Convenience constructors.
+  /// @{
+  static Aggregate Count();
+  /// SUM(attr).
+  static Aggregate Sum(AttrId attr);
+  /// SUM(attr^2).
+  static Aggregate SumSquare(AttrId attr);
+  /// SUM(a * b).
+  static Aggregate SumProduct(AttrId a, AttrId b);
+  /// @}
+
+  const std::vector<Factor>& factors() const { return factors_; }
+  bool IsCount() const { return factors_.empty(); }
+
+  /// Appends a factor; keeps the factor list sorted by (attr, signature) so
+  /// structurally equal products have equal factor sequences.
+  void AddFactor(Factor f);
+
+  /// Returns a copy restricted to factors over attributes in `attrs`
+  /// (a sorted set). Used by aggregate pushdown: the restriction of a
+  /// query aggregate to a subtree.
+  Aggregate Restrict(const std::vector<AttrId>& attrs) const;
+
+  /// Sorted set of attributes referenced by any factor.
+  std::vector<AttrId> Attributes() const;
+
+  /// Structural signature used for deduplication.
+  uint64_t Signature() const;
+
+  bool operator==(const Aggregate& o) const { return factors_ == o.factors_; }
+
+  /// Renders e.g. "SUM(units * price)" using `names` to resolve attributes.
+  std::string ToString(
+      const std::vector<std::string>* attr_names = nullptr) const;
+
+ private:
+  std::vector<Factor> factors_;
+};
+
+}  // namespace lmfao
+
+#endif  // LMFAO_QUERY_AGGREGATE_H_

@@ -1,0 +1,142 @@
+#include "query/function.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace lmfao {
+
+Function Function::Identity() {
+  return Function(FunctionKind::kIdentity, 0.0, nullptr);
+}
+
+Function Function::Square() {
+  return Function(FunctionKind::kSquare, 0.0, nullptr);
+}
+
+Function Function::Dictionary(std::shared_ptr<const FunctionDict> dict) {
+  LMFAO_CHECK(dict != nullptr);
+  return Function(FunctionKind::kDictionary, 0.0, std::move(dict));
+}
+
+Function Function::Indicator(FunctionKind op, double threshold) {
+  LMFAO_CHECK(op == FunctionKind::kIndicatorLe || op == FunctionKind::kIndicatorLt ||
+              op == FunctionKind::kIndicatorGe || op == FunctionKind::kIndicatorGt ||
+              op == FunctionKind::kIndicatorEq || op == FunctionKind::kIndicatorNe);
+  return Function(op, threshold, nullptr);
+}
+
+double Function::Eval(double x) const {
+  switch (kind_) {
+    case FunctionKind::kIdentity:
+      return x;
+    case FunctionKind::kSquare:
+      return x * x;
+    case FunctionKind::kDictionary: {
+      const auto it = dict_->table.find(static_cast<int64_t>(std::llround(x)));
+      return it == dict_->table.end() ? dict_->default_value : it->second;
+    }
+    case FunctionKind::kIndicatorLe:
+      return x <= threshold_ ? 1.0 : 0.0;
+    case FunctionKind::kIndicatorLt:
+      return x < threshold_ ? 1.0 : 0.0;
+    case FunctionKind::kIndicatorGe:
+      return x >= threshold_ ? 1.0 : 0.0;
+    case FunctionKind::kIndicatorGt:
+      return x > threshold_ ? 1.0 : 0.0;
+    case FunctionKind::kIndicatorEq:
+      return x == threshold_ ? 1.0 : 0.0;
+    case FunctionKind::kIndicatorNe:
+      return x != threshold_ ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+bool Function::operator==(const Function& o) const {
+  if (kind_ != o.kind_) return false;
+  if (kind_ == FunctionKind::kDictionary) return dict_ == o.dict_;
+  return threshold_ == o.threshold_;
+}
+
+uint64_t Function::Signature() const {
+  uint64_t h = Mix64(static_cast<uint64_t>(kind_) + 0x51ed2701);
+  if (kind_ == FunctionKind::kDictionary) {
+    h = HashCombine(h, reinterpret_cast<uintptr_t>(dict_.get()));
+  } else {
+    uint64_t bits;
+    std::memcpy(&bits, &threshold_, sizeof(bits));
+    h = HashCombine(h, bits);
+  }
+  return h;
+}
+
+bool Function::IsIndicator() const {
+  switch (kind_) {
+    case FunctionKind::kIndicatorLe:
+    case FunctionKind::kIndicatorLt:
+    case FunctionKind::kIndicatorGe:
+    case FunctionKind::kIndicatorGt:
+    case FunctionKind::kIndicatorEq:
+    case FunctionKind::kIndicatorNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+const char* IndicatorOp(FunctionKind kind) {
+  switch (kind) {
+    case FunctionKind::kIndicatorLe:
+      return "<=";
+    case FunctionKind::kIndicatorLt:
+      return "<";
+    case FunctionKind::kIndicatorGe:
+      return ">=";
+    case FunctionKind::kIndicatorGt:
+      return ">";
+    case FunctionKind::kIndicatorEq:
+      return "==";
+    case FunctionKind::kIndicatorNe:
+      return "!=";
+    default:
+      return "?";
+  }
+}
+}  // namespace
+
+std::string Function::ToString() const {
+  switch (kind_) {
+    case FunctionKind::kIdentity:
+      return "id";
+    case FunctionKind::kSquare:
+      return "sq";
+    case FunctionKind::kDictionary:
+      return dict_->name + "[·]";
+    default: {
+      std::ostringstream out;
+      out << "(x" << IndicatorOp(kind_) << threshold_ << ")";
+      return out.str();
+    }
+  }
+}
+
+std::string Function::CodegenExpr(const std::string& arg) const {
+  switch (kind_) {
+    case FunctionKind::kIdentity:
+      return arg;
+    case FunctionKind::kSquare:
+      return "(" + arg + " * " + arg + ")";
+    case FunctionKind::kDictionary:
+      return "dict_" + dict_->name + "(" + arg + ")";
+    default:
+      return StringPrintf("((%s %s %.17g) ? 1.0 : 0.0)", arg.c_str(),
+                          IndicatorOp(kind_), threshold_);
+  }
+}
+
+}  // namespace lmfao

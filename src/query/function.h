@@ -1,0 +1,96 @@
+/// \file function.h
+/// \brief Unary aggregate functions.
+///
+/// Every LMFAO aggregate is SUM over the join of a *product of unary
+/// functions*, each applied to a single attribute (Section 3 of the paper).
+/// This file defines the function algebra: identity, square, constants,
+/// user dictionaries (the paper's g(item) and h(date)), and threshold
+/// indicators (decision-tree conditions `Xj op t` become indicator factors).
+
+#ifndef LMFAO_QUERY_FUNCTION_H_
+#define LMFAO_QUERY_FUNCTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace lmfao {
+
+/// \brief Kinds of unary functions.
+enum class FunctionKind : uint8_t {
+  kIdentity = 0,   ///< f(x) = x
+  kSquare = 1,     ///< f(x) = x^2
+  kDictionary = 2, ///< f(x) = dict[x] (missing keys map to a default)
+  kIndicatorLe = 3,  ///< f(x) = 1 if x <= t else 0
+  kIndicatorLt = 4,  ///< f(x) = 1 if x <  t else 0
+  kIndicatorGe = 5,  ///< f(x) = 1 if x >= t else 0
+  kIndicatorGt = 6,  ///< f(x) = 1 if x >  t else 0
+  kIndicatorEq = 7,  ///< f(x) = 1 if x == t else 0
+  kIndicatorNe = 8,  ///< f(x) = 1 if x != t else 0
+};
+
+/// \brief Lookup table for user-defined dictionary functions.
+///
+/// Shared (by pointer) across all factors that reference the same function,
+/// so structural aggregate deduplication can compare dictionary identity.
+struct FunctionDict {
+  std::string name;
+  std::unordered_map<int64_t, double> table;
+  double default_value = 0.0;
+};
+
+/// \brief A unary function of one numeric argument.
+///
+/// Cheap to copy; dictionary payloads are shared. Evaluation promotes int
+/// attribute values to double (exact below 2^53, which covers all key
+/// domains used here).
+class Function {
+ public:
+  /// f(x) = x.
+  static Function Identity();
+  /// f(x) = x^2.
+  static Function Square();
+  /// f(x) = dict[x].
+  static Function Dictionary(std::shared_ptr<const FunctionDict> dict);
+  /// Threshold indicator f(x) = 1 if (x op t) else 0.
+  static Function Indicator(FunctionKind op, double threshold);
+
+  FunctionKind kind() const { return kind_; }
+  double threshold() const { return threshold_; }
+  const std::shared_ptr<const FunctionDict>& dict() const { return dict_; }
+
+  /// Evaluates the function.
+  double Eval(double x) const;
+
+  /// Structural equality (dictionaries by pointer identity).
+  bool operator==(const Function& o) const;
+  bool operator!=(const Function& o) const { return !(*this == o); }
+
+  /// Stable 64-bit structural signature for deduplication.
+  uint64_t Signature() const;
+
+  /// Renders e.g. "id", "sq", "g[·]", "(x<=3.5)".
+  std::string ToString() const;
+
+  /// The C++ expression the code generator emits for argument `arg`.
+  std::string CodegenExpr(const std::string& arg) const;
+
+  /// True for indicator kinds.
+  bool IsIndicator() const;
+
+ private:
+  Function(FunctionKind kind, double threshold,
+           std::shared_ptr<const FunctionDict> dict)
+      : kind_(kind), threshold_(threshold), dict_(std::move(dict)) {}
+
+  FunctionKind kind_;
+  double threshold_;
+  std::shared_ptr<const FunctionDict> dict_;
+};
+
+}  // namespace lmfao
+
+#endif  // LMFAO_QUERY_FUNCTION_H_

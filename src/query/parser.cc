@@ -1,0 +1,377 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace lmfao {
+namespace {
+
+/// Token kinds of the small dialect.
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kComma,
+  kStar,
+  kLParen,
+  kRParen,
+  kCaret,
+  kComparison,  // <=, <, >=, >, =, ==, !=, <>
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  size_t offset = 0;
+};
+
+/// Hand-rolled tokenizer (the dialect is tiny).
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  StatusOr<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    size_t i = 0;
+    while (i < text_.size()) {
+      const char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      Token token;
+      token.offset = i;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[j])) ||
+                text_[j] == '_')) {
+          ++j;
+        }
+        token.kind = TokenKind::kIdentifier;
+        token.text = text_.substr(i, j - i);
+        i = j;
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+                 ((c == '-' || c == '+') && i + 1 < text_.size() &&
+                  (std::isdigit(static_cast<unsigned char>(text_[i + 1])) ||
+                   text_[i + 1] == '.'))) {
+        size_t j = i + 1;
+        while (j < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[j])) ||
+                text_[j] == '.' || text_[j] == 'e' || text_[j] == 'E' ||
+                ((text_[j] == '-' || text_[j] == '+') &&
+                 (text_[j - 1] == 'e' || text_[j - 1] == 'E')))) {
+          ++j;
+        }
+        token.kind = TokenKind::kNumber;
+        token.text = text_.substr(i, j - i);
+        i = j;
+      } else {
+        switch (c) {
+          case ',':
+            token.kind = TokenKind::kComma;
+            ++i;
+            break;
+          case '*':
+            token.kind = TokenKind::kStar;
+            ++i;
+            break;
+          case '(':
+            token.kind = TokenKind::kLParen;
+            ++i;
+            break;
+          case ')':
+            token.kind = TokenKind::kRParen;
+            ++i;
+            break;
+          case '^':
+            token.kind = TokenKind::kCaret;
+            ++i;
+            break;
+          case '<':
+          case '>':
+          case '=':
+          case '!': {
+            size_t j = i + 1;
+            if (j < text_.size() &&
+                (text_[j] == '=' || (c == '<' && text_[j] == '>'))) {
+              ++j;
+            }
+            token.kind = TokenKind::kComparison;
+            token.text = text_.substr(i, j - i);
+            i = j;
+            if (token.text == "!" ) {
+              return Status::InvalidArgument(
+                  "stray '!' at offset " + std::to_string(token.offset));
+            }
+            break;
+          }
+          default:
+            return Status::InvalidArgument(
+                std::string("unexpected character '") + c + "' at offset " +
+                std::to_string(i));
+        }
+      }
+      out.push_back(std::move(token));
+    }
+    out.push_back(Token{TokenKind::kEnd, "", text_.size()});
+    return out;
+  }
+
+ private:
+  const std::string& text_;
+};
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const Catalog& catalog,
+         const FunctionRegistry& functions)
+      : tokens_(std::move(tokens)), catalog_(catalog), functions_(functions) {}
+
+  StatusOr<Query> Parse() {
+    Query query;
+    LMFAO_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    // Select list: bare attributes (implicit group-bys) and SUM items.
+    std::vector<AttrId> select_attrs;
+    for (;;) {
+      if (PeekKeyword("SUM")) {
+        ++pos_;
+        LMFAO_RETURN_NOT_OK(Expect(TokenKind::kLParen, "("));
+        LMFAO_ASSIGN_OR_RETURN(Aggregate agg, ParseProduct());
+        LMFAO_RETURN_NOT_OK(Expect(TokenKind::kRParen, ")"));
+        query.aggregates.push_back(std::move(agg));
+      } else {
+        LMFAO_ASSIGN_OR_RETURN(AttrId attr, ParseAttribute());
+        select_attrs.push_back(attr);
+      }
+      if (Peek().kind == TokenKind::kComma) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    LMFAO_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    LMFAO_ASSIGN_OR_RETURN(std::string from, ExpectIdentifier());
+    if (ToLower(from) != "d") {
+      return Status::InvalidArgument(
+          "queries range over the join D; got FROM " + from);
+    }
+    // Optional WHERE with AND-ed comparisons -> indicator factors.
+    std::vector<Factor> conditions;
+    if (PeekKeyword("WHERE")) {
+      ++pos_;
+      for (;;) {
+        LMFAO_ASSIGN_OR_RETURN(Factor cond, ParseComparison());
+        conditions.push_back(std::move(cond));
+        if (PeekKeyword("AND")) {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+    }
+    // Optional GROUP BY.
+    if (PeekKeyword("GROUP")) {
+      ++pos_;
+      LMFAO_RETURN_NOT_OK(ExpectKeyword("BY"));
+      for (;;) {
+        LMFAO_ASSIGN_OR_RETURN(AttrId attr, ParseAttribute());
+        query.group_by.push_back(attr);
+        if (Peek().kind == TokenKind::kComma) {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::InvalidArgument("trailing input at offset " +
+                                     std::to_string(Peek().offset));
+    }
+    // Bare select attributes must be grouped by (SQL semantics).
+    for (AttrId attr : select_attrs) {
+      if (!SetContains(SortedUnique(query.group_by), attr)) {
+        query.group_by.push_back(attr);
+      }
+    }
+    if (query.aggregates.empty()) {
+      query.aggregates.push_back(Aggregate::Count());
+    }
+    // Fold WHERE conditions into every aggregate.
+    if (!conditions.empty()) {
+      for (Aggregate& agg : query.aggregates) {
+        std::vector<Factor> factors = agg.factors();
+        factors.insert(factors.end(), conditions.begin(), conditions.end());
+        agg = Aggregate(std::move(factors));
+      }
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+
+  bool PeekKeyword(const char* keyword) const {
+    return Peek().kind == TokenKind::kIdentifier &&
+           ToLower(Peek().text) == ToLower(keyword);
+  }
+
+  Status ExpectKeyword(const char* keyword) {
+    if (!PeekKeyword(keyword)) {
+      return Status::InvalidArgument(std::string("expected ") + keyword +
+                                     " near offset " +
+                                     std::to_string(Peek().offset));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (Peek().kind != kind) {
+      return Status::InvalidArgument(std::string("expected ") + what +
+                                     " near offset " +
+                                     std::to_string(Peek().offset));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  StatusOr<std::string> ExpectIdentifier() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Status::InvalidArgument("expected identifier near offset " +
+                                     std::to_string(Peek().offset));
+    }
+    return tokens_[pos_++].text;
+  }
+
+  StatusOr<AttrId> ParseAttribute() {
+    LMFAO_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    auto id = catalog_.AttrIdOf(name);
+    if (!id.ok()) {
+      return Status::InvalidArgument("unknown attribute: " + name);
+    }
+    return *id;
+  }
+
+  StatusOr<double> ParseNumber() {
+    if (Peek().kind != TokenKind::kNumber) {
+      return Status::InvalidArgument("expected number near offset " +
+                                     std::to_string(Peek().offset));
+    }
+    return std::strtod(tokens_[pos_++].text.c_str(), nullptr);
+  }
+
+  static StatusOr<FunctionKind> ComparisonOp(const std::string& op) {
+    if (op == "<=") return FunctionKind::kIndicatorLe;
+    if (op == "<") return FunctionKind::kIndicatorLt;
+    if (op == ">=") return FunctionKind::kIndicatorGe;
+    if (op == ">") return FunctionKind::kIndicatorGt;
+    if (op == "=" || op == "==") return FunctionKind::kIndicatorEq;
+    if (op == "!=" || op == "<>") return FunctionKind::kIndicatorNe;
+    return Status::InvalidArgument("unknown comparison: " + op);
+  }
+
+  /// attr op number (used by WHERE and parenthesized factors).
+  StatusOr<Factor> ParseComparison() {
+    LMFAO_ASSIGN_OR_RETURN(AttrId attr, ParseAttribute());
+    if (Peek().kind != TokenKind::kComparison) {
+      return Status::InvalidArgument("expected comparison near offset " +
+                                     std::to_string(Peek().offset));
+    }
+    LMFAO_ASSIGN_OR_RETURN(FunctionKind op, ComparisonOp(tokens_[pos_].text));
+    ++pos_;
+    LMFAO_ASSIGN_OR_RETURN(double threshold, ParseNumber());
+    return Factor{attr, Function::Indicator(op, threshold)};
+  }
+
+  /// Product of factors inside SUM(...).
+  StatusOr<Aggregate> ParseProduct() {
+    std::vector<Factor> factors;
+    for (;;) {
+      if (Peek().kind == TokenKind::kNumber) {
+        // Only the literal 1 (the count) is allowed as a standalone factor.
+        if (StripWhitespace(Peek().text) != "1") {
+          return Status::InvalidArgument(
+              "only the constant 1 is allowed inside SUM; got " +
+              Peek().text);
+        }
+        ++pos_;
+      } else if (Peek().kind == TokenKind::kLParen) {
+        ++pos_;
+        LMFAO_ASSIGN_OR_RETURN(Factor cond, ParseComparison());
+        LMFAO_RETURN_NOT_OK(Expect(TokenKind::kRParen, ")"));
+        factors.push_back(std::move(cond));
+      } else if (Peek().kind == TokenKind::kIdentifier) {
+        const std::string name = Peek().text;
+        // Dictionary call?
+        auto fn = functions_.find(name);
+        if (fn != functions_.end() &&
+            tokens_[pos_ + 1].kind == TokenKind::kLParen) {
+          pos_ += 2;
+          LMFAO_ASSIGN_OR_RETURN(AttrId attr, ParseAttribute());
+          LMFAO_RETURN_NOT_OK(Expect(TokenKind::kRParen, ")"));
+          factors.push_back(Factor{attr, Function::Dictionary(fn->second)});
+        } else {
+          LMFAO_ASSIGN_OR_RETURN(AttrId attr, ParseAttribute());
+          if (Peek().kind == TokenKind::kCaret) {
+            ++pos_;
+            LMFAO_ASSIGN_OR_RETURN(double power, ParseNumber());
+            if (power != 2.0) {
+              return Status::InvalidArgument("only ^2 is supported");
+            }
+            factors.push_back(Factor{attr, Function::Square()});
+          } else {
+            factors.push_back(Factor{attr, Function::Identity()});
+          }
+        }
+      } else {
+        return Status::InvalidArgument("expected factor near offset " +
+                                       std::to_string(Peek().offset));
+      }
+      if (Peek().kind == TokenKind::kStar) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return Aggregate(std::move(factors));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  const Catalog& catalog_;
+  const FunctionRegistry& functions_;
+};
+
+}  // namespace
+
+StatusOr<Query> ParseQuery(const std::string& text, const Catalog& catalog,
+                           const FunctionRegistry& functions) {
+  Lexer lexer(text);
+  LMFAO_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens), catalog, functions);
+  return parser.Parse();
+}
+
+StatusOr<QueryBatch> ParseQueryBatch(const std::string& text,
+                                     const Catalog& catalog,
+                                     const FunctionRegistry& functions) {
+  QueryBatch batch;
+  for (const std::string& statement : SplitString(text, ';')) {
+    const std::string_view stripped = StripWhitespace(statement);
+    if (stripped.empty()) continue;
+    LMFAO_ASSIGN_OR_RETURN(
+        Query q, ParseQuery(std::string(stripped), catalog, functions));
+    q.name = "q" + std::to_string(batch.size());
+    batch.Add(std::move(q));
+  }
+  if (batch.empty()) {
+    return Status::InvalidArgument("no queries in input");
+  }
+  return batch;
+}
+
+}  // namespace lmfao

@@ -1,0 +1,54 @@
+/// \file parser.h
+/// \brief A small SQL-ish parser for LMFAO queries.
+///
+/// Accepts the query dialect the paper writes its examples in:
+///
+///   SELECT SUM(units) FROM D
+///   SELECT store, SUM(g(item) * h(date)) FROM D GROUP BY store
+///   SELECT class, SUM(units * price) FROM D GROUP BY class
+///   SELECT SUM(1), SUM(y), SUM(y^2) FROM D WHERE price <= 3.5 AND promo = 1
+///
+/// Supported pieces:
+///   - any number of SUM(...) items plus bare group-by attributes in the
+///     select list,
+///   - products of factors inside SUM: `1`, attributes, `attr^2`,
+///     registered dictionary functions `g(attr)`, and threshold indicators
+///     `(attr <= 3.5)`,
+///   - WHERE with AND-ed threshold comparisons, folded into every
+///     aggregate as indicator factors (how Section 3's decision-tree
+///     conditions are expressed),
+///   - GROUP BY over int attributes.
+///
+/// Keywords are case-insensitive; the FROM clause must be the literal `D`
+/// (queries always range over the natural join of the database).
+
+#ifndef LMFAO_QUERY_PARSER_H_
+#define LMFAO_QUERY_PARSER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "query/query.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace lmfao {
+
+/// \brief Named user-defined dictionary functions available to queries.
+using FunctionRegistry =
+    std::map<std::string, std::shared_ptr<const FunctionDict>>;
+
+/// \brief Parses one query.
+StatusOr<Query> ParseQuery(const std::string& text, const Catalog& catalog,
+                           const FunctionRegistry& functions = {});
+
+/// \brief Parses a batch: queries separated by semicolons (empty statements
+/// and surrounding whitespace are ignored).
+StatusOr<QueryBatch> ParseQueryBatch(const std::string& text,
+                                     const Catalog& catalog,
+                                     const FunctionRegistry& functions = {});
+
+}  // namespace lmfao
+
+#endif  // LMFAO_QUERY_PARSER_H_

@@ -1,0 +1,111 @@
+#include "query/query.h"
+
+#include <sstream>
+
+namespace lmfao {
+
+std::vector<AttrId> Query::ReferencedAttributes() const {
+  std::vector<AttrId> out = group_by;
+  for (const Aggregate& agg : aggregates) {
+    for (const Factor& f : agg.factors()) out.push_back(f.attr);
+  }
+  return SortedUnique(std::move(out));
+}
+
+std::string Query::ToString(const Catalog* catalog) const {
+  std::vector<std::string> names;
+  if (catalog != nullptr) {
+    names.reserve(static_cast<size_t>(catalog->num_attrs()));
+    for (AttrId a = 0; a < catalog->num_attrs(); ++a) {
+      names.push_back(catalog->attr(a).name);
+    }
+  }
+  auto attr_name = [&](AttrId a) {
+    return names.empty() ? "X" + std::to_string(a)
+                         : names[static_cast<size_t>(a)];
+  };
+  std::ostringstream out;
+  out << "SELECT ";
+  for (size_t i = 0; i < group_by.size(); ++i) {
+    out << attr_name(group_by[i]) << ", ";
+  }
+  for (size_t i = 0; i < aggregates.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << aggregates[i].ToString(names.empty() ? nullptr : &names);
+  }
+  out << " FROM D";
+  if (!group_by.empty()) {
+    out << " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << attr_name(group_by[i]);
+    }
+  }
+  return out.str();
+}
+
+QueryId QueryBatch::Add(Query query) {
+  query.id = static_cast<QueryId>(queries_.size());
+  query.group_by = SortedUnique(std::move(query.group_by));
+  queries_.push_back(std::move(query));
+  return queries_.back().id;
+}
+
+int QueryBatch::TotalAggregates() const {
+  int total = 0;
+  for (const Query& q : queries_) {
+    total += static_cast<int>(q.aggregates.size());
+  }
+  return total;
+}
+
+Status QueryBatch::Validate(const Catalog& catalog) const {
+  // An attribute is coverable iff it occurs in at least one relation.
+  std::vector<bool> covered(static_cast<size_t>(catalog.num_attrs()), false);
+  for (RelationId r = 0; r < catalog.num_relations(); ++r) {
+    for (AttrId a : catalog.relation(r).schema().attrs()) {
+      covered[static_cast<size_t>(a)] = true;
+    }
+  }
+  for (const Query& q : queries_) {
+    if (q.aggregates.empty()) {
+      return Status::InvalidArgument("query " + q.name +
+                                     " has no aggregates");
+    }
+    for (AttrId a : q.ReferencedAttributes()) {
+      if (a < 0 || a >= catalog.num_attrs()) {
+        return Status::InvalidArgument("query " + q.name +
+                                       " references unknown attribute id " +
+                                       std::to_string(a));
+      }
+      if (!covered[static_cast<size_t>(a)]) {
+        return Status::InvalidArgument(
+            "query " + q.name + " references attribute " +
+            catalog.attr(a).name + " that occurs in no relation");
+      }
+    }
+    for (AttrId a : q.group_by) {
+      if (catalog.attr(a).type != AttrType::kInt) {
+        return Status::InvalidArgument("group-by attribute " +
+                                       catalog.attr(a).name +
+                                       " must be int-typed");
+      }
+    }
+    if (static_cast<int>(q.group_by.size()) > TupleKey::kMaxArity) {
+      return Status::InvalidArgument(
+          "query " + q.name + " groups by more than " +
+          std::to_string(TupleKey::kMaxArity) + " attributes");
+    }
+  }
+  return Status::OK();
+}
+
+double QueryResult::TotalOf(int agg_index) const {
+  double total = 0.0;
+  data.ForEach([&](const TupleKey&, const double* payload) {
+    total += payload[agg_index];
+  });
+  return total;
+}
+
+}  // namespace lmfao

@@ -1,0 +1,101 @@
+#include "storage/catalog.h"
+
+#include <set>
+#include <sstream>
+
+namespace lmfao {
+
+StatusOr<AttrId> Catalog::AddAttribute(const std::string& name, AttrType type,
+                                       int64_t domain_size) {
+  if (attr_by_name_.count(name) > 0) {
+    return Status::AlreadyExists("attribute already registered: " + name);
+  }
+  AttrInfo info;
+  info.id = static_cast<AttrId>(attrs_.size());
+  info.name = name;
+  info.type = type;
+  info.domain_size = domain_size;
+  attrs_.push_back(info);
+  attr_by_name_[name] = info.id;
+  return info.id;
+}
+
+StatusOr<AttrId> Catalog::AttrIdOf(const std::string& name) const {
+  auto it = attr_by_name_.find(name);
+  if (it == attr_by_name_.end()) {
+    return Status::NotFound("unknown attribute: " + name);
+  }
+  return it->second;
+}
+
+StatusOr<RelationId> Catalog::AddRelation(
+    const std::string& name, const std::vector<std::string>& attr_names) {
+  if (relation_by_name_.count(name) > 0) {
+    return Status::AlreadyExists("relation already registered: " + name);
+  }
+  std::vector<AttrId> attrs;
+  std::vector<AttrType> types;
+  for (const std::string& attr_name : attr_names) {
+    LMFAO_ASSIGN_OR_RETURN(AttrId id, AttrIdOf(attr_name));
+    attrs.push_back(id);
+    types.push_back(attr(id).type);
+  }
+  auto rel = std::make_unique<Relation>(name, RelationSchema(std::move(attrs)),
+                                        std::move(types));
+  const RelationId id = static_cast<RelationId>(relations_.size());
+  relations_.push_back(std::move(rel));
+  relation_by_name_[name] = id;
+  return id;
+}
+
+StatusOr<RelationId> Catalog::AddRelation(Relation relation) {
+  if (relation_by_name_.count(relation.name()) > 0) {
+    return Status::AlreadyExists("relation already registered: " +
+                                 relation.name());
+  }
+  const RelationId id = static_cast<RelationId>(relations_.size());
+  relation_by_name_[relation.name()] = id;
+  relations_.push_back(std::make_unique<Relation>(std::move(relation)));
+  return id;
+}
+
+StatusOr<RelationId> Catalog::RelationIdOf(const std::string& name) const {
+  auto it = relation_by_name_.find(name);
+  if (it == relation_by_name_.end()) {
+    return Status::NotFound("unknown relation: " + name);
+  }
+  return it->second;
+}
+
+void Catalog::RefreshDomainSizes() {
+  std::vector<std::set<int64_t>> domains(attrs_.size());
+  for (const auto& rel : relations_) {
+    for (int c = 0; c < rel->num_columns(); ++c) {
+      const AttrId a = rel->schema().attr(c);
+      if (attrs_[static_cast<size_t>(a)].type != AttrType::kInt) continue;
+      const auto& ints = rel->column(c).ints();
+      domains[static_cast<size_t>(a)].insert(ints.begin(), ints.end());
+    }
+  }
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (!domains[i].empty()) {
+      attrs_[i].domain_size = static_cast<int64_t>(domains[i].size());
+    }
+  }
+}
+
+std::string Catalog::ToString() const {
+  std::ostringstream out;
+  for (const auto& rel : relations_) {
+    out << rel->name() << "(";
+    for (int i = 0; i < rel->schema().arity(); ++i) {
+      if (i > 0) out << ", ";
+      const AttrInfo& info = attr(rel->schema().attr(i));
+      out << info.name << ":" << AttrTypeName(info.type);
+    }
+    out << ") [" << rel->num_rows() << " rows]\n";
+  }
+  return out.str();
+}
+
+}  // namespace lmfao

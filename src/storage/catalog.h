@@ -1,0 +1,85 @@
+/// \file catalog.h
+/// \brief The database catalog: attribute namespace, relations, and
+/// cardinality constraints.
+///
+/// The catalog is the first input of the View Generation layer (Fig. 1 of
+/// the paper): it provides the schema and the cardinality constraints
+/// (relation sizes, attribute domain sizes) that drive root assignment and
+/// data-structure choices.
+
+#ifndef LMFAO_STORAGE_CATALOG_H_
+#define LMFAO_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/relation.h"
+#include "storage/schema.h"
+#include "util/status.h"
+
+namespace lmfao {
+
+/// \brief Owns all attribute metadata and relations of one database.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// \brief Registers an attribute; names are unique (natural-join
+  /// semantics). Returns its id.
+  StatusOr<AttrId> AddAttribute(const std::string& name, AttrType type,
+                                int64_t domain_size = 0);
+
+  /// \brief Returns the id of an existing attribute by name.
+  StatusOr<AttrId> AttrIdOf(const std::string& name) const;
+
+  /// \brief Attribute metadata by id.
+  const AttrInfo& attr(AttrId id) const {
+    return attrs_[static_cast<size_t>(id)];
+  }
+  AttrInfo& mutable_attr(AttrId id) { return attrs_[static_cast<size_t>(id)]; }
+
+  int num_attrs() const { return static_cast<int>(attrs_.size()); }
+
+  /// \brief Creates an empty relation from attribute names; all attributes
+  /// must already be registered. Returns the relation id.
+  StatusOr<RelationId> AddRelation(const std::string& name,
+                                   const std::vector<std::string>& attr_names);
+
+  /// \brief Adds an already-built relation (generator path).
+  StatusOr<RelationId> AddRelation(Relation relation);
+
+  StatusOr<RelationId> RelationIdOf(const std::string& name) const;
+
+  const Relation& relation(RelationId id) const {
+    return *relations_[static_cast<size_t>(id)];
+  }
+  Relation& mutable_relation(RelationId id) {
+    return *relations_[static_cast<size_t>(id)];
+  }
+
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+
+  /// \brief Recomputes each attribute's domain_size as the number of
+  /// distinct values observed across all relations (int attributes only).
+  void RefreshDomainSizes();
+
+  /// \brief Human-readable schema dump.
+  std::string ToString() const;
+
+ private:
+  std::vector<AttrInfo> attrs_;
+  std::unordered_map<std::string, AttrId> attr_by_name_;
+  std::vector<std::unique_ptr<Relation>> relations_;
+  std::unordered_map<std::string, RelationId> relation_by_name_;
+};
+
+}  // namespace lmfao
+
+#endif  // LMFAO_STORAGE_CATALOG_H_

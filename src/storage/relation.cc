@@ -1,0 +1,113 @@
+#include "storage/relation.h"
+
+#include <sstream>
+
+namespace lmfao {
+
+void Column::AppendValue(const Value& v) {
+  if (type_ == AttrType::kInt) {
+    mutable_ints().push_back(v.AsInt());
+  } else {
+    mutable_doubles().push_back(v.AsDouble());
+  }
+}
+
+Relation::Relation(std::string name, RelationSchema schema,
+                   std::vector<AttrType> types)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  LMFAO_CHECK_EQ(static_cast<size_t>(schema_.arity()), types.size());
+  columns_.reserve(types.size());
+  for (AttrType t : types) columns_.emplace_back(t);
+}
+
+Status Relation::AppendRow(const std::vector<Value>& values) {
+  if (static_cast<int>(values.size()) != num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(values.size()) + " != schema arity " +
+        std::to_string(num_columns()) + " for relation " + name_);
+  }
+  for (int i = 0; i < num_columns(); ++i) {
+    const Value& v = values[static_cast<size_t>(i)];
+    if (columns_[static_cast<size_t>(i)].type() == AttrType::kInt &&
+        v.type() != AttrType::kInt) {
+      return Status::InvalidArgument("non-int value for int column " +
+                                     std::to_string(i) + " of " + name_);
+    }
+  }
+  AppendRowUnchecked(values);
+  return Status::OK();
+}
+
+void Relation::AppendRowUnchecked(const std::vector<Value>& values) {
+  for (int i = 0; i < num_columns(); ++i) {
+    columns_[static_cast<size_t>(i)].AppendValue(values[static_cast<size_t>(i)]);
+  }
+  ++num_rows_;
+}
+
+Value Relation::ValueAt(size_t row, int col) const {
+  const Column& c = columns_[static_cast<size_t>(col)];
+  if (c.type() == AttrType::kInt) return Value::Int(c.AsInt(row));
+  return Value::Double(c.doubles()[row]);
+}
+
+StatusOr<int> Relation::AddDerivedIntColumn(AttrId attr,
+                                            std::vector<int64_t> values) {
+  if (values.size() != num_rows_) {
+    return Status::InvalidArgument(
+        "derived column has " + std::to_string(values.size()) +
+        " values, relation has " + std::to_string(num_rows_) + " rows");
+  }
+  if (schema_.Contains(attr)) {
+    return Status::AlreadyExists("attribute already in schema of " + name_);
+  }
+  std::vector<AttrId> attrs = schema_.attrs();
+  attrs.push_back(attr);
+  schema_ = RelationSchema(std::move(attrs));
+  Column col(AttrType::kInt);
+  col.mutable_ints() = std::move(values);
+  columns_.push_back(std::move(col));
+  return num_columns() - 1;
+}
+
+void Relation::Permute(const std::vector<uint32_t>& perm) {
+  LMFAO_CHECK_EQ(perm.size(), num_rows_);
+  for (Column& c : columns_) {
+    if (c.type() == AttrType::kInt) {
+      const std::vector<int64_t>& src = c.ints();
+      std::vector<int64_t> dst(src.size());
+      for (size_t i = 0; i < perm.size(); ++i) dst[i] = src[perm[i]];
+      c.mutable_ints() = std::move(dst);
+    } else {
+      const std::vector<double>& src = c.doubles();
+      std::vector<double> dst(src.size());
+      for (size_t i = 0; i < perm.size(); ++i) dst[i] = src[perm[i]];
+      c.mutable_doubles() = std::move(dst);
+    }
+  }
+}
+
+void Relation::FinalizeRowCount() {
+  num_rows_ = columns_.empty() ? 0 : columns_[0].size();
+  for (const Column& c : columns_) {
+    LMFAO_CHECK_EQ(c.size(), num_rows_) << "ragged columns in " << name_;
+  }
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  std::ostringstream out;
+  out << name_ << "(" << num_rows_ << " rows):\n";
+  const size_t n = std::min(max_rows, num_rows_);
+  for (size_t r = 0; r < n; ++r) {
+    out << "  ";
+    for (int c = 0; c < num_columns(); ++c) {
+      if (c > 0) out << ", ";
+      out << ValueAt(r, c).ToString();
+    }
+    out << "\n";
+  }
+  if (n < num_rows_) out << "  ... (" << (num_rows_ - n) << " more)\n";
+  return out.str();
+}
+
+}  // namespace lmfao

@@ -1,0 +1,124 @@
+/// \file relation.h
+/// \brief Columnar in-memory relations.
+///
+/// A Relation stores one typed column per schema attribute. Hot loops in the
+/// executor fetch raw column pointers once and then index by row, so access
+/// is branch-free. Relations can be extended with *derived columns* (used by
+/// Rk-means to attach per-tuple cluster assignments without copying the
+/// base data).
+
+#ifndef LMFAO_STORAGE_RELATION_H_
+#define LMFAO_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace lmfao {
+
+/// \brief One typed column.
+class Column {
+ public:
+  explicit Column(AttrType type) : type_(type) {
+    if (type == AttrType::kInt) {
+      data_ = std::vector<int64_t>{};
+    } else {
+      data_ = std::vector<double>{};
+    }
+  }
+
+  AttrType type() const { return type_; }
+
+  size_t size() const {
+    return type_ == AttrType::kInt ? ints().size() : doubles().size();
+  }
+
+  const std::vector<int64_t>& ints() const {
+    return std::get<std::vector<int64_t>>(data_);
+  }
+  std::vector<int64_t>& mutable_ints() {
+    return std::get<std::vector<int64_t>>(data_);
+  }
+  const std::vector<double>& doubles() const {
+    return std::get<std::vector<double>>(data_);
+  }
+  std::vector<double>& mutable_doubles() {
+    return std::get<std::vector<double>>(data_);
+  }
+
+  /// Value of row `i`, promoted to double.
+  double AsDouble(size_t i) const {
+    return type_ == AttrType::kInt ? static_cast<double>(ints()[i])
+                                   : doubles()[i];
+  }
+
+  /// Integer value of row `i`; the column must be an int column.
+  int64_t AsInt(size_t i) const { return ints()[i]; }
+
+  void AppendValue(const Value& v);
+
+ private:
+  AttrType type_;
+  std::variant<std::vector<int64_t>, std::vector<double>> data_;
+};
+
+/// \brief A named, typed, columnar relation.
+class Relation {
+ public:
+  Relation() = default;
+
+  /// Creates an empty relation with the given name, schema and per-attribute
+  /// types (parallel to the schema).
+  Relation(std::string name, RelationSchema schema,
+           std::vector<AttrType> types);
+
+  const std::string& name() const { return name_; }
+  const RelationSchema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  Column& mutable_column(int i) { return columns_[static_cast<size_t>(i)]; }
+
+  /// Column index of attribute `attr`, or -1 if not in the schema.
+  int ColumnIndex(AttrId attr) const { return schema_.IndexOf(attr); }
+
+  /// Appends one row given as values parallel to the schema. Type-checked.
+  Status AppendRow(const std::vector<Value>& values);
+
+  /// Appends one row without validation; values must match column types.
+  /// Used by generators on hot paths.
+  void AppendRowUnchecked(const std::vector<Value>& values);
+
+  /// Value at (row, column) as a tagged scalar (for tests and printing).
+  Value ValueAt(size_t row, int col) const;
+
+  /// Adds a derived int64 column for a fresh attribute; returns the new
+  /// column's index. `values` must have num_rows() entries.
+  StatusOr<int> AddDerivedIntColumn(AttrId attr, std::vector<int64_t> values);
+
+  /// Reorders all columns by `perm` (perm[i] = source row of new row i).
+  void Permute(const std::vector<uint32_t>& perm);
+
+  /// Recomputes the row count after columns were filled directly (bulk
+  /// builders). All columns must have equal sizes.
+  void FinalizeRowCount();
+
+  /// Renders at most `max_rows` rows for debugging.
+  std::string ToString(size_t max_rows = 10) const;
+
+ private:
+  std::string name_;
+  RelationSchema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace lmfao
+
+#endif  // LMFAO_STORAGE_RELATION_H_

@@ -1,0 +1,67 @@
+#include "storage/sort.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lmfao {
+namespace {
+
+/// Resolves attribute ids to int-column pointers, validating types.
+StatusOr<std::vector<const std::vector<int64_t>*>> ResolveIntColumns(
+    const Relation& rel, const std::vector<AttrId>& order) {
+  std::vector<const std::vector<int64_t>*> cols;
+  cols.reserve(order.size());
+  for (AttrId a : order) {
+    const int idx = rel.ColumnIndex(a);
+    if (idx < 0) {
+      return Status::InvalidArgument("sort attribute " + std::to_string(a) +
+                                     " not in relation " + rel.name());
+    }
+    if (rel.column(idx).type() != AttrType::kInt) {
+      return Status::InvalidArgument("sort attribute " + std::to_string(a) +
+                                     " is not an int column in " + rel.name());
+    }
+    cols.push_back(&rel.column(idx).ints());
+  }
+  return cols;
+}
+
+}  // namespace
+
+StatusOr<std::vector<uint32_t>> SortPermutation(
+    const Relation& rel, const std::vector<AttrId>& order) {
+  LMFAO_ASSIGN_OR_RETURN(auto cols, ResolveIntColumns(rel, order));
+  std::vector<uint32_t> perm(rel.num_rows());
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::sort(perm.begin(), perm.end(), [&cols](uint32_t a, uint32_t b) {
+    for (const auto* col : cols) {
+      const int64_t va = (*col)[a];
+      const int64_t vb = (*col)[b];
+      if (va != vb) return va < vb;
+    }
+    return a < b;  // Stable tie-break keeps sorting deterministic.
+  });
+  return perm;
+}
+
+Status SortRelation(Relation* rel, const std::vector<AttrId>& order) {
+  LMFAO_ASSIGN_OR_RETURN(auto perm, SortPermutation(*rel, order));
+  rel->Permute(perm);
+  return Status::OK();
+}
+
+StatusOr<bool> IsSorted(const Relation& rel,
+                        const std::vector<AttrId>& order) {
+  LMFAO_ASSIGN_OR_RETURN(auto cols, ResolveIntColumns(rel, order));
+  for (size_t r = 1; r < rel.num_rows(); ++r) {
+    for (const auto* col : cols) {
+      const int64_t prev = (*col)[r - 1];
+      const int64_t cur = (*col)[r];
+      if (prev < cur) break;
+      if (prev > cur) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lmfao

@@ -1,0 +1,33 @@
+/// \file sort.h
+/// \brief Lexicographic sorting of relations by attribute orders.
+///
+/// The Multi-Output Optimization layer organizes each node relation
+/// "logically as a trie": the relation is sorted by the group's attribute
+/// order; trie levels are then ranges of equal prefixes discovered during
+/// iteration.
+
+#ifndef LMFAO_STORAGE_SORT_H_
+#define LMFAO_STORAGE_SORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/relation.h"
+#include "util/status.h"
+
+namespace lmfao {
+
+/// \brief Computes the permutation that sorts `rel` lexicographically by the
+/// given attributes (which must be int columns in rel's schema).
+StatusOr<std::vector<uint32_t>> SortPermutation(
+    const Relation& rel, const std::vector<AttrId>& order);
+
+/// \brief Sorts `rel` in place by the given attribute order.
+Status SortRelation(Relation* rel, const std::vector<AttrId>& order);
+
+/// \brief True if `rel` is sorted lexicographically by `order`.
+StatusOr<bool> IsSorted(const Relation& rel, const std::vector<AttrId>& order);
+
+}  // namespace lmfao
+
+#endif  // LMFAO_STORAGE_SORT_H_

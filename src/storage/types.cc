@@ -1,0 +1,33 @@
+#include "storage/types.h"
+
+#include <sstream>
+
+namespace lmfao {
+
+const char* AttrTypeName(AttrType type) {
+  switch (type) {
+    case AttrType::kInt:
+      return "int";
+    case AttrType::kDouble:
+      return "double";
+  }
+  return "?";
+}
+
+StatusOr<AttrType> ParseAttrType(const std::string& name) {
+  if (name == "int") return AttrType::kInt;
+  if (name == "double") return AttrType::kDouble;
+  return Status::InvalidArgument("unknown attribute type: " + name);
+}
+
+std::string Value::ToString() const {
+  std::ostringstream out;
+  if (type_ == AttrType::kInt) {
+    out << AsInt();
+  } else {
+    out << AsDouble();
+  }
+  return out.str();
+}
+
+}  // namespace lmfao

@@ -1,0 +1,121 @@
+#include "storage/view.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+namespace lmfao {
+
+namespace {
+constexpr size_t kInitialCapacity = 16;
+}  // namespace
+
+ViewMap::ViewMap(int key_arity, int width)
+    : key_arity_(key_arity), width_(width) {
+  LMFAO_CHECK_GE(key_arity, 0);
+  LMFAO_CHECK_LE(key_arity, TupleKey::kMaxArity);
+  LMFAO_CHECK_GT(width, 0);
+  slots_.resize(kInitialCapacity);
+  occupied_.assign(kInitialCapacity, 0);
+  payloads_.assign(kInitialCapacity * static_cast<size_t>(width_), 0.0);
+  capacity_mask_ = kInitialCapacity - 1;
+}
+
+size_t ViewMap::ProbeSlot(const TupleKey& key) const {
+  size_t i = key.Hash() & capacity_mask_;
+  while (occupied_[i] && !(slots_[i] == key)) {
+    i = (i + 1) & capacity_mask_;
+  }
+  return i;
+}
+
+double* ViewMap::Upsert(const TupleKey& key) {
+  LMFAO_CHECK_EQ(key.size(), key_arity_);
+  if (size_ * 10 >= (capacity_mask_ + 1) * 7) Grow();
+  const size_t i = ProbeSlot(key);
+  if (!occupied_[i]) {
+    occupied_[i] = 1;
+    slots_[i] = key;
+    ++size_;
+  }
+  return payloads_.data() + i * static_cast<size_t>(width_);
+}
+
+const double* ViewMap::Lookup(const TupleKey& key) const {
+  const size_t i = ProbeSlot(key);
+  return occupied_[i] ? payloads_.data() + i * static_cast<size_t>(width_)
+                      : nullptr;
+}
+
+void ViewMap::Grow() {
+  const size_t new_capacity = (capacity_mask_ + 1) * 2;
+  std::vector<TupleKey> old_slots = std::move(slots_);
+  std::vector<uint8_t> old_occupied = std::move(occupied_);
+  std::vector<double> old_payloads = std::move(payloads_);
+
+  slots_.assign(new_capacity, TupleKey());
+  occupied_.assign(new_capacity, 0);
+  payloads_.assign(new_capacity * static_cast<size_t>(width_), 0.0);
+  capacity_mask_ = new_capacity - 1;
+
+  for (size_t i = 0; i < old_slots.size(); ++i) {
+    if (!old_occupied[i]) continue;
+    const size_t j = ProbeSlot(old_slots[i]);
+    occupied_[j] = 1;
+    slots_[j] = old_slots[i];
+    std::memcpy(payloads_.data() + j * static_cast<size_t>(width_),
+                old_payloads.data() + i * static_cast<size_t>(width_),
+                sizeof(double) * static_cast<size_t>(width_));
+  }
+}
+
+std::vector<TupleKey> ViewMap::Keys() const {
+  std::vector<TupleKey> out;
+  out.reserve(size_);
+  ForEach([&out](const TupleKey& k, const double*) { out.push_back(k); });
+  return out;
+}
+
+void ViewMap::MergeAdd(const ViewMap& other) {
+  LMFAO_CHECK_EQ(key_arity_, other.key_arity_);
+  LMFAO_CHECK_EQ(width_, other.width_);
+  other.ForEach([this](const TupleKey& k, const double* payload) {
+    double* dst = Upsert(k);
+    for (int j = 0; j < width_; ++j) dst[j] += payload[j];
+  });
+}
+
+size_t ViewMap::MemoryUsage() const {
+  return slots_.size() * sizeof(TupleKey) + occupied_.size() +
+         payloads_.size() * sizeof(double);
+}
+
+SortView SortView::FromMap(const ViewMap& map) {
+  SortView out;
+  out.key_arity_ = map.key_arity();
+  out.width_ = map.width();
+  std::vector<TupleKey> keys = map.Keys();
+  std::sort(keys.begin(), keys.end());
+  out.keys_ = std::move(keys);
+  out.payloads_.resize(out.keys_.size() * static_cast<size_t>(out.width_));
+  for (size_t i = 0; i < out.keys_.size(); ++i) {
+    const double* src = map.Lookup(out.keys_[i]);
+    LMFAO_CHECK(src != nullptr);
+    std::memcpy(out.payloads_.data() + i * static_cast<size_t>(out.width_),
+                src, sizeof(double) * static_cast<size_t>(out.width_));
+  }
+  return out;
+}
+
+const double* SortView::Lookup(const TupleKey& key) const {
+  const size_t i = LowerBound(key);
+  if (i < keys_.size() && keys_[i] == key) return payload(i);
+  return nullptr;
+}
+
+size_t SortView::LowerBound(const TupleKey& key) const {
+  return static_cast<size_t>(
+      std::lower_bound(keys_.begin(), keys_.end(), key) - keys_.begin());
+}
+
+}  // namespace lmfao

@@ -1,0 +1,123 @@
+/// \file view.h
+/// \brief Materialized views: key → vector-of-aggregates maps.
+///
+/// A view maps tuples over its group-by attributes to a fixed-width payload
+/// of aggregate values. The Code Generation layer of the paper chooses
+/// "data structures for the views such as sorted arrays and (un)ordered
+/// hashmaps"; we provide both:
+///   - ViewMap: open-addressing hash map with inline TupleKey keys (the
+///     default; supports out-of-order upserts),
+///   - views can be *frozen* into sorted-array form (SortView), which
+///     iterates in key order and supports binary-search lookups; the
+///     executor uses sorted form when the view's key is a prefix of the
+///     consuming group's attribute order.
+
+#ifndef LMFAO_STORAGE_VIEW_H_
+#define LMFAO_STORAGE_VIEW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "util/hash.h"
+#include "util/status.h"
+
+namespace lmfao {
+
+/// \brief Open-addressing hash map from TupleKey to a payload of doubles.
+///
+/// Payloads are stored contiguously (`width` doubles per entry) to keep
+/// aggregate accumulation cache-friendly. Linear probing with power-of-two
+/// capacities; grows at 70% load.
+class ViewMap {
+ public:
+  /// Creates a map for keys of `key_arity` components and payloads of
+  /// `width` doubles.
+  ViewMap(int key_arity, int width);
+
+  int key_arity() const { return key_arity_; }
+  int width() const { return width_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Returns the payload slot for `key`, inserting a zero-initialized entry
+  /// if absent. The pointer is invalidated by the next Upsert.
+  double* Upsert(const TupleKey& key);
+
+  /// Returns the payload for `key`, or nullptr if absent.
+  const double* Lookup(const TupleKey& key) const;
+
+  /// \name Iteration over occupied entries (unspecified order).
+  /// @{
+  struct Entry {
+    const TupleKey* key;
+    const double* payload;
+  };
+  template <typename Fn>  // Fn(const TupleKey&, const double*)
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (occupied_[i]) fn(slots_[i], payloads_.data() + i * width_);
+    }
+  }
+  /// @}
+
+  /// Extracts all keys (unspecified order).
+  std::vector<TupleKey> Keys() const;
+
+  /// Merges `other` into this map by summing payloads (used to combine
+  /// thread-local partial results from domain-parallel execution).
+  void MergeAdd(const ViewMap& other);
+
+  /// Memory footprint estimate in bytes.
+  size_t MemoryUsage() const;
+
+ private:
+  void Grow();
+  size_t ProbeSlot(const TupleKey& key) const;
+
+  int key_arity_;
+  int width_;
+  size_t size_ = 0;
+  size_t capacity_mask_ = 0;
+  std::vector<TupleKey> slots_;
+  std::vector<uint8_t> occupied_;
+  std::vector<double> payloads_;
+};
+
+/// \brief Sorted-array view: entries ordered by key.
+///
+/// Built by freezing a ViewMap. Supports ordered iteration (merge-join style
+/// consumption) and binary-search lookup.
+class SortView {
+ public:
+  SortView() : key_arity_(0), width_(0) {}
+
+  /// Freezes `map` into sorted form.
+  static SortView FromMap(const ViewMap& map);
+
+  int key_arity() const { return key_arity_; }
+  int width() const { return width_; }
+  size_t size() const { return keys_.size(); }
+
+  const TupleKey& key(size_t i) const { return keys_[i]; }
+  const double* payload(size_t i) const {
+    return payloads_.data() + i * static_cast<size_t>(width_);
+  }
+
+  /// Binary-search lookup; nullptr if absent.
+  const double* Lookup(const TupleKey& key) const;
+
+  /// Index of the first entry with key >= `key`.
+  size_t LowerBound(const TupleKey& key) const;
+
+ private:
+  int key_arity_;
+  int width_;
+  std::vector<TupleKey> keys_;
+  std::vector<double> payloads_;
+};
+
+}  // namespace lmfao
+
+#endif  // LMFAO_STORAGE_VIEW_H_

@@ -1,0 +1,93 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace lmfao {
+
+StatusOr<CsvTable> ParseCsv(const std::string& text,
+                            const CsvOptions& options) {
+  CsvTable table;
+  size_t expected_fields = 0;
+  bool first_data_row = true;
+  bool header_pending = options.has_header;
+
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string_view line(text.data() + start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    start = end + 1;
+    ++line_no;
+    if (line.empty()) {
+      if (options.skip_blank_lines) {
+        if (start > text.size()) break;
+        continue;
+      }
+      if (start > text.size()) break;  // Trailing newline.
+      return Status::InvalidArgument("blank CSV line " +
+                                     std::to_string(line_no));
+    }
+    std::vector<std::string> fields = SplitString(line, options.separator);
+    if (header_pending) {
+      table.header = std::move(fields);
+      expected_fields = table.header.size();
+      header_pending = false;
+      continue;
+    }
+    if (first_data_row && expected_fields == 0) {
+      expected_fields = fields.size();
+    }
+    first_data_row = false;
+    if (fields.size() != expected_fields) {
+      return Status::InvalidArgument(
+          "CSV line " + std::to_string(line_no) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(expected_fields));
+    }
+    table.rows.push_back(std::move(fields));
+  }
+  return table;
+}
+
+StatusOr<CsvTable> ReadCsvFile(const std::string& path,
+                               const CsvOptions& options) {
+  LMFAO_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return ParseCsv(text, options);
+}
+
+std::string WriteCsv(const CsvTable& table, char separator) {
+  std::ostringstream out;
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << separator;
+      out << row[i];
+    }
+    out << '\n';
+  };
+  if (!table.header.empty()) write_row(table.header);
+  for (const auto& row : table.rows) write_row(row);
+  return out.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return Status::IOError("cannot open for writing: " + path);
+  f.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!f) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IOError("cannot open for reading: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+}  // namespace lmfao

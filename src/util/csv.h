@@ -1,0 +1,51 @@
+/// \file csv.h
+/// \brief Minimal CSV reading/writing used to import the paper's datasets
+/// and to export query results.
+///
+/// Supports a configurable separator, optional header row, and unquoted
+/// fields (the Favorita/Retailer exports are plain numeric CSVs).
+
+#ifndef LMFAO_UTIL_CSV_H_
+#define LMFAO_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lmfao {
+
+/// \brief Options controlling CSV parsing.
+struct CsvOptions {
+  char separator = ',';
+  bool has_header = true;
+  /// Skip blank lines instead of failing.
+  bool skip_blank_lines = true;
+};
+
+/// \brief A parsed CSV file: header (possibly empty) and rows of fields.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// \brief Parses CSV text.
+StatusOr<CsvTable> ParseCsv(const std::string& text,
+                            const CsvOptions& options = {});
+
+/// \brief Reads and parses a CSV file from disk.
+StatusOr<CsvTable> ReadCsvFile(const std::string& path,
+                               const CsvOptions& options = {});
+
+/// \brief Serializes a table to CSV text.
+std::string WriteCsv(const CsvTable& table, char separator = ',');
+
+/// \brief Writes a whole file; overwrites existing content.
+Status WriteFile(const std::string& path, const std::string& content);
+
+/// \brief Reads a whole file into a string.
+StatusOr<std::string> ReadFile(const std::string& path);
+
+}  // namespace lmfao
+
+#endif  // LMFAO_UTIL_CSV_H_

@@ -1,0 +1,90 @@
+/// \file logging.h
+/// \brief Minimal leveled logging and check macros.
+///
+/// Logging writes to stderr. The active level is process-global and can be
+/// raised to silence info output in benchmarks.
+
+#ifndef LMFAO_UTIL_LOGGING_H_
+#define LMFAO_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace lmfao {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// \brief Sets the minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+
+/// \brief Returns the current minimum emitted level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction.
+class FatalLogMessage : public LogMessage {
+ public:
+  FatalLogMessage(const char* file, int line)
+      : LogMessage(LogLevel::kError, file, line) {}
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream() << v;
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define LMFAO_LOG_DEBUG \
+  ::lmfao::internal::LogMessage(::lmfao::LogLevel::kDebug, __FILE__, __LINE__)
+#define LMFAO_LOG_INFO \
+  ::lmfao::internal::LogMessage(::lmfao::LogLevel::kInfo, __FILE__, __LINE__)
+#define LMFAO_LOG_WARNING \
+  ::lmfao::internal::LogMessage(::lmfao::LogLevel::kWarning, __FILE__, __LINE__)
+#define LMFAO_LOG_ERROR \
+  ::lmfao::internal::LogMessage(::lmfao::LogLevel::kError, __FILE__, __LINE__)
+
+/// \brief Aborts with a message when `cond` does not hold. Active in all
+/// build types: used for internal invariants whose violation would corrupt
+/// results silently.
+#define LMFAO_CHECK(cond)                                   \
+  if (!(cond))                                              \
+  ::lmfao::internal::FatalLogMessage(__FILE__, __LINE__)    \
+      << "Check failed: " #cond " "
+
+#define LMFAO_CHECK_EQ(a, b) LMFAO_CHECK((a) == (b))
+#define LMFAO_CHECK_NE(a, b) LMFAO_CHECK((a) != (b))
+#define LMFAO_CHECK_LT(a, b) LMFAO_CHECK((a) < (b))
+#define LMFAO_CHECK_LE(a, b) LMFAO_CHECK((a) <= (b))
+#define LMFAO_CHECK_GT(a, b) LMFAO_CHECK((a) > (b))
+#define LMFAO_CHECK_GE(a, b) LMFAO_CHECK((a) >= (b))
+
+}  // namespace lmfao
+
+#endif  // LMFAO_UTIL_LOGGING_H_

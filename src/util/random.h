@@ -1,0 +1,78 @@
+/// \file random.h
+/// \brief Deterministic pseudo-random generation for synthetic datasets.
+///
+/// All dataset generators use this PRNG so that every test and benchmark is
+/// reproducible bit-for-bit across runs and platforms.
+
+#ifndef LMFAO_UTIL_RANDOM_H_
+#define LMFAO_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace lmfao {
+
+/// \brief xoshiro256** PRNG with splitmix64 seeding.
+///
+/// Small, fast and reproducible; not cryptographically secure (and does not
+/// need to be).
+class Rng {
+ public:
+  /// Seeds the generator deterministically from `seed`.
+  explicit Rng(uint64_t seed = 42);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal variate (Box-Muller).
+  double Normal();
+
+  /// Normal variate with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Bernoulli trial with probability `p` of returning true.
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed integer in [0, n) with exponent `s`.
+  ///
+  /// Uses an inverse-CDF table; cheap for repeated draws with the same
+  /// parameters via ZipfTable.
+  uint64_t Zipf(uint64_t n, double s);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// \brief Precomputed cumulative distribution for Zipf draws.
+///
+/// Favours element 0; element i has probability proportional to 1/(i+1)^s.
+class ZipfTable {
+ public:
+  ZipfTable(uint64_t n, double s);
+
+  /// Draws one index in [0, n) using `rng`.
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace lmfao
+
+#endif  // LMFAO_UTIL_RANDOM_H_

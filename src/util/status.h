@@ -1,0 +1,157 @@
+/// \file status.h
+/// \brief Status and StatusOr: exception-free error propagation.
+///
+/// Follows the RocksDB/Arrow idiom: functions that can fail return a Status
+/// (or StatusOr<T> when they also produce a value). Statuses carry an error
+/// code and a human-readable message. The public API of the library never
+/// throws across its boundary.
+
+#ifndef LMFAO_UTIL_STATUS_H_
+#define LMFAO_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace lmfao {
+
+/// \brief Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kIOError = 8,
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Result of an operation that can fail, without a payload.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (the
+/// message is only allocated on error paths).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  /// \name Factory helpers, one per error category.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  /// @}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// \brief Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief A Status or a value of type T.
+///
+/// Access to the value of a non-OK StatusOr aborts in debug builds; callers
+/// must check ok() (or status()) first.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (success path).
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (error path).
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() &&
+           "StatusOr must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// Returns the status (OK if a value is held).
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+/// \brief Propagates a non-OK status to the caller.
+#define LMFAO_RETURN_NOT_OK(expr)          \
+  do {                                     \
+    ::lmfao::Status _st = (expr);          \
+    if (!_st.ok()) return _st;             \
+  } while (false)
+
+/// \brief Assigns the value of a StatusOr expression or propagates its error.
+#define LMFAO_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto LMFAO_CONCAT_(_so_, __LINE__) = (expr);   \
+  if (!LMFAO_CONCAT_(_so_, __LINE__).ok())       \
+    return LMFAO_CONCAT_(_so_, __LINE__).status(); \
+  lhs = std::move(LMFAO_CONCAT_(_so_, __LINE__)).value()
+
+#define LMFAO_CONCAT_IMPL_(a, b) a##b
+#define LMFAO_CONCAT_(a, b) LMFAO_CONCAT_IMPL_(a, b)
+
+}  // namespace lmfao
+
+#endif  // LMFAO_UTIL_STATUS_H_

@@ -1,0 +1,38 @@
+/// \file string_util.h
+/// \brief Small string helpers shared by the parsers and pretty-printers.
+
+#ifndef LMFAO_UTIL_STRING_UTIL_H_
+#define LMFAO_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lmfao {
+
+/// \brief Splits `s` on `sep`; keeps empty fields.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// \brief Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// \brief Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// \brief True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// \brief True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// \brief Lower-cases ASCII letters.
+std::string ToLower(std::string_view s);
+
+/// \brief printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace lmfao
+
+#endif  // LMFAO_UTIL_STRING_UTIL_H_

@@ -1,0 +1,65 @@
+/// \file thread_pool.h
+/// \brief Fixed-size worker pool used for task- and domain-parallel
+/// execution of view groups.
+
+#ifndef LMFAO_UTIL_THREAD_POOL_H_
+#define LMFAO_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lmfao {
+
+/// \brief A simple FIFO thread pool.
+///
+/// Tasks are arbitrary callables. WaitIdle() blocks until the queue is empty
+/// and all workers are idle, which is how the engine implements barriers
+/// between dependency-graph strata. The pool is not work-stealing; the
+/// engine's scheduler enqueues ready groups explicitly.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks (including those submitted by running
+  /// tasks) have completed.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Hardware concurrency, at least 1.
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// \brief Runs `fn(i)` for i in [0, n) across `pool`, blocking until done.
+///
+/// If `pool` is null or has one thread, runs inline.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace lmfao
+
+#endif  // LMFAO_UTIL_THREAD_POOL_H_

@@ -1,0 +1,34 @@
+/// \file timer.h
+/// \brief Wall-clock stopwatch used by benchmarks and progress reports.
+
+#ifndef LMFAO_UTIL_TIMER_H_
+#define LMFAO_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace lmfao {
+
+/// \brief Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lmfao
+
+#endif  // LMFAO_UTIL_TIMER_H_

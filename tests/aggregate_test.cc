@@ -1,0 +1,83 @@
+/// \file aggregate_test.cc
+
+#include "query/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace lmfao {
+namespace {
+
+TEST(AggregateTest, CountIsEmptyProduct) {
+  EXPECT_TRUE(Aggregate::Count().IsCount());
+  EXPECT_TRUE(Aggregate().factors().empty());
+}
+
+TEST(AggregateTest, SumHasOneIdentityFactor) {
+  Aggregate a = Aggregate::Sum(3);
+  ASSERT_EQ(a.factors().size(), 1u);
+  EXPECT_EQ(a.factors()[0].attr, 3);
+  EXPECT_EQ(a.factors()[0].fn.kind(), FunctionKind::kIdentity);
+}
+
+TEST(AggregateTest, FactorOrderCanonicalized) {
+  Aggregate a({Factor{5, Function::Identity()}, Factor{2, Function::Identity()}});
+  Aggregate b({Factor{2, Function::Identity()}, Factor{5, Function::Identity()}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Signature(), b.Signature());
+}
+
+TEST(AggregateTest, RepeatedAttributeAllowed) {
+  Aggregate a({Factor{1, Function::Identity()},
+               Factor{1, Function::Identity()}});
+  EXPECT_EQ(a.factors().size(), 2u);
+  EXPECT_NE(a.Signature(), Aggregate::Sum(1).Signature());
+}
+
+TEST(AggregateTest, RestrictKeepsOnlyListedAttrs) {
+  Aggregate a({Factor{1, Function::Identity()},
+               Factor{3, Function::Square()},
+               Factor{5, Function::Identity()}});
+  Aggregate restricted = a.Restrict({1, 5});
+  EXPECT_EQ(restricted.Attributes(), (std::vector<AttrId>{1, 5}));
+  Aggregate empty = a.Restrict({2});
+  EXPECT_TRUE(empty.IsCount());
+}
+
+TEST(AggregateTest, AttributesSortedUnique) {
+  Aggregate a({Factor{5, Function::Identity()},
+               Factor{5, Function::Square()},
+               Factor{2, Function::Identity()}});
+  EXPECT_EQ(a.Attributes(), (std::vector<AttrId>{2, 5}));
+}
+
+TEST(AggregateTest, SignatureSensitiveToFunction) {
+  EXPECT_NE(Aggregate::Sum(1).Signature(), Aggregate::SumSquare(1).Signature());
+  EXPECT_NE(Aggregate::Sum(1).Signature(), Aggregate::Sum(2).Signature());
+  EXPECT_EQ(Aggregate::SumProduct(1, 2).Signature(),
+            Aggregate::SumProduct(2, 1).Signature());
+}
+
+TEST(AggregateTest, AddFactorKeepsCanonicalOrder) {
+  Aggregate a = Aggregate::Sum(5);
+  a.AddFactor(Factor{2, Function::Identity()});
+  EXPECT_EQ(a.factors()[0].attr, 2);
+  EXPECT_EQ(a.factors()[1].attr, 5);
+}
+
+TEST(AggregateTest, ToStringReadable) {
+  EXPECT_EQ(Aggregate::Count().ToString(), "SUM(1)");
+  EXPECT_EQ(Aggregate::Sum(0).ToString(), "SUM(X0)");
+  EXPECT_EQ(Aggregate::SumSquare(0).ToString(), "SUM(X0^2)");
+  std::vector<std::string> names = {"units", "price"};
+  EXPECT_EQ(Aggregate::SumProduct(0, 1).ToString(&names),
+            "SUM(units * price)");
+}
+
+TEST(AggregateTest, ToStringIndicator) {
+  Aggregate a({Factor{0, Function::Indicator(FunctionKind::kIndicatorLe, 3)}});
+  std::vector<std::string> names = {"temp"};
+  EXPECT_EQ(a.ToString(&names), "SUM((temp<=3))");
+}
+
+}  // namespace
+}  // namespace lmfao

@@ -1,0 +1,127 @@
+/// \file attribute_order_test.cc
+/// \brief Tests of the per-group attribute-order heuristic, including the
+/// item-date-store order of Fig. 3.
+
+#include "engine/attribute_order.h"
+
+#include <gtest/gtest.h>
+
+#include "data/favorita.h"
+#include "engine/grouping.h"
+#include "engine/view_generation.h"
+
+namespace lmfao {
+namespace {
+
+class AttributeOrderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto data = MakeFavorita(FavoritaOptions{.num_sales = 3000});
+    ASSERT_TRUE(data.ok());
+    data_ = std::move(data).value();
+    auto workload =
+        GenerateViews(MakeExampleBatch(*data_), data_->catalog, data_->tree);
+    ASSERT_TRUE(workload.ok());
+    workload_ = std::move(workload).value();
+    auto grouped = GroupViews(workload_, data_->catalog);
+    ASSERT_TRUE(grouped.ok());
+    grouped_ = std::move(grouped).value();
+  }
+
+  const ViewGroup* FindGroupWithQuery(QueryId q) {
+    const ViewId out = workload_.query_outputs[static_cast<size_t>(q)];
+    return &grouped_.groups[static_cast<size_t>(
+        grouped_.producer_group[static_cast<size_t>(out)])];
+  }
+
+  std::unique_ptr<FavoritaData> data_;
+  Workload workload_;
+  GroupedWorkload grouped_;
+};
+
+TEST_F(AttributeOrderTest, Group6OrderMatchesFig3) {
+  // The group computing Q1, Q2 and V_{S->I} over Sales uses the order
+  // (item, date, store) in the paper's Fig. 3.
+  const ViewGroup* group = FindGroupWithQuery(0);
+  ASSERT_NE(group, nullptr);
+  ASSERT_EQ(group->node, data_->sales);
+  auto order = ComputeAttributeOrder(workload_, *group, data_->catalog);
+  ASSERT_TRUE(order.ok()) << order.status().ToString();
+  EXPECT_EQ(*order, (std::vector<AttrId>{data_->item, data_->date,
+                                         data_->store}));
+}
+
+TEST_F(AttributeOrderTest, OrdersContainOnlyRelationAttrs) {
+  for (const ViewGroup& g : grouped_.groups) {
+    auto order = ComputeAttributeOrder(workload_, g, data_->catalog);
+    ASSERT_TRUE(order.ok());
+    const auto& rel_attrs = data_->catalog.relation(g.node).schema();
+    for (AttrId a : *order) {
+      EXPECT_TRUE(rel_attrs.Contains(a))
+          << data_->catalog.attr(a).name << " not in "
+          << data_->catalog.relation(g.node).name();
+    }
+  }
+}
+
+TEST_F(AttributeOrderTest, OutgoingViewKeyFormsPrefix) {
+  // For every group producing exactly one inner view, the view's relation
+  // key attributes must be a prefix of the order (sorted-output writes).
+  for (const ViewGroup& g : grouped_.groups) {
+    std::vector<ViewId> inner;
+    for (ViewId v : g.outputs) {
+      if (!workload_.view(v).IsQueryOutput()) inner.push_back(v);
+    }
+    if (inner.size() != 1) continue;
+    auto order = ComputeAttributeOrder(workload_, g, data_->catalog);
+    ASSERT_TRUE(order.ok());
+    const auto& rel = data_->catalog.relation(g.node);
+    std::vector<AttrId> rel_key;
+    for (AttrId a : workload_.view(inner[0]).key) {
+      if (rel.schema().Contains(a)) rel_key.push_back(a);
+    }
+    for (size_t i = 0; i < rel_key.size(); ++i) {
+      EXPECT_TRUE(std::find(order->begin(), order->begin() +
+                                static_cast<long>(rel_key.size()),
+                            rel_key[i]) !=
+                  order->begin() + static_cast<long>(rel_key.size()))
+          << "key attr not within the order prefix";
+    }
+  }
+}
+
+TEST_F(AttributeOrderTest, CoversAllRelationKeyAttrs) {
+  for (const ViewGroup& g : grouped_.groups) {
+    auto order = ComputeAttributeOrder(workload_, g, data_->catalog);
+    ASSERT_TRUE(order.ok());
+    const auto& rel = data_->catalog.relation(g.node);
+    for (ViewId v : g.incoming) {
+      for (AttrId a : workload_.view(v).key) {
+        if (rel.schema().Contains(a)) {
+          EXPECT_TRUE(std::find(order->begin(), order->end(), a) !=
+                      order->end());
+        }
+      }
+    }
+    for (ViewId v : g.outputs) {
+      for (AttrId a : workload_.view(v).key) {
+        if (rel.schema().Contains(a)) {
+          EXPECT_TRUE(std::find(order->begin(), order->end(), a) !=
+                      order->end());
+        }
+      }
+    }
+  }
+}
+
+TEST_F(AttributeOrderTest, DeterministicAcrossCalls) {
+  for (const ViewGroup& g : grouped_.groups) {
+    auto a = ComputeAttributeOrder(workload_, g, data_->catalog);
+    auto b = ComputeAttributeOrder(workload_, g, data_->catalog);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b);
+  }
+}
+
+}  // namespace
+}  // namespace lmfao

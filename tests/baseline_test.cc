@@ -1,0 +1,132 @@
+/// \file baseline_test.cc
+/// \brief Tests of join materialization and the scan-based batch evaluators.
+
+#include "baseline/join.h"
+#include "baseline/naive_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "data/favorita.h"
+
+namespace lmfao {
+namespace {
+
+Catalog MakePair() {
+  Catalog cat;
+  LMFAO_CHECK(cat.AddAttribute("a", AttrType::kInt).ok());
+  LMFAO_CHECK(cat.AddAttribute("b", AttrType::kInt).ok());
+  LMFAO_CHECK(cat.AddAttribute("x", AttrType::kDouble).ok());
+  LMFAO_CHECK(cat.AddAttribute("y", AttrType::kDouble).ok());
+  LMFAO_CHECK(cat.AddRelation("R", {"a", "b", "x"}).ok());
+  LMFAO_CHECK(cat.AddRelation("S", {"b", "y"}).ok());
+  return cat;
+}
+
+TEST(HashJoinTest, MatchesAndMultiplicities) {
+  Catalog cat = MakePair();
+  auto& r = cat.mutable_relation(0);
+  auto& s = cat.mutable_relation(1);
+  r.AppendRowUnchecked({Value::Int(1), Value::Int(1), Value::Double(0.5)});
+  r.AppendRowUnchecked({Value::Int(2), Value::Int(2), Value::Double(1.5)});
+  r.AppendRowUnchecked({Value::Int(3), Value::Int(9), Value::Double(2.5)});
+  s.AppendRowUnchecked({Value::Int(1), Value::Double(10)});
+  s.AppendRowUnchecked({Value::Int(1), Value::Double(11)});
+  s.AppendRowUnchecked({Value::Int(2), Value::Double(12)});
+  auto joined = HashJoin(r, s, cat);
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+  // b=1 matches 2 S rows; b=2 one; b=9 none: 3 output rows.
+  EXPECT_EQ(joined->num_rows(), 3u);
+  // Schema: a, b, x, y.
+  EXPECT_EQ(joined->schema().arity(), 4);
+  EXPECT_EQ(joined->ColumnIndex(3), 3);  // y present once.
+}
+
+TEST(HashJoinTest, RequiresSharedAttributes) {
+  Catalog cat;
+  LMFAO_CHECK(cat.AddAttribute("a", AttrType::kInt).ok());
+  LMFAO_CHECK(cat.AddAttribute("z", AttrType::kInt).ok());
+  LMFAO_CHECK(cat.AddRelation("R", {"a"}).ok());
+  LMFAO_CHECK(cat.AddRelation("Z", {"z"}).ok());
+  EXPECT_FALSE(HashJoin(cat.relation(0), cat.relation(1), cat).ok());
+}
+
+TEST(MaterializeJoinTest, FavoritaPreservesSales) {
+  auto data = MakeFavorita(FavoritaOptions{.num_sales = 500});
+  ASSERT_TRUE(data.ok());
+  auto joined =
+      MaterializeJoin((*data)->catalog, (*data)->tree, (*data)->sales);
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+  // FK-complete dimensions: |D| = |Sales|.
+  EXPECT_EQ(joined->num_rows(), 500u);
+  // All 17 attributes present.
+  EXPECT_EQ(joined->schema().arity(), 17);
+}
+
+TEST(MaterializeJoinTest, RootChoiceDoesNotChangeCardinality) {
+  auto data = MakeFavorita(FavoritaOptions{.num_sales = 300});
+  ASSERT_TRUE(data.ok());
+  auto a = MaterializeJoin((*data)->catalog, (*data)->tree, (*data)->sales);
+  auto b = MaterializeJoin((*data)->catalog, (*data)->tree, (*data)->oil);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->num_rows(), b->num_rows());
+}
+
+TEST(ScanEvaluatorTest, SharedAndPerQueryAgree) {
+  auto data = MakeFavorita(FavoritaOptions{.num_sales = 400});
+  ASSERT_TRUE(data.ok());
+  auto joined =
+      MaterializeJoin((*data)->catalog, (*data)->tree, (*data)->sales);
+  ASSERT_TRUE(joined.ok());
+  const QueryBatch batch = MakeExampleBatch(**data);
+  auto shared = EvaluateBatchSharedScan(*joined, batch);
+  auto per_query = EvaluateBatchPerQueryScan(*joined, batch);
+  ASSERT_TRUE(shared.ok() && per_query.ok());
+  ASSERT_EQ(shared->size(), per_query->size());
+  for (size_t q = 0; q < shared->size(); ++q) {
+    EXPECT_TRUE(ResultsEquivalent((*shared)[q], (*per_query)[q]));
+  }
+}
+
+TEST(ScanEvaluatorTest, RejectsMissingAttribute) {
+  auto data = MakeFavorita(FavoritaOptions{.num_sales = 50});
+  ASSERT_TRUE(data.ok());
+  // Join only Sales with Items: price (Oil) missing.
+  auto joined =
+      HashJoin((*data)->catalog.relation((*data)->sales),
+               (*data)->catalog.relation((*data)->items), (*data)->catalog);
+  ASSERT_TRUE(joined.ok());
+  QueryBatch batch;
+  Query q;
+  q.aggregates.push_back(Aggregate::Sum((*data)->price));
+  batch.Add(std::move(q));
+  EXPECT_FALSE(EvaluateBatchSharedScan(*joined, batch).ok());
+}
+
+TEST(ResultsEquivalentTest, MissingKeysCountAsZero) {
+  QueryResult a;
+  a.data = ViewMap(1, 1);
+  a.data.Upsert(TupleKey({1}))[0] = 5.0;
+  a.data.Upsert(TupleKey({2}))[0] = 0.0;
+  QueryResult b;
+  b.data = ViewMap(1, 1);
+  b.data.Upsert(TupleKey({1}))[0] = 5.0;
+  EXPECT_TRUE(ResultsEquivalent(a, b));
+  EXPECT_TRUE(ResultsEquivalent(b, a));
+  b.data.Upsert(TupleKey({3}))[0] = 1.0;
+  EXPECT_FALSE(ResultsEquivalent(a, b));
+}
+
+TEST(ResultsEquivalentTest, RelativeTolerance) {
+  QueryResult a;
+  a.data = ViewMap(0, 1);
+  a.data.Upsert(TupleKey())[0] = 1e12;
+  QueryResult b;
+  b.data = ViewMap(0, 1);
+  b.data.Upsert(TupleKey())[0] = 1e12 * (1 + 1e-12);
+  EXPECT_TRUE(ResultsEquivalent(a, b, 1e-9));
+  b.data.Upsert(TupleKey())[0] = 1e12 * 1.01;
+  EXPECT_FALSE(ResultsEquivalent(a, b, 1e-9));
+}
+
+}  // namespace
+}  // namespace lmfao

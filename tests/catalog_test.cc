@@ -1,0 +1,99 @@
+/// \file catalog_test.cc
+
+#include "storage/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace lmfao {
+namespace {
+
+TEST(CatalogTest, AddAndLookupAttributes) {
+  Catalog cat;
+  auto a = cat.AddAttribute("x", AttrType::kInt, 10);
+  ASSERT_TRUE(a.ok());
+  auto b = cat.AddAttribute("y", AttrType::kDouble);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(cat.num_attrs(), 2);
+  EXPECT_EQ(cat.attr(*a).name, "x");
+  EXPECT_EQ(cat.attr(*a).domain_size, 10);
+  EXPECT_EQ(cat.attr(*b).type, AttrType::kDouble);
+  auto found = cat.AttrIdOf("y");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, *b);
+}
+
+TEST(CatalogTest, DuplicateAttributeRejected) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddAttribute("x", AttrType::kInt).ok());
+  EXPECT_EQ(cat.AddAttribute("x", AttrType::kInt).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, UnknownAttributeNotFound) {
+  Catalog cat;
+  EXPECT_EQ(cat.AttrIdOf("missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, AddRelationByAttrNames) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddAttribute("a", AttrType::kInt).ok());
+  ASSERT_TRUE(cat.AddAttribute("b", AttrType::kDouble).ok());
+  auto r = cat.AddRelation("R", {"a", "b"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(cat.relation(*r).name(), "R");
+  EXPECT_EQ(cat.relation(*r).schema().arity(), 2);
+  EXPECT_EQ(cat.relation(*r).column(1).type(), AttrType::kDouble);
+}
+
+TEST(CatalogTest, AddRelationUnknownAttrFails) {
+  Catalog cat;
+  EXPECT_FALSE(cat.AddRelation("R", {"ghost"}).ok());
+}
+
+TEST(CatalogTest, DuplicateRelationRejected) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddAttribute("a", AttrType::kInt).ok());
+  ASSERT_TRUE(cat.AddRelation("R", {"a"}).ok());
+  EXPECT_EQ(cat.AddRelation("R", {"a"}).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, RefreshDomainSizesCountsDistinctInts) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddAttribute("k", AttrType::kInt).ok());
+  ASSERT_TRUE(cat.AddAttribute("v", AttrType::kDouble).ok());
+  auto r = cat.AddRelation("R", {"k", "v"});
+  ASSERT_TRUE(r.ok());
+  Relation& rel = cat.mutable_relation(*r);
+  for (int64_t i = 0; i < 10; ++i) {
+    rel.AppendRowUnchecked({Value::Int(i % 4), Value::Double(1.0)});
+  }
+  cat.RefreshDomainSizes();
+  auto k = cat.AttrIdOf("k");
+  ASSERT_TRUE(k.ok());
+  EXPECT_EQ(cat.attr(*k).domain_size, 4);
+}
+
+TEST(CatalogTest, RefreshSpansMultipleRelations) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddAttribute("k", AttrType::kInt).ok());
+  auto r1 = cat.AddRelation("R1", {"k"});
+  auto r2 = cat.AddRelation("R2", {"k"});
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  cat.mutable_relation(*r1).AppendRowUnchecked({Value::Int(1)});
+  cat.mutable_relation(*r2).AppendRowUnchecked({Value::Int(2)});
+  cat.RefreshDomainSizes();
+  EXPECT_EQ(cat.attr(0).domain_size, 2);
+}
+
+TEST(CatalogTest, ToStringListsRelations) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddAttribute("a", AttrType::kInt).ok());
+  ASSERT_TRUE(cat.AddRelation("R", {"a"}).ok());
+  const std::string s = cat.ToString();
+  EXPECT_NE(s.find("R("), std::string::npos);
+  EXPECT_NE(s.find("a:int"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lmfao

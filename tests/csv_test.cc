@@ -1,0 +1,89 @@
+/// \file csv_test.cc
+
+#include "util/csv.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace lmfao {
+namespace {
+
+TEST(CsvTest, ParseWithHeader) {
+  auto table = ParseCsv("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[1][0], "3");
+}
+
+TEST(CsvTest, ParseWithoutHeader) {
+  CsvOptions options;
+  options.has_header = false;
+  auto table = ParseCsv("1,2\n3,4\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table->header.empty());
+  EXPECT_EQ(table->rows.size(), 2u);
+}
+
+TEST(CsvTest, CustomSeparator) {
+  CsvOptions options;
+  options.separator = '|';
+  auto table = ParseCsv("a|b\n1|2\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][1], "2");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto table = ParseCsv("a,b\n1,2,3\n");
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  auto table = ParseCsv("a,b\n\n1,2\n\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows.size(), 1u);
+}
+
+TEST(CsvTest, HandlesCrLf) {
+  auto table = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "1");
+  EXPECT_EQ(table->rows[0][1], "2");
+}
+
+TEST(CsvTest, MissingTrailingNewline) {
+  auto table = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows.size(), 1u);
+}
+
+TEST(CsvTest, WriteRoundTrip) {
+  CsvTable table;
+  table.header = {"x", "y"};
+  table.rows = {{"1", "2"}, {"3", "4"}};
+  const std::string text = WriteCsv(table);
+  auto parsed = ParseCsv(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header, table.header);
+  EXPECT_EQ(parsed->rows, table.rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/lmfao_csv_test.csv";
+  ASSERT_TRUE(WriteFile(path, "a,b\n5,6\n").ok());
+  auto table = ReadCsvFile(path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "5");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto result = ReadCsvFile("/nonexistent/definitely/missing.csv");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace lmfao

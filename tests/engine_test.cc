@@ -1,0 +1,190 @@
+/// \file engine_test.cc
+/// \brief Engine-level behaviours not covered by the e2e correctness tests:
+/// statistics, caching, compilation artifacts, repeated evaluation, error
+/// propagation.
+
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/join.h"
+#include "baseline/naive_engine.h"
+#include "data/favorita.h"
+
+namespace lmfao {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto data = MakeFavorita(FavoritaOptions{.num_sales = 2000});
+    ASSERT_TRUE(data.ok());
+    data_ = std::move(data).value();
+  }
+  std::unique_ptr<FavoritaData> data_;
+};
+
+TEST_F(EngineTest, StatsAreFilled) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto result = engine.Evaluate(MakeExampleBatch(*data_));
+  ASSERT_TRUE(result.ok());
+  const ExecutionStats& stats = result->stats;
+  EXPECT_EQ(stats.num_queries, 3);
+  EXPECT_EQ(stats.num_views, 6);
+  EXPECT_EQ(stats.num_groups, 7);
+  EXPECT_GT(stats.num_aggregates, 0);
+  EXPECT_GT(stats.total_seconds, 0.0);
+  EXPECT_GE(stats.execute_seconds, 0.0);
+  ASSERT_EQ(stats.groups.size(), 7u);
+  for (const GroupStats& g : stats.groups) {
+    EXPECT_GE(g.group_id, 0);
+    EXPECT_GE(g.num_outputs, 1);
+    EXPECT_GT(g.output_entries, 0u);
+  }
+}
+
+TEST_F(EngineTest, RepeatedEvaluationIsStable) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  const QueryBatch batch = MakeExampleBatch(*data_);
+  auto first = engine.Evaluate(batch);
+  auto second = engine.Evaluate(batch);  // Sorted-relation caches warm.
+  ASSERT_TRUE(first.ok() && second.ok());
+  for (size_t q = 0; q < first->results.size(); ++q) {
+    EXPECT_TRUE(ResultsEquivalent(first->results[q], second->results[q]));
+  }
+}
+
+TEST_F(EngineTest, InvalidateCachesKeepsResults) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  const QueryBatch batch = MakeExampleBatch(*data_);
+  auto first = engine.Evaluate(batch);
+  engine.InvalidateCaches();
+  auto second = engine.Evaluate(batch);
+  ASSERT_TRUE(first.ok() && second.ok());
+  for (size_t q = 0; q < first->results.size(); ++q) {
+    EXPECT_TRUE(ResultsEquivalent(first->results[q], second->results[q]));
+  }
+}
+
+TEST_F(EngineTest, CompileExposesAllArtifacts) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto compiled = engine.Compile(MakeExampleBatch(*data_));
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->workload.query_outputs.size(), 3u);
+  EXPECT_EQ(compiled->grouped.groups.size(), 7u);
+  EXPECT_EQ(compiled->attr_orders.size(), 7u);
+  EXPECT_EQ(compiled->plans.size(), 7u);
+  for (size_t g = 0; g < compiled->plans.size(); ++g) {
+    EXPECT_EQ(compiled->plans[g].group_id, static_cast<int>(g));
+    EXPECT_EQ(compiled->plans[g].attr_order, compiled->attr_orders[g]);
+  }
+}
+
+TEST_F(EngineTest, InvalidBatchFailsCleanly) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  QueryBatch batch;
+  Query q;
+  q.aggregates.push_back(Aggregate::Sum(9999));
+  batch.Add(std::move(q));
+  auto result = engine.Evaluate(batch);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineTest, EmptyBatchYieldsNoResults) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto result = engine.Evaluate(QueryBatch{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->results.empty());
+}
+
+TEST_F(EngineTest, ManyQueriesSameAggregateShareEverything) {
+  // 50 copies of the same query must not cost 50x the views.
+  QueryBatch batch;
+  for (int i = 0; i < 50; ++i) {
+    Query q;
+    q.name = "dup" + std::to_string(i);
+    q.group_by = {data_->store};
+    q.aggregates.push_back(Aggregate::Sum(data_->units));
+    batch.Add(std::move(q));
+  }
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto result = engine.Evaluate(batch);
+  ASSERT_TRUE(result.ok());
+  // All 5 edges used once: 5 merged views regardless of 50 queries.
+  EXPECT_EQ(result->stats.num_views, 5);
+  for (size_t q = 1; q < result->results.size(); ++q) {
+    EXPECT_TRUE(
+        ResultsEquivalent(result->results[0], result->results[q]));
+  }
+}
+
+TEST_F(EngineTest, RootHintChangesPlanNotResults) {
+  QueryBatch a;
+  {
+    Query q;
+    q.group_by = {data_->item_class};
+    q.aggregates.push_back(Aggregate::Sum(data_->units));
+    q.root_hint = data_->items;
+    a.Add(std::move(q));
+  }
+  QueryBatch b;
+  {
+    Query q;
+    q.group_by = {data_->item_class};
+    q.aggregates.push_back(Aggregate::Sum(data_->units));
+    q.root_hint = data_->sales;  // Suboptimal root; class travels upward.
+    b.Add(std::move(q));
+  }
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto ra = engine.Evaluate(a);
+  auto rb = engine.Evaluate(b);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_TRUE(ResultsEquivalent(ra->results[0], rb->results[0], 1e-9));
+}
+
+TEST_F(EngineTest, WorksWithConstructedJoinTree) {
+  // The automatic join-tree construction must be usable end to end.
+  auto tree = JoinTree::Construct(data_->catalog);
+  ASSERT_TRUE(tree.ok());
+  Engine engine(&data_->catalog, &*tree, EngineOptions{});
+  auto result = engine.Evaluate(MakeExampleBatch(*data_));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Cross-check one number against the default tree.
+  Engine reference(&data_->catalog, &data_->tree, EngineOptions{});
+  auto expected = reference.Evaluate(MakeExampleBatch(*data_));
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(ResultsEquivalent(result->results[0], expected->results[0]));
+  EXPECT_TRUE(ResultsEquivalent(result->results[1], expected->results[1]));
+  EXPECT_TRUE(ResultsEquivalent(result->results[2], expected->results[2]));
+}
+
+TEST_F(EngineTest, SingleRelationDatabase) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddAttribute("k", AttrType::kInt).ok());
+  ASSERT_TRUE(cat.AddAttribute("v", AttrType::kDouble).ok());
+  auto rel = cat.AddRelation("R", {"k", "v"});
+  ASSERT_TRUE(rel.ok());
+  for (int64_t i = 0; i < 10; ++i) {
+    cat.mutable_relation(*rel).AppendRowUnchecked(
+        {Value::Int(i % 3), Value::Double(static_cast<double>(i))});
+  }
+  cat.RefreshDomainSizes();
+  auto tree = JoinTree::FromEdges(cat, {});
+  ASSERT_TRUE(tree.ok());
+  QueryBatch batch;
+  Query q;
+  q.group_by = {0};
+  q.aggregates.push_back(Aggregate::Sum(1));
+  batch.Add(std::move(q));
+  Engine engine(&cat, &*tree, EngineOptions{});
+  auto result = engine.Evaluate(batch);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // k=0 rows: v = 0,3,6,9 -> 18; k=1: 1,4,7 -> 12; k=2: 2,5,8 -> 15.
+  EXPECT_DOUBLE_EQ(result->results[0].data.Lookup(TupleKey({0}))[0], 18.0);
+  EXPECT_DOUBLE_EQ(result->results[0].data.Lookup(TupleKey({1}))[0], 12.0);
+  EXPECT_DOUBLE_EQ(result->results[0].data.Lookup(TupleKey({2}))[0], 15.0);
+}
+
+}  // namespace
+}  // namespace lmfao

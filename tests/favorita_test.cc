@@ -1,0 +1,132 @@
+/// \file favorita_test.cc
+/// \brief Tests of the Favorita synthetic generator against the paper's
+/// schema (Fig. 2).
+
+#include "data/favorita.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace lmfao {
+namespace {
+
+TEST(FavoritaTest, SchemaMatchesFig2) {
+  auto data = MakeFavorita(FavoritaOptions{.num_sales = 100});
+  ASSERT_TRUE(data.ok());
+  const Catalog& cat = (*data)->catalog;
+  EXPECT_EQ(cat.num_relations(), 6);
+  auto check = [&](const char* rel, std::vector<std::string> attrs) {
+    auto id = cat.RelationIdOf(rel);
+    ASSERT_TRUE(id.ok()) << rel;
+    const RelationSchema& schema = cat.relation(*id).schema();
+    ASSERT_EQ(schema.arity(), static_cast<int>(attrs.size())) << rel;
+    for (int i = 0; i < schema.arity(); ++i) {
+      EXPECT_EQ(cat.attr(schema.attr(i)).name, attrs[static_cast<size_t>(i)]);
+    }
+  };
+  check("Sales", {"date", "store", "item", "units", "promo"});
+  check("Holidays", {"date", "htype", "locale", "transferred"});
+  check("StoRes", {"store", "city", "state", "stype", "cluster"});
+  check("Items", {"item", "family", "class", "perishable"});
+  check("Transactions", {"date", "store", "txns"});
+  check("Oil", {"date", "price"});
+}
+
+TEST(FavoritaTest, SizesFollowOptions) {
+  FavoritaOptions options;
+  options.num_sales = 321;
+  options.num_dates = 11;
+  options.num_stores = 5;
+  options.num_items = 17;
+  auto data = MakeFavorita(options);
+  ASSERT_TRUE(data.ok());
+  const Catalog& cat = (*data)->catalog;
+  EXPECT_EQ(cat.relation((*data)->sales).num_rows(), 321u);
+  EXPECT_EQ(cat.relation((*data)->holidays).num_rows(), 11u);
+  EXPECT_EQ(cat.relation((*data)->oil).num_rows(), 11u);
+  EXPECT_EQ(cat.relation((*data)->stores).num_rows(), 5u);
+  EXPECT_EQ(cat.relation((*data)->items).num_rows(), 17u);
+  EXPECT_EQ(cat.relation((*data)->transactions).num_rows(), 55u);
+}
+
+TEST(FavoritaTest, ForeignKeysComplete) {
+  auto data = MakeFavorita(FavoritaOptions{.num_sales = 500});
+  ASSERT_TRUE(data.ok());
+  const Catalog& cat = (*data)->catalog;
+  const Relation& sales = cat.relation((*data)->sales);
+  // Every sales key exists in its dimension table.
+  auto keys_of = [&](RelationId rel, AttrId attr) {
+    std::set<int64_t> out;
+    const Relation& r = cat.relation(rel);
+    const auto& ints = r.column(r.ColumnIndex(attr)).ints();
+    out.insert(ints.begin(), ints.end());
+    return out;
+  };
+  const auto dates = keys_of((*data)->holidays, (*data)->date);
+  const auto stores = keys_of((*data)->stores, (*data)->store);
+  const auto items = keys_of((*data)->items, (*data)->item);
+  for (size_t i = 0; i < sales.num_rows(); ++i) {
+    EXPECT_TRUE(dates.count(sales.column(0).ints()[i]) > 0);
+    EXPECT_TRUE(stores.count(sales.column(1).ints()[i]) > 0);
+    EXPECT_TRUE(items.count(sales.column(2).ints()[i]) > 0);
+  }
+}
+
+TEST(FavoritaTest, DeterministicForSameSeed) {
+  auto a = MakeFavorita(FavoritaOptions{.num_sales = 200, .seed = 9});
+  auto b = MakeFavorita(FavoritaOptions{.num_sales = 200, .seed = 9});
+  ASSERT_TRUE(a.ok() && b.ok());
+  const Relation& ra = (*a)->catalog.relation((*a)->sales);
+  const Relation& rb = (*b)->catalog.relation((*b)->sales);
+  EXPECT_EQ(ra.column(2).ints(), rb.column(2).ints());
+  EXPECT_EQ(ra.column(3).doubles(), rb.column(3).doubles());
+}
+
+TEST(FavoritaTest, DifferentSeedsDiffer) {
+  auto a = MakeFavorita(FavoritaOptions{.num_sales = 200, .seed = 1});
+  auto b = MakeFavorita(FavoritaOptions{.num_sales = 200, .seed = 2});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE((*a)->catalog.relation((*a)->sales).column(2).ints(),
+            (*b)->catalog.relation((*b)->sales).column(2).ints());
+}
+
+TEST(FavoritaTest, ItemPopularityIsSkewed) {
+  auto data = MakeFavorita(
+      FavoritaOptions{.num_sales = 20000, .num_items = 100, .item_skew = 1.0});
+  ASSERT_TRUE(data.ok());
+  const Relation& sales = (*data)->catalog.relation((*data)->sales);
+  std::vector<int> counts(100, 0);
+  for (int64_t i : sales.column(2).ints()) {
+    ++counts[static_cast<size_t>(i)];
+  }
+  // Hot item far more frequent than tail.
+  EXPECT_GT(counts[0], counts[50] * 3);
+}
+
+TEST(FavoritaTest, ExampleBatchShape) {
+  auto data = MakeFavorita(FavoritaOptions{.num_sales = 100});
+  ASSERT_TRUE(data.ok());
+  const QueryBatch batch = MakeExampleBatch(**data);
+  ASSERT_EQ(batch.size(), 3);
+  EXPECT_TRUE(batch.query(0).group_by.empty());
+  EXPECT_EQ(batch.query(1).group_by, (std::vector<AttrId>{(*data)->store}));
+  EXPECT_EQ(batch.query(2).group_by,
+            (std::vector<AttrId>{(*data)->item_class}));
+  EXPECT_TRUE(batch.Validate((*data)->catalog).ok());
+  // Q2's aggregate is a product of two dictionary factors.
+  const auto& factors = batch.query(1).aggregates[0].factors();
+  ASSERT_EQ(factors.size(), 2u);
+  EXPECT_EQ(factors[0].fn.kind(), FunctionKind::kDictionary);
+  EXPECT_EQ(factors[1].fn.kind(), FunctionKind::kDictionary);
+}
+
+TEST(FavoritaTest, DomainSizesRefreshed) {
+  auto data = MakeFavorita(FavoritaOptions{.num_sales = 100});
+  ASSERT_TRUE(data.ok());
+  EXPECT_GT((*data)->catalog.attr((*data)->item).domain_size, 0);
+  EXPECT_GT((*data)->catalog.attr((*data)->date).domain_size, 0);
+}
+
+}  // namespace
+}  // namespace lmfao

@@ -1,0 +1,124 @@
+/// \file feature_test.cc
+/// \brief Tests of the covariance batch builder, including the paper's
+/// headline count: exactly 814 aggregate queries for the Retailer schema.
+
+#include "ml/feature.h"
+
+#include <gtest/gtest.h>
+
+#include "data/retailer.h"
+
+namespace lmfao {
+namespace {
+
+FeatureSet RetailerFeatures(const RetailerData& data) {
+  FeatureSet f;
+  f.label = data.inventoryunits;
+  for (AttrId a : data.continuous) {
+    if (a != data.inventoryunits) f.continuous.push_back(a);
+  }
+  f.categorical = data.categorical;
+  return f;
+}
+
+TEST(FeatureTest, RetailerCovarianceBatchHas814Queries) {
+  auto data = MakeRetailer(RetailerOptions{.num_inventory = 100});
+  ASSERT_TRUE(data.ok());
+  const FeatureSet features = RetailerFeatures(**data);
+  auto cov = BuildCovarianceBatch(features, (*data)->catalog);
+  ASSERT_TRUE(cov.ok()) << cov.status().ToString();
+  // Section 3 of the paper: "For the Retailer dataset, LMFAO computes 814
+  // aggregates to learn the linear regression model."
+  // 33 continuous (incl. label) and 6 categorical features give:
+  //   1 count + 33 sums + 33*34/2 = 561 pairs + 6 cat counts
+  //   + 6*33 = 198 cat-cont + C(6,2) = 15 cat pairs = 814.
+  EXPECT_EQ(cov->batch.size(), 814);
+  EXPECT_EQ(cov->info.size(), 814u);
+}
+
+TEST(FeatureTest, BatchCountFormula) {
+  // Small synthetic feature sets follow the closed-form count.
+  for (int nc = 1; nc <= 4; ++nc) {
+    for (int nk = 0; nk <= 3; ++nk) {
+      Catalog cat;
+      FeatureSet f;
+      LMFAO_CHECK(cat.AddAttribute("label", AttrType::kDouble).ok());
+      f.label = 0;
+      std::vector<std::string> rel_attrs = {"label"};
+      for (int i = 1; i < nc; ++i) {
+        const std::string name = "c" + std::to_string(i);
+        LMFAO_CHECK(cat.AddAttribute(name, AttrType::kDouble).ok());
+        f.continuous.push_back(static_cast<AttrId>(i));
+        rel_attrs.push_back(name);
+      }
+      for (int i = 0; i < nk; ++i) {
+        const std::string name = "k" + std::to_string(i);
+        LMFAO_CHECK(cat.AddAttribute(name, AttrType::kInt).ok());
+        f.categorical.push_back(static_cast<AttrId>(nc + i));
+        rel_attrs.push_back(name);
+      }
+      LMFAO_CHECK(cat.AddRelation("R", rel_attrs).ok());
+      auto cov = BuildCovarianceBatch(f, cat);
+      ASSERT_TRUE(cov.ok());
+      const int expected =
+          1 + nc + nc * (nc + 1) / 2 + nk + nk * nc + nk * (nk - 1) / 2;
+      EXPECT_EQ(cov->batch.size(), expected) << "nc=" << nc << " nk=" << nk;
+    }
+  }
+}
+
+TEST(FeatureTest, QueriesHaveExpectedShapes) {
+  auto data = MakeRetailer(RetailerOptions{.num_inventory = 50});
+  ASSERT_TRUE(data.ok());
+  FeatureSet f;
+  f.label = (*data)->inventoryunits;
+  f.continuous = {(*data)->prize};
+  f.categorical = {(*data)->category, (*data)->rain};
+  auto cov = BuildCovarianceBatch(f, (*data)->catalog);
+  ASSERT_TRUE(cov.ok());
+  for (size_t i = 0; i < cov->info.size(); ++i) {
+    const Query& q = cov->batch.query(static_cast<QueryId>(i));
+    switch (cov->info[i].kind) {
+      case SigmaQueryInfo::Kind::kCount:
+      case SigmaQueryInfo::Kind::kContSum:
+      case SigmaQueryInfo::Kind::kContPair:
+        EXPECT_TRUE(q.group_by.empty());
+        break;
+      case SigmaQueryInfo::Kind::kCatCount:
+      case SigmaQueryInfo::Kind::kCatCont:
+        EXPECT_EQ(q.group_by.size(), 1u);
+        break;
+      case SigmaQueryInfo::Kind::kCatPair:
+        EXPECT_EQ(q.group_by.size(), 2u);
+        break;
+    }
+    EXPECT_EQ(q.aggregates.size(), 1u);
+  }
+}
+
+TEST(FeatureTest, RejectsIntLabel) {
+  auto data = MakeRetailer(RetailerOptions{.num_inventory = 50});
+  ASSERT_TRUE(data.ok());
+  FeatureSet f;
+  f.label = (*data)->category;  // int-typed: invalid label.
+  EXPECT_FALSE(BuildCovarianceBatch(f, (*data)->catalog).ok());
+}
+
+TEST(FeatureTest, RejectsContinuousCategorical) {
+  auto data = MakeRetailer(RetailerOptions{.num_inventory = 50});
+  ASSERT_TRUE(data.ok());
+  FeatureSet f;
+  f.label = (*data)->inventoryunits;
+  f.categorical = {(*data)->prize};  // double-typed: invalid categorical.
+  EXPECT_FALSE(BuildCovarianceBatch(f, (*data)->catalog).ok());
+}
+
+TEST(FeatureTest, AllContinuousPutsLabelFirst) {
+  FeatureSet f;
+  f.label = 7;
+  f.continuous = {3, 5};
+  EXPECT_EQ(f.AllContinuous(), (std::vector<AttrId>{7, 3, 5}));
+}
+
+}  // namespace
+}  // namespace lmfao

@@ -1,0 +1,97 @@
+/// \file function_test.cc
+
+#include "query/function.h"
+
+#include <gtest/gtest.h>
+
+namespace lmfao {
+namespace {
+
+TEST(FunctionTest, Identity) {
+  EXPECT_DOUBLE_EQ(Function::Identity().Eval(3.5), 3.5);
+}
+
+TEST(FunctionTest, Square) {
+  EXPECT_DOUBLE_EQ(Function::Square().Eval(-4.0), 16.0);
+}
+
+TEST(FunctionTest, Dictionary) {
+  auto dict = std::make_shared<FunctionDict>();
+  dict->name = "g";
+  dict->table = {{1, 10.0}, {2, 20.0}};
+  dict->default_value = -1.0;
+  Function f = Function::Dictionary(dict);
+  EXPECT_DOUBLE_EQ(f.Eval(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(f.Eval(2.0), 20.0);
+  EXPECT_DOUBLE_EQ(f.Eval(3.0), -1.0);
+}
+
+TEST(FunctionTest, Indicators) {
+  EXPECT_DOUBLE_EQ(
+      Function::Indicator(FunctionKind::kIndicatorLe, 2.0).Eval(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(
+      Function::Indicator(FunctionKind::kIndicatorLe, 2.0).Eval(2.1), 0.0);
+  EXPECT_DOUBLE_EQ(
+      Function::Indicator(FunctionKind::kIndicatorLt, 2.0).Eval(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(
+      Function::Indicator(FunctionKind::kIndicatorGe, 2.0).Eval(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(
+      Function::Indicator(FunctionKind::kIndicatorGt, 2.0).Eval(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(
+      Function::Indicator(FunctionKind::kIndicatorEq, 2.0).Eval(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(
+      Function::Indicator(FunctionKind::kIndicatorNe, 2.0).Eval(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(
+      Function::Indicator(FunctionKind::kIndicatorNe, 2.0).Eval(3.0), 1.0);
+}
+
+TEST(FunctionTest, IsIndicator) {
+  EXPECT_TRUE(Function::Indicator(FunctionKind::kIndicatorLe, 0).IsIndicator());
+  EXPECT_FALSE(Function::Identity().IsIndicator());
+  EXPECT_FALSE(Function::Square().IsIndicator());
+}
+
+TEST(FunctionTest, EqualityStructural) {
+  EXPECT_EQ(Function::Identity(), Function::Identity());
+  EXPECT_NE(Function::Identity(), Function::Square());
+  EXPECT_EQ(Function::Indicator(FunctionKind::kIndicatorLe, 1.5),
+            Function::Indicator(FunctionKind::kIndicatorLe, 1.5));
+  EXPECT_NE(Function::Indicator(FunctionKind::kIndicatorLe, 1.5),
+            Function::Indicator(FunctionKind::kIndicatorLe, 2.5));
+  EXPECT_NE(Function::Indicator(FunctionKind::kIndicatorLe, 1.5),
+            Function::Indicator(FunctionKind::kIndicatorGe, 1.5));
+}
+
+TEST(FunctionTest, DictionaryEqualityByPointer) {
+  auto d1 = std::make_shared<FunctionDict>();
+  auto d2 = std::make_shared<FunctionDict>();
+  EXPECT_EQ(Function::Dictionary(d1), Function::Dictionary(d1));
+  EXPECT_NE(Function::Dictionary(d1), Function::Dictionary(d2));
+}
+
+TEST(FunctionTest, SignatureSeparatesKindsAndParams) {
+  EXPECT_NE(Function::Identity().Signature(), Function::Square().Signature());
+  EXPECT_NE(Function::Indicator(FunctionKind::kIndicatorLe, 1.0).Signature(),
+            Function::Indicator(FunctionKind::kIndicatorLe, 2.0).Signature());
+  EXPECT_EQ(Function::Identity().Signature(),
+            Function::Identity().Signature());
+}
+
+TEST(FunctionTest, ToString) {
+  EXPECT_EQ(Function::Identity().ToString(), "id");
+  EXPECT_EQ(Function::Square().ToString(), "sq");
+  EXPECT_EQ(Function::Indicator(FunctionKind::kIndicatorLe, 3.0).ToString(),
+            "(x<=3)");
+}
+
+TEST(FunctionTest, CodegenExpr) {
+  EXPECT_EQ(Function::Identity().CodegenExpr("x"), "x");
+  EXPECT_EQ(Function::Square().CodegenExpr("x"), "(x * x)");
+  const std::string ind =
+      Function::Indicator(FunctionKind::kIndicatorGt, 2.0).CodegenExpr("v");
+  EXPECT_NE(ind.find("v > 2"), std::string::npos);
+  EXPECT_NE(ind.find("? 1.0 : 0.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lmfao

@@ -1,0 +1,93 @@
+/// \file hash_test.cc
+/// \brief Unit tests for TupleKey and hash mixing.
+
+#include "util/hash.h"
+
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace lmfao {
+namespace {
+
+TEST(TupleKeyTest, EmptyKey) {
+  TupleKey k;
+  EXPECT_EQ(k.size(), 0);
+  EXPECT_TRUE(k.empty());
+  EXPECT_EQ(k, TupleKey());
+}
+
+TEST(TupleKeyTest, PushAndIndex) {
+  TupleKey k;
+  k.push_back(10);
+  k.push_back(-3);
+  EXPECT_EQ(k.size(), 2);
+  EXPECT_EQ(k[0], 10);
+  EXPECT_EQ(k[1], -3);
+}
+
+TEST(TupleKeyTest, InitializerList) {
+  TupleKey k{1, 2, 3};
+  EXPECT_EQ(k.size(), 3);
+  EXPECT_EQ(k[2], 3);
+}
+
+TEST(TupleKeyTest, EqualityRequiresSameArity) {
+  EXPECT_NE(TupleKey({1}), TupleKey({1, 0}));
+  EXPECT_EQ(TupleKey({1, 2}), TupleKey({1, 2}));
+  EXPECT_NE(TupleKey({1, 2}), TupleKey({2, 1}));
+}
+
+TEST(TupleKeyTest, LexicographicOrder) {
+  EXPECT_LT(TupleKey({1, 5}), TupleKey({2, 0}));
+  EXPECT_LT(TupleKey({1, 5}), TupleKey({1, 6}));
+  EXPECT_LT(TupleKey({1}), TupleKey({1, 0}));  // Prefix sorts first.
+  EXPECT_FALSE(TupleKey({2, 0}) < TupleKey({1, 5}));
+}
+
+TEST(TupleKeyTest, MaxArity) {
+  TupleKey k;
+  for (int i = 0; i < TupleKey::kMaxArity; ++i) k.push_back(i);
+  EXPECT_EQ(k.size(), TupleKey::kMaxArity);
+  for (int i = 0; i < TupleKey::kMaxArity; ++i) EXPECT_EQ(k[i], i);
+}
+
+TEST(TupleKeyTest, HashDistinguishesArity) {
+  EXPECT_NE(TupleKey({0}).Hash(), TupleKey({0, 0}).Hash());
+}
+
+TEST(TupleKeyTest, HashIsDeterministic) {
+  EXPECT_EQ(TupleKey({5, 9}).Hash(), TupleKey({5, 9}).Hash());
+}
+
+TEST(TupleKeyTest, WorksInUnorderedSet) {
+  std::unordered_set<TupleKey> set;
+  for (int64_t i = 0; i < 100; ++i) {
+    set.insert(TupleKey({i, i * 2}));
+  }
+  EXPECT_EQ(set.size(), 100u);
+  EXPECT_TRUE(set.count(TupleKey({42, 84})) > 0);
+  EXPECT_EQ(set.count(TupleKey({42, 85})), 0u);
+}
+
+TEST(TupleKeyTest, ToString) {
+  EXPECT_EQ(TupleKey({1, 2}).ToString(), "(1,2)");
+  EXPECT_EQ(TupleKey().ToString(), "()");
+}
+
+TEST(Mix64Test, AvalanchesLowBits) {
+  // Nearby inputs should map to very different outputs.
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 1000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(HashCombineTest, OrderSensitive) {
+  const uint64_t a = HashCombine(HashCombine(0, 1), 2);
+  const uint64_t b = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace lmfao

@@ -1,0 +1,105 @@
+/// \file ir_test.cc
+/// \brief Unit tests of the workload IR helpers (signatures, directions,
+/// topological ordering) independent of the full pipeline.
+
+#include "engine/ir.h"
+
+#include <gtest/gtest.h>
+
+namespace lmfao {
+namespace {
+
+TEST(ViewAggregateSignatureTest, DistinguishesLocalFactors) {
+  ViewAggregate a;
+  a.local_factors = {Factor{1, Function::Identity()}};
+  ViewAggregate b;
+  b.local_factors = {Factor{1, Function::Square()}};
+  ViewAggregate c;  // COUNT.
+  EXPECT_NE(a.Signature(), b.Signature());
+  EXPECT_NE(a.Signature(), c.Signature());
+  ViewAggregate a2;
+  a2.local_factors = {Factor{1, Function::Identity()}};
+  EXPECT_EQ(a.Signature(), a2.Signature());
+}
+
+TEST(ViewAggregateSignatureTest, DistinguishesChildRefs) {
+  ViewAggregate a;
+  a.child_refs = {{0, 0}, {1, 0}};
+  ViewAggregate b;
+  b.child_refs = {{0, 0}, {1, 1}};
+  ViewAggregate c;
+  c.child_refs = {{0, 0}};
+  EXPECT_NE(a.Signature(), b.Signature());
+  EXPECT_NE(a.Signature(), c.Signature());
+}
+
+TEST(WorkloadTest, ViewsPerDirectionCountsInnerViewsOnly) {
+  Workload workload;
+  ViewInfo inner;
+  inner.id = 0;
+  inner.origin = 2;
+  inner.target = 3;
+  workload.views.push_back(inner);
+  ViewInfo inner2 = inner;
+  inner2.id = 1;
+  workload.views.push_back(inner2);
+  ViewInfo output;
+  output.id = 2;
+  output.origin = 2;
+  output.target = kInvalidRelation;
+  output.query_id = 0;
+  workload.views.push_back(output);
+  workload.query_outputs = {2};
+
+  EXPECT_EQ(workload.NumInnerViews(), 2);
+  auto dirs = workload.ViewsPerDirection();
+  ASSERT_EQ(dirs.size(), 1u);
+  EXPECT_EQ(dirs.begin()->second, 2);
+}
+
+GroupedWorkload MakeGraph(const std::vector<std::vector<int>>& deps) {
+  GroupedWorkload g;
+  for (size_t i = 0; i < deps.size(); ++i) {
+    ViewGroup group;
+    group.id = static_cast<int>(i);
+    group.outputs.push_back(static_cast<ViewId>(i));
+    group.depends_on = deps[i];
+    g.groups.push_back(group);
+    g.producer_group.push_back(static_cast<int>(i));
+  }
+  return g;
+}
+
+TEST(TopologicalOrderTest, Chain) {
+  auto g = MakeGraph({{}, {0}, {1}, {2}});
+  EXPECT_EQ(g.TopologicalOrder(), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(TopologicalOrderTest, Diamond) {
+  auto g = MakeGraph({{}, {0}, {0}, {1, 2}});
+  const auto order = g.TopologicalOrder();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.front(), 0);
+  EXPECT_EQ(order.back(), 3);
+}
+
+TEST(TopologicalOrderTest, IndependentGroups) {
+  auto g = MakeGraph({{}, {}, {}});
+  const auto order = g.TopologicalOrder();
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(TopologicalOrderTest, ForestOfChains) {
+  auto g = MakeGraph({{}, {0}, {}, {2}, {1, 3}});
+  const auto order = g.TopologicalOrder();
+  ASSERT_EQ(order.size(), 5u);
+  std::vector<int> pos(5);
+  for (size_t i = 0; i < order.size(); ++i) pos[static_cast<size_t>(order[i])] = static_cast<int>(i);
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[2], pos[3]);
+  EXPECT_LT(pos[1], pos[4]);
+  EXPECT_LT(pos[3], pos[4]);
+}
+
+}  // namespace
+}  // namespace lmfao

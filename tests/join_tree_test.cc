@@ -1,0 +1,142 @@
+/// \file join_tree_test.cc
+
+#include "jointree/join_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "data/favorita.h"
+#include "jointree/hypergraph.h"
+
+namespace lmfao {
+namespace {
+
+/// A 3-relation chain: R(a,b) -- S(b,c) -- T(c,d).
+Catalog MakeChainCatalog() {
+  Catalog cat;
+  for (const char* name : {"a", "b", "c", "d"}) {
+    LMFAO_CHECK(cat.AddAttribute(name, AttrType::kInt).ok());
+  }
+  LMFAO_CHECK(cat.AddRelation("R", {"a", "b"}).ok());
+  LMFAO_CHECK(cat.AddRelation("S", {"b", "c"}).ok());
+  LMFAO_CHECK(cat.AddRelation("T", {"c", "d"}).ok());
+  return cat;
+}
+
+TEST(HypergraphTest, SharedAttrsAndConnectivity) {
+  Catalog cat = MakeChainCatalog();
+  Hypergraph graph(cat);
+  EXPECT_EQ(graph.num_nodes(), 3);
+  EXPECT_EQ(graph.SharedAttrs(0, 1), (std::vector<AttrId>{1}));
+  EXPECT_TRUE(graph.SharedAttrs(0, 2).empty());
+  EXPECT_TRUE(graph.IsConnected());
+  EXPECT_EQ(graph.RelationsWith(1), (std::vector<RelationId>{0, 1}));
+}
+
+TEST(HypergraphTest, DisconnectedDetected) {
+  Catalog cat;
+  LMFAO_CHECK(cat.AddAttribute("a", AttrType::kInt).ok());
+  LMFAO_CHECK(cat.AddAttribute("z", AttrType::kInt).ok());
+  LMFAO_CHECK(cat.AddRelation("R", {"a"}).ok());
+  LMFAO_CHECK(cat.AddRelation("Z", {"z"}).ok());
+  Hypergraph graph(cat);
+  EXPECT_FALSE(graph.IsConnected());
+}
+
+TEST(JoinTreeTest, FromEdgesChain) {
+  Catalog cat = MakeChainCatalog();
+  auto tree = JoinTree::FromEdges(cat, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree->num_edges(), 2);
+  EXPECT_EQ(tree->separator(0), (std::vector<AttrId>{1}));
+  EXPECT_EQ(tree->separator(1), (std::vector<AttrId>{2}));
+}
+
+TEST(JoinTreeTest, RejectsCycle) {
+  Catalog cat = MakeChainCatalog();
+  EXPECT_FALSE(JoinTree::FromEdges(cat, {{0, 1}, {1, 0}}).ok());
+}
+
+TEST(JoinTreeTest, RejectsWrongEdgeCount) {
+  Catalog cat = MakeChainCatalog();
+  EXPECT_FALSE(JoinTree::FromEdges(cat, {{0, 1}}).ok());
+}
+
+TEST(JoinTreeTest, RejectsRipViolation) {
+  // R(a,b) -- T(c,d) -- S(b,c): attribute b occurs in R and S which are not
+  // adjacent, and the middle node T... T contains c,d: b's holders R,S are
+  // disconnected in this tree.
+  Catalog cat = MakeChainCatalog();
+  EXPECT_FALSE(JoinTree::FromEdges(cat, {{0, 2}, {2, 1}}).ok());
+}
+
+TEST(JoinTreeTest, ConstructFindsValidTree) {
+  Catalog cat = MakeChainCatalog();
+  auto tree = JoinTree::Construct(cat);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_TRUE(tree->VerifyRip(cat).ok());
+  EXPECT_EQ(tree->num_edges(), 2);
+}
+
+TEST(JoinTreeTest, NeighborAcross) {
+  Catalog cat = MakeChainCatalog();
+  auto tree = JoinTree::FromEdges(cat, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->NeighborAcross(0, 0), 1);
+  EXPECT_EQ(tree->NeighborAcross(1, 0), 0);
+}
+
+TEST(JoinTreeTest, SubtreeAttrs) {
+  Catalog cat = MakeChainCatalog();
+  auto tree = JoinTree::FromEdges(cat, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(tree.ok());
+  // From S (node 1) across edge 0 lies R: subtree attrs = {a, b}.
+  EXPECT_EQ(tree->SubtreeAttrs(1, 0), (std::vector<AttrId>{0, 1}));
+  // From R (node 0) across edge 0 lies S and T: {b, c, d}.
+  EXPECT_EQ(tree->SubtreeAttrs(0, 0), (std::vector<AttrId>{1, 2, 3}));
+}
+
+TEST(JoinTreeTest, PathWalksTheTree) {
+  Catalog cat = MakeChainCatalog();
+  auto tree = JoinTree::FromEdges(cat, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(tree.ok());
+  auto path = tree->Path(0, 2);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0].first, 0);
+  EXPECT_EQ(path[1].first, 1);
+  EXPECT_TRUE(tree->Path(1, 1).empty());
+}
+
+TEST(JoinTreeTest, FavoritaTreeMatchesFig2) {
+  auto data = MakeFavorita(FavoritaOptions{.num_sales = 100});
+  ASSERT_TRUE(data.ok());
+  const JoinTree& tree = (*data)->tree;
+  EXPECT_EQ(tree.num_nodes(), 6);
+  EXPECT_EQ(tree.num_edges(), 5);
+  EXPECT_TRUE(tree.VerifyRip((*data)->catalog).ok());
+  // Sales-Transactions separator = {date, store}.
+  const auto sep0 = tree.separator(0);
+  EXPECT_EQ(sep0.size(), 2u);
+  EXPECT_TRUE(SetContains(sep0, (*data)->date));
+  EXPECT_TRUE(SetContains(sep0, (*data)->store));
+  // Transactions has 3 incident edges (Sales, StoRes, Oil).
+  EXPECT_EQ(tree.IncidentEdges((*data)->transactions).size(), 3u);
+}
+
+TEST(JoinTreeTest, ConstructFavoritaAutomatically) {
+  auto data = MakeFavorita(FavoritaOptions{.num_sales = 50});
+  ASSERT_TRUE(data.ok());
+  auto tree = JoinTree::Construct((*data)->catalog);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_TRUE(tree->VerifyRip((*data)->catalog).ok());
+}
+
+TEST(JoinTreeTest, ToStringListsSeparators) {
+  Catalog cat = MakeChainCatalog();
+  auto tree = JoinTree::FromEdges(cat, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(tree.ok());
+  const std::string s = tree->ToString(cat);
+  EXPECT_NE(s.find("R -- S on {b}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lmfao

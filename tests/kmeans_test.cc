@@ -1,0 +1,133 @@
+/// \file kmeans_test.cc
+/// \brief Tests of weighted Lloyd's.
+
+#include "ml/kmeans.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace lmfao {
+namespace {
+
+TEST(KMeansTest, SeparatedClustersRecovered) {
+  // Three tight 1-D clusters around 0, 100, 200.
+  std::vector<double> points;
+  Rng rng(3);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 50; ++i) {
+      points.push_back(100.0 * c + rng.Normal(0.0, 1.0));
+    }
+  }
+  std::vector<double> weights(points.size(), 1.0);
+  KMeansOptions options;
+  options.k = 3;
+  auto result = WeightedKMeans(points, 1, weights, options);
+  ASSERT_TRUE(result.ok());
+  std::vector<double> centers = result->centroids;
+  std::sort(centers.begin(), centers.end());
+  EXPECT_NEAR(centers[0], 0.0, 2.0);
+  EXPECT_NEAR(centers[1], 100.0, 2.0);
+  EXPECT_NEAR(centers[2], 200.0, 2.0);
+}
+
+TEST(KMeansTest, WeightsPullCentroids) {
+  // Two points; one has 9x weight: the single centroid sits at the
+  // weighted mean.
+  std::vector<double> points = {0.0, 10.0};
+  std::vector<double> weights = {9.0, 1.0};
+  KMeansOptions options;
+  options.k = 1;
+  auto result = WeightedKMeans(points, 1, weights, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->centroids[0], 1.0, 1e-9);
+}
+
+TEST(KMeansTest, MultiDimensional) {
+  // Four corners of a square, k=4: zero cost.
+  std::vector<double> points = {0, 0, 0, 10, 10, 0, 10, 10};
+  std::vector<double> weights(4, 1.0);
+  KMeansOptions options;
+  options.k = 4;
+  auto result = WeightedKMeans(points, 2, weights, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->cost, 0.0, 1e-12);
+  // Each point in its own cluster.
+  std::set<int> clusters(result->assignment.begin(),
+                         result->assignment.end());
+  EXPECT_EQ(clusters.size(), 4u);
+}
+
+TEST(KMeansTest, KCappedAtPointCount) {
+  std::vector<double> points = {1.0, 2.0};
+  std::vector<double> weights = {1.0, 1.0};
+  KMeansOptions options;
+  options.k = 10;
+  auto result = WeightedKMeans(points, 1, weights, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->k, 2);
+}
+
+TEST(KMeansTest, CostNonIncreasingAcrossIterations) {
+  Rng rng(7);
+  std::vector<double> points;
+  for (int i = 0; i < 500; ++i) points.push_back(rng.UniformDouble(0, 100));
+  std::vector<double> weights(points.size(), 1.0);
+  KMeansOptions options;
+  options.k = 5;
+  options.max_iterations = 1;
+  auto one = WeightedKMeans(points, 1, weights, options);
+  options.max_iterations = 50;
+  auto many = WeightedKMeans(points, 1, weights, options);
+  ASSERT_TRUE(one.ok() && many.ok());
+  EXPECT_LE(many->cost, one->cost + 1e-9);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  Rng rng(9);
+  std::vector<double> points;
+  for (int i = 0; i < 200; ++i) points.push_back(rng.UniformDouble());
+  std::vector<double> weights(points.size(), 1.0);
+  KMeansOptions options;
+  options.k = 4;
+  options.seed = 123;
+  auto a = WeightedKMeans(points, 1, weights, options);
+  auto b = WeightedKMeans(points, 1, weights, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->centroids, b->centroids);
+  EXPECT_EQ(a->assignment, b->assignment);
+}
+
+TEST(KMeansTest, RejectsBadInput) {
+  std::vector<double> points = {1, 2, 3};
+  std::vector<double> weights = {1, 1, 1};
+  EXPECT_FALSE(WeightedKMeans(points, 2, weights, KMeansOptions{}).ok());
+  EXPECT_FALSE(WeightedKMeans({}, 1, {}, KMeansOptions{}).ok());
+  EXPECT_FALSE(
+      WeightedKMeans(points, 1, {1.0, 2.0}, KMeansOptions{}).ok());
+  EXPECT_FALSE(WeightedKMeans(points, 0, weights, KMeansOptions{}).ok());
+}
+
+TEST(KMeansTest, ZeroWeightPointsIgnoredInCost) {
+  std::vector<double> points = {0.0, 1000.0};
+  std::vector<double> weights = {1.0, 0.0};
+  KMeansOptions options;
+  options.k = 1;
+  auto result = WeightedKMeans(points, 1, weights, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->centroids[0], 0.0, 1e-9);
+  EXPECT_NEAR(result->cost, 0.0, 1e-9);
+}
+
+TEST(KMeansCostTest, MatchesManualComputation) {
+  std::vector<double> points = {0.0, 4.0};
+  std::vector<double> weights = {1.0, 2.0};
+  std::vector<double> centroids = {1.0};
+  // 1*(0-1)^2 + 2*(4-1)^2 = 1 + 18 = 19.
+  EXPECT_NEAR(KMeansCost(points, 1, weights, centroids, 1), 19.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace lmfao

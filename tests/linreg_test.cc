@@ -1,0 +1,150 @@
+/// \file linreg_test.cc
+/// \brief Tests of covariance assembly (LMFAO vs. scan) and ridge BGD.
+
+#include "ml/linreg.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baseline/join.h"
+#include "data/favorita.h"
+
+namespace lmfao {
+namespace {
+
+class LinregTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto data = MakeFavorita(FavoritaOptions{.num_sales = 2000});
+    ASSERT_TRUE(data.ok());
+    data_ = std::move(data).value();
+    features_.label = data_->units;
+    features_.continuous = {data_->txns, data_->price};
+    features_.categorical = {data_->stype, data_->promo};
+    auto joined = MaterializeJoin(data_->catalog, data_->tree, data_->sales);
+    ASSERT_TRUE(joined.ok());
+    joined_ = std::make_unique<Relation>(std::move(joined).value());
+  }
+
+  std::unique_ptr<FavoritaData> data_;
+  std::unique_ptr<Relation> joined_;
+  FeatureSet features_;
+};
+
+TEST_F(LinregTest, LmfaoSigmaMatchesScanSigma) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto lmfao = ComputeSigmaLmfao(&engine, features_, data_->catalog);
+  ASSERT_TRUE(lmfao.ok()) << lmfao.status().ToString();
+  auto scan = ComputeSigmaScan(*joined_, features_, data_->catalog);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  ASSERT_EQ(lmfao->index.dim, scan->index.dim);
+  EXPECT_DOUBLE_EQ(lmfao->count, scan->count);
+  for (int i = 0; i < lmfao->index.dim; ++i) {
+    for (int j = 0; j < lmfao->index.dim; ++j) {
+      EXPECT_NEAR(lmfao->At(i, j), scan->At(i, j),
+                  1e-7 * std::max(1.0, std::fabs(scan->At(i, j))))
+          << "entry (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST_F(LinregTest, SigmaIsSymmetricWithCountAtOrigin) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto sigma = ComputeSigmaLmfao(&engine, features_, data_->catalog);
+  ASSERT_TRUE(sigma.ok());
+  EXPECT_DOUBLE_EQ(sigma->At(0, 0), 2000.0);
+  for (int i = 0; i < sigma->index.dim; ++i) {
+    for (int j = i + 1; j < sigma->index.dim; ++j) {
+      EXPECT_DOUBLE_EQ(sigma->At(i, j), sigma->At(j, i));
+    }
+  }
+}
+
+TEST_F(LinregTest, OneHotBlocksPartitionTheCount) {
+  // For every categorical block, the diagonal one-hot counts sum to |D|.
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto sigma = ComputeSigmaLmfao(&engine, features_, data_->catalog);
+  ASSERT_TRUE(sigma.ok());
+  for (const auto& block : sigma->index.blocks) {
+    double total = 0.0;
+    for (size_t v = 0; v < block.values.size(); ++v) {
+      const int pos = block.offset + static_cast<int>(v);
+      total += sigma->At(pos, pos);
+    }
+    EXPECT_NEAR(total, sigma->count, 1e-9);
+  }
+}
+
+TEST_F(LinregTest, BgdConverges) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto sigma = ComputeSigmaLmfao(&engine, features_, data_->catalog);
+  ASSERT_TRUE(sigma.ok());
+  BgdOptions options;
+  options.lambda = 1e-3;
+  options.max_iterations = 300;
+  auto result = TrainRidgeBgd(*sigma, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GE(result->loss_history.size(), 2u);
+  // Loss is monotonically non-increasing under line search, and strictly
+  // better than the zero model.
+  for (size_t i = 1; i < result->loss_history.size(); ++i) {
+    EXPECT_LE(result->loss_history[i], result->loss_history[i - 1] + 1e-12);
+  }
+  EXPECT_LT(result->final_loss, result->loss_history.front());
+  // The label parameter is fixed to -1.
+  EXPECT_DOUBLE_EQ(result->theta[sigma->index.ContPosition(0)], -1.0);
+}
+
+TEST_F(LinregTest, SigmaReusedAcrossLearningRates) {
+  // The data-intensive part is computed once; several descent runs reuse it
+  // (the paper's point about BGD iterations reusing Sigma).
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto sigma = ComputeSigmaLmfao(&engine, features_, data_->catalog);
+  ASSERT_TRUE(sigma.ok());
+  auto a = TrainRidgeBgd(*sigma, BgdOptions{.lambda = 1e-3});
+  auto b = TrainRidgeBgd(*sigma, BgdOptions{.lambda = 1e-1});
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Stronger regularization yields smaller parameter norm.
+  auto norm = [&](const BgdResult& r) {
+    double n = 0.0;
+    for (size_t i = 0; i < r.theta.size(); ++i) {
+      if (static_cast<int>(i) == sigma->index.ContPosition(0)) continue;
+      n += r.theta[i] * r.theta[i];
+    }
+    return n;
+  };
+  EXPECT_LT(norm(*b), norm(*a) + 1e-9);
+}
+
+TEST_F(LinregTest, PredictionBeatsMeanBaseline) {
+  // Standardized ridge loss < 0.5 means the model explains variance
+  // (0.5 = loss of the all-zero model on standardized data).
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto sigma = ComputeSigmaLmfao(&engine, features_, data_->catalog);
+  ASSERT_TRUE(sigma.ok());
+  auto result = TrainRidgeBgd(*sigma, BgdOptions{.lambda = 1e-4});
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->final_loss, 0.5);
+}
+
+TEST(LinregEdgeTest, RejectsZeroVarianceLabel) {
+  SigmaMatrix sigma;
+  sigma.index.num_continuous = 1;
+  sigma.index.dim = 2;
+  sigma.count = 10;
+  sigma.data = {10, 5, 5, 2.5};  // label constant 0.5: E[y^2] = mean^2.
+  EXPECT_FALSE(TrainRidgeBgd(sigma).ok());
+}
+
+TEST(LinregEdgeTest, CatBlockPositionLookup) {
+  FeatureIndex::CatBlock block;
+  block.values = {3, 7, 11};
+  block.offset = 5;
+  EXPECT_EQ(block.PositionOf(3), 5);
+  EXPECT_EQ(block.PositionOf(11), 7);
+  EXPECT_EQ(block.PositionOf(4), -1);
+}
+
+}  // namespace
+}  // namespace lmfao

@@ -1,0 +1,86 @@
+/// \file loader_test.cc
+/// \brief CSV <-> relation round trips.
+
+#include "data/loader.h"
+
+#include <gtest/gtest.h>
+
+namespace lmfao {
+namespace {
+
+Catalog MakeCatalog() {
+  Catalog cat;
+  LMFAO_CHECK(cat.AddAttribute("k", AttrType::kInt).ok());
+  LMFAO_CHECK(cat.AddAttribute("x", AttrType::kDouble).ok());
+  LMFAO_CHECK(cat.AddRelation("R", {"k", "x"}).ok());
+  return cat;
+}
+
+TEST(LoaderTest, LoadTyped) {
+  Catalog cat = MakeCatalog();
+  Relation& rel = cat.mutable_relation(0);
+  ASSERT_TRUE(
+      LoadRelationCsvText("k,x\n1,0.5\n-2,3\n", cat, &rel).ok());
+  ASSERT_EQ(rel.num_rows(), 2u);
+  EXPECT_EQ(rel.column(0).ints(), (std::vector<int64_t>{1, -2}));
+  EXPECT_DOUBLE_EQ(rel.column(1).doubles()[0], 0.5);
+  EXPECT_DOUBLE_EQ(rel.column(1).doubles()[1], 3.0);
+}
+
+TEST(LoaderTest, RejectsNonIntegerForIntColumn) {
+  Catalog cat = MakeCatalog();
+  Relation& rel = cat.mutable_relation(0);
+  EXPECT_FALSE(LoadRelationCsvText("k,x\n1.5,2\n", cat, &rel).ok());
+  EXPECT_FALSE(LoadRelationCsvText("k,x\nabc,2\n", cat, &rel).ok());
+}
+
+TEST(LoaderTest, RejectsNonNumericForDoubleColumn) {
+  Catalog cat = MakeCatalog();
+  Relation& rel = cat.mutable_relation(0);
+  EXPECT_FALSE(LoadRelationCsvText("k,x\n1,oops\n", cat, &rel).ok());
+}
+
+TEST(LoaderTest, RejectsArityMismatch) {
+  Catalog cat = MakeCatalog();
+  Relation& rel = cat.mutable_relation(0);
+  EXPECT_FALSE(LoadRelationCsvText("a\n1\n", cat, &rel).ok());
+}
+
+TEST(LoaderTest, ScientificNotationDoubles) {
+  Catalog cat = MakeCatalog();
+  Relation& rel = cat.mutable_relation(0);
+  ASSERT_TRUE(LoadRelationCsvText("k,x\n7,1e-3\n", cat, &rel).ok());
+  EXPECT_DOUBLE_EQ(rel.column(1).doubles()[0], 1e-3);
+}
+
+TEST(LoaderTest, RoundTrip) {
+  Catalog cat = MakeCatalog();
+  Relation& rel = cat.mutable_relation(0);
+  rel.AppendRowUnchecked({Value::Int(42), Value::Double(0.125)});
+  rel.AppendRowUnchecked({Value::Int(-1), Value::Double(1e10)});
+  const std::string csv = RelationToCsv(rel, cat);
+  EXPECT_NE(csv.find("k,x"), std::string::npos);
+
+  Catalog cat2 = MakeCatalog();
+  Relation& rel2 = cat2.mutable_relation(0);
+  ASSERT_TRUE(LoadRelationCsvText(csv, cat2, &rel2).ok());
+  ASSERT_EQ(rel2.num_rows(), 2u);
+  EXPECT_EQ(rel2.column(0).ints(), rel.column(0).ints());
+  EXPECT_EQ(rel2.column(1).doubles(), rel.column(1).doubles());
+}
+
+TEST(LoaderTest, FileRoundTrip) {
+  Catalog cat = MakeCatalog();
+  Relation& rel = cat.mutable_relation(0);
+  rel.AppendRowUnchecked({Value::Int(5), Value::Double(2.5)});
+  const std::string path = testing::TempDir() + "/lmfao_loader_test.csv";
+  ASSERT_TRUE(WriteFile(path, RelationToCsv(rel, cat)).ok());
+  Catalog cat2 = MakeCatalog();
+  Relation& rel2 = cat2.mutable_relation(0);
+  ASSERT_TRUE(LoadRelationCsv(path, cat2, &rel2).ok());
+  EXPECT_EQ(rel2.num_rows(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lmfao

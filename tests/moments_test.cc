@@ -1,0 +1,80 @@
+/// \file moments_test.cc
+/// \brief Higher-degree moment tensors: batch structure and LMFAO vs.
+/// scan agreement (degree-3 products span four relations).
+
+#include "ml/moments.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baseline/join.h"
+#include "data/favorita.h"
+
+namespace lmfao {
+namespace {
+
+class MomentsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto data = MakeFavorita(FavoritaOptions{.num_sales = 1200});
+    ASSERT_TRUE(data.ok());
+    data_ = std::move(data).value();
+    attrs_ = {data_->units, data_->txns, data_->price};
+  }
+  std::unique_ptr<FavoritaData> data_;
+  std::vector<AttrId> attrs_;
+};
+
+TEST_F(MomentsTest, BatchSizeIsMultisetCount) {
+  // #monomials of degree <= d over n attrs = C(n+d, d).
+  auto batch2 = BuildMomentBatch(attrs_, 2, data_->catalog);
+  ASSERT_TRUE(batch2.ok());
+  EXPECT_EQ(batch2->batch.size(), 10);  // C(5,2)
+  auto batch3 = BuildMomentBatch(attrs_, 3, data_->catalog);
+  ASSERT_TRUE(batch3.ok());
+  EXPECT_EQ(batch3->batch.size(), 20);  // C(6,3)
+  auto batch0 = BuildMomentBatch(attrs_, 0, data_->catalog);
+  ASSERT_TRUE(batch0.ok());
+  EXPECT_EQ(batch0->batch.size(), 1);
+}
+
+TEST_F(MomentsTest, LmfaoMatchesScanDegree3) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto lmfao =
+      ComputeMomentsLmfao(&engine, attrs_, 3, data_->catalog);
+  ASSERT_TRUE(lmfao.ok()) << lmfao.status().ToString();
+  auto joined = MaterializeJoin(data_->catalog, data_->tree, data_->sales);
+  ASSERT_TRUE(joined.ok());
+  auto scan = ComputeMomentsScan(*joined, attrs_, 3);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(lmfao->size(), scan->size());
+  for (const auto& [monomial, expected] : *scan) {
+    const auto it = lmfao->find(monomial);
+    ASSERT_NE(it, lmfao->end());
+    EXPECT_NEAR(it->second, expected,
+                1e-7 * std::max(1.0, std::fabs(expected)))
+        << "monomial arity " << monomial.size();
+  }
+}
+
+TEST_F(MomentsTest, CountAndFirstMomentsConsistentWithSigmaEntries) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto tensor = ComputeMomentsLmfao(&engine, attrs_, 2, data_->catalog);
+  ASSERT_TRUE(tensor.ok());
+  EXPECT_DOUBLE_EQ((*tensor)[{}], 1200.0);
+  // Repeated-attribute monomial = second moment.
+  const double units2 = (*tensor)[{data_->units, data_->units}];
+  EXPECT_GT(units2, 0.0);
+  const double cross = (*tensor)[SortedUnique({data_->units, data_->txns})];
+  EXPECT_NE(cross, 0.0);
+}
+
+TEST_F(MomentsTest, RejectsBadInput) {
+  EXPECT_FALSE(BuildMomentBatch({}, 2, data_->catalog).ok());
+  EXPECT_FALSE(BuildMomentBatch(attrs_, -1, data_->catalog).ok());
+  EXPECT_FALSE(BuildMomentBatch({9999}, 1, data_->catalog).ok());
+}
+
+}  // namespace
+}  // namespace lmfao

@@ -1,0 +1,154 @@
+/// \file parallel_test.cc
+/// \brief Tests of the group scheduler (task parallelism) and result parity
+/// across all parallel modes.
+
+#include "engine/parallel.h"
+
+#include <atomic>
+#include <mutex>
+
+#include <gtest/gtest.h>
+
+#include "baseline/join.h"
+#include "baseline/naive_engine.h"
+#include "data/favorita.h"
+#include "engine/engine.h"
+#include "ml/feature.h"
+
+namespace lmfao {
+namespace {
+
+GroupedWorkload MakeDiamond() {
+  // 0 -> {1, 2} -> 3 (3 depends on 1 and 2; 1,2 depend on 0).
+  GroupedWorkload g;
+  for (int i = 0; i < 4; ++i) {
+    ViewGroup vg;
+    vg.id = i;
+    vg.node = 0;
+    vg.outputs.push_back(i);  // Dummy.
+    g.groups.push_back(vg);
+  }
+  g.groups[1].depends_on = {0};
+  g.groups[2].depends_on = {0};
+  g.groups[3].depends_on = {1, 2};
+  g.producer_group = {0, 1, 2, 3};
+  return g;
+}
+
+TEST(ScheduleGroupsTest, SequentialRespectsOrder) {
+  GroupedWorkload g = MakeDiamond();
+  std::vector<int> order;
+  auto st = ScheduleGroups(g, nullptr, [&](int gid) {
+    order.push_back(gid);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.front(), 0);
+  EXPECT_EQ(order.back(), 3);
+}
+
+TEST(ScheduleGroupsTest, ParallelRespectsDependencies) {
+  GroupedWorkload g = MakeDiamond();
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<int> done;
+  auto st = ScheduleGroups(g, &pool, [&](int gid) {
+    std::lock_guard<std::mutex> lock(mu);
+    // Dependencies must already be complete.
+    for (int dep : g.groups[static_cast<size_t>(gid)].depends_on) {
+      EXPECT_TRUE(std::find(done.begin(), done.end(), dep) != done.end());
+    }
+    done.push_back(gid);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(done.size(), 4u);
+}
+
+TEST(ScheduleGroupsTest, ErrorAbortsDownstream) {
+  GroupedWorkload g = MakeDiamond();
+  ThreadPool pool(2);
+  std::atomic<int> runs{0};
+  auto st = ScheduleGroups(g, &pool, [&](int gid) -> Status {
+    runs.fetch_add(1);
+    if (gid == 0) return Status::Internal("boom");
+    return Status::OK();
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  // Only group 0 ran; 1, 2, 3 were skipped.
+  EXPECT_EQ(runs.load(), 1);
+}
+
+TEST(ScheduleGroupsTest, ErrorInParallelBranchPropagates) {
+  GroupedWorkload g = MakeDiamond();
+  ThreadPool pool(2);
+  auto st = ScheduleGroups(g, &pool, [&](int gid) -> Status {
+    if (gid == 2) return Status::IOError("branch failed");
+    return Status::OK();
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+TEST(ScheduleGroupsTest, EmptyGraph) {
+  GroupedWorkload g;
+  ThreadPool pool(2);
+  EXPECT_TRUE(ScheduleGroups(g, &pool, [](int) { return Status::OK(); }).ok());
+}
+
+TEST(ScheduleGroupsTest, LargeChain) {
+  GroupedWorkload g;
+  const int n = 64;
+  for (int i = 0; i < n; ++i) {
+    ViewGroup vg;
+    vg.id = i;
+    vg.outputs.push_back(i);
+    if (i > 0) vg.depends_on = {i - 1};
+    g.groups.push_back(vg);
+  }
+  ThreadPool pool(4);
+  std::atomic<int> last{-1};
+  auto st = ScheduleGroups(g, &pool, [&](int gid) {
+    // Strict chain: must observe predecessor already done.
+    EXPECT_EQ(last.load(), gid - 1);
+    last.store(gid);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(last.load(), n - 1);
+}
+
+/// Full-engine parity: task- and domain-parallel evaluation produce exactly
+/// the sequential results on a wide covariance batch.
+TEST(ParallelParityTest, CovarianceBatchAllModes) {
+  auto data = MakeFavorita(FavoritaOptions{.num_sales = 2000});
+  ASSERT_TRUE(data.ok());
+  FeatureSet features;
+  features.label = (*data)->units;
+  features.continuous = {(*data)->txns, (*data)->price};
+  features.categorical = {(*data)->stype, (*data)->family};
+  auto cov = BuildCovarianceBatch(features, (*data)->catalog);
+  ASSERT_TRUE(cov.ok());
+
+  Engine seq(&(*data)->catalog, &(*data)->tree, EngineOptions{});
+  auto ref = seq.Evaluate(cov->batch);
+  ASSERT_TRUE(ref.ok());
+
+  for (ParallelMode mode : {ParallelMode::kTask, ParallelMode::kDomain}) {
+    EngineOptions options;
+    options.parallel_mode = mode;
+    options.num_threads = 4;
+    Engine par(&(*data)->catalog, &(*data)->tree, options);
+    auto got = par.Evaluate(cov->batch);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    for (size_t q = 0; q < ref->results.size(); ++q) {
+      EXPECT_TRUE(ResultsEquivalent(ref->results[q], got->results[q], 1e-9))
+          << "mode=" << static_cast<int>(mode) << " query " << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lmfao

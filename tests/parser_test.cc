@@ -1,0 +1,170 @@
+/// \file parser_test.cc
+/// \brief Tests of the SQL-ish query parser, including full parse->evaluate
+/// round trips against hand-built batches.
+
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/join.h"
+#include "baseline/naive_engine.h"
+#include "data/favorita.h"
+#include "engine/engine.h"
+
+namespace lmfao {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto data = MakeFavorita(FavoritaOptions{.num_sales = 500});
+    ASSERT_TRUE(data.ok());
+    data_ = std::move(data).value();
+  }
+  std::unique_ptr<FavoritaData> data_;
+};
+
+TEST_F(ParserTest, GlobalSum) {
+  auto q = ParseQuery("SELECT SUM(units) FROM D", data_->catalog);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->group_by.empty());
+  ASSERT_EQ(q->aggregates.size(), 1u);
+  EXPECT_EQ(q->aggregates[0], Aggregate::Sum(data_->units));
+}
+
+TEST_F(ParserTest, CountStar) {
+  auto q = ParseQuery("SELECT SUM(1) FROM D", data_->catalog);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->aggregates[0].IsCount());
+}
+
+TEST_F(ParserTest, GroupByWithBareAttribute) {
+  auto q = ParseQuery("SELECT store, SUM(units) FROM D GROUP BY store",
+                      data_->catalog);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->group_by, (std::vector<AttrId>{data_->store}));
+}
+
+TEST_F(ParserTest, BareAttributeImpliesGroupBy) {
+  auto q = ParseQuery("SELECT store, SUM(units) FROM D", data_->catalog);
+  ASSERT_TRUE(q.ok());
+  // The batch canonicalizes later; the parser appends it.
+  EXPECT_EQ(q->group_by, (std::vector<AttrId>{data_->store}));
+}
+
+TEST_F(ParserTest, ProductAndSquare) {
+  auto q = ParseQuery("SELECT SUM(units * price), SUM(units^2) FROM D",
+                      data_->catalog);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->aggregates.size(), 2u);
+  EXPECT_EQ(q->aggregates[0],
+            Aggregate::SumProduct(data_->units, data_->price));
+  EXPECT_EQ(q->aggregates[1], Aggregate::SumSquare(data_->units));
+}
+
+TEST_F(ParserTest, DictionaryFunctions) {
+  auto g = std::make_shared<FunctionDict>();
+  g->name = "g";
+  FunctionRegistry registry;
+  registry["g"] = g;
+  auto q = ParseQuery("SELECT SUM(g(item) * units) FROM D", data_->catalog,
+                      registry);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  bool found_dict = false;
+  for (const Factor& f : q->aggregates[0].factors()) {
+    found_dict |= f.fn.kind() == FunctionKind::kDictionary;
+  }
+  EXPECT_TRUE(found_dict);
+}
+
+TEST_F(ParserTest, WhereBecomesIndicators) {
+  auto q = ParseQuery(
+      "SELECT SUM(1), SUM(units), SUM(units^2) FROM D "
+      "WHERE price <= 60 AND promo = 1",
+      data_->catalog);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->aggregates.size(), 3u);
+  // Every aggregate carries both conditions.
+  for (const Aggregate& agg : q->aggregates) {
+    int indicators = 0;
+    for (const Factor& f : agg.factors()) {
+      if (f.fn.IsIndicator()) ++indicators;
+    }
+    EXPECT_EQ(indicators, 2);
+  }
+}
+
+TEST_F(ParserTest, InlineIndicatorFactor) {
+  auto q = ParseQuery("SELECT SUM((price <= 55) * units) FROM D",
+                      data_->catalog);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->aggregates[0].factors().size(), 2u);
+}
+
+TEST_F(ParserTest, CaseInsensitiveKeywords) {
+  auto q = ParseQuery("select sum(units) from d group by store",
+                      data_->catalog);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->group_by, (std::vector<AttrId>{data_->store}));
+}
+
+TEST_F(ParserTest, ComparisonOperators) {
+  for (const char* op : {"<=", "<", ">=", ">", "=", "==", "!=", "<>"}) {
+    const std::string text =
+        std::string("SELECT SUM(1) FROM D WHERE price ") + op + " 50";
+    auto q = ParseQuery(text, data_->catalog);
+    ASSERT_TRUE(q.ok()) << text << ": " << q.status().ToString();
+    EXPECT_EQ(q->aggregates[0].factors().size(), 1u);
+  }
+}
+
+TEST_F(ParserTest, Rejections) {
+  EXPECT_FALSE(ParseQuery("", data_->catalog).ok());
+  EXPECT_FALSE(ParseQuery("SELECT FROM D", data_->catalog).ok());
+  EXPECT_FALSE(ParseQuery("SELECT SUM(units) FROM Sales", data_->catalog).ok());
+  EXPECT_FALSE(ParseQuery("SELECT SUM(ghost) FROM D", data_->catalog).ok());
+  EXPECT_FALSE(ParseQuery("SELECT SUM(units^3) FROM D", data_->catalog).ok());
+  EXPECT_FALSE(ParseQuery("SELECT SUM(2 * units) FROM D", data_->catalog).ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT SUM(units) FROM D trailing", data_->catalog).ok());
+  EXPECT_FALSE(ParseQuery("SELECT SUM(units FROM D", data_->catalog).ok());
+}
+
+TEST_F(ParserTest, BatchSplitsOnSemicolons) {
+  auto batch = ParseQueryBatch(
+      "SELECT SUM(units) FROM D;\n"
+      " ;\n"
+      "SELECT store, SUM(1) FROM D GROUP BY store;",
+      data_->catalog);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->size(), 2);
+}
+
+TEST_F(ParserTest, EmptyBatchRejected) {
+  EXPECT_FALSE(ParseQueryBatch(" ;; ", data_->catalog).ok());
+}
+
+/// Full round trip: parsed batch evaluates to the same results as the
+/// baseline over the materialized join.
+TEST_F(ParserTest, ParsedBatchEvaluatesCorrectly) {
+  auto batch = ParseQueryBatch(
+      "SELECT SUM(units) FROM D;"
+      "SELECT store, SUM(units * txns) FROM D GROUP BY store;"
+      "SELECT class, SUM(1) FROM D WHERE promo = 1 GROUP BY class;",
+      data_->catalog);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto result = engine.Evaluate(*batch);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto joined = MaterializeJoin(data_->catalog, data_->tree, data_->sales);
+  ASSERT_TRUE(joined.ok());
+  auto baseline = EvaluateBatchSharedScan(*joined, *batch);
+  ASSERT_TRUE(baseline.ok());
+  for (size_t q = 0; q < baseline->size(); ++q) {
+    EXPECT_TRUE(ResultsEquivalent(result->results[q], (*baseline)[q], 1e-9))
+        << "query " << q;
+  }
+}
+
+}  // namespace
+}  // namespace lmfao

@@ -1,0 +1,110 @@
+/// \file pca_test.cc
+/// \brief PCA over Sigma: eigen-structure sanity and agreement between
+/// Sigma sources.
+
+#include "ml/pca.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baseline/join.h"
+#include "data/favorita.h"
+
+namespace lmfao {
+namespace {
+
+/// Hand-built Sigma for two perfectly correlated features:
+/// x2 = 2*x1, x1 in {1,2,3}, n = 3.
+SigmaMatrix CorrelatedSigma() {
+  SigmaMatrix sigma;
+  sigma.index.num_continuous = 2;
+  sigma.index.dim = 3;
+  sigma.count = 3;
+  // Rows/cols: intercept, x1, x2 with x1 = (1,2,3), x2 = (2,4,6).
+  const double s1 = 6, s2 = 12, s11 = 14, s22 = 56, s12 = 28;
+  sigma.data = {3,  s1,  s2,   //
+                s1, s11, s12,  //
+                s2, s12, s22};
+  return sigma;
+}
+
+TEST(PcaTest, PerfectCorrelationGivesOneComponent) {
+  auto result = ComputePca(CorrelatedSigma(), PcaOptions{.num_components = 2});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_components, 2);
+  // Standardized: total variance 2, all captured by the first component.
+  EXPECT_NEAR(result->explained_variance_ratio[0], 1.0, 1e-9);
+  EXPECT_NEAR(result->eigenvalues[1], 0.0, 1e-9);
+  // First component weights the two features equally (up to sign).
+  EXPECT_NEAR(std::fabs(result->components[0]),
+              std::fabs(result->components[1]), 1e-9);
+}
+
+TEST(PcaTest, ComponentsAreOrthonormal) {
+  auto data = MakeFavorita(FavoritaOptions{.num_sales = 2000});
+  ASSERT_TRUE(data.ok());
+  FeatureSet features;
+  features.label = (*data)->units;
+  features.continuous = {(*data)->txns, (*data)->price};
+  features.categorical = {(*data)->stype};
+  Engine engine(&(*data)->catalog, &(*data)->tree, EngineOptions{});
+  auto sigma = ComputeSigmaLmfao(&engine, features, (*data)->catalog);
+  ASSERT_TRUE(sigma.ok());
+  auto result = ComputePca(*sigma, PcaOptions{.num_components = 3});
+  ASSERT_TRUE(result.ok());
+  const int dim = result->dim;
+  for (int a = 0; a < result->num_components; ++a) {
+    for (int b = 0; b <= a; ++b) {
+      double dot = 0.0;
+      for (int i = 0; i < dim; ++i) {
+        dot += result->components[static_cast<size_t>(a * dim + i)] *
+               result->components[static_cast<size_t>(b * dim + i)];
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-6) << a << "," << b;
+    }
+  }
+  // Eigenvalues descending, ratios in (0, 1].
+  for (int c = 1; c < result->num_components; ++c) {
+    EXPECT_LE(result->eigenvalues[static_cast<size_t>(c)],
+              result->eigenvalues[static_cast<size_t>(c - 1)] + 1e-9);
+  }
+}
+
+TEST(PcaTest, SigmaSourceDoesNotMatter) {
+  auto data = MakeFavorita(FavoritaOptions{.num_sales = 1500});
+  ASSERT_TRUE(data.ok());
+  FeatureSet features;
+  features.label = (*data)->units;
+  features.continuous = {(*data)->txns, (*data)->price};
+  Engine engine(&(*data)->catalog, &(*data)->tree, EngineOptions{});
+  auto lmfao_sigma = ComputeSigmaLmfao(&engine, features, (*data)->catalog);
+  ASSERT_TRUE(lmfao_sigma.ok());
+  auto joined =
+      MaterializeJoin((*data)->catalog, (*data)->tree, (*data)->sales);
+  ASSERT_TRUE(joined.ok());
+  auto scan_sigma = ComputeSigmaScan(*joined, features, (*data)->catalog);
+  ASSERT_TRUE(scan_sigma.ok());
+  auto a = ComputePca(*lmfao_sigma);
+  auto b = ComputePca(*scan_sigma);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->eigenvalues.size(); ++i) {
+    EXPECT_NEAR(a->eigenvalues[i], b->eigenvalues[i],
+                1e-6 * std::max(1.0, b->eigenvalues[i]));
+  }
+}
+
+TEST(PcaTest, RejectsDegenerateInput) {
+  SigmaMatrix sigma;
+  sigma.index.dim = 1;
+  sigma.index.num_continuous = 0;
+  sigma.count = 10;
+  sigma.data = {10};
+  EXPECT_FALSE(ComputePca(sigma).ok());
+  SigmaMatrix tiny = CorrelatedSigma();
+  tiny.count = 1;
+  EXPECT_FALSE(ComputePca(tiny).ok());
+}
+
+}  // namespace
+}  // namespace lmfao

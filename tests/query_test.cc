@@ -1,0 +1,114 @@
+/// \file query_test.cc
+
+#include "query/query.h"
+
+#include <gtest/gtest.h>
+
+namespace lmfao {
+namespace {
+
+Catalog MakeCatalog() {
+  Catalog cat;
+  LMFAO_CHECK(cat.AddAttribute("a", AttrType::kInt).ok());
+  LMFAO_CHECK(cat.AddAttribute("b", AttrType::kInt).ok());
+  LMFAO_CHECK(cat.AddAttribute("x", AttrType::kDouble).ok());
+  LMFAO_CHECK(cat.AddRelation("R", {"a", "b", "x"}).ok());
+  return cat;
+}
+
+TEST(QueryBatchTest, AddAssignsDenseIds) {
+  QueryBatch batch;
+  Query q1;
+  q1.aggregates.push_back(Aggregate::Count());
+  Query q2;
+  q2.aggregates.push_back(Aggregate::Count());
+  EXPECT_EQ(batch.Add(std::move(q1)), 0);
+  EXPECT_EQ(batch.Add(std::move(q2)), 1);
+  EXPECT_EQ(batch.size(), 2);
+  EXPECT_EQ(batch.query(1).id, 1);
+}
+
+TEST(QueryBatchTest, GroupBySortedAndDeduplicated) {
+  QueryBatch batch;
+  Query q;
+  q.group_by = {1, 0, 1};
+  q.aggregates.push_back(Aggregate::Count());
+  batch.Add(std::move(q));
+  EXPECT_EQ(batch.query(0).group_by, (std::vector<AttrId>{0, 1}));
+}
+
+TEST(QueryTest, ReferencedAttributes) {
+  Query q;
+  q.group_by = {0};
+  q.aggregates.push_back(Aggregate::SumProduct(2, 1));
+  EXPECT_EQ(q.ReferencedAttributes(), (std::vector<AttrId>{0, 1, 2}));
+}
+
+TEST(QueryTest, ToStringSqlish) {
+  Catalog cat = MakeCatalog();
+  Query q;
+  q.group_by = {0};
+  q.aggregates.push_back(Aggregate::Sum(2));
+  const std::string s = q.ToString(&cat);
+  EXPECT_NE(s.find("SELECT a, SUM(x) FROM D GROUP BY a"), std::string::npos);
+}
+
+TEST(QueryBatchTest, ValidateAcceptsGoodBatch) {
+  Catalog cat = MakeCatalog();
+  QueryBatch batch;
+  Query q;
+  q.group_by = {0, 1};
+  q.aggregates.push_back(Aggregate::Sum(2));
+  batch.Add(std::move(q));
+  EXPECT_TRUE(batch.Validate(cat).ok());
+}
+
+TEST(QueryBatchTest, ValidateRejectsEmptyAggregates) {
+  Catalog cat = MakeCatalog();
+  QueryBatch batch;
+  batch.Add(Query{});
+  EXPECT_FALSE(batch.Validate(cat).ok());
+}
+
+TEST(QueryBatchTest, ValidateRejectsUnknownAttribute) {
+  Catalog cat = MakeCatalog();
+  QueryBatch batch;
+  Query q;
+  q.aggregates.push_back(Aggregate::Sum(99));
+  batch.Add(std::move(q));
+  EXPECT_FALSE(batch.Validate(cat).ok());
+}
+
+TEST(QueryBatchTest, ValidateRejectsDoubleGroupBy) {
+  Catalog cat = MakeCatalog();
+  QueryBatch batch;
+  Query q;
+  q.group_by = {2};  // x is a double attribute.
+  q.aggregates.push_back(Aggregate::Count());
+  batch.Add(std::move(q));
+  EXPECT_FALSE(batch.Validate(cat).ok());
+}
+
+TEST(QueryBatchTest, TotalAggregates) {
+  QueryBatch batch;
+  Query q1;
+  q1.aggregates = {Aggregate::Count(), Aggregate::Sum(0)};
+  Query q2;
+  q2.aggregates = {Aggregate::Count()};
+  batch.Add(std::move(q1));
+  batch.Add(std::move(q2));
+  EXPECT_EQ(batch.TotalAggregates(), 3);
+}
+
+TEST(QueryResultTest, TotalOfSumsPayloadColumn) {
+  QueryResult r;
+  r.data = ViewMap(1, 2);
+  r.data.Upsert(TupleKey({1}))[0] = 2.0;
+  r.data.Upsert(TupleKey({2}))[0] = 3.0;
+  r.data.Upsert(TupleKey({2}))[1] = 10.0;
+  EXPECT_DOUBLE_EQ(r.TotalOf(0), 5.0);
+  EXPECT_DOUBLE_EQ(r.TotalOf(1), 10.0);
+}
+
+}  // namespace
+}  // namespace lmfao

@@ -1,0 +1,59 @@
+/// \file report_test.cc
+/// \brief Smoke tests of the report printers (the demo-UI panels).
+
+#include "engine/report.h"
+
+#include <gtest/gtest.h>
+
+#include "data/favorita.h"
+
+namespace lmfao {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto data = MakeFavorita(FavoritaOptions{.num_sales = 2000});
+    ASSERT_TRUE(data.ok());
+    data_ = std::move(data).value();
+    engine_ = std::make_unique<Engine>(&data_->catalog, &data_->tree,
+                                       EngineOptions{});
+  }
+  std::unique_ptr<FavoritaData> data_;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(ReportTest, ViewGenerationPanel) {
+  auto compiled = engine_->Compile(MakeExampleBatch(*data_));
+  ASSERT_TRUE(compiled.ok());
+  const std::string report =
+      ReportViewGeneration(*compiled, data_->catalog);
+  EXPECT_NE(report.find("merged views: 6"), std::string::npos);
+  EXPECT_NE(report.find("Q0 -> Sales"), std::string::npos);
+  EXPECT_NE(report.find("Q2 -> Items"), std::string::npos);
+  EXPECT_NE(report.find("arrow widths"), std::string::npos);
+  EXPECT_NE(report.find("Transactions -> Sales: 1"), std::string::npos);
+}
+
+TEST_F(ReportTest, ViewGroupsPanel) {
+  auto compiled = engine_->Compile(MakeExampleBatch(*data_));
+  ASSERT_TRUE(compiled.ok());
+  const std::string report = ReportViewGroups(*compiled, data_->catalog);
+  EXPECT_NE(report.find("View Groups (7)"), std::string::npos);
+  EXPECT_NE(report.find("attribute order: item date store"),
+            std::string::npos);
+  EXPECT_NE(report.find("alphas"), std::string::npos);
+}
+
+TEST_F(ReportTest, ExecutionPanel) {
+  auto result = engine_->Evaluate(MakeExampleBatch(*data_));
+  ASSERT_TRUE(result.ok());
+  const std::string report =
+      ReportExecution(result->stats, data_->catalog);
+  EXPECT_NE(report.find("3 queries -> 6 views"), std::string::npos);
+  EXPECT_NE(report.find("in 7 groups"), std::string::npos);
+  EXPECT_NE(report.find("group 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lmfao

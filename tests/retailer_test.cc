@@ -1,0 +1,103 @@
+/// \file retailer_test.cc
+/// \brief Tests of the Retailer synthetic generator against the schema
+/// of the companion paper [5].
+
+#include "data/retailer.h"
+
+#include <gtest/gtest.h>
+
+namespace lmfao {
+namespace {
+
+TEST(RetailerTest, SchemaHas43Attributes) {
+  auto data = MakeRetailer(RetailerOptions{.num_inventory = 100});
+  ASSERT_TRUE(data.ok());
+  // The paper's Retailer schema has 43 attributes across 5 relations.
+  EXPECT_EQ((*data)->catalog.num_attrs(), 43);
+  EXPECT_EQ((*data)->catalog.num_relations(), 5);
+}
+
+TEST(RetailerTest, RelationsAndArities) {
+  auto data = MakeRetailer(RetailerOptions{.num_inventory = 100});
+  ASSERT_TRUE(data.ok());
+  const Catalog& cat = (*data)->catalog;
+  EXPECT_EQ(cat.relation((*data)->inventory).schema().arity(), 4);
+  EXPECT_EQ(cat.relation((*data)->location).schema().arity(), 15);
+  EXPECT_EQ(cat.relation((*data)->census).schema().arity(), 16);
+  EXPECT_EQ(cat.relation((*data)->item).schema().arity(), 5);
+  EXPECT_EQ(cat.relation((*data)->weather).schema().arity(), 8);
+}
+
+TEST(RetailerTest, FeatureSplit) {
+  auto data = MakeRetailer(RetailerOptions{.num_inventory = 100});
+  ASSERT_TRUE(data.ok());
+  // 33 continuous (incl. the label inventoryunits), 6 categorical; the
+  // remaining 4 attributes are join keys.
+  EXPECT_EQ((*data)->continuous.size(), 33u);
+  EXPECT_EQ((*data)->categorical.size(), 6u);
+  for (AttrId a : (*data)->continuous) {
+    EXPECT_EQ((*data)->catalog.attr(a).type, AttrType::kDouble);
+  }
+  for (AttrId a : (*data)->categorical) {
+    EXPECT_EQ((*data)->catalog.attr(a).type, AttrType::kInt);
+  }
+}
+
+TEST(RetailerTest, JoinTreeValid) {
+  auto data = MakeRetailer(RetailerOptions{.num_inventory = 100});
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ((*data)->tree.num_edges(), 4);
+  EXPECT_TRUE((*data)->tree.VerifyRip((*data)->catalog).ok());
+  // Inventory-Weather separator is {locn, dateid}.
+  bool found = false;
+  for (EdgeId e = 0; e < (*data)->tree.num_edges(); ++e) {
+    const auto& [a, b] = (*data)->tree.edge(e);
+    if ((a == (*data)->inventory && b == (*data)->weather) ||
+        (b == (*data)->inventory && a == (*data)->weather)) {
+      found = true;
+      EXPECT_EQ((*data)->tree.separator(e).size(), 2u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RetailerTest, SizesFollowOptions) {
+  RetailerOptions options;
+  options.num_inventory = 250;
+  options.num_locations = 7;
+  options.num_dates = 13;
+  options.num_items = 29;
+  options.num_zips = 5;
+  auto data = MakeRetailer(options);
+  ASSERT_TRUE(data.ok());
+  const Catalog& cat = (*data)->catalog;
+  EXPECT_EQ(cat.relation((*data)->inventory).num_rows(), 250u);
+  EXPECT_EQ(cat.relation((*data)->location).num_rows(), 7u);
+  EXPECT_EQ(cat.relation((*data)->census).num_rows(), 5u);
+  EXPECT_EQ(cat.relation((*data)->item).num_rows(), 29u);
+  EXPECT_EQ(cat.relation((*data)->weather).num_rows(), 7u * 13u);
+}
+
+TEST(RetailerTest, Deterministic) {
+  auto a = MakeRetailer(RetailerOptions{.num_inventory = 150, .seed = 4});
+  auto b = MakeRetailer(RetailerOptions{.num_inventory = 150, .seed = 4});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ((*a)->catalog.relation((*a)->inventory).column(2).ints(),
+            (*b)->catalog.relation((*b)->inventory).column(2).ints());
+}
+
+TEST(RetailerTest, ItemHierarchyConsistent) {
+  auto data = MakeRetailer(RetailerOptions{.num_inventory = 100});
+  ASSERT_TRUE(data.ok());
+  const Relation& item = (*data)->catalog.relation((*data)->item);
+  const auto& sub = item.column(1).ints();
+  const auto& cat = item.column(2).ints();
+  const auto& cluster = item.column(3).ints();
+  for (size_t i = 0; i < item.num_rows(); ++i) {
+    EXPECT_EQ(sub[i] / 5, cat[i]);       // 5 subcategories per category.
+    EXPECT_EQ(cat[i] / 4, cluster[i]);   // 4 categories per cluster.
+  }
+}
+
+}  // namespace
+}  // namespace lmfao

@@ -1,0 +1,124 @@
+/// \file rkmeans_test.cc
+/// \brief Rk-means end-to-end: grid coreset structure, weight conservation,
+/// clustering quality vs. conventional Lloyd's (Fig. 4(d) quantities).
+
+#include "ml/rkmeans.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "baseline/join.h"
+#include "data/favorita.h"
+
+namespace lmfao {
+namespace {
+
+class RkMeansTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto data = MakeFavorita(FavoritaOptions{.num_sales = 3000});
+    ASSERT_TRUE(data.ok());
+    data_ = std::move(data).value();
+    edges_ = {{data_->sales, data_->transactions},
+              {data_->sales, data_->holidays},
+              {data_->sales, data_->items},
+              {data_->transactions, data_->stores},
+              {data_->transactions, data_->oil}};
+    dims_ = {data_->store, data_->item, data_->item_class};
+  }
+
+  std::unique_ptr<FavoritaData> data_;
+  std::vector<std::pair<RelationId, RelationId>> edges_;
+  std::vector<AttrId> dims_;
+};
+
+TEST_F(RkMeansTest, WeightsConserveDataSize) {
+  RkMeansOptions options;
+  options.k = 4;
+  auto result = RunRkMeans(&data_->catalog, edges_, dims_, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The grid weights sum to |D| (step 3 groups every tuple once).
+  EXPECT_NEAR(result->data_size, 3000.0, 1e-9);
+  EXPECT_GT(result->coreset_size, 0u);
+  // The coreset is at most k^n and far smaller than D.
+  EXPECT_LE(result->coreset_size, static_cast<size_t>(std::pow(4.0, 3.0)));
+  EXPECT_LT(result->coreset_size, 3000u);
+}
+
+TEST_F(RkMeansTest, CentroidShapes) {
+  RkMeansOptions options;
+  options.k = 5;
+  auto result = RunRkMeans(&data_->catalog, edges_, dims_, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->dims, 3);
+  EXPECT_LE(result->k, 5);
+  EXPECT_EQ(result->centroids.size(),
+            static_cast<size_t>(result->k) * 3u);
+  EXPECT_EQ(result->dimension_seconds.size(), 3u);
+}
+
+TEST_F(RkMeansTest, QualityCloseToLloyds) {
+  RkMeansOptions options;
+  options.k = 4;
+  auto result = RunRkMeans(&data_->catalog, edges_, dims_, options);
+  ASSERT_TRUE(result.ok());
+  auto joined = MaterializeJoin(data_->catalog, data_->tree, data_->sales);
+  ASSERT_TRUE(joined.ok());
+  auto quality =
+      EvaluateRkMeansQuality(*joined, dims_, *result, /*lloyd_runs=*/3);
+  ASSERT_TRUE(quality.ok()) << quality.status().ToString();
+  EXPECT_GT(quality->lloyds_cost, 0.0);
+  // Rk-means is a constant-factor approximation; on this workload the
+  // excess cost stays moderate.
+  EXPECT_LT(quality->relative_approximation, 1.0)
+      << "rkmeans=" << quality->rkmeans_cost
+      << " lloyds=" << quality->lloyds_cost;
+  EXPECT_GT(quality->relative_coreset_size, 0.0);
+  EXPECT_LT(quality->relative_coreset_size, 0.2);
+}
+
+TEST_F(RkMeansTest, ClosestCentroidLookup) {
+  RkMeansOptions options;
+  options.k = 3;
+  auto result = RunRkMeans(&data_->catalog, edges_, dims_, options);
+  ASSERT_TRUE(result.ok());
+  // The closest centroid to a centroid is itself.
+  for (int c = 0; c < result->k; ++c) {
+    std::vector<double> point(
+        result->centroids.begin() + c * result->dims,
+        result->centroids.begin() + (c + 1) * result->dims);
+    EXPECT_EQ(result->ClosestCentroid(point), c);
+  }
+}
+
+TEST_F(RkMeansTest, SingleDimension) {
+  RkMeansOptions options;
+  options.k = 3;
+  std::vector<AttrId> dims = {data_->item};
+  auto result = RunRkMeans(&data_->catalog, edges_, dims, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->dims, 1);
+  // With one dimension the coreset has at most k points.
+  EXPECT_LE(result->coreset_size, 3u);
+}
+
+TEST_F(RkMeansTest, RejectsContinuousDimension) {
+  RkMeansOptions options;
+  options.k = 2;
+  std::vector<AttrId> dims = {data_->units};
+  EXPECT_FALSE(RunRkMeans(&data_->catalog, edges_, dims, options).ok());
+}
+
+TEST_F(RkMeansTest, PerDimensionKOverride) {
+  RkMeansOptions options;
+  options.k = 2;
+  options.per_dimension_k = 6;
+  auto result = RunRkMeans(&data_->catalog, edges_, dims_, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->k, 2);
+  // Grid can have up to 6^3 points but only occupied ones are kept.
+  EXPECT_LE(result->coreset_size, 216u);
+}
+
+}  // namespace
+}  // namespace lmfao

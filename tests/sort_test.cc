@@ -1,0 +1,95 @@
+/// \file sort_test.cc
+
+#include "storage/sort.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace lmfao {
+namespace {
+
+Relation MakeRelation() {
+  Relation r("R", RelationSchema({0, 1, 2}),
+             {AttrType::kInt, AttrType::kInt, AttrType::kDouble});
+  // (2,1,0.1) (1,2,0.2) (2,0,0.3) (1,1,0.4)
+  r.AppendRowUnchecked({Value::Int(2), Value::Int(1), Value::Double(0.1)});
+  r.AppendRowUnchecked({Value::Int(1), Value::Int(2), Value::Double(0.2)});
+  r.AppendRowUnchecked({Value::Int(2), Value::Int(0), Value::Double(0.3)});
+  r.AppendRowUnchecked({Value::Int(1), Value::Int(1), Value::Double(0.4)});
+  return r;
+}
+
+TEST(SortTest, LexicographicTwoKeys) {
+  Relation r = MakeRelation();
+  ASSERT_TRUE(SortRelation(&r, {0, 1}).ok());
+  EXPECT_EQ(r.column(0).ints(), (std::vector<int64_t>{1, 1, 2, 2}));
+  EXPECT_EQ(r.column(1).ints(), (std::vector<int64_t>{1, 2, 0, 1}));
+  // Payload column moved with its row.
+  EXPECT_DOUBLE_EQ(r.column(2).doubles()[0], 0.4);
+}
+
+TEST(SortTest, SingleKey) {
+  Relation r = MakeRelation();
+  ASSERT_TRUE(SortRelation(&r, {1}).ok());
+  EXPECT_EQ(r.column(1).ints(), (std::vector<int64_t>{0, 1, 1, 2}));
+}
+
+TEST(SortTest, IsSortedDetects) {
+  Relation r = MakeRelation();
+  auto sorted = IsSorted(r, {0, 1});
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_FALSE(*sorted);
+  ASSERT_TRUE(SortRelation(&r, {0, 1}).ok());
+  sorted = IsSorted(r, {0, 1});
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_TRUE(*sorted);
+}
+
+TEST(SortTest, RejectsUnknownAttribute) {
+  Relation r = MakeRelation();
+  EXPECT_FALSE(SortRelation(&r, {42}).ok());
+}
+
+TEST(SortTest, RejectsDoubleColumn) {
+  Relation r = MakeRelation();
+  EXPECT_FALSE(SortRelation(&r, {2}).ok());
+}
+
+TEST(SortTest, StableAndDeterministic) {
+  Relation a("A", RelationSchema({0, 1}), {AttrType::kInt, AttrType::kInt});
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    a.AppendRowUnchecked(
+        {Value::Int(rng.UniformInt(0, 9)), Value::Int(i)});
+  }
+  Relation b = a;
+  ASSERT_TRUE(SortRelation(&a, {0}).ok());
+  ASSERT_TRUE(SortRelation(&b, {0}).ok());
+  EXPECT_EQ(a.column(1).ints(), b.column(1).ints());
+  // Stability: within equal keys, original order (column 1 ascending).
+  for (size_t i = 1; i < a.num_rows(); ++i) {
+    if (a.column(0).ints()[i - 1] == a.column(0).ints()[i]) {
+      EXPECT_LT(a.column(1).ints()[i - 1], a.column(1).ints()[i]);
+    }
+  }
+}
+
+TEST(SortTest, EmptyRelation) {
+  Relation r("E", RelationSchema({0}), {AttrType::kInt});
+  ASSERT_TRUE(SortRelation(&r, {0}).ok());
+  auto sorted = IsSorted(r, {0});
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_TRUE(*sorted);
+}
+
+TEST(SortTest, PermutationMatchesSort) {
+  Relation r = MakeRelation();
+  auto perm = SortPermutation(r, {0, 1});
+  ASSERT_TRUE(perm.ok());
+  EXPECT_EQ(perm->size(), 4u);
+  EXPECT_EQ((*perm)[0], 3u);  // Row (1,1) first.
+}
+
+}  // namespace
+}  // namespace lmfao

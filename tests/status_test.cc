@@ -1,0 +1,92 @@
+/// \file status_test.cc
+/// \brief Unit tests for Status/StatusOr.
+
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace lmfao {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Internal("boom").message(), "boom");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::NotFound("missing").ToString(), "NotFound: missing");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::Internal("a"), Status::Internal("a"));
+  EXPECT_FALSE(Status::Internal("a") == Status::Internal("b"));
+  EXPECT_FALSE(Status::Internal("a") == Status::IOError("a"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("payload");
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(StatusOrTest, MacroPropagatesError) {
+  auto inner = []() -> StatusOr<int> { return Status::Internal("inner"); };
+  auto outer = [&]() -> Status {
+    LMFAO_ASSIGN_OR_RETURN(int x, inner());
+    (void)x;
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, MacroAssignsValue) {
+  auto inner = []() -> StatusOr<int> { return 7; };
+  int got = 0;
+  auto outer = [&]() -> Status {
+    LMFAO_ASSIGN_OR_RETURN(got, inner());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().ok());
+  EXPECT_EQ(got, 7);
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  auto f = [](bool fail) -> Status {
+    LMFAO_RETURN_NOT_OK(fail ? Status::IOError("io") : Status::OK());
+    return Status::Internal("reached end");
+  };
+  EXPECT_EQ(f(true).code(), StatusCode::kIOError);
+  EXPECT_EQ(f(false).code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace lmfao

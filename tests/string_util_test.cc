@@ -1,0 +1,69 @@
+/// \file string_util_test.cc
+
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace lmfao {
+namespace {
+
+TEST(SplitStringTest, Basic) {
+  EXPECT_EQ(SplitString("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitStringTest, KeepsEmptyFields) {
+  EXPECT_EQ(SplitString("a,,c", ','),
+            (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(SplitString(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitStringTest, SingleField) {
+  EXPECT_EQ(SplitString("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(JoinStringsTest, RoundTripsWithSplit) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(JoinStrings(parts, ","), "x,y,z");
+  EXPECT_EQ(SplitString(JoinStrings(parts, ","), ','), parts);
+}
+
+TEST(JoinStringsTest, EmptyAndSingle) {
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"a"}, ","), "a");
+}
+
+TEST(StripWhitespaceTest, Basic) {
+  EXPECT_EQ(StripWhitespace("  a b \t\n"), "a b");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+TEST(StartsEndsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(ToLowerTest, Basic) {
+  EXPECT_EQ(ToLower("AbC-1"), "abc-1");
+}
+
+TEST(StringPrintfTest, FormatsNumbers) {
+  EXPECT_EQ(StringPrintf("%d/%d", 3, 4), "3/4");
+  EXPECT_EQ(StringPrintf("%.2f", 1.5), "1.50");
+  EXPECT_EQ(StringPrintf("%s", "ok"), "ok");
+}
+
+TEST(StringPrintfTest, LongOutput) {
+  const std::string s = StringPrintf("%0200d", 5);
+  EXPECT_EQ(s.size(), 200u);
+}
+
+}  // namespace
+}  // namespace lmfao

@@ -1,0 +1,93 @@
+/// \file thread_pool_test.cc
+
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+namespace lmfao {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, SingleThreadStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) pool.Submit([&count] { ++count; });
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&] {
+    for (int i = 0; i < 5; ++i) {
+      pool.Submit([&count] { ++count; });
+    }
+  });
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 5);
+}
+
+TEST(ThreadPoolTest, WaitIdleReturnsImmediatelyWhenEmpty) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // Must not hang.
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelWorkActuallyOverlaps) {
+  ThreadPool pool(4);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_concurrent{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&] {
+      const int now = concurrent.fetch_add(1) + 1;
+      int prev = max_concurrent.load();
+      while (prev < now && !max_concurrent.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      concurrent.fetch_sub(1);
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_GT(max_concurrent.load(), 1);
+}
+
+TEST(ParallelForTest, CoversAllIndexes) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  ParallelFor(&pool, hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, InlineWithoutPool) {
+  std::vector<int> hits(10, 0);
+  ParallelFor(nullptr, hits.size(), [&](size_t i) { hits[i] = 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, ZeroIterations) {
+  ThreadPool pool(2);
+  ParallelFor(&pool, 0, [](size_t) { FAIL(); });
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace lmfao

@@ -1,0 +1,147 @@
+/// \file view_test.cc
+/// \brief Tests for ViewMap (open-addressing) and SortView storage.
+
+#include "storage/view.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace lmfao {
+namespace {
+
+TEST(ViewMapTest, UpsertCreatesZeroedPayload) {
+  ViewMap map(2, 3);
+  double* p = map.Upsert(TupleKey({1, 2}));
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_DOUBLE_EQ(p[2], 0.0);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(ViewMapTest, UpsertIsIdempotentOnKeys) {
+  ViewMap map(1, 1);
+  map.Upsert(TupleKey({5}))[0] += 1.0;
+  map.Upsert(TupleKey({5}))[0] += 2.0;
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_DOUBLE_EQ(map.Lookup(TupleKey({5}))[0], 3.0);
+}
+
+TEST(ViewMapTest, LookupMissingReturnsNull) {
+  ViewMap map(1, 1);
+  EXPECT_EQ(map.Lookup(TupleKey({7})), nullptr);
+}
+
+TEST(ViewMapTest, EmptyKeySupported) {
+  ViewMap map(0, 2);
+  map.Upsert(TupleKey())[1] = 9.0;
+  ASSERT_NE(map.Lookup(TupleKey()), nullptr);
+  EXPECT_DOUBLE_EQ(map.Lookup(TupleKey())[1], 9.0);
+}
+
+TEST(ViewMapTest, GrowthPreservesEntries) {
+  ViewMap map(2, 2);
+  Rng rng(3);
+  for (int64_t i = 0; i < 5000; ++i) {
+    double* p = map.Upsert(TupleKey({i, i * 3}));
+    p[0] = static_cast<double>(i);
+    p[1] = static_cast<double>(-i);
+  }
+  EXPECT_EQ(map.size(), 5000u);
+  for (int64_t i = 0; i < 5000; ++i) {
+    const double* p = map.Lookup(TupleKey({i, i * 3}));
+    ASSERT_NE(p, nullptr) << i;
+    EXPECT_DOUBLE_EQ(p[0], static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(p[1], static_cast<double>(-i));
+  }
+}
+
+TEST(ViewMapTest, ForEachVisitsAllOnce) {
+  ViewMap map(1, 1);
+  for (int64_t i = 0; i < 100; ++i) map.Upsert(TupleKey({i}))[0] = 1.0;
+  int visits = 0;
+  double total = 0.0;
+  map.ForEach([&](const TupleKey&, const double* p) {
+    ++visits;
+    total += p[0];
+  });
+  EXPECT_EQ(visits, 100);
+  EXPECT_DOUBLE_EQ(total, 100.0);
+}
+
+TEST(ViewMapTest, MergeAddSumsPayloads) {
+  ViewMap a(1, 2);
+  ViewMap b(1, 2);
+  a.Upsert(TupleKey({1}))[0] = 1.0;
+  a.Upsert(TupleKey({2}))[1] = 2.0;
+  b.Upsert(TupleKey({2}))[1] = 5.0;
+  b.Upsert(TupleKey({3}))[0] = 7.0;
+  a.MergeAdd(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.Lookup(TupleKey({2}))[1], 7.0);
+  EXPECT_DOUBLE_EQ(a.Lookup(TupleKey({3}))[0], 7.0);
+  EXPECT_DOUBLE_EQ(a.Lookup(TupleKey({1}))[0], 1.0);
+}
+
+TEST(ViewMapTest, NegativeKeysWork) {
+  ViewMap map(2, 1);
+  map.Upsert(TupleKey({-5, 3}))[0] = 1.0;
+  EXPECT_NE(map.Lookup(TupleKey({-5, 3})), nullptr);
+  EXPECT_EQ(map.Lookup(TupleKey({5, 3})), nullptr);
+}
+
+TEST(SortViewTest, FromMapSortsKeys) {
+  ViewMap map(2, 1);
+  map.Upsert(TupleKey({2, 1}))[0] = 21.0;
+  map.Upsert(TupleKey({1, 9}))[0] = 19.0;
+  map.Upsert(TupleKey({1, 2}))[0] = 12.0;
+  SortView view = SortView::FromMap(map);
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view.key(0), TupleKey({1, 2}));
+  EXPECT_EQ(view.key(1), TupleKey({1, 9}));
+  EXPECT_EQ(view.key(2), TupleKey({2, 1}));
+  EXPECT_DOUBLE_EQ(view.payload(0)[0], 12.0);
+}
+
+TEST(SortViewTest, LookupBinarySearch) {
+  ViewMap map(1, 1);
+  for (int64_t i = 0; i < 100; i += 2) map.Upsert(TupleKey({i}))[0] = i;
+  SortView view = SortView::FromMap(map);
+  EXPECT_DOUBLE_EQ(view.Lookup(TupleKey({42}))[0], 42.0);
+  EXPECT_EQ(view.Lookup(TupleKey({43})), nullptr);
+}
+
+TEST(SortViewTest, LowerBound) {
+  ViewMap map(1, 1);
+  map.Upsert(TupleKey({10}));
+  map.Upsert(TupleKey({20}));
+  SortView view = SortView::FromMap(map);
+  EXPECT_EQ(view.LowerBound(TupleKey({5})), 0u);
+  EXPECT_EQ(view.LowerBound(TupleKey({15})), 1u);
+  EXPECT_EQ(view.LowerBound(TupleKey({25})), 2u);
+}
+
+/// Property: ViewMap agrees with a reference std::map accumulation under a
+/// random workload.
+TEST(ViewMapPropertyTest, MatchesReferenceAccumulation) {
+  ViewMap map(2, 1);
+  std::map<std::pair<int64_t, int64_t>, double> reference;
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t a = rng.UniformInt(0, 50);
+    const int64_t b = rng.UniformInt(0, 50);
+    const double v = rng.UniformDouble();
+    map.Upsert(TupleKey({a, b}))[0] += v;
+    reference[{a, b}] += v;
+  }
+  EXPECT_EQ(map.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    const double* p = map.Lookup(TupleKey({key.first, key.second}));
+    ASSERT_NE(p, nullptr);
+    EXPECT_NEAR(p[0], value, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace lmfao
