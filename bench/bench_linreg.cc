@@ -35,8 +35,7 @@ void BM_Linreg_SigmaLmfaoParallel(benchmark::State& state) {
   RetailerData& db = bench::Retailer(kRows);
   const FeatureSet features = bench::RetailerFeatures(db);
   EngineOptions options;
-  options.parallel_mode = ParallelMode::kTask;
-  options.num_threads = static_cast<int>(state.range(0));
+  options.scheduler.num_threads = static_cast<int>(state.range(0));
   Engine engine(&db.catalog, &db.tree, options);
   for (auto _ : state) {
     auto sigma = ComputeSigmaLmfao(&engine, features, db.catalog);

@@ -3,59 +3,122 @@
 /// computes the groups in parallel by exploiting both task and domain
 /// parallelism").
 ///
-/// Thread scaling of the Retailer covariance batch under both modes.
+/// Thread scaling of the Retailer covariance batch under the unified
+/// scheduler: the hybrid task+domain default swept over {1, 2, 4, hw}
+/// threads, plus the task-only and domain-only degenerations for
+/// comparison. Every parallel benchmark reports `speedup` relative to a
+/// sequential run measured once per process, and `peak_view_mib` (the
+/// ViewStore peak) so memory can be attributed alongside the speedup.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "bench_common.h"
 #include "engine/engine.h"
+#include "util/timer.h"
 
 namespace lmfao {
 namespace {
 
 constexpr int64_t kRows = 200000;
 
-void RunParallel(benchmark::State& state, ParallelMode mode, int threads) {
+/// Seconds per sequential evaluation, measured once per process as the
+/// best of three timed runs after a warmup (the minimum is the most stable
+/// estimator against one-off page-fault/migration noise in the baseline
+/// every speedup counter divides by).
+double SequentialSeconds() {
+  static const double seconds = [] {
+    RetailerData& db = bench::Retailer(kRows);
+    auto cov = BuildCovarianceBatch(bench::RetailerFeatures(db), db.catalog);
+    LMFAO_CHECK(cov.ok());
+    Engine engine(&db.catalog, &db.tree, EngineOptions{});
+    auto warmup = engine.Evaluate(cov->batch);  // Populate sort caches.
+    LMFAO_CHECK(warmup.ok());
+    double best = 0.0;
+    for (int run = 0; run < 3; ++run) {
+      Timer timer;
+      auto result = engine.Evaluate(cov->batch);
+      const double elapsed = timer.ElapsedSeconds();
+      LMFAO_CHECK(result.ok());
+      if (run == 0 || elapsed < best) best = elapsed;
+    }
+    return best;
+  }();
+  return seconds;
+}
+
+void RunScheduler(benchmark::State& state, bool task, bool domain,
+                  int threads) {
   RetailerData& db = bench::Retailer(kRows);
   auto cov = BuildCovarianceBatch(bench::RetailerFeatures(db), db.catalog);
   LMFAO_CHECK(cov.ok());
   EngineOptions options;
-  options.parallel_mode = mode;
-  options.num_threads = threads;
+  options.scheduler.num_threads = threads;
+  options.scheduler.task_parallel = task;
+  options.scheduler.domain_parallel = domain;
   Engine engine(&db.catalog, &db.tree, options);
+  const double sequential = SequentialSeconds();
+  auto warmup = engine.Evaluate(cov->batch);  // Symmetric with the baseline:
+  LMFAO_CHECK(warmup.ok());                   // populate sort caches.
+  double seconds = 0.0;
+  size_t peak_bytes = 0;
   for (auto _ : state) {
+    Timer timer;
     auto result = engine.Evaluate(cov->batch);
+    seconds += timer.ElapsedSeconds();
     LMFAO_CHECK(result.ok()) << result.status().ToString();
+    peak_bytes = std::max(peak_bytes, result->stats.peak_view_bytes);
     benchmark::DoNotOptimize(result);
   }
-  state.counters["threads"] = threads;
+  const double mean = seconds / static_cast<double>(state.iterations());
+  state.counters["threads"] = options.scheduler.ResolvedThreads();
   state.counters["queries"] = cov->batch.size();
+  state.counters["speedup"] = mean > 0.0 ? sequential / mean : 0.0;
+  state.counters["peak_view_mib"] =
+      static_cast<double>(peak_bytes) / (1024.0 * 1024.0);
 }
 
 void BM_Parallel_Sequential(benchmark::State& state) {
-  RunParallel(state, ParallelMode::kNone, 1);
+  RunScheduler(state, /*task=*/false, /*domain=*/false, 1);
 }
 BENCHMARK(BM_Parallel_Sequential)->Unit(benchmark::kMillisecond)->MinTime(2.0);
 
-void BM_Parallel_Task(benchmark::State& state) {
-  RunParallel(state, ParallelMode::kTask,
-              static_cast<int>(state.range(0)));
+/// The default parallel path: task + domain combined. Sweeps 1, 2, 4, and
+/// hardware-concurrency (arg 0) threads.
+void BM_Parallel_Hybrid(benchmark::State& state) {
+  RunScheduler(state, /*task=*/true, /*domain=*/true,
+               static_cast<int>(state.range(0)));
 }
-BENCHMARK(BM_Parallel_Task)
+BENCHMARK(BM_Parallel_Hybrid)
+    ->Arg(1)
     ->Arg(2)
     ->Arg(4)
-    ->Arg(8)
+    ->Arg(0)  // Hardware concurrency.
     ->Unit(benchmark::kMillisecond)
     ->MinTime(2.0);
 
-void BM_Parallel_Domain(benchmark::State& state) {
-  RunParallel(state, ParallelMode::kDomain,
-              static_cast<int>(state.range(0)));
+void BM_Parallel_TaskOnly(benchmark::State& state) {
+  RunScheduler(state, /*task=*/true, /*domain=*/false,
+               static_cast<int>(state.range(0)));
 }
-BENCHMARK(BM_Parallel_Domain)
+BENCHMARK(BM_Parallel_TaskOnly)
+    ->Arg(1)
     ->Arg(2)
     ->Arg(4)
-    ->Arg(8)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(2.0);
+
+void BM_Parallel_DomainOnly(benchmark::State& state) {
+  RunScheduler(state, /*task=*/false, /*domain=*/true,
+               static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_Parallel_DomainOnly)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0)
     ->Unit(benchmark::kMillisecond)
     ->MinTime(2.0);
 

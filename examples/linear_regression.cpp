@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
               cov_or->batch.size());
 
   EngineOptions engine_options;
-  engine_options.parallel_mode = ParallelMode::kTask;
+  engine_options.scheduler.num_threads = 0;  // Hybrid scheduler, hw threads.
   Engine engine(&db.catalog, &db.tree, engine_options);
   Timer sigma_timer;
   auto sigma_or = ComputeSigmaLmfao(&engine, features, db.catalog);

@@ -4,8 +4,7 @@
 #include <mutex>
 
 #include "engine/attribute_order.h"
-#include "engine/executor.h"
-#include "engine/parallel.h"
+#include "engine/execution_context.h"
 #include "storage/sort.h"
 #include "util/timer.h"
 
@@ -41,6 +40,8 @@ StatusOr<CompiledBatch> Engine::Compile(const QueryBatch& batch) const {
     compiled.attr_orders.push_back(std::move(order));
     compiled.plans.push_back(std::move(plan));
   }
+  AssignViewForms(compiled.workload, compiled.grouped, options_.plan,
+                  &compiled.plans);
   return compiled;
 }
 
@@ -98,99 +99,17 @@ StatusOr<BatchResult> Engine::Evaluate(const QueryBatch& batch) {
         BuildGroupPlan(workload, group, *catalog_, order, options_.plan));
     plans.push_back(std::move(plan));
   }
+  AssignViewForms(workload, grouped, options_.plan, &plans);
   result.stats.plan_seconds = phase_timer.ElapsedSeconds();
 
-  // Execution: produced view maps indexed by ViewId.
+  // Execution: the runtime owns view storage, lifetime, and scheduling.
   phase_timer.Reset();
-  std::vector<std::unique_ptr<ViewMap>> produced(workload.views.size());
-  result.stats.groups.resize(grouped.groups.size());
-
-  const int threads = options_.num_threads > 0
-                          ? options_.num_threads
-                          : static_cast<int>(ThreadPool::DefaultThreadCount());
-  std::unique_ptr<ThreadPool> pool;
-  if (options_.parallel_mode != ParallelMode::kNone && threads > 1) {
-    pool = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
-  }
-
-  auto run_group = [&](int gid) -> Status {
-    Timer group_timer;
-    const ViewGroup& group = grouped.groups[static_cast<size_t>(gid)];
-    const GroupPlan& plan = plans[static_cast<size_t>(gid)];
-    LMFAO_ASSIGN_OR_RETURN(const Relation* rel,
-                           SortedRelation(group.node, plan.attr_order));
-    // Build consumed forms of the incoming views.
-    std::vector<ConsumedView> consumed;
-    std::vector<const ConsumedView*> consumed_ptrs;
-    consumed.reserve(plan.incoming.size());
-    for (const auto& in : plan.incoming) {
-      const ViewMap* map = produced[static_cast<size_t>(in.view)].get();
-      if (map == nullptr) {
-        return Status::Internal("incoming view not yet produced");
-      }
-      consumed.push_back(BuildConsumedView(*map, in));
-    }
-    for (const ConsumedView& cv : consumed) consumed_ptrs.push_back(&cv);
-
-    // Allocate output maps.
-    std::vector<std::unique_ptr<ViewMap>> out_maps;
-    std::vector<ViewMap*> out_ptrs;
-    for (const auto& out : plan.outputs) {
-      const ViewInfo& info = workload.view(out.view);
-      out_maps.push_back(std::make_unique<ViewMap>(
-          static_cast<int>(info.key.size()), out.width));
-      out_ptrs.push_back(out_maps.back().get());
-    }
-
-    if (options_.parallel_mode == ParallelMode::kDomain && pool != nullptr &&
-        plan.num_levels() > 0) {
-      const int shards = threads;
-      std::vector<std::vector<std::unique_ptr<ViewMap>>> shard_maps(
-          static_cast<size_t>(shards));
-      std::vector<Status> shard_status(static_cast<size_t>(shards));
-      ParallelFor(pool.get(), static_cast<size_t>(shards), [&](size_t s) {
-        auto& maps = shard_maps[s];
-        std::vector<ViewMap*> ptrs;
-        for (const auto& out : plan.outputs) {
-          const ViewInfo& info = workload.view(out.view);
-          maps.push_back(std::make_unique<ViewMap>(
-              static_cast<int>(info.key.size()), out.width));
-          ptrs.push_back(maps.back().get());
-        }
-        GroupExecutor executor(plan, *rel, consumed_ptrs);
-        shard_status[s] =
-            executor.ExecuteShard(ptrs, static_cast<int>(s), shards);
+  ExecutionContext context(
+      workload, grouped, plans, options_.scheduler,
+      [this](RelationId node, const std::vector<AttrId>& order) {
+        return SortedRelation(node, order);
       });
-      for (const Status& st : shard_status) LMFAO_RETURN_NOT_OK(st);
-      for (int s = 0; s < shards; ++s) {
-        for (size_t o = 0; o < out_ptrs.size(); ++o) {
-          out_ptrs[o]->MergeAdd(*shard_maps[static_cast<size_t>(s)][o]);
-        }
-      }
-    } else {
-      GroupExecutor executor(plan, *rel, consumed_ptrs);
-      LMFAO_RETURN_NOT_OK(executor.Execute(out_ptrs));
-    }
-
-    // Publish outputs.
-    size_t entries = 0;
-    for (size_t o = 0; o < plan.outputs.size(); ++o) {
-      entries += out_maps[o]->size();
-      produced[static_cast<size_t>(plan.outputs[o].view)] =
-          std::move(out_maps[o]);
-    }
-    GroupStats& gs = result.stats.groups[static_cast<size_t>(gid)];
-    gs.group_id = gid;
-    gs.node = group.node;
-    gs.num_outputs = static_cast<int>(group.outputs.size());
-    gs.seconds = group_timer.ElapsedSeconds();
-    gs.output_entries = entries;
-    return Status::OK();
-  };
-
-  ThreadPool* task_pool =
-      options_.parallel_mode == ParallelMode::kTask ? pool.get() : nullptr;
-  LMFAO_RETURN_NOT_OK(ScheduleGroups(grouped, task_pool, run_group));
+  LMFAO_RETURN_NOT_OK(context.Run(&result.stats));
   result.stats.execute_seconds = phase_timer.ElapsedSeconds();
 
   // Extract query results.
@@ -200,12 +119,7 @@ StatusOr<BatchResult> Engine::Evaluate(const QueryBatch& batch) {
     QueryResult& qr = result.results[static_cast<size_t>(q)];
     qr.query_id = q;
     qr.group_by = workload.view(out).key;
-    std::unique_ptr<ViewMap>& map = produced[static_cast<size_t>(out)];
-    if (map == nullptr) {
-      return Status::Internal("query output was not produced");
-    }
-    qr.data = std::move(*map);
-    map.reset();
+    LMFAO_ASSIGN_OR_RETURN(qr.data, context.TakeQueryResult(out));
   }
   result.stats.total_seconds = total_timer.ElapsedSeconds();
   return result;

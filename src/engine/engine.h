@@ -17,6 +17,7 @@
 
 #include "engine/grouping.h"
 #include "engine/ir.h"
+#include "engine/parallel.h"
 #include "engine/plan.h"
 #include "engine/view_generation.h"
 #include "jointree/join_tree.h"
@@ -27,26 +28,17 @@
 
 namespace lmfao {
 
-/// \brief Parallelism strategy of Engine::Evaluate.
-enum class ParallelMode {
-  /// Sequential execution in topological group order.
-  kNone,
-  /// Task parallelism: independent groups run concurrently.
-  kTask,
-  /// Domain parallelism: groups run in topological order, each sharded over
-  /// its top-level trie values.
-  kDomain,
-};
-
 /// \brief All engine options, including the ablation toggles benchmarked by
 /// bench_ablation.
 struct EngineOptions {
   ViewGenerationOptions view_generation;
   GroupingOptions grouping;
   PlanOptions plan;
-  ParallelMode parallel_mode = ParallelMode::kNone;
-  /// Thread count for kTask/kDomain (0 = hardware concurrency).
-  int num_threads = 0;
+  /// The unified task+domain scheduler (parallel.h). Defaults to
+  /// sequential execution (num_threads = 1); any larger thread count runs
+  /// the hybrid scheduler, whose task-only / domain-only degenerations are
+  /// toggles on SchedulerOptions.
+  SchedulerOptions scheduler;
 };
 
 /// \brief Per-group execution statistics.
@@ -56,6 +48,14 @@ struct GroupStats {
   int num_outputs = 0;
   double seconds = 0.0;
   size_t output_entries = 0;
+  /// Domain shards the group ran in (1 = unsharded).
+  int shards = 1;
+  /// Seconds the group waited between becoming ready and starting.
+  double wait_seconds = 0.0;
+  /// Live ViewStore bytes right after the group published its outputs and
+  /// released its inputs (the view-memory frontier at this point of the
+  /// schedule).
+  size_t store_bytes = 0;
 };
 
 /// \brief Statistics of one batch evaluation.
@@ -69,6 +69,14 @@ struct ExecutionStats {
   double plan_seconds = 0.0;
   double execute_seconds = 0.0;
   double total_seconds = 0.0;
+  /// Peak number of simultaneously materialized views; eager eviction
+  /// keeps this below the workload's total view count on multi-group
+  /// workloads.
+  size_t peak_live_views = 0;
+  /// Peak bytes held by the ViewStore.
+  size_t peak_view_bytes = 0;
+  /// Views frozen into sorted-array form (plan-layer freeze decision).
+  int num_frozen_views = 0;
   std::vector<GroupStats> groups;
 };
 

@@ -1,0 +1,216 @@
+#include "engine/execution_context.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "engine/executor.h"
+#include "util/timer.h"
+
+namespace lmfao {
+
+namespace {
+
+/// Occupies `amount` slots of a busy-thread counter for the current scope.
+class BusyScope {
+ public:
+  BusyScope(std::atomic<int>* counter, int amount)
+      : counter_(counter), amount_(amount) {
+    counter_->fetch_add(amount_);
+  }
+  ~BusyScope() { counter_->fetch_sub(amount_); }
+  BusyScope(const BusyScope&) = delete;
+  BusyScope& operator=(const BusyScope&) = delete;
+
+ private:
+  std::atomic<int>* counter_;
+  int amount_;
+};
+
+/// Releases the acquired incoming views on scope exit (including error
+/// returns, so a failed group never strands refcounts in the store).
+class AcquiredViews {
+ public:
+  explicit AcquiredViews(ViewStore* store) : store_(store) {}
+  ~AcquiredViews() { ReleaseAll(); }
+  AcquiredViews(const AcquiredViews&) = delete;
+  AcquiredViews& operator=(const AcquiredViews&) = delete;
+
+  void Add(ViewId view) { views_.push_back(view); }
+  void ReleaseAll() {
+    for (ViewId v : views_) store_->Release(v);
+    views_.clear();
+  }
+
+ private:
+  ViewStore* store_;
+  std::vector<ViewId> views_;
+};
+
+}  // namespace
+
+ExecutionContext::ExecutionContext(const Workload& workload,
+                                   const GroupedWorkload& grouped,
+                                   const std::vector<GroupPlan>& plans,
+                                   const SchedulerOptions& options,
+                                   SortedRelationProvider sorted_relation)
+    : workload_(workload),
+      grouped_(grouped),
+      plans_(plans),
+      options_(options),
+      sorted_relation_(std::move(sorted_relation)) {
+  LMFAO_CHECK_EQ(grouped_.groups.size(), plans_.size());
+}
+
+Status ExecutionContext::Run(ExecutionStats* stats) {
+  // Register every view: consumer refcounts from the plans' incoming
+  // lists, materialized form from the plan-layer freeze decision, query
+  // outputs pinned until TakeQueryResult.
+  std::vector<int> consumers(workload_.views.size(), 0);
+  std::vector<ViewForm> forms(workload_.views.size(), ViewForm::kHashMap);
+  for (const GroupPlan& plan : plans_) {
+    for (const GroupPlan::IncomingView& in : plan.incoming) {
+      ++consumers[static_cast<size_t>(in.view)];
+    }
+    for (const GroupPlan::OutputInfo& out : plan.outputs) {
+      forms[static_cast<size_t>(out.view)] = out.form;
+    }
+  }
+  for (size_t v = 0; v < workload_.views.size(); ++v) {
+    store_.Register(static_cast<ViewId>(v), consumers[v], forms[v],
+                    workload_.views[v].IsQueryOutput());
+  }
+
+  const int threads = options_.ResolvedThreads();
+  if (threads > 1 && (options_.task_parallel || options_.domain_parallel)) {
+    pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
+  }
+
+  stats->groups.assign(grouped_.groups.size(), GroupStats{});
+  ThreadPool* task_pool = options_.task_parallel ? pool_.get() : nullptr;
+  LMFAO_RETURN_NOT_OK(ScheduleGroupsTimed(
+      grouped_, task_pool,
+      [&](int gid, const GroupStart& start) {
+        return RunGroup(gid, start,
+                        &stats->groups[static_cast<size_t>(gid)]);
+      }));
+  stats->peak_live_views = store_.peak_live_views();
+  stats->peak_view_bytes = store_.peak_bytes();
+  stats->num_frozen_views = store_.num_frozen();
+  return Status::OK();
+}
+
+Status ExecutionContext::RunGroup(int gid, const GroupStart& start,
+                                  GroupStats* gs) {
+  Timer group_timer;
+  BusyScope self(&busy_threads_, 1);
+  const ViewGroup& group = grouped_.groups[static_cast<size_t>(gid)];
+  const GroupPlan& plan = plans_[static_cast<size_t>(gid)];
+  LMFAO_ASSIGN_OR_RETURN(const Relation* rel,
+                         sorted_relation_(group.node, plan.attr_order));
+
+  // Consumed forms of the incoming views: identity-order consumers borrow
+  // the frozen sorted array with no copy; everything else builds a
+  // permuted copy from whichever form the store holds.
+  AcquiredViews acquired(&store_);
+  std::vector<ConsumedView> consumed;
+  consumed.reserve(plan.incoming.size());
+  std::vector<const ConsumedView*> consumed_ptrs;
+  consumed_ptrs.reserve(plan.incoming.size());
+  for (const GroupPlan::IncomingView& in : plan.incoming) {
+    LMFAO_ASSIGN_OR_RETURN(ViewStore::ViewRef ref, store_.Acquire(in.view));
+    acquired.Add(in.view);
+    if (ref.frozen != nullptr) {
+      consumed.push_back(in.identity_perm
+                             ? ConsumedView::Borrow(*ref.frozen)
+                             : BuildConsumedView(*ref.frozen, in));
+    } else {
+      consumed.push_back(BuildConsumedView(*ref.map, in));
+    }
+  }
+  for (const ConsumedView& cv : consumed) consumed_ptrs.push_back(&cv);
+
+  // Output maps, preallocated from the plan's cardinality estimates.
+  auto make_output_maps = [&](size_t estimate_divisor,
+                              std::vector<std::unique_ptr<ViewMap>>* maps,
+                              std::vector<ViewMap*>* ptrs) {
+    for (const GroupPlan::OutputInfo& out : plan.outputs) {
+      const ViewInfo& info = workload_.view(out.view);
+      maps->push_back(std::make_unique<ViewMap>(
+          static_cast<int>(info.key.size()), out.width));
+      if (out.estimated_entries > 0) {
+        maps->back()->Reserve(out.estimated_entries / estimate_divisor + 1);
+      }
+      ptrs->push_back(maps->back().get());
+    }
+  };
+  // Shard count from true pool occupancy: busy_threads_ counts group
+  // runners plus active shard helpers (the scheduler alone only sees whole
+  // groups, so a fully sharded pool would look idle to it).
+  const int free_threads =
+      std::max(0, options_.ResolvedThreads() - busy_threads_.load());
+  const int shards =
+      plan.num_levels() == 0
+          ? 1
+          : ChooseShardCount(static_cast<int64_t>(rel->num_rows()), options_,
+                             free_threads);
+  std::vector<std::unique_ptr<ViewMap>> out_maps;
+  std::vector<ViewMap*> out_ptrs;
+  if (shards <= 1) {
+    make_output_maps(1, &out_maps, &out_ptrs);
+    GroupExecutor executor(plan, *rel, consumed_ptrs);
+    LMFAO_RETURN_NOT_OK(executor.Execute(out_ptrs));
+  } else {
+    // Domain parallelism: each shard fills private maps. The merge targets
+    // are only built afterwards so their reservations do not overlap with
+    // the shard maps' during the scan.
+    std::vector<std::vector<std::unique_ptr<ViewMap>>> shard_maps(
+        static_cast<size_t>(shards));
+    std::vector<std::vector<ViewMap*>> shard_ptrs(
+        static_cast<size_t>(shards));
+    std::vector<Status> shard_status(static_cast<size_t>(shards));
+    {
+      BusyScope helpers(&busy_threads_, shards - 1);
+      ParallelForShared(
+          pool_.get(), static_cast<size_t>(shards), [&](size_t s) {
+            make_output_maps(static_cast<size_t>(shards), &shard_maps[s],
+                             &shard_ptrs[s]);
+            GroupExecutor executor(plan, *rel, consumed_ptrs);
+            shard_status[s] = executor.ExecuteShard(
+                shard_ptrs[s], static_cast<int>(s), shards);
+          });
+    }
+    for (const Status& st : shard_status) LMFAO_RETURN_NOT_OK(st);
+    make_output_maps(1, &out_maps, &out_ptrs);
+    for (int s = 0; s < shards; ++s) {
+      for (size_t o = 0; o < out_ptrs.size(); ++o) {
+        out_ptrs[o]->MergeAdd(*shard_maps[static_cast<size_t>(s)][o]);
+      }
+    }
+  }
+
+  // Publish outputs, then release the consumed views so the store can
+  // evict any whose last consumer this group was.
+  size_t entries = 0;
+  for (size_t o = 0; o < plan.outputs.size(); ++o) {
+    entries += out_maps[o]->size();
+    LMFAO_RETURN_NOT_OK(
+        store_.Publish(plan.outputs[o].view, std::move(out_maps[o])));
+  }
+  acquired.ReleaseAll();
+
+  gs->group_id = gid;
+  gs->node = group.node;
+  gs->num_outputs = static_cast<int>(group.outputs.size());
+  gs->seconds = group_timer.ElapsedSeconds();
+  gs->output_entries = entries;
+  gs->shards = shards;
+  gs->wait_seconds = start.wait_seconds;
+  gs->store_bytes = store_.current_bytes();
+  return Status::OK();
+}
+
+StatusOr<ViewMap> ExecutionContext::TakeQueryResult(ViewId view) {
+  return store_.TakeResult(view);
+}
+
+}  // namespace lmfao

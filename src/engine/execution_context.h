@@ -1,0 +1,86 @@
+/// \file execution_context.h
+/// \brief The execution runtime of one batch evaluation.
+///
+/// The ExecutionContext owns everything the execution phase needs — the
+/// ViewStore (view ownership, consumer refcounts, eager eviction), the
+/// thread pool, and the unified task+domain scheduler — replacing the
+/// ad-hoc state the seed engine threaded through lambdas. One context
+/// evaluates one compiled batch:
+///
+///   1. every workload view is registered in the ViewStore with its
+///      consumer count (derived from the group plans) and its materialized
+///      form (the plan-layer freeze decision, AssignViewForms);
+///   2. groups run over the dependency graph via ScheduleGroupsTimed; a
+///      group whose node relation is large claims idle pool slots for
+///      cost-based domain shards (ChooseShardCount) while other ready
+///      groups keep running;
+///   3. per-shard private maps are merged, outputs published into the
+///      store (frozen to sorted form when the plan says so), and consumed
+///      views released — the store evicts each view after its last
+///      consumer finishes.
+
+#ifndef LMFAO_ENGINE_EXECUTION_CONTEXT_H_
+#define LMFAO_ENGINE_EXECUTION_CONTEXT_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/parallel.h"
+#include "engine/plan.h"
+#include "storage/relation.h"
+#include "storage/view_store.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace lmfao {
+
+class ExecutionContext {
+ public:
+  /// Supplies the node relation sorted by (the relation subsequence of) the
+  /// given attribute order; the engine backs this with its sorted-relation
+  /// cache. Must be thread-safe.
+  using SortedRelationProvider = std::function<StatusOr<const Relation*>(
+      RelationId, const std::vector<AttrId>&)>;
+
+  /// Borrows all compile artifacts; they must outlive the context.
+  ExecutionContext(const Workload& workload, const GroupedWorkload& grouped,
+                   const std::vector<GroupPlan>& plans,
+                   const SchedulerOptions& options,
+                   SortedRelationProvider sorted_relation);
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  /// Executes every group. Fills stats->groups (indexed by group id) and
+  /// the store-level fields (peak_live_views, peak_view_bytes,
+  /// num_frozen_views).
+  Status Run(ExecutionStats* stats);
+
+  /// Moves a query-output map out of the store (call after Run).
+  StatusOr<ViewMap> TakeQueryResult(ViewId view);
+
+  ViewStore& view_store() { return store_; }
+
+ private:
+  Status RunGroup(int gid, const GroupStart& start, GroupStats* gs);
+
+  const Workload& workload_;
+  const GroupedWorkload& grouped_;
+  const std::vector<GroupPlan>& plans_;
+  SchedulerOptions options_;
+  SortedRelationProvider sorted_relation_;
+  ViewStore store_;
+  std::unique_ptr<ThreadPool> pool_;
+  /// Threads occupied by group runners *and* their domain-shard helpers —
+  /// the true occupancy the shard cost model divides the pool by (the
+  /// scheduler's running-group count alone would count a fully sharded
+  /// pool as idle).
+  std::atomic<int> busy_threads_{0};
+};
+
+}  // namespace lmfao
+
+#endif  // LMFAO_ENGINE_EXECUTION_CONTEXT_H_

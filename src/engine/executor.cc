@@ -4,16 +4,22 @@
 
 namespace lmfao {
 
-ConsumedView BuildConsumedView(const ViewMap& produced,
-                               const GroupPlan::IncomingView& incoming) {
+namespace {
+
+/// Permutes entries into (relation components by level, then extras),
+/// sorts, and copies payloads contiguously. `for_each` must invoke its
+/// callback as fn(const TupleKey&, const double*).
+template <typename ForEach>
+ConsumedView PermuteAndSort(int width, size_t num_entries,
+                            const GroupPlan::IncomingView& incoming,
+                            ForEach&& for_each) {
   ConsumedView out;
-  out.width = produced.width();
-  // Permute each key into (relation components by level, then extras).
+  out.width = width;
   std::vector<std::pair<TupleKey, const double*>> entries;
-  entries.reserve(produced.size());
+  entries.reserve(num_entries);
   const int arity = static_cast<int>(incoming.key_perm.size() +
                                      incoming.extra_perm.size());
-  produced.ForEach([&](const TupleKey& key, const double* payload) {
+  for_each([&](const TupleKey& key, const double* payload) {
     TupleKey permuted(arity);
     int c = 0;
     for (int pos : incoming.key_perm) permuted.set(c++, key[pos]);
@@ -22,15 +28,45 @@ ConsumedView BuildConsumedView(const ViewMap& produced,
   });
   std::sort(entries.begin(), entries.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
-  out.keys.reserve(entries.size());
-  out.payloads.resize(entries.size() * static_cast<size_t>(out.width));
+  out.owned_keys.reserve(entries.size());
+  out.owned_payloads.resize(entries.size() * static_cast<size_t>(width));
   for (size_t i = 0; i < entries.size(); ++i) {
-    out.keys.push_back(entries[i].first);
-    std::copy(entries[i].second, entries[i].second + out.width,
-              out.payloads.begin() +
-                  static_cast<long>(i * static_cast<size_t>(out.width)));
+    out.owned_keys.push_back(entries[i].first);
+    std::copy(entries[i].second, entries[i].second + width,
+              out.owned_payloads.begin() +
+                  static_cast<long>(i * static_cast<size_t>(width)));
   }
+  out.size = out.owned_keys.size();
+  out.keys = out.owned_keys.data();
+  out.payloads = out.owned_payloads.data();
   return out;
+}
+
+}  // namespace
+
+ConsumedView ConsumedView::Borrow(const SortView& frozen) {
+  ConsumedView out;
+  out.width = frozen.width();
+  out.size = frozen.size();
+  out.keys = frozen.keys().data();
+  out.payloads = frozen.payloads().data();
+  return out;
+}
+
+ConsumedView BuildConsumedView(const ViewMap& produced,
+                               const GroupPlan::IncomingView& incoming) {
+  return PermuteAndSort(produced.width(), produced.size(), incoming,
+                        [&](auto&& fn) { produced.ForEach(fn); });
+}
+
+ConsumedView BuildConsumedView(const SortView& produced,
+                               const GroupPlan::IncomingView& incoming) {
+  return PermuteAndSort(produced.width(), produced.size(), incoming,
+                        [&](auto&& fn) {
+                          for (size_t i = 0; i < produced.size(); ++i) {
+                            fn(produced.key(i), produced.payload(i));
+                          }
+                        });
 }
 
 GroupExecutor::GroupExecutor(const GroupPlan& plan,
@@ -108,7 +144,7 @@ void GroupExecutor::Prepare(const std::vector<ViewMap*>& outputs) {
   view_range_.assign(views_.size(), {});
   for (size_t v = 0; v < views_.size(); ++v) {
     view_range_[v].assign(static_cast<size_t>(levels) + 1, Range{});
-    view_range_[v][0] = Range{0, views_[v]->keys.size()};
+    view_range_[v][0] = Range{0, views_[v]->size};
   }
   bound_.assign(static_cast<size_t>(levels) + 1, 0);
   view_payload_cache_.assign(views_.size(), nullptr);

@@ -26,21 +26,48 @@ namespace lmfao {
 /// \brief An incoming view re-sorted for consumption by one group.
 ///
 /// Keys are permuted into (relation components in trie-level order, then
-/// extra components) and sorted lexicographically; payloads are copied
+/// extra components) and sorted lexicographically; payloads are stored
 /// contiguously. Entries agreeing on the bound relation components are
 /// therefore contiguous.
+///
+/// The consumed form either owns a permuted copy (built by
+/// BuildConsumedView) or borrows the raw arrays of a frozen SortView when
+/// the consumed order equals the canonical order
+/// (GroupPlan::IncomingView::identity_perm) — the zero-copy path the
+/// ViewStore takes for frozen views.
 struct ConsumedView {
   int width = 0;
-  std::vector<TupleKey> keys;
-  std::vector<double> payloads;
+  size_t size = 0;
+  /// Entry keys/payloads; point into the owned vectors below or into a
+  /// borrowed SortView that must outlive this object.
+  const TupleKey* keys = nullptr;
+  const double* payloads = nullptr;
+
+  ConsumedView() = default;
+  ConsumedView(const ConsumedView&) = delete;
+  ConsumedView& operator=(const ConsumedView&) = delete;
+  ConsumedView(ConsumedView&&) = default;
+  ConsumedView& operator=(ConsumedView&&) = default;
+
+  /// Borrows the arrays of a frozen view (canonical order == consumed
+  /// order); no copy.
+  static ConsumedView Borrow(const SortView& frozen);
 
   const double* payload(size_t i) const {
-    return payloads.data() + i * static_cast<size_t>(width);
+    return payloads + i * static_cast<size_t>(width);
   }
+
+  std::vector<TupleKey> owned_keys;
+  std::vector<double> owned_payloads;
 };
 
-/// \brief Builds the consumed (trie-ordered, sorted) form of a produced view.
+/// \brief Builds the consumed (trie-ordered, sorted) form of a produced view
+/// in hash form.
 ConsumedView BuildConsumedView(const ViewMap& produced,
+                               const GroupPlan::IncomingView& incoming);
+
+/// \brief Same, from the frozen sorted form (non-identity permutations).
+ConsumedView BuildConsumedView(const SortView& produced,
                                const GroupPlan::IncomingView& incoming);
 
 /// \brief Executes one group plan.

@@ -1,5 +1,7 @@
 #include "engine/parallel.h"
 
+#include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -7,12 +9,15 @@ namespace lmfao {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 /// Shared state of one scheduling run.
 struct SchedulerState {
   std::mutex mu;
   std::condition_variable cv;
   std::vector<int> pending;
   std::vector<std::vector<int>> successors;
+  std::vector<Clock::time_point> ready_at;
   size_t completed = 0;
   size_t total = 0;
   Status first_error = Status::OK();
@@ -32,13 +37,36 @@ void CompleteSkipped(SchedulerState* state, int gid) {
 
 }  // namespace
 
-Status ScheduleGroups(const GroupedWorkload& grouped, ThreadPool* pool,
-                      const std::function<Status(int)>& run_group) {
+int SchedulerOptions::ResolvedThreads() const {
+  if (num_threads > 0) return num_threads;
+  return static_cast<int>(ThreadPool::DefaultThreadCount());
+}
+
+int ChooseShardCount(int64_t rows, const SchedulerOptions& options,
+                     int free_threads) {
+  const int threads = options.ResolvedThreads();
+  if (!options.domain_parallel || threads <= 1) return 1;
+  const int64_t floor = std::max<int64_t>(1, options.min_shard_rows);
+  if (rows < 2 * floor) return 1;
+  const int64_t by_size = rows / floor;
+  // The caller's own slot is always available; idle workers add the rest.
+  // With task parallelism off the whole pool is idle between groups.
+  const int64_t by_slots =
+      options.task_parallel ? static_cast<int64_t>(free_threads) + 1
+                            : static_cast<int64_t>(threads);
+  const int64_t shards =
+      std::min({by_size, by_slots, static_cast<int64_t>(threads)});
+  return static_cast<int>(std::max<int64_t>(1, shards));
+}
+
+Status ScheduleGroupsTimed(
+    const GroupedWorkload& grouped, ThreadPool* pool,
+    const std::function<Status(int, const GroupStart&)>& run_group) {
   const size_t n = grouped.groups.size();
   if (n == 0) return Status::OK();
   if (pool == nullptr || pool->num_threads() <= 1) {
     for (int g : grouped.TopologicalOrder()) {
-      LMFAO_RETURN_NOT_OK(run_group(g));
+      LMFAO_RETURN_NOT_OK(run_group(g, GroupStart{}));
     }
     return Status::OK();
   }
@@ -47,6 +75,7 @@ Status ScheduleGroups(const GroupedWorkload& grouped, ThreadPool* pool,
   state.total = n;
   state.pending.assign(n, 0);
   state.successors.assign(n, {});
+  state.ready_at.assign(n, Clock::now());
   for (const ViewGroup& g : grouped.groups) {
     state.pending[static_cast<size_t>(g.id)] =
         static_cast<int>(g.depends_on.size());
@@ -57,7 +86,15 @@ Status ScheduleGroups(const GroupedWorkload& grouped, ThreadPool* pool,
 
   std::function<void(int)> submit = [&](int gid) {
     pool->Submit([&, gid] {
-      const Status st = run_group(gid);
+      GroupStart start;
+      {
+        std::lock_guard<std::mutex> lock(state.mu);
+        start.wait_seconds =
+            std::chrono::duration<double>(
+                Clock::now() - state.ready_at[static_cast<size_t>(gid)])
+                .count();
+      }
+      const Status st = run_group(gid, start);
       std::vector<int> ready;
       {
         std::lock_guard<std::mutex> lock(state.mu);
@@ -71,6 +108,7 @@ Status ScheduleGroups(const GroupedWorkload& grouped, ThreadPool* pool,
             if (state.aborted) {
               CompleteSkipped(&state, s);
             } else {
+              state.ready_at[static_cast<size_t>(s)] = Clock::now();
               ready.push_back(s);
             }
           }
@@ -87,6 +125,13 @@ Status ScheduleGroups(const GroupedWorkload& grouped, ThreadPool* pool,
   std::unique_lock<std::mutex> lock(state.mu);
   state.cv.wait(lock, [&] { return state.completed >= state.total; });
   return state.first_error;
+}
+
+Status ScheduleGroups(const GroupedWorkload& grouped, ThreadPool* pool,
+                      const std::function<Status(int)>& run_group) {
+  return ScheduleGroupsTimed(
+      grouped, pool,
+      [&run_group](int gid, const GroupStart&) { return run_group(gid); });
 }
 
 }  // namespace lmfao

@@ -1,15 +1,22 @@
 /// \file parallel.h
-/// \brief Parallel execution of view groups.
+/// \brief The unified group scheduler: hybrid task + domain parallelism.
 ///
 /// LMFAO "computes the groups in parallel by exploiting both task and
 /// domain parallelism" (Section 2). Task parallelism schedules whole groups
 /// over the group dependency graph; domain parallelism splits one group's
 /// top-level trie values across threads, giving each shard private result
-/// maps that are merged afterwards.
+/// maps that are merged afterwards. The two compose: every ready group runs
+/// as a task, and a group whose node relation is large enough claims idle
+/// pool slots for domain shards while other ready groups keep running
+/// (ChooseShardCount is the cost model). The three seed-era ParallelModes
+/// are the degenerate configurations of SchedulerOptions: sequential
+/// (num_threads = 1), task-only (domain_parallel = false), and domain-only
+/// (task_parallel = false).
 
 #ifndef LMFAO_ENGINE_PARALLEL_H_
 #define LMFAO_ENGINE_PARALLEL_H_
 
+#include <cstdint>
 #include <functional>
 
 #include "engine/ir.h"
@@ -18,12 +25,56 @@
 
 namespace lmfao {
 
-/// \brief Runs `run_group(group_id)` for every group, respecting the
-/// dependency graph, using `pool` (or inline when pool is null).
+/// \brief Configuration of the unified scheduler (replaces the seed's
+/// three-way ParallelMode enum).
+struct SchedulerOptions {
+  /// Worker threads: 1 = sequential (the default), 0 = hardware
+  /// concurrency.
+  int num_threads = 1;
+  /// Run independent groups concurrently over the dependency graph.
+  bool task_parallel = true;
+  /// Shard large groups over their top-level trie values, merging per-shard
+  /// private maps afterwards.
+  bool domain_parallel = true;
+  /// Cost-model floor: a group is sharded only when its node relation has
+  /// at least 2 * min_shard_rows rows, and never into shards smaller than
+  /// min_shard_rows.
+  int64_t min_shard_rows = 4096;
+
+  /// Resolved thread count (num_threads, or hardware concurrency when 0).
+  int ResolvedThreads() const;
+};
+
+/// \brief Start-of-group information handed to the group runner by the
+/// scheduler.
+struct GroupStart {
+  /// Seconds between the group becoming ready (all dependencies complete)
+  /// and its runner starting — pool queueing delay.
+  double wait_seconds = 0.0;
+};
+
+/// \brief Cost-based domain shard count for one group: bounded by the
+/// relation size (rows / min_shard_rows), by the free pool slots (the
+/// caller plus `free_threads` idle workers), and by the thread count.
+/// `free_threads` is the number of threads not currently occupied by a
+/// group runner or shard helper (the runtime tracks true occupancy; see
+/// ExecutionContext::busy_threads_). Returns 1 when domain parallelism is
+/// off or the relation is too small.
+int ChooseShardCount(int64_t rows, const SchedulerOptions& options,
+                     int free_threads);
+
+/// \brief Runs `run_group(group_id, start)` for every group, respecting the
+/// dependency graph, using `pool` (or inline in topological order when pool
+/// is null).
 ///
 /// `run_group` is called at most once per group; groups whose dependencies
 /// are complete run concurrently. The first non-OK status aborts scheduling
 /// of further groups and is returned.
+Status ScheduleGroupsTimed(
+    const GroupedWorkload& grouped, ThreadPool* pool,
+    const std::function<Status(int, const GroupStart&)>& run_group);
+
+/// \brief Compatibility wrapper without start-of-group information.
 Status ScheduleGroups(const GroupedWorkload& grouped, ThreadPool* pool,
                       const std::function<Status(int)>& run_group);
 

@@ -128,6 +128,15 @@ class PlanBuilder {
         (void)attr;
         in.extra_perm.push_back(pos);
       }
+      in.identity_perm = true;
+      for (size_t i = 0; i < in.key_perm.size(); ++i) {
+        if (in.key_perm[i] != static_cast<int>(i)) in.identity_perm = false;
+      }
+      for (size_t i = 0; i < in.extra_perm.size(); ++i) {
+        if (in.extra_perm[i] != static_cast<int>(in.key_perm.size() + i)) {
+          in.identity_perm = false;
+        }
+      }
       incoming_index_[v] = static_cast<int>(plan_.incoming.size());
       plan_.incoming.push_back(std::move(in));
     }
@@ -201,6 +210,7 @@ class PlanBuilder {
             out.write_level,
             plan_.incoming[static_cast<size_t>(vi)].bound_level);
       }
+      out.estimated_entries = EstimateEntries(rel, info.key);
       const int out_index = static_cast<int>(plan_.outputs.size());
       plan_.outputs.push_back(out);
 
@@ -210,6 +220,31 @@ class PlanBuilder {
       }
     }
     return Status::OK();
+  }
+
+  /// Cardinality estimate of an output from the catalog's domain sizes:
+  /// the product of the key attributes' domain sizes, capped by the node
+  /// relation size and by kMaxEstimatedEntries. For keys spanning other
+  /// relations the row cap is not a strict bound on the output, but the
+  /// estimate only sizes a preallocation: under-reserving merely costs a
+  /// few rehashes while over-reserving wastes real memory (Reserve has no
+  /// shrink path and the capacity is charged to peak view bytes). Returns
+  /// 0 when unknown.
+  size_t EstimateEntries(const Relation& rel,
+                         const std::vector<AttrId>& key) const {
+    static constexpr size_t kMaxEstimatedEntries = size_t{1} << 18;
+    if (key.empty()) return 1;
+    size_t product = 1;
+    for (AttrId a : key) {
+      const int64_t domain = catalog_.attr(a).domain_size;
+      if (domain <= 0) return 0;
+      if (product > kMaxEstimatedEntries / static_cast<size_t>(domain)) {
+        product = kMaxEstimatedEntries;
+        break;
+      }
+      product *= static_cast<size_t>(domain);
+    }
+    return std::min({product, rel.num_rows(), kMaxEstimatedEntries});
   }
 
   /// Splits one aggregate slot into parts and entry payloads, then into
@@ -395,6 +430,38 @@ StatusOr<GroupPlan> BuildGroupPlan(const Workload& workload,
                                    const PlanOptions& options) {
   PlanBuilder builder(workload, group, catalog, attr_order, options);
   return builder.Build();
+}
+
+void AssignViewForms(const Workload& workload, const GroupedWorkload& grouped,
+                     const PlanOptions& options,
+                     std::vector<GroupPlan>* plans) {
+  // Producer lookup: view id -> (plan, output index).
+  std::vector<std::pair<int, int>> producer(workload.views.size(), {-1, -1});
+  for (size_t g = 0; g < plans->size(); ++g) {
+    GroupPlan& plan = (*plans)[g];
+    for (size_t o = 0; o < plan.outputs.size(); ++o) {
+      GroupPlan::OutputInfo& out = plan.outputs[o];
+      out.form = ViewForm::kHashMap;
+      producer[static_cast<size_t>(out.view)] = {static_cast<int>(g),
+                                                 static_cast<int>(o)};
+    }
+  }
+  if (!options.freeze_views) return;
+  (void)grouped;
+  for (const GroupPlan& plan : *plans) {
+    for (const GroupPlan::IncomingView& in : plan.incoming) {
+      if (!in.identity_perm) continue;
+      // Query outputs must stay in hash form (QueryResult extraction moves
+      // the ViewMap out); today they are never incoming views, but enforce
+      // it rather than assume it.
+      if (workload.view(in.view).IsQueryOutput()) continue;
+      const auto& [g, o] = producer[static_cast<size_t>(in.view)];
+      if (g < 0) continue;
+      GroupPlan::OutputInfo& out =
+          (*plans)[static_cast<size_t>(g)].outputs[static_cast<size_t>(o)];
+      out.form = ViewForm::kFrozenSorted;
+    }
+  }
 }
 
 namespace {

@@ -37,6 +37,7 @@
 
 #include "engine/ir.h"
 #include "storage/catalog.h"
+#include "storage/view.h"
 #include "util/status.h"
 
 namespace lmfao {
@@ -46,6 +47,10 @@ struct PlanOptions {
   /// Factorized aggregate computation with shared alpha/beta registers.
   /// When false, every output aggregate is computed per tuple at the leaf.
   bool factorize = true;
+  /// Freeze produced views into sorted-array form (SortView) when some
+  /// consumer reads them in canonical order (see AssignViewForms). When
+  /// false, every view stays in hash form.
+  bool freeze_views = true;
 };
 
 /// \brief One multiplicative part of an aggregate, available at a level.
@@ -99,6 +104,12 @@ struct GroupPlan {
     int bound_level = 0;
     /// Payload width (number of aggregate slots).
     int width = 0;
+    /// True when the consumed key order equals the view's canonical key
+    /// order (key_perm then extra_perm is the identity permutation). Such a
+    /// consumer can read the producer's frozen sorted form directly, with no
+    /// per-consumer permute/sort/copy; AssignViewForms freezes exactly the
+    /// views that have at least one identity-order consumer.
+    bool identity_perm = false;
 
     bool IsMultiEntry() const { return !extra_perm.empty(); }
   };
@@ -164,6 +175,14 @@ struct GroupPlan {
     std::vector<int> key_views;
     /// Number of aggregate slots.
     int width = 0;
+    /// Materialized form of the produced view. Query outputs always stay
+    /// kHashMap; inner views are frozen by AssignViewForms when profitable.
+    ViewForm form = ViewForm::kHashMap;
+    /// Estimated number of result entries, from the catalog's cardinality
+    /// constraints (domain sizes of the key attributes, capped by the node
+    /// relation size for purely level-sourced keys). 0 = unknown. Used to
+    /// preallocate the output ViewMap before the group scan starts.
+    size_t estimated_entries = 0;
   };
   std::vector<OutputInfo> outputs;
 
@@ -207,6 +226,20 @@ StatusOr<GroupPlan> BuildGroupPlan(const Workload& workload,
                                    const Catalog& catalog,
                                    const std::vector<AttrId>& attr_order,
                                    const PlanOptions& options = {});
+
+/// \brief The freeze decision: records in each producing plan the
+/// materialized form of its outputs (one source of truth for the
+/// interpreter, the code generator, and the ViewStore).
+///
+/// An inner view is frozen into sorted-array form iff at least one consumer
+/// group reads it in canonical key order (IncomingView::identity_perm) —
+/// those consumers then share the frozen array with zero copies, and the
+/// hash form is dropped at publish time. Views without such a consumer, and
+/// all query outputs, stay in hash form. `plans` must be parallel to
+/// `grouped.groups`.
+void AssignViewForms(const Workload& workload, const GroupedWorkload& grouped,
+                     const PlanOptions& options,
+                     std::vector<GroupPlan>* plans);
 
 }  // namespace lmfao
 

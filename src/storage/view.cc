@@ -31,7 +31,7 @@ size_t ViewMap::ProbeSlot(const TupleKey& key) const {
 
 double* ViewMap::Upsert(const TupleKey& key) {
   LMFAO_CHECK_EQ(key.size(), key_arity_);
-  if (size_ * 10 >= (capacity_mask_ + 1) * 7) Grow();
+  if (size_ * 10 >= (capacity_mask_ + 1) * 7) Rehash((capacity_mask_ + 1) * 2);
   const size_t i = ProbeSlot(key);
   if (!occupied_[i]) {
     occupied_[i] = 1;
@@ -47,8 +47,13 @@ const double* ViewMap::Lookup(const TupleKey& key) const {
                       : nullptr;
 }
 
-void ViewMap::Grow() {
-  const size_t new_capacity = (capacity_mask_ + 1) * 2;
+void ViewMap::Reserve(size_t n) {
+  size_t capacity = capacity_mask_ + 1;
+  while (n * 10 >= capacity * 7) capacity *= 2;
+  if (capacity > capacity_mask_ + 1) Rehash(capacity);
+}
+
+void ViewMap::Rehash(size_t new_capacity) {
   std::vector<TupleKey> old_slots = std::move(slots_);
   std::vector<uint8_t> old_occupied = std::move(occupied_);
   std::vector<double> old_payloads = std::move(payloads_);
@@ -116,6 +121,10 @@ const double* SortView::Lookup(const TupleKey& key) const {
 size_t SortView::LowerBound(const TupleKey& key) const {
   return static_cast<size_t>(
       std::lower_bound(keys_.begin(), keys_.end(), key) - keys_.begin());
+}
+
+size_t SortView::MemoryUsage() const {
+  return keys_.size() * sizeof(TupleKey) + payloads_.size() * sizeof(double);
 }
 
 }  // namespace lmfao

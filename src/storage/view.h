@@ -7,10 +7,11 @@
 /// hashmaps"; we provide both:
 ///   - ViewMap: open-addressing hash map with inline TupleKey keys (the
 ///     default; supports out-of-order upserts),
-///   - views can be *frozen* into sorted-array form (SortView), which
-///     iterates in key order and supports binary-search lookups; the
-///     executor uses sorted form when the view's key is a prefix of the
-///     consuming group's attribute order.
+///   - SortView: the *frozen* sorted-array form, which iterates in key order
+///     and supports binary-search lookups. Which form a produced view
+///     materializes in is a plan-layer decision (GroupPlan::OutputInfo::form,
+///     see plan.h); the ViewStore (view_store.h) freezes hash maps into
+///     SortViews at publish time accordingly.
 
 #ifndef LMFAO_STORAGE_VIEW_H_
 #define LMFAO_STORAGE_VIEW_H_
@@ -24,6 +25,16 @@
 #include "util/status.h"
 
 namespace lmfao {
+
+/// \brief Materialized form of a produced view (recorded in the group plan).
+enum class ViewForm {
+  /// Open-addressing hash map; supports out-of-order upserts. The only form
+  /// query outputs take (QueryResult owns a ViewMap).
+  kHashMap,
+  /// Frozen sorted array (SortView): canonical key order, shared directly by
+  /// consumers whose consumed order equals the canonical order.
+  kFrozenSorted,
+};
 
 /// \brief Open-addressing hash map from TupleKey to a payload of doubles.
 ///
@@ -42,11 +53,22 @@ class ViewMap {
   bool empty() const { return size_ == 0; }
 
   /// Returns the payload slot for `key`, inserting a zero-initialized entry
-  /// if absent. The pointer is invalidated by the next Upsert.
+  /// if absent. The pointer is invalidated by the next Upsert that triggers
+  /// a rehash; Reserve() up front makes a known number of upserts
+  /// rehash-free (and so pointer-stable).
   double* Upsert(const TupleKey& key);
 
   /// Returns the payload for `key`, or nullptr if absent.
   const double* Lookup(const TupleKey& key) const;
+
+  /// Preallocates capacity so that the map can hold `n` entries without
+  /// rehashing. Used by the execution runtime to size output maps from
+  /// catalog cardinality estimates before a group scan starts, eliminating
+  /// mid-scan rehash churn in hot loops.
+  void Reserve(size_t n);
+
+  /// Number of entries the map can hold before the next rehash.
+  size_t capacity() const { return ((capacity_mask_ + 1) * 7) / 10; }
 
   /// \name Iteration over occupied entries (unspecified order).
   /// @{
@@ -73,7 +95,7 @@ class ViewMap {
   size_t MemoryUsage() const;
 
  private:
-  void Grow();
+  void Rehash(size_t new_capacity);
   size_t ProbeSlot(const TupleKey& key) const;
 
   int key_arity_;
@@ -88,7 +110,10 @@ class ViewMap {
 /// \brief Sorted-array view: entries ordered by key.
 ///
 /// Built by freezing a ViewMap. Supports ordered iteration (merge-join style
-/// consumption) and binary-search lookup.
+/// consumption) and binary-search lookup. The raw key/payload arrays are
+/// exposed so the execution runtime can hand them to consumers without
+/// copying (ConsumedView borrows them when the consumed order equals the
+/// canonical order).
 class SortView {
  public:
   SortView() : key_arity_(0), width_(0) {}
@@ -105,11 +130,18 @@ class SortView {
     return payloads_.data() + i * static_cast<size_t>(width_);
   }
 
+  /// Raw sorted arrays (for zero-copy consumption).
+  const std::vector<TupleKey>& keys() const { return keys_; }
+  const std::vector<double>& payloads() const { return payloads_; }
+
   /// Binary-search lookup; nullptr if absent.
   const double* Lookup(const TupleKey& key) const;
 
   /// Index of the first entry with key >= `key`.
   size_t LowerBound(const TupleKey& key) const;
+
+  /// Memory footprint estimate in bytes.
+  size_t MemoryUsage() const;
 
  private:
   int key_arity_;

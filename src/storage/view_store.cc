@@ -1,0 +1,119 @@
+#include "storage/view_store.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lmfao {
+
+void ViewStore::Register(int32_t view_id, int consumers, ViewForm form,
+                         bool pinned) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<size_t>(view_id) >= entries_.size()) {
+    entries_.resize(static_cast<size_t>(view_id) + 1);
+  }
+  Entry& e = entries_[static_cast<size_t>(view_id)];
+  e.form = form;
+  e.refs = consumers;
+  e.pinned = pinned;
+}
+
+Status ViewStore::Publish(int32_t view_id, std::unique_ptr<ViewMap> map) {
+  if (map == nullptr) {
+    return Status::InvalidArgument("view store: publishing a null map");
+  }
+  // The form is immutable after Register, so the (possibly expensive)
+  // freeze sort runs outside the lock.
+  const Entry& meta = entries_[static_cast<size_t>(view_id)];
+  std::unique_ptr<SortView> frozen;
+  if (meta.form == ViewForm::kFrozenSorted) {
+    frozen = std::make_unique<SortView>(SortView::FromMap(*map));
+    map.reset();
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[static_cast<size_t>(view_id)];
+  if (e.published) {
+    return Status::Internal("view store: view published twice");
+  }
+  e.published = true;
+  e.map = std::move(map);
+  e.frozen = std::move(frozen);
+  e.bytes = e.frozen != nullptr ? e.frozen->MemoryUsage()
+                                : e.map->MemoryUsage();
+  if (e.frozen != nullptr) ++num_frozen_;
+  bytes_ += e.bytes;
+  peak_bytes_ = std::max(peak_bytes_, bytes_);
+  ++live_views_;
+  peak_live_views_ = std::max(peak_live_views_, live_views_);
+  if (e.refs == 0 && !e.pinned) EvictLocked(&e);
+  return Status::OK();
+}
+
+StatusOr<ViewStore::ViewRef> ViewStore::Acquire(int32_t view_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[static_cast<size_t>(view_id)];
+  if (!e.published || (e.map == nullptr && e.frozen == nullptr)) {
+    return Status::Internal("view store: acquiring an unpublished view");
+  }
+  if (e.refs <= 0) {
+    return Status::Internal("view store: more acquires than consumers");
+  }
+  ViewRef ref;
+  ref.map = e.map.get();
+  ref.frozen = e.frozen.get();
+  return ref;
+}
+
+void ViewStore::Release(int32_t view_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[static_cast<size_t>(view_id)];
+  LMFAO_CHECK_GT(e.refs, 0);
+  if (--e.refs == 0 && !e.pinned) EvictLocked(&e);
+}
+
+StatusOr<ViewMap> ViewStore::TakeResult(int32_t view_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[static_cast<size_t>(view_id)];
+  if (!e.published || e.map == nullptr) {
+    return Status::Internal("query output was not produced in hash form");
+  }
+  ViewMap out = std::move(*e.map);
+  EvictLocked(&e);
+  return out;
+}
+
+void ViewStore::EvictLocked(Entry* entry) {
+  if (entry->map == nullptr && entry->frozen == nullptr) return;
+  entry->map.reset();
+  entry->frozen.reset();
+  bytes_ -= entry->bytes;
+  entry->bytes = 0;
+  --live_views_;
+}
+
+size_t ViewStore::live_views() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_views_;
+}
+
+size_t ViewStore::peak_live_views() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_live_views_;
+}
+
+size_t ViewStore::current_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+size_t ViewStore::peak_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_bytes_;
+}
+
+int ViewStore::num_frozen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_frozen_;
+}
+
+}  // namespace lmfao

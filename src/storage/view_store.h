@@ -1,0 +1,102 @@
+/// \file view_store.h
+/// \brief The ViewStore: ownership and lifetime of materialized views during
+/// one batch evaluation.
+///
+/// The execution runtime (ExecutionContext, engine/execution_context.h)
+/// publishes every produced view into the store and consumers read it back
+/// out. The store
+///   - holds each view in the form its producing plan recorded
+///     (GroupPlan::OutputInfo::form): hash ViewMap, or frozen sorted-array
+///     SortView built once at publish time;
+///   - tracks per-view consumer refcounts derived from the workload DAG and
+///     *eagerly evicts* a view after its last consumer finishes, so peak
+///     memory follows the live frontier of the group dependency graph
+///     instead of the whole workload;
+///   - pins query outputs (they are handed to the caller, never evicted);
+///   - accounts bytes (current/peak) and live-view counts for the
+///     execution statistics.
+///
+/// Thread safety: all bookkeeping is mutex-protected; the stored key and
+/// payload arrays are immutable between Publish and eviction, so consumers
+/// read them without the lock (the refcount guarantees no eviction races a
+/// registered consumer).
+
+#ifndef LMFAO_STORAGE_VIEW_STORE_H_
+#define LMFAO_STORAGE_VIEW_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "storage/view.h"
+#include "util/status.h"
+
+namespace lmfao {
+
+class ViewStore {
+ public:
+  ViewStore() = default;
+  ViewStore(const ViewStore&) = delete;
+  ViewStore& operator=(const ViewStore&) = delete;
+
+  /// Registers view `view_id` before execution starts: `consumers` groups
+  /// will Acquire/Release it, it materializes as `form`, and `pinned` views
+  /// (query outputs) survive until TakeResult. Must be called for every
+  /// view id in [0, num_views) exactly once, before Run.
+  void Register(int32_t view_id, int consumers, ViewForm form, bool pinned);
+
+  /// Publishes the produced map. If the registered form is kFrozenSorted,
+  /// the map is frozen into a SortView and the hash form is dropped.
+  /// A view with no consumers and no pin is evicted immediately.
+  Status Publish(int32_t view_id, std::unique_ptr<ViewMap> map);
+
+  /// \name Consumption. Acquire returns the stored forms (exactly one of
+  /// map/frozen is non-null); the caller must Release once per registered
+  /// consumer slot when done, after which the view may be evicted.
+  /// @{
+  struct ViewRef {
+    const ViewMap* map = nullptr;
+    const SortView* frozen = nullptr;
+  };
+  StatusOr<ViewRef> Acquire(int32_t view_id);
+  void Release(int32_t view_id);
+  /// @}
+
+  /// Moves a pinned query output out of the store.
+  StatusOr<ViewMap> TakeResult(int32_t view_id);
+
+  /// \name Statistics.
+  /// @{
+  size_t live_views() const;
+  size_t peak_live_views() const;
+  size_t current_bytes() const;
+  size_t peak_bytes() const;
+  int num_frozen() const;
+  /// @}
+
+ private:
+  struct Entry {
+    std::unique_ptr<ViewMap> map;
+    std::unique_ptr<SortView> frozen;
+    ViewForm form = ViewForm::kHashMap;
+    int refs = 0;
+    bool pinned = false;
+    bool published = false;
+    size_t bytes = 0;
+  };
+
+  void EvictLocked(Entry* entry);
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  size_t live_views_ = 0;
+  size_t peak_live_views_ = 0;
+  size_t bytes_ = 0;
+  size_t peak_bytes_ = 0;
+  int num_frozen_ = 0;
+};
+
+}  // namespace lmfao
+
+#endif  // LMFAO_STORAGE_VIEW_STORE_H_

@@ -1,6 +1,8 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace lmfao {
 
@@ -86,6 +88,44 @@ void ParallelFor(ThreadPool* pool, size_t n,
   }
   std::unique_lock<std::mutex> lock(mu);
   cv.wait(lock, [&] { return done.load() == workers; });
+}
+
+void ParallelForShared(ThreadPool* pool, size_t n,
+                       const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  struct Control {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t n = 0;
+    std::function<void(size_t)> fn;
+  };
+  auto control = std::make_shared<Control>();
+  control->n = n;
+  control->fn = fn;
+  auto work = [](const std::shared_ptr<Control>& c) {
+    for (;;) {
+      const size_t i = c->next.fetch_add(1);
+      if (i >= c->n) break;
+      c->fn(i);
+      if (c->done.fetch_add(1) + 1 == c->n) {
+        std::lock_guard<std::mutex> lock(c->mu);
+        c->cv.notify_all();
+      }
+    }
+  };
+  const size_t helpers = std::min(n, pool->num_threads()) - 1;
+  for (size_t h = 0; h < helpers; ++h) {
+    pool->Submit([control, work] { work(control); });
+  }
+  work(control);
+  std::unique_lock<std::mutex> lock(control->mu);
+  control->cv.wait(lock, [&] { return control->done.load() == control->n; });
 }
 
 }  // namespace lmfao

@@ -56,9 +56,24 @@ class ThreadPool {
 
 /// \brief Runs `fn(i)` for i in [0, n) across `pool`, blocking until done.
 ///
-/// If `pool` is null or has one thread, runs inline.
+/// If `pool` is null or has one thread, runs inline. Must NOT be called
+/// from inside a pool worker: the caller does not participate, so if every
+/// worker blocked here the queued helpers could never run (deadlock). Use
+/// ParallelForShared from worker context.
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t)>& fn);
+
+/// \brief Caller-participating ParallelFor, safe from inside a pool worker.
+///
+/// The caller claims indices alongside up-to-(n-1) helper tasks submitted
+/// to the pool, and returns as soon as all n indices have run — helpers
+/// that get scheduled late find no work and exit (their shared control
+/// block keeps the state alive). Because the caller always makes progress
+/// on its own indices, a worker thread blocking here cannot deadlock the
+/// pool. This is how a group's domain shards run concurrently with other
+/// task-parallel groups.
+void ParallelForShared(ThreadPool* pool, size_t n,
+                       const std::function<void(size_t)>& fn);
 
 }  // namespace lmfao
 

@@ -74,17 +74,25 @@ TEST_F(EngineE2eTest, ExampleBatchNoFactorization) {
   ExpectMatchesBaseline(MakeExampleBatch(*data_), options);
 }
 
+TEST_F(EngineE2eTest, ExampleBatchHybridParallel) {
+  EngineOptions options;
+  options.scheduler.num_threads = 4;
+  options.scheduler.min_shard_rows = 1;  // Force sharding on small data.
+  ExpectMatchesBaseline(MakeExampleBatch(*data_), options);
+}
+
 TEST_F(EngineE2eTest, ExampleBatchTaskParallel) {
   EngineOptions options;
-  options.parallel_mode = ParallelMode::kTask;
-  options.num_threads = 4;
+  options.scheduler.num_threads = 4;
+  options.scheduler.domain_parallel = false;
   ExpectMatchesBaseline(MakeExampleBatch(*data_), options);
 }
 
 TEST_F(EngineE2eTest, ExampleBatchDomainParallel) {
   EngineOptions options;
-  options.parallel_mode = ParallelMode::kDomain;
-  options.num_threads = 4;
+  options.scheduler.num_threads = 4;
+  options.scheduler.task_parallel = false;
+  options.scheduler.min_shard_rows = 1;
   ExpectMatchesBaseline(MakeExampleBatch(*data_), options);
 }
 

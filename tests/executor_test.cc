@@ -185,10 +185,11 @@ TEST(ExecutorMicroTest, ShardsPartitionTopLevel) {
   Engine seq(&m.catalog, &m.tree, EngineOptions{});
   auto ref = seq.Evaluate(batch);
   ASSERT_TRUE(ref.ok());
-  // Domain-parallel run.
+  // Domain-parallel run, sharding forced on the tiny relation.
   EngineOptions par;
-  par.parallel_mode = ParallelMode::kDomain;
-  par.num_threads = 3;
+  par.scheduler.num_threads = 3;
+  par.scheduler.task_parallel = false;
+  par.scheduler.min_shard_rows = 1;
   Engine dom(&m.catalog, &m.tree, par);
   auto got = dom.Evaluate(batch);
   ASSERT_TRUE(got.ok());
@@ -212,7 +213,7 @@ TEST(ConsumedViewTest, PermutesAndSorts) {
   incoming.bound_level = 1;
   incoming.width = 1;
   ConsumedView cv = BuildConsumedView(produced, incoming);
-  ASSERT_EQ(cv.keys.size(), 2u);
+  ASSERT_EQ(cv.size, 2u);
   EXPECT_EQ(cv.keys[0], TupleKey({10, 2}));
   EXPECT_EQ(cv.keys[1], TupleKey({20, 1}));
   EXPECT_DOUBLE_EQ(cv.payload(0)[0], 2.0);

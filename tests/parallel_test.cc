@@ -120,9 +120,53 @@ TEST(ScheduleGroupsTest, LargeChain) {
   EXPECT_EQ(last.load(), n - 1);
 }
 
-/// Full-engine parity: task- and domain-parallel evaluation produce exactly
-/// the sequential results on a wide covariance batch.
-TEST(ParallelParityTest, CovarianceBatchAllModes) {
+TEST(ScheduleGroupsTimedTest, ReportsWaitTimes) {
+  GroupedWorkload g = MakeDiamond();
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<GroupStart> starts;
+  auto st = ScheduleGroupsTimed(g, &pool, [&](int, const GroupStart& s) {
+    std::lock_guard<std::mutex> lock(mu);
+    starts.push_back(s);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  ASSERT_EQ(starts.size(), 4u);
+  for (const GroupStart& s : starts) {
+    EXPECT_GE(s.wait_seconds, 0.0);
+  }
+}
+
+TEST(ChooseShardCountTest, CostModel) {
+  SchedulerOptions options;
+  options.num_threads = 4;
+  options.min_shard_rows = 1000;
+  // Too small to shard.
+  EXPECT_EQ(ChooseShardCount(1500, options, 3), 1);
+  // Large relation, whole pool idle: one shard per thread.
+  EXPECT_EQ(ChooseShardCount(100000, options, 3), 4);
+  // Large relation, busy pool: only the caller's slot plus idle workers.
+  EXPECT_EQ(ChooseShardCount(100000, options, 1), 2);
+  EXPECT_EQ(ChooseShardCount(100000, options, 0), 1);
+  // Size-bounded: 2500 rows support at most 2 shards of >= 1000 rows.
+  EXPECT_EQ(ChooseShardCount(2500, options, 3), 2);
+  // Domain parallelism off.
+  options.domain_parallel = false;
+  EXPECT_EQ(ChooseShardCount(100000, options, 3), 1);
+  // Task parallelism off: the whole pool is available regardless of
+  // free_threads.
+  options.domain_parallel = true;
+  options.task_parallel = false;
+  EXPECT_EQ(ChooseShardCount(100000, options, 0), 4);
+  // Sequential configuration never shards.
+  options.num_threads = 1;
+  EXPECT_EQ(ChooseShardCount(100000, options, 0), 1);
+}
+
+/// Full-engine parity: every scheduler configuration (hybrid, task-only,
+/// domain-only, forced fine-grained sharding) produces exactly the
+/// sequential results on a wide covariance batch.
+TEST(ParallelParityTest, CovarianceBatchAllSchedulerConfigs) {
   auto data = MakeFavorita(FavoritaOptions{.num_sales = 2000});
   ASSERT_TRUE(data.ok());
   FeatureSet features;
@@ -136,16 +180,30 @@ TEST(ParallelParityTest, CovarianceBatchAllModes) {
   auto ref = seq.Evaluate(cov->batch);
   ASSERT_TRUE(ref.ok());
 
-  for (ParallelMode mode : {ParallelMode::kTask, ParallelMode::kDomain}) {
+  struct Config {
+    bool task;
+    bool domain;
+    int64_t min_shard_rows;
+  };
+  const std::vector<Config> configs = {
+      {true, true, 4096},  // Hybrid default.
+      {true, false, 4096},  // Task-only.
+      {false, true, 4096},  // Domain-only.
+      {true, true, 1},      // Hybrid, every group sharded.
+  };
+  for (const Config& config : configs) {
     EngineOptions options;
-    options.parallel_mode = mode;
-    options.num_threads = 4;
+    options.scheduler.num_threads = 4;
+    options.scheduler.task_parallel = config.task;
+    options.scheduler.domain_parallel = config.domain;
+    options.scheduler.min_shard_rows = config.min_shard_rows;
     Engine par(&(*data)->catalog, &(*data)->tree, options);
     auto got = par.Evaluate(cov->batch);
     ASSERT_TRUE(got.ok()) << got.status().ToString();
     for (size_t q = 0; q < ref->results.size(); ++q) {
       EXPECT_TRUE(ResultsEquivalent(ref->results[q], got->results[q], 1e-9))
-          << "mode=" << static_cast<int>(mode) << " query " << q;
+          << "task=" << config.task << " domain=" << config.domain
+          << " min_shard_rows=" << config.min_shard_rows << " query " << q;
     }
   }
 }

@@ -175,23 +175,36 @@ TEST_P(EngineFuzzTest, AgreesWithBaselineAcrossConfigs) {
     bool merge;
     bool multi;
     bool factorize;
-    ParallelMode mode;
+    int threads;           // 1 = sequential.
+    bool task = true;
+    bool domain = true;
+    int64_t min_shard_rows = 4096;
+    bool freeze = true;
   };
   const std::vector<Config> configs = {
-      {true, true, true, ParallelMode::kNone},
-      {false, true, true, ParallelMode::kNone},
-      {true, false, true, ParallelMode::kNone},
-      {true, true, false, ParallelMode::kNone},
-      {true, true, true, ParallelMode::kTask},
-      {true, true, true, ParallelMode::kDomain},
+      {true, true, true, 1},
+      {false, true, true, 1},
+      {true, false, true, 1},
+      {true, true, false, 1},
+      // No freezing: every view stays in hash form.
+      {true, true, true, 1, true, true, 4096, false},
+      // Hybrid (the default parallel path), with sharding forced on every
+      // group by the min_shard_rows=1 floor.
+      {true, true, true, 3, true, true, 1},
+      // Task-only and domain-only degenerations.
+      {true, true, true, 3, true, false},
+      {true, true, true, 3, false, true, 1},
   };
   for (const Config& config : configs) {
     EngineOptions options;
     options.view_generation.merge_views = config.merge;
     options.grouping.multi_output = config.multi;
     options.plan.factorize = config.factorize;
-    options.parallel_mode = config.mode;
-    options.num_threads = 3;
+    options.plan.freeze_views = config.freeze;
+    options.scheduler.num_threads = config.threads;
+    options.scheduler.task_parallel = config.task;
+    options.scheduler.domain_parallel = config.domain;
+    options.scheduler.min_shard_rows = config.min_shard_rows;
     Engine engine(&db.catalog, &db.tree, options);
     auto result = engine.Evaluate(batch);
     ASSERT_TRUE(result.ok()) << result.status().ToString();
@@ -201,10 +214,42 @@ TEST_P(EngineFuzzTest, AgreesWithBaselineAcrossConfigs) {
           << "seed=" << GetParam() << " query=" << q
           << " merge=" << config.merge << " multi=" << config.multi
           << " factorize=" << config.factorize
-          << " mode=" << static_cast<int>(config.mode) << "\nquery: "
+          << " threads=" << config.threads << " task=" << config.task
+          << " domain=" << config.domain << "\nquery: "
           << batch.query(static_cast<QueryId>(q)).ToString(&db.catalog);
     }
   }
+}
+
+/// Differential pin of the hybrid scheduler against sequential execution on
+/// randomized schemas: beyond baseline agreement, the two engine paths must
+/// agree bitwise-ish (same tolerance) on every query, and the runtime's
+/// eager eviction must never report more live views than the workload has.
+TEST_P(EngineFuzzTest, HybridMatchesSequential) {
+  Rng rng(GetParam() + 1000);
+  const RandomDatabase db = MakeRandomDatabase(&rng);
+  const QueryBatch batch = MakeRandomBatch(db, &rng);
+
+  Engine seq(&db.catalog, &db.tree, EngineOptions{});
+  auto ref = seq.Evaluate(batch);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+
+  EngineOptions options;
+  options.scheduler.num_threads = 4;
+  options.scheduler.min_shard_rows = 1;  // Shard every group.
+  Engine hybrid(&db.catalog, &db.tree, options);
+  auto got = hybrid.Evaluate(batch);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+
+  ASSERT_EQ(ref->results.size(), got->results.size());
+  for (size_t q = 0; q < ref->results.size(); ++q) {
+    EXPECT_TRUE(ResultsEquivalent(ref->results[q], got->results[q], 1e-9))
+        << "seed=" << GetParam() << " query=" << q << "\nquery: "
+        << batch.query(static_cast<QueryId>(q)).ToString(&db.catalog);
+  }
+  const size_t total_views = static_cast<size_t>(got->stats.num_views) +
+                             static_cast<size_t>(got->stats.num_queries);
+  EXPECT_LE(got->stats.peak_live_views, total_views);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzzTest,

@@ -4,6 +4,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -87,6 +90,46 @@ TEST(ParallelForTest, ZeroIterations) {
   ThreadPool pool(2);
   ParallelFor(&pool, 0, [](size_t) { FAIL(); });
   SUCCEED();
+}
+
+TEST(ParallelForSharedTest, CoversAllIndexes) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  ParallelForShared(&pool, hits.size(),
+                    [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForSharedTest, InlineWithoutPool) {
+  std::vector<int> hits(10, 0);
+  ParallelForShared(nullptr, hits.size(), [&](size_t i) { hits[i] = 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+/// The hybrid scheduler's shape: every pool worker blocks in a nested
+/// ParallelForShared at once. The caller participates in its own indices,
+/// so this must complete even though no worker is free to run the queued
+/// helpers.
+TEST(ParallelForSharedTest, SafeFromInsidePoolWorkers) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::atomic<int> outer_done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int t = 0; t < 4; ++t) {
+    pool.Submit([&] {
+      ParallelForShared(&pool, 8, [&](size_t) { total.fetch_add(1); });
+      if (outer_done.fetch_add(1) + 1 == 4) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return outer_done.load() == 4; }));
+  EXPECT_EQ(total.load(), 32);
 }
 
 }  // namespace

@@ -84,6 +84,40 @@ TEST(ViewMapTest, MergeAddSumsPayloads) {
   EXPECT_DOUBLE_EQ(a.Lookup(TupleKey({1}))[0], 1.0);
 }
 
+TEST(ViewMapTest, ReserveEliminatesRehashes) {
+  ViewMap map(1, 1);
+  map.Reserve(5000);
+  const size_t capacity = map.capacity();
+  EXPECT_GE(capacity, 5000u);
+  // Pointers returned by Upsert stay valid across the reserved inserts
+  // (no rehash happens).
+  double* first = map.Upsert(TupleKey({0}));
+  for (int64_t i = 1; i < 5000; ++i) map.Upsert(TupleKey({i}))[0] = 1.0;
+  EXPECT_EQ(map.capacity(), capacity);
+  first[0] = 42.0;
+  EXPECT_DOUBLE_EQ(map.Lookup(TupleKey({0}))[0], 42.0);
+  EXPECT_EQ(map.size(), 5000u);
+}
+
+TEST(ViewMapTest, ReserveOnPopulatedMapKeepsEntries) {
+  ViewMap map(1, 2);
+  for (int64_t i = 0; i < 100; ++i) map.Upsert(TupleKey({i}))[1] = i;
+  map.Reserve(10000);
+  EXPECT_EQ(map.size(), 100u);
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_NE(map.Lookup(TupleKey({i})), nullptr);
+    EXPECT_DOUBLE_EQ(map.Lookup(TupleKey({i}))[1], static_cast<double>(i));
+  }
+}
+
+TEST(ViewMapTest, ReserveSmallerThanCapacityIsNoOp) {
+  ViewMap map(1, 1);
+  map.Reserve(4096);
+  const size_t capacity = map.capacity();
+  map.Reserve(10);
+  EXPECT_EQ(map.capacity(), capacity);
+}
+
 TEST(ViewMapTest, NegativeKeysWork) {
   ViewMap map(2, 1);
   map.Upsert(TupleKey({-5, 3}))[0] = 1.0;
@@ -110,6 +144,18 @@ TEST(SortViewTest, LookupBinarySearch) {
   SortView view = SortView::FromMap(map);
   EXPECT_DOUBLE_EQ(view.Lookup(TupleKey({42}))[0], 42.0);
   EXPECT_EQ(view.Lookup(TupleKey({43})), nullptr);
+}
+
+TEST(SortViewTest, RawArraysMatchAccessors) {
+  ViewMap map(1, 2);
+  map.Upsert(TupleKey({3}))[0] = 1.0;
+  map.Upsert(TupleKey({1}))[1] = 2.0;
+  SortView view = SortView::FromMap(map);
+  ASSERT_EQ(view.keys().size(), 2u);
+  EXPECT_EQ(view.keys()[0], view.key(0));
+  EXPECT_EQ(view.payloads().data(), view.payload(0));
+  EXPECT_DOUBLE_EQ(view.payloads()[1], 2.0);  // Key {1} sorts first.
+  EXPECT_GT(view.MemoryUsage(), 0u);
 }
 
 TEST(SortViewTest, LowerBound) {
