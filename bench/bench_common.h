@@ -6,12 +6,15 @@
 #ifndef LMFAO_BENCH_BENCH_COMMON_H_
 #define LMFAO_BENCH_BENCH_COMMON_H_
 
+#include <benchmark/benchmark.h>
+
 #include <map>
 #include <memory>
 
 #include "baseline/join.h"
 #include "data/favorita.h"
 #include "data/retailer.h"
+#include "engine/engine.h"
 #include "ml/feature.h"
 #include "util/logging.h"
 
@@ -93,6 +96,20 @@ inline FeatureSet RetailerFeatures(const RetailerData& db) {
   }
   features.categorical = db.categorical;
   return features;
+}
+
+/// Exports the ViewStore peak-memory counters (total plus the key/payload
+/// split) from one evaluation's stats, so memory wins in the key layout are
+/// attributable from every engine benchmark.
+inline void ExportViewMemoryCounters(benchmark::State& state,
+                                     const ExecutionStats& stats) {
+  constexpr double kMiB = 1024.0 * 1024.0;
+  state.counters["peak_view_mib"] =
+      static_cast<double>(stats.peak_view_bytes) / kMiB;
+  state.counters["peak_key_mib"] =
+      static_cast<double>(stats.peak_view_key_bytes) / kMiB;
+  state.counters["peak_payload_mib"] =
+      static_cast<double>(stats.peak_view_payload_bytes) / kMiB;
 }
 
 /// A Favorita learning task (for covariance/e2e benches).

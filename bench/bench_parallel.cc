@@ -62,21 +62,22 @@ void RunScheduler(benchmark::State& state, bool task, bool domain,
   auto warmup = engine.Evaluate(cov->batch);  // Symmetric with the baseline:
   LMFAO_CHECK(warmup.ok());                   // populate sort caches.
   double seconds = 0.0;
-  size_t peak_bytes = 0;
+  ExecutionStats peak_stats;
   for (auto _ : state) {
     Timer timer;
     auto result = engine.Evaluate(cov->batch);
     seconds += timer.ElapsedSeconds();
     LMFAO_CHECK(result.ok()) << result.status().ToString();
-    peak_bytes = std::max(peak_bytes, result->stats.peak_view_bytes);
+    if (result->stats.peak_view_bytes >= peak_stats.peak_view_bytes) {
+      peak_stats = result->stats;
+    }
     benchmark::DoNotOptimize(result);
   }
   const double mean = seconds / static_cast<double>(state.iterations());
   state.counters["threads"] = options.scheduler.ResolvedThreads();
   state.counters["queries"] = cov->batch.size();
   state.counters["speedup"] = mean > 0.0 ? sequential / mean : 0.0;
-  state.counters["peak_view_mib"] =
-      static_cast<double>(peak_bytes) / (1024.0 * 1024.0);
+  bench::ExportViewMemoryCounters(state, peak_stats);
 }
 
 void BM_Parallel_Sequential(benchmark::State& state) {

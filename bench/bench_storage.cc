@@ -1,0 +1,119 @@
+/// \file bench_storage.cc
+/// \brief Experiment E10: the packed columnar view-key layout on the
+/// storage hot paths — hash upsert, freeze into sorted form, sorted
+/// lookups, and parallel-partial merges — swept over group-by arities 1-4
+/// (the range real workloads use; the layout packs keys to 8·arity bytes
+/// instead of a fixed-capacity TupleKey).
+
+#include <benchmark/benchmark.h>
+
+#include "storage/view.h"
+#include "util/random.h"
+
+namespace lmfao {
+namespace {
+
+constexpr int kWidth = 4;       ///< Aggregate slots per entry.
+constexpr int64_t kKeys = 1 << 16;  ///< Distinct keys per map.
+
+TupleKey MakeKey(int arity, int64_t i) {
+  // Halved domain: kKeys upserts hit kKeys/2 distinct keys, so inserts
+  // (fresh slots) and accumulations (probe hits on existing keys) are both
+  // exercised. The value is spread across the components so every
+  // component varies.
+  const int64_t v = i % (kKeys / 2);
+  TupleKey key(arity);
+  for (int c = 0; c < arity; ++c) {
+    key.set(c, v * (c + 1));
+  }
+  return key;
+}
+
+/// Builds a map with kKeys distinct keys of the given arity.
+ViewMap MakeMap(int arity) {
+  ViewMap map(arity, kWidth);
+  map.Reserve(static_cast<size_t>(kKeys));
+  for (int64_t i = 0; i < kKeys; ++i) {
+    TupleKey key(arity);
+    for (int c = 0; c < arity; ++c) key.set(c, i * (c + 1));
+    map.Upsert(key)[0] += 1.0;
+  }
+  return map;
+}
+
+/// Hash upserts (accumulation pattern: repeated keys, small domain).
+void BM_Storage_Upsert(benchmark::State& state) {
+  const int arity = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ViewMap map(arity, kWidth);
+    for (int64_t i = 0; i < kKeys; ++i) {
+      map.Upsert(MakeKey(arity, i))[0] += 1.0;
+    }
+    benchmark::DoNotOptimize(map);
+  }
+  state.counters["arity"] = arity;
+  state.SetItemsProcessed(state.iterations() * kKeys);
+}
+BENCHMARK(BM_Storage_Upsert)->DenseRange(1, 4)->Unit(benchmark::kMicrosecond);
+
+/// Freeze: argsort over occupied slots + single columnar gather.
+void BM_Storage_Freeze(benchmark::State& state) {
+  const int arity = static_cast<int>(state.range(0));
+  const ViewMap map = MakeMap(arity);
+  for (auto _ : state) {
+    SortView view = SortView::FromMap(map);
+    benchmark::DoNotOptimize(view);
+  }
+  state.counters["arity"] = arity;
+  state.counters["key_mib"] =
+      static_cast<double>(SortView::FromMap(map).KeyBytes()) /
+      (1024.0 * 1024.0);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(map.size()));
+}
+BENCHMARK(BM_Storage_Freeze)->DenseRange(1, 4)->Unit(benchmark::kMicrosecond);
+
+/// Binary-search lookups against the frozen columnar form.
+void BM_Storage_SortedLookup(benchmark::State& state) {
+  const int arity = static_cast<int>(state.range(0));
+  const ViewMap map = MakeMap(arity);
+  const SortView view = SortView::FromMap(map);
+  Rng rng(42);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (int64_t i = 0; i < 1024; ++i) {
+      TupleKey key(arity);
+      const int64_t k = rng.UniformInt(0, kKeys - 1);
+      for (int c = 0; c < arity; ++c) key.set(c, k * (c + 1));
+      const double* p = view.Lookup(key);
+      if (p != nullptr) sum += p[0];
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["arity"] = arity;
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Storage_SortedLookup)
+    ->DenseRange(1, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Merging thread-local partial results (pre-sized, hash-reusing path).
+void BM_Storage_MergeAdd(benchmark::State& state) {
+  const int arity = static_cast<int>(state.range(0));
+  const ViewMap partial = MakeMap(arity);
+  for (auto _ : state) {
+    ViewMap target(arity, kWidth);
+    target.MergeAdd(partial);
+    target.MergeAdd(partial);  // Second merge: all keys collide.
+    benchmark::DoNotOptimize(target);
+  }
+  state.counters["arity"] = arity;
+  state.SetItemsProcessed(state.iterations() * 2 *
+                          static_cast<int64_t>(partial.size()));
+}
+BENCHMARK(BM_Storage_MergeAdd)
+    ->DenseRange(1, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace lmfao

@@ -54,8 +54,12 @@ struct GroupStats {
   double wait_seconds = 0.0;
   /// Live ViewStore bytes right after the group published its outputs and
   /// released its inputs (the view-memory frontier at this point of the
-  /// schedule).
-  size_t store_bytes = 0;
+  /// schedule), split into key-side bytes (packed keys, cached hashes,
+  /// occupancy) and payload bytes so layout wins stay attributable.
+  size_t store_key_bytes = 0;
+  size_t store_payload_bytes = 0;
+
+  size_t store_bytes() const { return store_key_bytes + store_payload_bytes; }
 };
 
 /// \brief Statistics of one batch evaluation.
@@ -73,8 +77,11 @@ struct ExecutionStats {
   /// keeps this below the workload's total view count on multi-group
   /// workloads.
   size_t peak_live_views = 0;
-  /// Peak bytes held by the ViewStore.
+  /// Peak bytes held by the ViewStore, plus the key/payload split (each
+  /// side's own peak, so the two need not sum to peak_view_bytes).
   size_t peak_view_bytes = 0;
+  size_t peak_view_key_bytes = 0;
+  size_t peak_view_payload_bytes = 0;
   /// Views frozen into sorted-array form (plan-layer freeze decision).
   int num_frozen_views = 0;
   std::vector<GroupStats> groups;

@@ -95,6 +95,8 @@ Status ExecutionContext::Run(ExecutionStats* stats) {
       }));
   stats->peak_live_views = store_.peak_live_views();
   stats->peak_view_bytes = store_.peak_bytes();
+  stats->peak_view_key_bytes = store_.peak_key_bytes();
+  stats->peak_view_payload_bytes = store_.peak_payload_bytes();
   stats->num_frozen_views = store_.num_frozen();
   return Status::OK();
 }
@@ -188,15 +190,17 @@ Status ExecutionContext::RunGroup(int gid, const GroupStart& start,
     }
   }
 
-  // Publish outputs, then release the consumed views so the store can
-  // evict any whose last consumer this group was.
+  // Release the consumed views *before* publishing: the scan is done, so
+  // any input whose last consumer this group was evicts now instead of
+  // coexisting with the freshly produced outputs — the input and output
+  // frontiers of a group never overlap in the store.
+  acquired.ReleaseAll();
   size_t entries = 0;
   for (size_t o = 0; o < plan.outputs.size(); ++o) {
     entries += out_maps[o]->size();
     LMFAO_RETURN_NOT_OK(
         store_.Publish(plan.outputs[o].view, std::move(out_maps[o])));
   }
-  acquired.ReleaseAll();
 
   gs->group_id = gid;
   gs->node = group.node;
@@ -205,7 +209,8 @@ Status ExecutionContext::RunGroup(int gid, const GroupStart& start,
   gs->output_entries = entries;
   gs->shards = shards;
   gs->wait_seconds = start.wait_seconds;
-  gs->store_bytes = store_.current_bytes();
+  gs->store_key_bytes = store_.current_key_bytes();
+  gs->store_payload_bytes = store_.current_payload_bytes();
   return Status::OK();
 }
 

@@ -1,43 +1,57 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace lmfao {
 
 namespace {
 
-/// Permutes entries into (relation components by level, then extras),
-/// sorts, and copies payloads contiguously. `for_each` must invoke its
-/// callback as fn(const TupleKey&, const double*).
-template <typename ForEach>
-ConsumedView PermuteAndSort(int width, size_t num_entries,
-                            const GroupPlan::IncomingView& incoming,
-                            ForEach&& for_each) {
+/// Shared tail of the consumed-view build: argsorts u32 entry indices with
+/// a comparator reading the *source* key components in consumed order (no
+/// permuted key objects are ever materialized), then gathers each consumed
+/// component into its own contiguous column and the payloads into one
+/// contiguous array. `component(entry, canonical_comp)` and
+/// `payload(entry)` read the source container.
+template <typename ComponentFn, typename PayloadFn>
+ConsumedView ArgsortAndGather(int width, std::vector<uint32_t> entries,
+                              const GroupPlan::IncomingView& incoming,
+                              ComponentFn&& component, PayloadFn&& payload) {
   ConsumedView out;
   out.width = width;
-  std::vector<std::pair<TupleKey, const double*>> entries;
-  entries.reserve(num_entries);
-  const int arity = static_cast<int>(incoming.key_perm.size() +
-                                     incoming.extra_perm.size());
-  for_each([&](const TupleKey& key, const double* payload) {
-    TupleKey permuted(arity);
-    int c = 0;
-    for (int pos : incoming.key_perm) permuted.set(c++, key[pos]);
-    for (int pos : incoming.extra_perm) permuted.set(c++, key[pos]);
-    entries.emplace_back(permuted, payload);
-  });
-  std::sort(entries.begin(), entries.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  out.owned_keys.reserve(entries.size());
-  out.owned_payloads.resize(entries.size() * static_cast<size_t>(width));
-  for (size_t i = 0; i < entries.size(); ++i) {
-    out.owned_keys.push_back(entries[i].first);
-    std::copy(entries[i].second, entries[i].second + width,
-              out.owned_payloads.begin() +
-                  static_cast<long>(i * static_cast<size_t>(width)));
+  // The plan layer precomputes consumed_perm; fall back to concatenating
+  // the permutations for hand-built IncomingViews (tests, tooling).
+  std::vector<int> perm = incoming.consumed_perm;
+  if (perm.empty()) {
+    perm = incoming.key_perm;
+    perm.insert(perm.end(), incoming.extra_perm.begin(),
+                incoming.extra_perm.end());
   }
-  out.size = out.owned_keys.size();
-  out.keys = out.owned_keys.data();
+  out.arity = static_cast<int>(perm.size());
+  std::sort(entries.begin(), entries.end(),
+            [&component, &perm](uint32_t a, uint32_t b) {
+              for (int pos : perm) {
+                const int64_t va = component(a, pos);
+                const int64_t vb = component(b, pos);
+                if (va != vb) return va < vb;
+              }
+              return false;
+            });
+  const size_t n = entries.size();
+  out.owned_keys = KeyColumns(out.arity, n);
+  for (int c = 0; c < out.arity; ++c) {
+    int64_t* dst = out.owned_keys.col(c);
+    const int pos = perm[static_cast<size_t>(c)];
+    for (size_t i = 0; i < n; ++i) dst[i] = component(entries[i], pos);
+    out.cols[static_cast<size_t>(c)] = dst;
+  }
+  out.owned_payloads.resize(n * static_cast<size_t>(width));
+  for (size_t i = 0; i < n; ++i) {
+    std::memcpy(out.owned_payloads.data() + i * static_cast<size_t>(width),
+                payload(entries[i]),
+                sizeof(double) * static_cast<size_t>(width));
+  }
+  out.size = n;
   out.payloads = out.owned_payloads.data();
   return out;
 }
@@ -46,27 +60,44 @@ ConsumedView PermuteAndSort(int width, size_t num_entries,
 
 ConsumedView ConsumedView::Borrow(const SortView& frozen) {
   ConsumedView out;
+  out.arity = frozen.key_arity();
   out.width = frozen.width();
   out.size = frozen.size();
-  out.keys = frozen.keys().data();
+  for (int c = 0; c < out.arity; ++c) {
+    out.cols[static_cast<size_t>(c)] = frozen.col(c);
+  }
   out.payloads = frozen.payloads().data();
   return out;
 }
 
 ConsumedView BuildConsumedView(const ViewMap& produced,
                                const GroupPlan::IncomingView& incoming) {
-  return PermuteAndSort(produced.width(), produced.size(), incoming,
-                        [&](auto&& fn) { produced.ForEach(fn); });
+  std::vector<uint32_t> entries;
+  entries.reserve(produced.size());
+  const size_t slots = produced.num_slots();
+  LMFAO_CHECK_LT(slots, static_cast<size_t>(UINT32_MAX));
+  for (size_t s = 0; s < slots; ++s) {
+    if (produced.slot_occupied(s)) entries.push_back(static_cast<uint32_t>(s));
+  }
+  return ArgsortAndGather(
+      produced.width(), std::move(entries), incoming,
+      [&produced](uint32_t slot, int comp) {
+        return produced.slot_key(slot)[comp];
+      },
+      [&produced](uint32_t slot) { return produced.slot_payload(slot); });
 }
 
 ConsumedView BuildConsumedView(const SortView& produced,
                                const GroupPlan::IncomingView& incoming) {
-  return PermuteAndSort(produced.width(), produced.size(), incoming,
-                        [&](auto&& fn) {
-                          for (size_t i = 0; i < produced.size(); ++i) {
-                            fn(produced.key(i), produced.payload(i));
-                          }
-                        });
+  LMFAO_CHECK_LT(produced.size(), static_cast<size_t>(UINT32_MAX));
+  std::vector<uint32_t> entries(produced.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    entries[i] = static_cast<uint32_t>(i);
+  }
+  return ArgsortAndGather(
+      produced.width(), std::move(entries), incoming,
+      [&produced](uint32_t row, int comp) { return produced.col(comp)[row]; },
+      [&produced](uint32_t row) { return produced.payload(row); });
 }
 
 GroupExecutor::GroupExecutor(const GroupPlan& plan,
@@ -82,7 +113,8 @@ GroupExecutor::GroupExecutor(const GroupPlan& plan,
         relation_.column(col).ints().data();
   }
   level_bound_views_.assign(static_cast<size_t>(levels) + 1, {});
-  effective_level_.assign(plan_.incoming.size(), {});
+  level_stride_ = static_cast<size_t>(levels) + 1;
+  effective_level_.assign(plan_.incoming.size() * level_stride_, 0);
   for (size_t v = 0; v < plan_.incoming.size(); ++v) {
     const auto& in = plan_.incoming[v];
     for (size_t c = 0; c < in.key_levels.size(); ++c) {
@@ -93,14 +125,12 @@ GroupExecutor::GroupExecutor(const GroupPlan& plan,
       level_bound_views_[static_cast<size_t>(in.bound_level)].push_back(
           static_cast<int>(v));
     }
-    auto& eff = effective_level_[v];
-    eff.assign(static_cast<size_t>(levels) + 1, 0);
+    int* eff = effective_level_.data() + v * level_stride_;
     for (int l = 1; l <= levels; ++l) {
       const bool participates =
           std::find(in.key_levels.begin(), in.key_levels.end(), l) !=
           in.key_levels.end();
-      eff[static_cast<size_t>(l)] =
-          participates ? l : eff[static_cast<size_t>(l - 1)];
+      eff[l] = participates ? l : eff[l - 1];
     }
   }
   auto resolve = [this](const std::vector<std::pair<int, Function>>& factors) {
@@ -141,10 +171,9 @@ void GroupExecutor::Prepare(const std::vector<ViewMap*>& outputs) {
   const int levels = plan_.num_levels();
   rel_range_.assign(static_cast<size_t>(levels) + 1, Range{});
   rel_range_[0] = Range{0, relation_.num_rows()};
-  view_range_.assign(views_.size(), {});
+  view_range_.assign(views_.size() * level_stride_, Range{});
   for (size_t v = 0; v < views_.size(); ++v) {
-    view_range_[v].assign(static_cast<size_t>(levels) + 1, Range{});
-    view_range_[v][0] = Range{0, views_[v]->size};
+    view_range_[v * level_stride_] = Range{0, views_[v]->size};
   }
   bound_.assign(static_cast<size_t>(levels) + 1, 0);
   view_payload_cache_.assign(views_.size(), nullptr);
@@ -163,6 +192,14 @@ Status GroupExecutor::ExecuteShard(const std::vector<ViewMap*>& outputs,
   LMFAO_RETURN_NOT_OK(Validate());
   if (outputs.size() != plan_.outputs.size()) {
     return Status::InvalidArgument("executor: output count mismatch");
+  }
+  // The write paths hand raw key_sources-sized spans to UpsertHashed (which
+  // cannot check a span length), so pin the arity invariant once up front.
+  for (size_t o = 0; o < outputs.size(); ++o) {
+    if (outputs[o]->key_arity() !=
+        static_cast<int>(plan_.outputs[o].key_sources.size())) {
+      return Status::InvalidArgument("executor: output key arity mismatch");
+    }
   }
   Prepare(outputs);
   const int levels = plan_.num_levels();
@@ -191,21 +228,22 @@ void GroupExecutor::IterateLevel(int level, int shard, int num_shards) {
   const auto& vps = level_views_[static_cast<size_t>(level)];
 
   size_t rel_pos = rel.lo;
-  // Small inline cursor buffer: IterateLevel is called once per parent
-  // value, so heap allocation here would dominate small subtries.
+  // Small inline cursor buffers: IterateLevel is called once per parent
+  // value, so heap allocation here would dominate small subtries. vcols
+  // caches each participant's contiguous key column — every seek below is
+  // a galloping search over a plain int64 array.
   size_t vpos[kMaxLevelViews];
   size_t vhis[kMaxLevelViews];
+  const int64_t* vcols[kMaxLevelViews];
   LMFAO_CHECK_LE(vps.size(), kMaxLevelViews);
   for (size_t i = 0; i < vps.size(); ++i) {
     const Range parent = ViewRangeAt(vps[i].first, level - 1);
     vpos[i] = parent.lo;
     vhis[i] = parent.hi;
+    vcols[i] = views_[static_cast<size_t>(vps[i].first)]->col(vps[i].second);
   }
   auto view_hi = [&](size_t i) { return vhis[i]; };
-  auto view_val = [&](size_t i) {
-    const ConsumedView* v = views_[static_cast<size_t>(vps[i].first)];
-    return v->keys[vpos[i]][vps[i].second];
-  };
+  auto view_val = [&](size_t i) { return vcols[i][vpos[i]]; };
 
   if (rel.empty()) return;
   for (size_t i = 0; i < vps.size(); ++i) {
@@ -219,9 +257,7 @@ void GroupExecutor::IterateLevel(int level, int shard, int num_shards) {
     for (;;) {
       bool all_equal = true;
       if (rel_col[rel_pos] < target) {
-        rel_pos = static_cast<size_t>(
-            std::lower_bound(rel_col + rel_pos, rel_col + rel.hi, target) -
-            rel_col);
+        rel_pos = GallopLowerBound(rel_col, rel_pos, rel.hi, target);
         if (rel_pos >= rel.hi) {
           exhausted = true;
           break;
@@ -233,19 +269,7 @@ void GroupExecutor::IterateLevel(int level, int shard, int num_shards) {
       }
       for (size_t i = 0; i < vps.size(); ++i) {
         if (view_val(i) < target) {
-          const ConsumedView* v = views_[static_cast<size_t>(vps[i].first)];
-          const int comp = vps[i].second;
-          size_t lo = vpos[i];
-          size_t hi = view_hi(i);
-          while (lo < hi) {
-            const size_t mid = (lo + hi) / 2;
-            if (v->keys[mid][comp] < target) {
-              lo = mid + 1;
-            } else {
-              hi = mid;
-            }
-          }
-          vpos[i] = lo;
+          vpos[i] = GallopLowerBound(vcols[i], vpos[i], view_hi(i), target);
           if (vpos[i] >= view_hi(i)) {
             exhausted = true;
             break;
@@ -262,25 +286,14 @@ void GroupExecutor::IterateLevel(int level, int shard, int num_shards) {
     if (exhausted) return;
 
     // Equal runs for each participant.
-    const size_t rel_run_end = static_cast<size_t>(
-        std::upper_bound(rel_col + rel_pos, rel_col + rel.hi, target) -
-        rel_col);
+    const size_t rel_run_end =
+        GallopUpperBound(rel_col, rel_pos, rel.hi, target);
     rel_range_[static_cast<size_t>(level)] = Range{rel_pos, rel_run_end};
     for (size_t i = 0; i < vps.size(); ++i) {
-      const ConsumedView* v = views_[static_cast<size_t>(vps[i].first)];
-      const int comp = vps[i].second;
-      size_t lo = vpos[i];
-      size_t hi = view_hi(i);
-      while (lo < hi) {
-        const size_t mid = (lo + hi) / 2;
-        if (v->keys[mid][comp] <= target) {
-          lo = mid + 1;
-        } else {
-          hi = mid;
-        }
-      }
-      view_range_[static_cast<size_t>(vps[i].first)]
-                 [static_cast<size_t>(level)] = Range{vpos[i], lo};
+      const size_t run_end =
+          GallopUpperBound(vcols[i], vpos[i], view_hi(i), target);
+      view_range_[static_cast<size_t>(vps[i].first) * level_stride_ +
+                  static_cast<size_t>(level)] = Range{vpos[i], run_end};
     }
 
     const bool mine =
@@ -295,9 +308,10 @@ void GroupExecutor::IterateLevel(int level, int shard, int num_shards) {
     rel_pos = rel_range_[static_cast<size_t>(level)].hi;
     if (rel_pos >= rel.hi) return;
     for (size_t i = 0; i < vps.size(); ++i) {
-      vpos[i] = view_range_[static_cast<size_t>(vps[i].first)]
-                           [static_cast<size_t>(level)]
-                               .hi;
+      vpos[i] = view_range_[static_cast<size_t>(vps[i].first) *
+                                level_stride_ +
+                            static_cast<size_t>(level)]
+                    .hi;
       if (vpos[i] >= view_hi(i)) return;
     }
   }
@@ -307,8 +321,8 @@ void GroupExecutor::ProcessMatch(int level, int64_t value, int shard,
                                  int num_shards) {
   bound_[static_cast<size_t>(level)] = value;
   for (int v : level_bound_views_[static_cast<size_t>(level)]) {
-    const Range& r =
-        view_range_[static_cast<size_t>(v)][static_cast<size_t>(level)];
+    const Range& r = view_range_[static_cast<size_t>(v) * level_stride_ +
+                                 static_cast<size_t>(level)];
     view_payload_cache_[static_cast<size_t>(v)] =
         views_[static_cast<size_t>(v)]->payload(r.lo);
   }
@@ -347,11 +361,9 @@ void GroupExecutor::LeafLoop(const Range& range) {
 
 GroupExecutor::Range GroupExecutor::ViewRangeAt(int view_index,
                                                 int level) const {
-  const int effective =
-      effective_level_[static_cast<size_t>(view_index)]
-                      [static_cast<size_t>(level)];
-  return view_range_[static_cast<size_t>(view_index)]
-                    [static_cast<size_t>(effective)];
+  const size_t row = static_cast<size_t>(view_index) * level_stride_;
+  const int effective = effective_level_[row + static_cast<size_t>(level)];
+  return view_range_[row + static_cast<size_t>(effective)];
 }
 
 double GroupExecutor::EvalPart(const PlanPart& part) const {
@@ -410,16 +422,20 @@ void GroupExecutor::EmitWrite(const GroupPlan::Write& w, int level) {
   double base = w.alpha >= 0 ? alpha_vals_[static_cast<size_t>(w.alpha)] : 1.0;
   base *= SuffixValue(w.suffix);
 
-  TupleKey key(static_cast<int>(o.key_sources.size()));
+  // Raw packed key buffer: only the output's actual arity is touched, and
+  // UpsertHashed skips the inline-tuple handle entirely.
+  const int key_n = static_cast<int>(o.key_sources.size());
+  int64_t key[TupleKey::kMaxArity];
   // Fill level-sourced components once.
-  for (size_t i = 0; i < o.key_sources.size(); ++i) {
-    const GroupPlan::KeySource& src = o.key_sources[i];
+  for (int i = 0; i < key_n; ++i) {
+    const GroupPlan::KeySource& src = o.key_sources[static_cast<size_t>(i)];
     if (src.from_level) {
-      key.set(static_cast<int>(i), bound_[static_cast<size_t>(src.level)]);
+      key[i] = bound_[static_cast<size_t>(src.level)];
     }
   }
   if (o.key_views.empty()) {
-    outputs_[static_cast<size_t>(w.output)]->Upsert(key)[w.slot] += base;
+    outputs_[static_cast<size_t>(w.output)]
+        ->UpsertHashed(key, HashKeySpan(key, key_n))[w.slot] += base;
     return;
   }
   // Iterate the cross product of the key views' entry ranges.
@@ -439,20 +455,20 @@ void GroupExecutor::EmitWrite(const GroupPlan::Write& w, int level) {
       value *= views_[static_cast<size_t>(o.key_views[i])]
                    ->payload(entry_cursor_[i])[w.entry_slots[i]];
     }
-    for (size_t i = 0; i < o.key_sources.size(); ++i) {
-      const GroupPlan::KeySource& src = o.key_sources[i];
+    for (int i = 0; i < key_n; ++i) {
+      const GroupPlan::KeySource& src = o.key_sources[static_cast<size_t>(i)];
       if (src.from_level) continue;
       // Locate the cursor of this source's view.
       for (size_t kv = 0; kv < nv; ++kv) {
         if (o.key_views[kv] == src.view_index) {
-          key.set(static_cast<int>(i),
-                  views_[static_cast<size_t>(src.view_index)]
-                      ->keys[entry_cursor_[kv]][src.comp]);
+          key[i] = views_[static_cast<size_t>(src.view_index)]
+                       ->col(src.comp)[entry_cursor_[kv]];
           break;
         }
       }
     }
-    outputs_[static_cast<size_t>(w.output)]->Upsert(key)[w.slot] += value;
+    outputs_[static_cast<size_t>(w.output)]
+        ->UpsertHashed(key, HashKeySpan(key, key_n))[w.slot] += value;
     // Advance the odometer.
     size_t i = 0;
     for (; i < nv; ++i) {
@@ -477,12 +493,15 @@ void GroupExecutor::WriteOutputs(int level) {
       continue;
     }
     if (w.output != last_output) {
-      TupleKey key(static_cast<int>(o.key_sources.size()));
-      for (size_t i = 0; i < o.key_sources.size(); ++i) {
-        key.set(static_cast<int>(i),
-                bound_[static_cast<size_t>(o.key_sources[i].level)]);
+      const int key_n = static_cast<int>(o.key_sources.size());
+      int64_t key[TupleKey::kMaxArity];
+      for (int i = 0; i < key_n; ++i) {
+        key[i] =
+            bound_[static_cast<size_t>(o.key_sources[static_cast<size_t>(i)]
+                                           .level)];
       }
-      payload = outputs_[static_cast<size_t>(w.output)]->Upsert(key);
+      payload = outputs_[static_cast<size_t>(w.output)]->UpsertHashed(
+          key, HashKeySpan(key, key_n));
       last_output = w.output;
     }
     double v = w.alpha >= 0 ? alpha_vals_[static_cast<size_t>(w.alpha)] : 1.0;
@@ -503,15 +522,17 @@ void GroupExecutor::EmitLeafWrite(size_t leaf_write_index, size_t row) {
         rf.icol != nullptr ? static_cast<double>(rf.icol[row]) : rf.dcol[row];
     base *= rf.fn.Eval(x);
   }
-  TupleKey key(static_cast<int>(o.key_sources.size()));
-  for (size_t i = 0; i < o.key_sources.size(); ++i) {
-    const GroupPlan::KeySource& src = o.key_sources[i];
+  const int key_n = static_cast<int>(o.key_sources.size());
+  int64_t key[TupleKey::kMaxArity];
+  for (int i = 0; i < key_n; ++i) {
+    const GroupPlan::KeySource& src = o.key_sources[static_cast<size_t>(i)];
     if (src.from_level) {
-      key.set(static_cast<int>(i), bound_[static_cast<size_t>(src.level)]);
+      key[i] = bound_[static_cast<size_t>(src.level)];
     }
   }
   if (o.key_views.empty()) {
-    outputs_[static_cast<size_t>(lw.output)]->Upsert(key)[lw.slot] += base;
+    outputs_[static_cast<size_t>(lw.output)]
+        ->UpsertHashed(key, HashKeySpan(key, key_n))[lw.slot] += base;
     return;
   }
   const size_t nv = o.key_views.size();
@@ -530,19 +551,19 @@ void GroupExecutor::EmitLeafWrite(size_t leaf_write_index, size_t row) {
       value *= views_[static_cast<size_t>(o.key_views[i])]
                    ->payload(entry_cursor_[i])[lw.entry_slots[i]];
     }
-    for (size_t i = 0; i < o.key_sources.size(); ++i) {
-      const GroupPlan::KeySource& src = o.key_sources[i];
+    for (int i = 0; i < key_n; ++i) {
+      const GroupPlan::KeySource& src = o.key_sources[static_cast<size_t>(i)];
       if (src.from_level) continue;
       for (size_t kv = 0; kv < nv; ++kv) {
         if (o.key_views[kv] == src.view_index) {
-          key.set(static_cast<int>(i),
-                  views_[static_cast<size_t>(src.view_index)]
-                      ->keys[entry_cursor_[kv]][src.comp]);
+          key[i] = views_[static_cast<size_t>(src.view_index)]
+                       ->col(src.comp)[entry_cursor_[kv]];
           break;
         }
       }
     }
-    outputs_[static_cast<size_t>(lw.output)]->Upsert(key)[lw.slot] += value;
+    outputs_[static_cast<size_t>(lw.output)]
+        ->UpsertHashed(key, HashKeySpan(key, key_n))[lw.slot] += value;
     size_t i = 0;
     for (; i < nv; ++i) {
       if (++entry_cursor_[i] < write_ranges_[i].hi) break;

@@ -13,34 +13,41 @@
 #ifndef LMFAO_ENGINE_EXECUTOR_H_
 #define LMFAO_ENGINE_EXECUTOR_H_
 
+#include <array>
 #include <memory>
 #include <vector>
 
 #include "engine/plan.h"
+#include "storage/key_columns.h"
 #include "storage/relation.h"
 #include "storage/view.h"
 #include "util/status.h"
 
 namespace lmfao {
 
-/// \brief An incoming view re-sorted for consumption by one group.
+/// \brief An incoming view re-sorted for consumption by one group, keys
+/// exposed as per-component columns.
 ///
 /// Keys are permuted into (relation components in trie-level order, then
 /// extra components) and sorted lexicographically; payloads are stored
 /// contiguously. Entries agreeing on the bound relation components are
-/// therefore contiguous.
+/// therefore contiguous, and each consumed component is one contiguous
+/// int64 column — the executor's merge-join cursors seek over plain
+/// columns instead of strided key objects.
 ///
-/// The consumed form either owns a permuted copy (built by
-/// BuildConsumedView) or borrows the raw arrays of a frozen SortView when
-/// the consumed order equals the canonical order
-/// (GroupPlan::IncomingView::identity_perm) — the zero-copy path the
-/// ViewStore takes for frozen views.
+/// The consumed form either owns a permuted columnar copy (built by
+/// BuildConsumedView via an index argsort + per-column gather) or borrows
+/// the columns of a frozen SortView when the consumed order equals the
+/// canonical order (GroupPlan::IncomingView::identity_perm) — the
+/// zero-copy path the ViewStore takes for frozen views.
 struct ConsumedView {
+  int arity = 0;
   int width = 0;
   size_t size = 0;
-  /// Entry keys/payloads; point into the owned vectors below or into a
-  /// borrowed SortView that must outlive this object.
-  const TupleKey* keys = nullptr;
+  /// Per consumed component: a contiguous sorted column. Points into
+  /// `owned_keys` or into a borrowed SortView that must outlive this
+  /// object.
+  std::array<const int64_t*, TupleKey::kMaxArity> cols{};
   const double* payloads = nullptr;
 
   ConsumedView() = default;
@@ -49,15 +56,17 @@ struct ConsumedView {
   ConsumedView(ConsumedView&&) = default;
   ConsumedView& operator=(ConsumedView&&) = default;
 
-  /// Borrows the arrays of a frozen view (canonical order == consumed
+  /// Borrows the columns of a frozen view (canonical order == consumed
   /// order); no copy.
   static ConsumedView Borrow(const SortView& frozen);
+
+  const int64_t* col(int c) const { return cols[static_cast<size_t>(c)]; }
 
   const double* payload(size_t i) const {
     return payloads + i * static_cast<size_t>(width);
   }
 
-  std::vector<TupleKey> owned_keys;
+  KeyColumns owned_keys;
   std::vector<double> owned_payloads;
 };
 
@@ -130,15 +139,18 @@ class GroupExecutor {
   // payload pointers are cached once per match instead of being re-derived
   // for every register evaluation.
   std::vector<std::vector<int>> level_bound_views_;
-  // effective_level_[v][l] = deepest level <= l at which view v's range was
-  // narrowed (v participates). Ranges are only written at participation
-  // levels; reads indirect through this table instead of copying every
-  // view's range on every match.
-  std::vector<std::vector<int>> effective_level_;
+  // effective_level_[v * level_stride_ + l] = deepest level <= l at which
+  // view v's range was narrowed (v participates). Ranges are only written
+  // at participation levels; reads indirect through this flat strided table
+  // instead of copying every view's range on every match.
+  std::vector<int> effective_level_;
+  // Rows of the flat per-view tables (levels + 1 entries per view).
+  size_t level_stride_ = 0;
 
   // Execution state.
-  std::vector<Range> rel_range_;                // per level 0..L
-  std::vector<std::vector<Range>> view_range_;  // per view, per level 0..L
+  std::vector<Range> rel_range_;  // per level 0..L
+  // view_range_[v * level_stride_ + l]: view v's range at level l.
+  std::vector<Range> view_range_;
   std::vector<int64_t> bound_;                  // per level 1..L
   std::vector<double> alpha_vals_;
   std::vector<double> beta_vals_;

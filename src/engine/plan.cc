@@ -128,12 +128,12 @@ class PlanBuilder {
         (void)attr;
         in.extra_perm.push_back(pos);
       }
+      in.consumed_perm = in.key_perm;
+      in.consumed_perm.insert(in.consumed_perm.end(), in.extra_perm.begin(),
+                              in.extra_perm.end());
       in.identity_perm = true;
-      for (size_t i = 0; i < in.key_perm.size(); ++i) {
-        if (in.key_perm[i] != static_cast<int>(i)) in.identity_perm = false;
-      }
-      for (size_t i = 0; i < in.extra_perm.size(); ++i) {
-        if (in.extra_perm[i] != static_cast<int>(in.key_perm.size() + i)) {
+      for (size_t i = 0; i < in.consumed_perm.size(); ++i) {
+        if (in.consumed_perm[i] != static_cast<int>(i)) {
           in.identity_perm = false;
         }
       }

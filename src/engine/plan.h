@@ -98,6 +98,10 @@ struct GroupPlan {
     std::vector<int> key_levels;
     /// Canonical-key positions of the extra components (ascending attr id).
     std::vector<int> extra_perm;
+    /// key_perm followed by extra_perm: consumed component c is canonical
+    /// component consumed_perm[c]. Precomputed so the consumed-view build
+    /// (an argsort + per-column gather) reads one flat table.
+    std::vector<int> consumed_perm;
     /// Level at which the last relation component binds; the view's entry
     /// range is final from this level on (single entry iff extra_perm is
     /// empty).

@@ -62,19 +62,25 @@ std::string ReportExecution(const ExecutionStats& stats,
       stats.viewgen_seconds * 1e3, stats.grouping_seconds * 1e3,
       stats.plan_seconds * 1e3, stats.execute_seconds * 1e3,
       stats.total_seconds * 1e3);
+  constexpr double kMiB = 1024.0 * 1024.0;
   out << StringPrintf(
-      "  view store: peak %zu live views (%.2f MiB peak), %d frozen\n",
+      "  view store: peak %zu live views (%.2f MiB peak: %.2f key + %.2f "
+      "payload), %d frozen\n",
       stats.peak_live_views,
-      static_cast<double>(stats.peak_view_bytes) / (1024.0 * 1024.0),
+      static_cast<double>(stats.peak_view_bytes) / kMiB,
+      static_cast<double>(stats.peak_view_key_bytes) / kMiB,
+      static_cast<double>(stats.peak_view_payload_bytes) / kMiB,
       stats.num_frozen_views);
   for (const GroupStats& g : stats.groups) {
     out << StringPrintf(
         "    group %d @ %-14s %8.2f ms, %d outputs, %zu entries, "
-        "%d shard%s, waited %.2f ms, store %.2f MiB\n",
+        "%d shard%s, waited %.2f ms, store %.2f MiB (%.2f key + %.2f "
+        "payload)\n",
         g.group_id, catalog.relation(g.node).name().c_str(), g.seconds * 1e3,
         g.num_outputs, g.output_entries, g.shards, g.shards == 1 ? "" : "s",
-        g.wait_seconds * 1e3,
-        static_cast<double>(g.store_bytes) / (1024.0 * 1024.0));
+        g.wait_seconds * 1e3, static_cast<double>(g.store_bytes()) / kMiB,
+        static_cast<double>(g.store_key_bytes) / kMiB,
+        static_cast<double>(g.store_payload_bytes) / kMiB);
   }
   return out.str();
 }

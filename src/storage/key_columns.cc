@@ -1,0 +1,31 @@
+#include "storage/key_columns.h"
+
+#include <algorithm>
+
+namespace lmfao {
+
+size_t GallopLowerBound(const int64_t* data, size_t lo, size_t hi,
+                        int64_t target) {
+  if (lo >= hi || data[lo] >= target) return lo;
+  // data[lo] < target: gallop until the window [lo + step/2, lo + step]
+  // brackets the boundary.
+  size_t step = 1;
+  while (lo + step < hi && data[lo + step] < target) step <<= 1;
+  size_t left = lo + (step >> 1) + 1;  // data[lo + step/2] < target.
+  size_t right = std::min(lo + step + 1, hi);
+  return static_cast<size_t>(
+      std::lower_bound(data + left, data + right, target) - data);
+}
+
+size_t GallopUpperBound(const int64_t* data, size_t lo, size_t hi,
+                        int64_t target) {
+  if (lo >= hi || data[lo] > target) return lo;
+  size_t step = 1;
+  while (lo + step < hi && data[lo + step] <= target) step <<= 1;
+  size_t left = lo + (step >> 1) + 1;
+  size_t right = std::min(lo + step + 1, hi);
+  return static_cast<size_t>(
+      std::upper_bound(data + left, data + right, target) - data);
+}
+
+}  // namespace lmfao

@@ -15,15 +15,16 @@ ViewMap::ViewMap(int key_arity, int width)
   LMFAO_CHECK_GE(key_arity, 0);
   LMFAO_CHECK_LE(key_arity, TupleKey::kMaxArity);
   LMFAO_CHECK_GT(width, 0);
-  slots_.resize(kInitialCapacity);
+  keys_.assign(kInitialCapacity * static_cast<size_t>(key_arity_), 0);
+  hashes_.assign(kInitialCapacity, 0);
   occupied_.assign(kInitialCapacity, 0);
   payloads_.assign(kInitialCapacity * static_cast<size_t>(width_), 0.0);
   capacity_mask_ = kInitialCapacity - 1;
 }
 
-size_t ViewMap::ProbeSlot(const TupleKey& key) const {
-  size_t i = key.Hash() & capacity_mask_;
-  while (occupied_[i] && !(slots_[i] == key)) {
+size_t ViewMap::ProbeSlot(const int64_t* vals, uint64_t hash) const {
+  size_t i = hash & capacity_mask_;
+  while (occupied_[i] && !(hashes_[i] == hash && SlotKeyEquals(i, vals))) {
     i = (i + 1) & capacity_mask_;
   }
   return i;
@@ -31,18 +32,24 @@ size_t ViewMap::ProbeSlot(const TupleKey& key) const {
 
 double* ViewMap::Upsert(const TupleKey& key) {
   LMFAO_CHECK_EQ(key.size(), key_arity_);
+  return UpsertHashed(key.data(), key.Hash());
+}
+
+double* ViewMap::UpsertHashed(const int64_t* vals, uint64_t hash) {
   if (size_ * 10 >= (capacity_mask_ + 1) * 7) Rehash((capacity_mask_ + 1) * 2);
-  const size_t i = ProbeSlot(key);
+  const size_t i = ProbeSlot(vals, hash);
   if (!occupied_[i]) {
     occupied_[i] = 1;
-    slots_[i] = key;
+    hashes_[i] = hash;
+    int64_t* dst = keys_.data() + i * static_cast<size_t>(key_arity_);
+    for (int c = 0; c < key_arity_; ++c) dst[c] = vals[c];
     ++size_;
   }
   return payloads_.data() + i * static_cast<size_t>(width_);
 }
 
 const double* ViewMap::Lookup(const TupleKey& key) const {
-  const size_t i = ProbeSlot(key);
+  const size_t i = ProbeSlot(key.data(), key.Hash());
   return occupied_[i] ? payloads_.data() + i * static_cast<size_t>(width_)
                       : nullptr;
 }
@@ -53,21 +60,35 @@ void ViewMap::Reserve(size_t n) {
   if (capacity > capacity_mask_ + 1) Rehash(capacity);
 }
 
+void ViewMap::ShrinkToFit() {
+  size_t capacity = kInitialCapacity;
+  while (size_ * 10 >= capacity * 7) capacity *= 2;
+  if (capacity < capacity_mask_ + 1) Rehash(capacity);
+}
+
 void ViewMap::Rehash(size_t new_capacity) {
-  std::vector<TupleKey> old_slots = std::move(slots_);
+  std::vector<int64_t> old_keys = std::move(keys_);
+  std::vector<uint64_t> old_hashes = std::move(hashes_);
   std::vector<uint8_t> old_occupied = std::move(occupied_);
   std::vector<double> old_payloads = std::move(payloads_);
 
-  slots_.assign(new_capacity, TupleKey());
+  keys_.assign(new_capacity * static_cast<size_t>(key_arity_), 0);
+  hashes_.assign(new_capacity, 0);
   occupied_.assign(new_capacity, 0);
   payloads_.assign(new_capacity * static_cast<size_t>(width_), 0.0);
   capacity_mask_ = new_capacity - 1;
 
-  for (size_t i = 0; i < old_slots.size(); ++i) {
+  for (size_t i = 0; i < old_occupied.size(); ++i) {
     if (!old_occupied[i]) continue;
-    const size_t j = ProbeSlot(old_slots[i]);
+    // Keys are distinct, so the cached hash alone finds a free slot — no
+    // re-hashing and no key comparisons during rehash.
+    size_t j = old_hashes[i] & capacity_mask_;
+    while (occupied_[j]) j = (j + 1) & capacity_mask_;
     occupied_[j] = 1;
-    slots_[j] = old_slots[i];
+    hashes_[j] = old_hashes[i];
+    std::memcpy(keys_.data() + j * static_cast<size_t>(key_arity_),
+                old_keys.data() + i * static_cast<size_t>(key_arity_),
+                sizeof(int64_t) * static_cast<size_t>(key_arity_));
     std::memcpy(payloads_.data() + j * static_cast<size_t>(width_),
                 old_payloads.data() + i * static_cast<size_t>(width_),
                 sizeof(double) * static_cast<size_t>(width_));
@@ -84,47 +105,84 @@ std::vector<TupleKey> ViewMap::Keys() const {
 void ViewMap::MergeAdd(const ViewMap& other) {
   LMFAO_CHECK_EQ(key_arity_, other.key_arity_);
   LMFAO_CHECK_EQ(width_, other.width_);
-  other.ForEach([this](const TupleKey& k, const double* payload) {
-    double* dst = Upsert(k);
-    for (int j = 0; j < width_; ++j) dst[j] += payload[j];
-  });
-}
-
-size_t ViewMap::MemoryUsage() const {
-  return slots_.size() * sizeof(TupleKey) + occupied_.size() +
-         payloads_.size() * sizeof(double);
+  // Worst-case union size up front: one rehash at most, instead of a
+  // cascade of doublings while the merge loop runs.
+  Reserve(size_ + other.size_);
+  const size_t slots = other.num_slots();
+  for (size_t s = 0; s < slots; ++s) {
+    if (!other.slot_occupied(s)) continue;
+    double* dst = UpsertHashed(other.slot_key(s), other.slot_hash(s));
+    const double* src = other.slot_payload(s);
+    for (int j = 0; j < width_; ++j) dst[j] += src[j];
+  }
 }
 
 SortView SortView::FromMap(const ViewMap& map) {
   SortView out;
-  out.key_arity_ = map.key_arity();
   out.width_ = map.width();
-  std::vector<TupleKey> keys = map.Keys();
-  std::sort(keys.begin(), keys.end());
-  out.keys_ = std::move(keys);
-  out.payloads_.resize(out.keys_.size() * static_cast<size_t>(out.width_));
-  for (size_t i = 0; i < out.keys_.size(); ++i) {
-    const double* src = map.Lookup(out.keys_[i]);
-    LMFAO_CHECK(src != nullptr);
-    std::memcpy(out.payloads_.data() + i * static_cast<size_t>(out.width_),
-                src, sizeof(double) * static_cast<size_t>(out.width_));
+  const int arity = map.key_arity();
+
+  // Index argsort over the occupied slots ...
+  std::vector<uint32_t> slots;
+  slots.reserve(map.size());
+  const size_t num_slots = map.num_slots();
+  LMFAO_CHECK_LT(num_slots, static_cast<size_t>(UINT32_MAX));
+  for (size_t s = 0; s < num_slots; ++s) {
+    if (map.slot_occupied(s)) slots.push_back(static_cast<uint32_t>(s));
+  }
+  std::sort(slots.begin(), slots.end(), [&map, arity](uint32_t a, uint32_t b) {
+    const int64_t* ka = map.slot_key(a);
+    const int64_t* kb = map.slot_key(b);
+    for (int c = 0; c < arity; ++c) {
+      if (ka[c] != kb[c]) return ka[c] < kb[c];
+    }
+    return false;
+  });
+
+  // ... then one gather per key column and one payload gather — no hash
+  // lookups.
+  const size_t n = slots.size();
+  out.keys_ = KeyColumns(arity, n);
+  for (int c = 0; c < arity; ++c) {
+    int64_t* dst = out.keys_.col(c);
+    for (size_t i = 0; i < n; ++i) dst[i] = map.slot_key(slots[i])[c];
+  }
+  const int width = out.width_;
+  out.payloads_.resize(n * static_cast<size_t>(width));
+  for (size_t i = 0; i < n; ++i) {
+    std::memcpy(out.payloads_.data() + i * static_cast<size_t>(width),
+                map.slot_payload(slots[i]),
+                sizeof(double) * static_cast<size_t>(width));
   }
   return out;
 }
 
 const double* SortView::Lookup(const TupleKey& key) const {
+  if (key.size() != keys_.arity()) return nullptr;
   const size_t i = LowerBound(key);
-  if (i < keys_.size() && keys_[i] == key) return payload(i);
-  return nullptr;
+  if (i >= keys_.size()) return nullptr;
+  for (int c = 0; c < keys_.arity(); ++c) {
+    if (keys_.col(c)[i] != key[c]) return nullptr;
+  }
+  return payload(i);
 }
 
 size_t SortView::LowerBound(const TupleKey& key) const {
-  return static_cast<size_t>(
-      std::lower_bound(keys_.begin(), keys_.end(), key) - keys_.begin());
-}
-
-size_t SortView::MemoryUsage() const {
-  return keys_.size() * sizeof(TupleKey) + payloads_.size() * sizeof(double);
+  // Narrow the candidate range one column at a time: [lo, hi) always holds
+  // exactly the rows whose first c components equal the key prefix.
+  size_t lo = 0;
+  size_t hi = keys_.size();
+  const int arity = std::min(keys_.arity(), key.size());
+  for (int c = 0; c < arity && lo < hi; ++c) {
+    const int64_t* col = keys_.col(c);
+    const size_t first = static_cast<size_t>(
+        std::lower_bound(col + lo, col + hi, key[c]) - col);
+    if (first >= hi || col[first] != key[c]) return first;
+    lo = first;
+    hi = static_cast<size_t>(
+        std::upper_bound(col + lo, col + hi, key[c]) - col);
+  }
+  return lo;
 }
 
 }  // namespace lmfao

@@ -5,13 +5,20 @@
 /// of aggregate values. The Code Generation layer of the paper chooses
 /// "data structures for the views such as sorted arrays and (un)ordered
 /// hashmaps"; we provide both:
-///   - ViewMap: open-addressing hash map with inline TupleKey keys (the
+///   - ViewMap: open-addressing hash map with *packed* keys — an
+///     arity-strided int64 buffer plus a cached per-slot hash, so probing
+///     compares 8·arity bytes instead of a fixed-capacity TupleKey (the
 ///     default; supports out-of-order upserts),
-///   - SortView: the *frozen* sorted-array form, which iterates in key order
-///     and supports binary-search lookups. Which form a produced view
-///     materializes in is a plan-layer decision (GroupPlan::OutputInfo::form,
-///     see plan.h); the ViewStore (view_store.h) freezes hash maps into
-///     SortViews at publish time accordingly.
+///   - SortView: the *frozen* sorted-array form with columnar (SoA) keys
+///     (KeyColumns), which iterates in key order and supports binary-search
+///     lookups over plain contiguous int64 columns. Which form a produced
+///     view materializes in is a plan-layer decision
+///     (GroupPlan::OutputInfo::form, see plan.h); the ViewStore
+///     (view_store.h) freezes hash maps into SortViews at publish time.
+///
+/// TupleKey remains the *handle* type at API boundaries (Upsert/Lookup
+/// arguments, ForEach callbacks); the stored layout is packed to the view's
+/// actual arity.
 
 #ifndef LMFAO_STORAGE_VIEW_H_
 #define LMFAO_STORAGE_VIEW_H_
@@ -20,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/key_columns.h"
 #include "storage/schema.h"
 #include "util/hash.h"
 #include "util/status.h"
@@ -36,11 +44,14 @@ enum class ViewForm {
   kFrozenSorted,
 };
 
-/// \brief Open-addressing hash map from TupleKey to a payload of doubles.
+/// \brief Open-addressing hash map from packed keys to payloads of doubles.
 ///
-/// Payloads are stored contiguously (`width` doubles per entry) to keep
-/// aggregate accumulation cache-friendly. Linear probing with power-of-two
-/// capacities; grows at 70% load.
+/// Keys are stored in a flat arity-strided int64 buffer (8·arity bytes per
+/// slot) with a cached per-slot hash; probing rejects on the hash first and
+/// only then compares the arity components. Payloads are stored contiguously
+/// (`width` doubles per entry) to keep aggregate accumulation
+/// cache-friendly. Linear probing with power-of-two capacities; grows at 70%
+/// load (rehash reuses the cached hashes, so keys are never re-hashed).
 class ViewMap {
  public:
   /// Creates a map for keys of `key_arity` components and payloads of
@@ -58,6 +69,10 @@ class ViewMap {
   /// rehash-free (and so pointer-stable).
   double* Upsert(const TupleKey& key);
 
+  /// Same, from a raw component span with its precomputed HashKeySpan hash
+  /// (the rehash-free merge path reuses the source map's cached hashes).
+  double* UpsertHashed(const int64_t* vals, uint64_t hash);
+
   /// Returns the payload for `key`, or nullptr if absent.
   const double* Lookup(const TupleKey& key) const;
 
@@ -67,19 +82,43 @@ class ViewMap {
   /// mid-scan rehash churn in hot loops.
   void Reserve(size_t n);
 
+  /// Rehashes down to the smallest capacity holding the current entries,
+  /// returning the slack of an overshot Reserve. The ViewStore calls this
+  /// at publish time for views that stay in hash form: published maps take
+  /// no further inserts, so their capacity headroom is pure waste.
+  void ShrinkToFit();
+
   /// Number of entries the map can hold before the next rehash.
   size_t capacity() const { return ((capacity_mask_ + 1) * 7) / 10; }
 
-  /// \name Iteration over occupied entries (unspecified order).
+  /// \name Raw slot access (freeze / consume / merge hot paths — no
+  /// TupleKey materialization).
   /// @{
-  struct Entry {
-    const TupleKey* key;
-    const double* payload;
-  };
+  size_t num_slots() const { return capacity_mask_ + 1; }
+  bool slot_occupied(size_t slot) const { return occupied_[slot] != 0; }
+  /// The slot's packed key components (key_arity() values).
+  const int64_t* slot_key(size_t slot) const {
+    return keys_.data() + slot * static_cast<size_t>(key_arity_);
+  }
+  uint64_t slot_hash(size_t slot) const { return hashes_[slot]; }
+  const double* slot_payload(size_t slot) const {
+    return payloads_.data() + slot * static_cast<size_t>(width_);
+  }
+  /// @}
+
+  /// \name Iteration over occupied entries (unspecified order). The
+  /// callback key is a gathered TupleKey; hot paths use the raw slot
+  /// accessors instead.
+  /// @{
   template <typename Fn>  // Fn(const TupleKey&, const double*)
   void ForEach(Fn&& fn) const {
-    for (size_t i = 0; i < slots_.size(); ++i) {
-      if (occupied_[i]) fn(slots_[i], payloads_.data() + i * width_);
+    const size_t slots = capacity_mask_ + 1;
+    for (size_t i = 0; i < slots; ++i) {
+      if (!occupied_[i]) continue;
+      TupleKey key(key_arity_);
+      const int64_t* vals = slot_key(i);
+      for (int c = 0; c < key_arity_; ++c) key.set(c, vals[c]);
+      fn(key, payloads_.data() + i * static_cast<size_t>(width_));
     }
   }
   /// @}
@@ -89,64 +128,93 @@ class ViewMap {
 
   /// Merges `other` into this map by summing payloads (used to combine
   /// thread-local partial results from domain-parallel execution).
+  /// Pre-sizes to the worst-case union, so the merge itself never rehashes.
   void MergeAdd(const ViewMap& other);
 
-  /// Memory footprint estimate in bytes.
-  size_t MemoryUsage() const;
+  /// \name Memory accounting: key-side bytes (packed keys + cached hashes +
+  /// occupancy), payload bytes, and their sum.
+  /// @{
+  size_t KeyBytes() const {
+    return keys_.size() * sizeof(int64_t) + hashes_.size() * sizeof(uint64_t) +
+           occupied_.size();
+  }
+  size_t PayloadBytes() const { return payloads_.size() * sizeof(double); }
+  size_t MemoryUsage() const { return KeyBytes() + PayloadBytes(); }
+  /// @}
 
  private:
   void Rehash(size_t new_capacity);
-  size_t ProbeSlot(const TupleKey& key) const;
+  size_t ProbeSlot(const int64_t* vals, uint64_t hash) const;
+  bool SlotKeyEquals(size_t slot, const int64_t* vals) const {
+    const int64_t* stored = slot_key(slot);
+    for (int c = 0; c < key_arity_; ++c) {
+      if (stored[c] != vals[c]) return false;
+    }
+    return true;
+  }
 
   int key_arity_;
   int width_;
   size_t size_ = 0;
   size_t capacity_mask_ = 0;
-  std::vector<TupleKey> slots_;
+  /// Packed keys, capacity * key_arity_ (8·arity bytes per slot).
+  std::vector<int64_t> keys_;
+  /// Cached HashKeySpan per slot (valid where occupied).
+  std::vector<uint64_t> hashes_;
   std::vector<uint8_t> occupied_;
   std::vector<double> payloads_;
 };
 
-/// \brief Sorted-array view: entries ordered by key.
+/// \brief Sorted-array view: entries ordered by key, keys stored columnar.
 ///
-/// Built by freezing a ViewMap. Supports ordered iteration (merge-join style
-/// consumption) and binary-search lookup. The raw key/payload arrays are
-/// exposed so the execution runtime can hand them to consumers without
-/// copying (ConsumedView borrows them when the consumed order equals the
-/// canonical order).
+/// Built by freezing a ViewMap: an index argsort over the occupied slots
+/// followed by a single gather into per-component columns (no per-entry
+/// hash lookups). Supports ordered iteration (merge-join style consumption)
+/// and binary-search lookup that narrows one contiguous column at a time.
+/// The raw columns and payload array are exposed so the execution runtime
+/// can hand them to consumers without copying (ConsumedView borrows them
+/// when the consumed order equals the canonical order).
 class SortView {
  public:
-  SortView() : key_arity_(0), width_(0) {}
+  SortView() : width_(0) {}
 
   /// Freezes `map` into sorted form.
   static SortView FromMap(const ViewMap& map);
 
-  int key_arity() const { return key_arity_; }
+  int key_arity() const { return keys_.arity(); }
   int width() const { return width_; }
   size_t size() const { return keys_.size(); }
 
-  const TupleKey& key(size_t i) const { return keys_[i]; }
+  /// Gathers entry `i` into an inline TupleKey (cold paths and tests).
+  TupleKey key(size_t i) const { return keys_.Row(i); }
   const double* payload(size_t i) const {
     return payloads_.data() + i * static_cast<size_t>(width_);
   }
 
-  /// Raw sorted arrays (for zero-copy consumption).
-  const std::vector<TupleKey>& keys() const { return keys_; }
+  /// \name Raw sorted arrays (for zero-copy consumption).
+  /// @{
+  const KeyColumns& key_columns() const { return keys_; }
+  /// Contiguous sorted column of key component `c`.
+  const int64_t* col(int c) const { return keys_.col(c); }
   const std::vector<double>& payloads() const { return payloads_; }
+  /// @}
 
   /// Binary-search lookup; nullptr if absent.
   const double* Lookup(const TupleKey& key) const;
 
-  /// Index of the first entry with key >= `key`.
+  /// Index of the first entry with key >= `key` (lexicographic).
   size_t LowerBound(const TupleKey& key) const;
 
-  /// Memory footprint estimate in bytes.
-  size_t MemoryUsage() const;
+  /// \name Memory accounting (columnar keys / payload split).
+  /// @{
+  size_t KeyBytes() const { return keys_.bytes(); }
+  size_t PayloadBytes() const { return payloads_.size() * sizeof(double); }
+  size_t MemoryUsage() const { return KeyBytes() + PayloadBytes(); }
+  /// @}
 
  private:
-  int key_arity_;
   int width_;
-  std::vector<TupleKey> keys_;
+  KeyColumns keys_;
   std::vector<double> payloads_;
 };
 

@@ -28,6 +28,11 @@ Status ViewStore::Publish(int32_t view_id, std::unique_ptr<ViewMap> map) {
   if (meta.form == ViewForm::kFrozenSorted) {
     frozen = std::make_unique<SortView>(SortView::FromMap(*map));
     map.reset();
+  } else {
+    // The map takes no further inserts once published; return the slack of
+    // an overshot cardinality-estimate Reserve instead of carrying it in
+    // the store until eviction.
+    map->ShrinkToFit();
   }
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -38,11 +43,19 @@ Status ViewStore::Publish(int32_t view_id, std::unique_ptr<ViewMap> map) {
   e.published = true;
   e.map = std::move(map);
   e.frozen = std::move(frozen);
-  e.bytes = e.frozen != nullptr ? e.frozen->MemoryUsage()
-                                : e.map->MemoryUsage();
-  if (e.frozen != nullptr) ++num_frozen_;
-  bytes_ += e.bytes;
-  peak_bytes_ = std::max(peak_bytes_, bytes_);
+  if (e.frozen != nullptr) {
+    e.key_bytes = e.frozen->KeyBytes();
+    e.payload_bytes = e.frozen->PayloadBytes();
+    ++num_frozen_;
+  } else {
+    e.key_bytes = e.map->KeyBytes();
+    e.payload_bytes = e.map->PayloadBytes();
+  }
+  key_bytes_ += e.key_bytes;
+  payload_bytes_ += e.payload_bytes;
+  peak_key_bytes_ = std::max(peak_key_bytes_, key_bytes_);
+  peak_payload_bytes_ = std::max(peak_payload_bytes_, payload_bytes_);
+  peak_bytes_ = std::max(peak_bytes_, key_bytes_ + payload_bytes_);
   ++live_views_;
   peak_live_views_ = std::max(peak_live_views_, live_views_);
   if (e.refs == 0 && !e.pinned) EvictLocked(&e);
@@ -86,8 +99,10 @@ void ViewStore::EvictLocked(Entry* entry) {
   if (entry->map == nullptr && entry->frozen == nullptr) return;
   entry->map.reset();
   entry->frozen.reset();
-  bytes_ -= entry->bytes;
-  entry->bytes = 0;
+  key_bytes_ -= entry->key_bytes;
+  payload_bytes_ -= entry->payload_bytes;
+  entry->key_bytes = 0;
+  entry->payload_bytes = 0;
   --live_views_;
 }
 
@@ -103,12 +118,32 @@ size_t ViewStore::peak_live_views() const {
 
 size_t ViewStore::current_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return bytes_;
+  return key_bytes_ + payload_bytes_;
+}
+
+size_t ViewStore::current_key_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return key_bytes_;
+}
+
+size_t ViewStore::current_payload_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return payload_bytes_;
 }
 
 size_t ViewStore::peak_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return peak_bytes_;
+}
+
+size_t ViewStore::peak_key_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_key_bytes_;
+}
+
+size_t ViewStore::peak_payload_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_payload_bytes_;
 }
 
 int ViewStore::num_frozen() const {

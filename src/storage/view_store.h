@@ -66,12 +66,19 @@ class ViewStore {
   /// Moves a pinned query output out of the store.
   StatusOr<ViewMap> TakeResult(int32_t view_id);
 
-  /// \name Statistics.
+  /// \name Statistics. Bytes are accounted split into key-side bytes
+  /// (packed keys, cached hashes, occupancy) and payload bytes, so memory
+  /// wins in the key layout stay attributable; `*_bytes()` totals are the
+  /// sum of the two sides.
   /// @{
   size_t live_views() const;
   size_t peak_live_views() const;
   size_t current_bytes() const;
+  size_t current_key_bytes() const;
+  size_t current_payload_bytes() const;
   size_t peak_bytes() const;
+  size_t peak_key_bytes() const;
+  size_t peak_payload_bytes() const;
   int num_frozen() const;
   /// @}
 
@@ -83,7 +90,8 @@ class ViewStore {
     int refs = 0;
     bool pinned = false;
     bool published = false;
-    size_t bytes = 0;
+    size_t key_bytes = 0;
+    size_t payload_bytes = 0;
   };
 
   void EvictLocked(Entry* entry);
@@ -92,8 +100,11 @@ class ViewStore {
   std::vector<Entry> entries_;
   size_t live_views_ = 0;
   size_t peak_live_views_ = 0;
-  size_t bytes_ = 0;
+  size_t key_bytes_ = 0;
+  size_t payload_bytes_ = 0;
   size_t peak_bytes_ = 0;
+  size_t peak_key_bytes_ = 0;
+  size_t peak_payload_bytes_ = 0;
   int num_frozen_ = 0;
 };
 

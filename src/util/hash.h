@@ -34,6 +34,19 @@ inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
                  (seed >> 2));
 }
 
+/// \brief Hash of a span of `arity` int64 key components.
+///
+/// The shared key-hash of the view layer: TupleKey::Hash() and the packed
+/// columnar ViewMap (which stores keys as raw arity-sized spans and hashes
+/// only the active components) must agree, so both delegate here.
+inline uint64_t HashKeySpan(const int64_t* vals, int arity) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ static_cast<uint64_t>(arity);
+  for (int i = 0; i < arity; ++i) {
+    h = HashCombine(h, static_cast<uint64_t>(vals[i]));
+  }
+  return h;
+}
+
 /// \brief Inline tuple of up to kMaxArity int64 components.
 ///
 /// Used as the key type of views (group-by values) and of join hash tables.
@@ -59,6 +72,9 @@ class TupleKey {
   bool empty() const { return size_ == 0; }
 
   int64_t operator[](int i) const { return vals_[i]; }
+
+  /// Raw component span (size() live values).
+  const int64_t* data() const { return vals_.data(); }
 
   void set(int i, int64_t v) { vals_[i] = v; }
 
@@ -88,13 +104,7 @@ class TupleKey {
     return size_ < o.size_;
   }
 
-  uint64_t Hash() const {
-    uint64_t h = 0x9e3779b97f4a7c15ULL ^ static_cast<uint64_t>(size_);
-    for (int i = 0; i < size_; ++i) {
-      h = HashCombine(h, static_cast<uint64_t>(vals_[i]));
-    }
-    return h;
-  }
+  uint64_t Hash() const { return HashKeySpan(vals_.data(), size_); }
 
   /// Renders "(v0,v1,...)" for debugging.
   std::string ToString() const {

@@ -214,8 +214,14 @@ TEST(ConsumedViewTest, PermutesAndSorts) {
   incoming.width = 1;
   ConsumedView cv = BuildConsumedView(produced, incoming);
   ASSERT_EQ(cv.size, 2u);
-  EXPECT_EQ(cv.keys[0], TupleKey({10, 2}));
-  EXPECT_EQ(cv.keys[1], TupleKey({20, 1}));
+  ASSERT_EQ(cv.arity, 2);
+  // Consumed component 0 is canonical component 1 (the relation attribute),
+  // sorted ascending; component 1 carries the extras. Each is one
+  // contiguous column.
+  EXPECT_EQ(cv.col(0)[0], 10);
+  EXPECT_EQ(cv.col(0)[1], 20);
+  EXPECT_EQ(cv.col(1)[0], 2);
+  EXPECT_EQ(cv.col(1)[1], 1);
   EXPECT_DOUBLE_EQ(cv.payload(0)[0], 2.0);
   EXPECT_DOUBLE_EQ(cv.payload(1)[0], 1.0);
 }

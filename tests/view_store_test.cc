@@ -79,6 +79,49 @@ TEST(ViewStoreTest, UnconsumedUnpinnedViewEvictedImmediately) {
   EXPECT_EQ(store.peak_live_views(), 1u);
 }
 
+/// Pins the store's split key/payload byte accounting across publish,
+/// freeze, and eviction: hash-form views account packed slots (8·arity key
+/// + 8 hash + 1 occupancy per slot, 8·width payload per slot); frozen views
+/// account exactly 8·arity + 8·width per entry; eviction returns both sides
+/// to zero while the peaks persist.
+TEST(ViewStoreTest, KeyPayloadByteAccounting) {
+  ViewStore store;
+  store.Register(0, 1, ViewForm::kHashMap, false);
+  store.Register(1, 1, ViewForm::kFrozenSorted, false);
+
+  auto map0 = std::make_unique<ViewMap>(2, 3);
+  for (int64_t i = 0; i < 5; ++i) map0->Upsert(TupleKey({i, -i}))[0] = 1.0;
+  const size_t slots = map0->num_slots();
+  ASSERT_TRUE(store.Publish(0, std::move(map0)).ok());
+  const size_t hash_key_bytes =
+      slots * (2 * sizeof(int64_t) + sizeof(uint64_t) + 1);
+  const size_t hash_payload_bytes = slots * 3 * sizeof(double);
+  EXPECT_EQ(store.current_key_bytes(), hash_key_bytes);
+  EXPECT_EQ(store.current_payload_bytes(), hash_payload_bytes);
+  EXPECT_EQ(store.current_bytes(), hash_key_bytes + hash_payload_bytes);
+
+  auto map1 = std::make_unique<ViewMap>(2, 3);
+  for (int64_t i = 0; i < 7; ++i) map1->Upsert(TupleKey({i, i + 1}))[0] = 1.0;
+  ASSERT_TRUE(store.Publish(1, std::move(map1)).ok());
+  // The frozen form is exact: 7 entries x 2 components and x 3 slots.
+  const size_t frozen_key_bytes = 7 * 2 * sizeof(int64_t);
+  const size_t frozen_payload_bytes = 7 * 3 * sizeof(double);
+  EXPECT_EQ(store.current_key_bytes(), hash_key_bytes + frozen_key_bytes);
+  EXPECT_EQ(store.current_payload_bytes(),
+            hash_payload_bytes + frozen_payload_bytes);
+  EXPECT_EQ(store.peak_key_bytes(), hash_key_bytes + frozen_key_bytes);
+  EXPECT_EQ(store.peak_payload_bytes(),
+            hash_payload_bytes + frozen_payload_bytes);
+  EXPECT_EQ(store.peak_bytes(), store.peak_key_bytes() +
+                                    store.peak_payload_bytes());
+
+  store.Release(0);
+  store.Release(1);
+  EXPECT_EQ(store.current_key_bytes(), 0u);
+  EXPECT_EQ(store.current_payload_bytes(), 0u);
+  EXPECT_EQ(store.peak_key_bytes(), hash_key_bytes + frozen_key_bytes);
+}
+
 TEST(ViewStoreTest, AcquireUnpublishedFails) {
   ViewStore store;
   store.Register(0, 1, ViewForm::kHashMap, false);

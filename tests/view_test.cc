@@ -146,16 +146,27 @@ TEST(SortViewTest, LookupBinarySearch) {
   EXPECT_EQ(view.Lookup(TupleKey({43})), nullptr);
 }
 
-TEST(SortViewTest, RawArraysMatchAccessors) {
-  ViewMap map(1, 2);
-  map.Upsert(TupleKey({3}))[0] = 1.0;
-  map.Upsert(TupleKey({1}))[1] = 2.0;
+TEST(SortViewTest, RawColumnsMatchAccessors) {
+  ViewMap map(2, 2);
+  map.Upsert(TupleKey({3, 7}))[0] = 1.0;
+  map.Upsert(TupleKey({1, 9}))[1] = 2.0;
   SortView view = SortView::FromMap(map);
-  ASSERT_EQ(view.keys().size(), 2u);
-  EXPECT_EQ(view.keys()[0], view.key(0));
+  ASSERT_EQ(view.size(), 2u);
+  ASSERT_EQ(view.key_columns().size(), 2u);
+  // Each component is one contiguous sorted column.
+  EXPECT_EQ(view.col(0)[0], 1);
+  EXPECT_EQ(view.col(0)[1], 3);
+  EXPECT_EQ(view.col(1)[0], 9);
+  EXPECT_EQ(view.col(1)[1], 7);
+  EXPECT_EQ(view.col(0)[0], view.key(0)[0]);
+  EXPECT_EQ(view.col(1)[0], view.key(0)[1]);
   EXPECT_EQ(view.payloads().data(), view.payload(0));
-  EXPECT_DOUBLE_EQ(view.payloads()[1], 2.0);  // Key {1} sorts first.
-  EXPECT_GT(view.MemoryUsage(), 0u);
+  EXPECT_DOUBLE_EQ(view.payloads()[1], 2.0);  // Key {1,9} sorts first.
+  // Packed accounting: 2 entries x 2 components x 8 bytes of keys, and
+  // 2 entries x 2 slots x 8 bytes of payloads.
+  EXPECT_EQ(view.KeyBytes(), 2u * 2u * sizeof(int64_t));
+  EXPECT_EQ(view.PayloadBytes(), 2u * 2u * sizeof(double));
+  EXPECT_EQ(view.MemoryUsage(), view.KeyBytes() + view.PayloadBytes());
 }
 
 TEST(SortViewTest, LowerBound) {
