@@ -1,12 +1,21 @@
 /// \file bench_storage.cc
-/// \brief Experiment E10: the packed columnar view-key layout on the
-/// storage hot paths — hash upsert, freeze into sorted form, sorted
-/// lookups, and parallel-partial merges — swept over group-by arities 1-4
-/// (the range real workloads use; the layout packs keys to 8·arity bytes
-/// instead of a fixed-capacity TupleKey).
+/// \brief Experiment E10: the packed columnar view layout on the storage
+/// hot paths. Key side (swept over group-by arities 1-4, the range real
+/// workloads use; keys pack to 8·arity bytes instead of a fixed-capacity
+/// TupleKey): hash upsert, freeze into sorted form, sorted lookups, and
+/// parallel-partial merges. Payload side (swept over aggregate widths
+/// {1, 8, 64, 814} — 814 is the Retailer covariance batch width): freezing
+/// row-major upsert payloads into per-slot columns versus the old
+/// row-major copy, and marginalizing range sums over a unit-stride payload
+/// column versus the old width-strided loads.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "storage/payload_columns.h"
 #include "storage/view.h"
 #include "util/random.h"
 
@@ -85,8 +94,8 @@ void BM_Storage_SortedLookup(benchmark::State& state) {
       TupleKey key(arity);
       const int64_t k = rng.UniformInt(0, kKeys - 1);
       for (int c = 0; c < arity; ++c) key.set(c, k * (c + 1));
-      const double* p = view.Lookup(key);
-      if (p != nullptr) sum += p[0];
+      const size_t e = view.Find(key);
+      if (e != SortView::kNotFound) sum += view.pcol(0)[e];
     }
     benchmark::DoNotOptimize(sum);
   }
@@ -113,6 +122,134 @@ void BM_Storage_MergeAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_Storage_MergeAdd)
     ->DenseRange(1, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Payload side. Entry counts scale inversely with width so every
+// configuration moves a comparable number of payload bytes; 814 slots is
+// the Retailer covariance batch width.
+
+/// Entries for a payload sweep at `width` (~2^21 doubles of payload).
+size_t PayloadRows(int width) {
+  return std::max<size_t>(1024, (size_t{1} << 21) / static_cast<size_t>(width));
+}
+
+/// A map with arity-1 keys and `width` filled aggregate slots.
+ViewMap MakeWideMap(int width) {
+  const size_t rows = PayloadRows(width);
+  ViewMap map(1, width);
+  map.Reserve(rows);
+  Rng rng(7);
+  for (size_t i = 0; i < rows; ++i) {
+    double* p = map.Upsert(TupleKey({static_cast<int64_t>(i)}));
+    for (int s = 0; s < width; ++s) p[s] = rng.UniformDouble();
+  }
+  return map;
+}
+
+/// Freeze with the columnar payload gather (the tiled row->column
+/// transpose SortView::FromMap performs).
+void BM_Storage_FreezePayloadColumnar(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const ViewMap map = MakeWideMap(width);
+  for (auto _ : state) {
+    SortView view = SortView::FromMap(map);
+    benchmark::DoNotOptimize(view);
+  }
+  state.counters["width"] = width;
+  state.counters["payload_mib"] =
+      static_cast<double>(SortView::FromMap(map).PayloadBytes()) /
+      (1024.0 * 1024.0);
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * map.size() *
+                           static_cast<size_t>(width) * sizeof(double)));
+}
+BENCHMARK(BM_Storage_FreezePayloadColumnar)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(814)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Row-major freeze (the layout single-entry-consumed views keep): same
+/// argsort, then one memcpy per entry row.
+void BM_Storage_FreezePayloadRowMajor(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const ViewMap map = MakeWideMap(width);
+  for (auto _ : state) {
+    SortView view = SortView::FromMap(map, PayloadLayout::kRowMajor);
+    benchmark::DoNotOptimize(view);
+  }
+  state.counters["width"] = width;
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * map.size() *
+                           static_cast<size_t>(width) * sizeof(double)));
+}
+BENCHMARK(BM_Storage_FreezePayloadRowMajor)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(814)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Marginalizing range sums over the frozen columnar payload: unit-stride
+/// scans of one slot column (the executor's kViewRangeSum kernel).
+void BM_Storage_RangeSumColumnar(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const SortView view = SortView::FromMap(MakeWideMap(width));
+  const size_t n = view.size();
+  Rng rng(13);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (int r = 0; r < 64; ++r) {
+      const size_t lo = rng.Uniform(n);
+      const size_t hi = lo + rng.Uniform(n - lo + 1);
+      const int slot = static_cast<int>(rng.Uniform(
+          static_cast<size_t>(width)));
+      sum += SumRange(view.pcol(slot), lo, hi);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["width"] = width;
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_Storage_RangeSumColumnar)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(814)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Row-major reference range sum: one slot over the same ranges with
+/// `width`-stride loads (what kViewRangeSum paid before the payload
+/// columnarization).
+void BM_Storage_RangeSumRowMajor(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const SortView view =
+      SortView::FromMap(MakeWideMap(width), PayloadLayout::kRowMajor);
+  const size_t n = view.size();
+  const double* rows = view.payload_matrix().data();
+  Rng rng(13);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (int r = 0; r < 64; ++r) {
+      const size_t lo = rng.Uniform(n);
+      const size_t hi = lo + rng.Uniform(n - lo + 1);
+      const size_t slot = rng.Uniform(static_cast<size_t>(width));
+      for (size_t i = lo; i < hi; ++i) {
+        sum += rows[i * static_cast<size_t>(width) + slot];
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["width"] = width;
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_Storage_RangeSumRowMajor)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(814)
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

@@ -67,17 +67,20 @@ Status ExecutionContext::Run(ExecutionStats* stats) {
   // outputs pinned until TakeQueryResult.
   std::vector<int> consumers(workload_.views.size(), 0);
   std::vector<ViewForm> forms(workload_.views.size(), ViewForm::kHashMap);
+  std::vector<PayloadLayout> layouts(workload_.views.size(),
+                                     PayloadLayout::kColumnar);
   for (const GroupPlan& plan : plans_) {
     for (const GroupPlan::IncomingView& in : plan.incoming) {
       ++consumers[static_cast<size_t>(in.view)];
     }
     for (const GroupPlan::OutputInfo& out : plan.outputs) {
       forms[static_cast<size_t>(out.view)] = out.form;
+      layouts[static_cast<size_t>(out.view)] = out.payload_layout;
     }
   }
   for (size_t v = 0; v < workload_.views.size(); ++v) {
     store_.Register(static_cast<ViewId>(v), consumers[v], forms[v],
-                    workload_.views[v].IsQueryOutput());
+                    workload_.views[v].IsQueryOutput(), layouts[v]);
   }
 
   const int threads = options_.ResolvedThreads();

@@ -1,6 +1,7 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 namespace lmfao {
@@ -10,15 +11,23 @@ namespace {
 /// Shared tail of the consumed-view build: argsorts u32 entry indices with
 /// a comparator reading the *source* key components in consumed order (no
 /// permuted key objects are ever materialized), then gathers each consumed
-/// component into its own contiguous column and the payloads into one
-/// contiguous array. `component(entry, canonical_comp)` and
-/// `payload(entry)` read the source container.
-template <typename ComponentFn, typename PayloadFn>
+/// component into its own contiguous column and the payloads into the
+/// layout this consumer's access pattern wants — columnar for multi-entry
+/// consumption (range sums, entry iteration), row-major for single-entry
+/// binds. `component(entry, canonical_comp)` reads the source container;
+/// `gather_payloads(dst, sorted_entries)` fills the payload matrix from
+/// the source's own layout (row-major ViewMap slots, either-layout
+/// SortView).
+template <typename ComponentFn, typename PayloadGatherFn>
 ConsumedView ArgsortAndGather(int width, std::vector<uint32_t> entries,
                               const GroupPlan::IncomingView& incoming,
-                              ComponentFn&& component, PayloadFn&& payload) {
+                              ComponentFn&& component,
+                              PayloadGatherFn&& gather_payloads) {
   ConsumedView out;
   out.width = width;
+  const PayloadLayout layout = incoming.IsMultiEntry()
+                                   ? PayloadLayout::kColumnar
+                                   : PayloadLayout::kRowMajor;
   // The plan layer precomputes consumed_perm; fall back to concatenating
   // the permutations for hand-built IncomingViews (tests, tooling).
   std::vector<int> perm = incoming.consumed_perm;
@@ -45,15 +54,29 @@ ConsumedView ArgsortAndGather(int width, std::vector<uint32_t> entries,
     for (size_t i = 0; i < n; ++i) dst[i] = component(entries[i], pos);
     out.cols[static_cast<size_t>(c)] = dst;
   }
-  out.owned_payloads.resize(n * static_cast<size_t>(width));
-  for (size_t i = 0; i < n; ++i) {
-    std::memcpy(out.owned_payloads.data() + i * static_cast<size_t>(width),
-                payload(entries[i]),
-                sizeof(double) * static_cast<size_t>(width));
-  }
+  out.owned_payloads = PayloadMatrix(width, n, layout);
+  gather_payloads(&out.owned_payloads, entries);
   out.size = n;
-  out.payloads = out.owned_payloads.data();
+  out.payload_base = out.owned_payloads.data();
+  out.payload_layout = layout;
+  out.payload_entry_stride = out.owned_payloads.entry_stride();
+  out.payload_slot_stride = out.owned_payloads.slot_stride();
   return out;
+}
+
+/// Unit-stride dot product over two scratch columns (four independent
+/// accumulators, same deterministic reduction shape as SumRange).
+double DotRange(const double* a, const double* b, size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) s0 += a[i] * b[i];
+  return (s0 + s1) + (s2 + s3);
 }
 
 }  // namespace
@@ -66,7 +89,11 @@ ConsumedView ConsumedView::Borrow(const SortView& frozen) {
   for (int c = 0; c < out.arity; ++c) {
     out.cols[static_cast<size_t>(c)] = frozen.col(c);
   }
-  out.payloads = frozen.payloads().data();
+  const PayloadMatrix& pm = frozen.payload_matrix();
+  out.payload_base = pm.data();
+  out.payload_layout = pm.layout();
+  out.payload_entry_stride = pm.entry_stride();
+  out.payload_slot_stride = pm.slot_stride();
   return out;
 }
 
@@ -84,7 +111,11 @@ ConsumedView BuildConsumedView(const ViewMap& produced,
       [&produced](uint32_t slot, int comp) {
         return produced.slot_key(slot)[comp];
       },
-      [&produced](uint32_t slot) { return produced.slot_payload(slot); });
+      [&produced](PayloadMatrix* dst, const std::vector<uint32_t>& order) {
+        GatherRows(dst, [&produced, &order](size_t i) {
+          return produced.slot_payload(order[i]);
+        });
+      });
 }
 
 ConsumedView BuildConsumedView(const SortView& produced,
@@ -97,7 +128,24 @@ ConsumedView BuildConsumedView(const SortView& produced,
   return ArgsortAndGather(
       produced.width(), std::move(entries), incoming,
       [&produced](uint32_t row, int comp) { return produced.col(comp)[row]; },
-      [&produced](uint32_t row) { return produced.payload(row); });
+      [&produced](PayloadMatrix* dst, const std::vector<uint32_t>& order) {
+        // Either-layout source: permuted gather in destination order.
+        if (dst->layout() == PayloadLayout::kColumnar) {
+          for (int s = 0; s < dst->width(); ++s) {
+            double* d = dst->col(s);
+            for (size_t i = 0; i < order.size(); ++i) {
+              d[i] = produced.payload_at(order[i], s);
+            }
+          }
+        } else {
+          for (size_t i = 0; i < order.size(); ++i) {
+            double* d = dst->row(i);
+            for (int s = 0; s < dst->width(); ++s) {
+              d[s] = produced.payload_at(order[i], s);
+            }
+          }
+        }
+      });
 }
 
 GroupExecutor::GroupExecutor(const GroupPlan& plan,
@@ -133,25 +181,158 @@ GroupExecutor::GroupExecutor(const GroupPlan& plan,
       eff[l] = participates ? l : eff[l - 1];
     }
   }
-  auto resolve = [this](const std::vector<std::pair<int, Function>>& factors) {
-    std::vector<ResolvedFactor> out;
-    for (const auto& [col, fn] : factors) {
-      ResolvedFactor rf;
-      rf.fn = fn;
-      if (relation_.column(col).type() == AttrType::kInt) {
-        rf.icol = relation_.column(col).ints().data();
-      } else {
-        rf.dcol = relation_.column(col).doubles().data();
-      }
-      out.push_back(rf);
-    }
-    return out;
-  };
+
+  // Batched leaf lowering: intern every distinct (column, function) leaf
+  // factor once and resolve it to a typed kind-specialized kernel. The
+  // plan's interned table and ids are reused when BuildGroupPlan lowered
+  // them; hand-built plans (empty id lists) are interned here instead —
+  // either way every id below indexes `table`.
+  std::vector<std::pair<int, Function>> table = plan_.leaf_factor_table;
+  auto resolve_ids =
+      [&](const std::vector<std::pair<int, Function>>& factors,
+          const std::vector<int>& plan_ids) {
+        if (plan_ids.size() == factors.size()) {
+          bool ok = true;
+          for (int id : plan_ids) {
+            ok = ok && id >= 0 &&
+                 id < static_cast<int>(plan_.leaf_factor_table.size());
+          }
+          if (ok) return plan_ids;
+        }
+        std::vector<int> ids;
+        ids.reserve(factors.size());
+        for (const auto& [col, fn] : factors) {
+          ids.push_back(InternLeafFactor(&table, col, fn));
+        }
+        return ids;
+      };
   for (const auto& sum : plan_.leaf_sums) {
-    leaf_factors_.push_back(resolve(sum.factors));
+    leaf_sum_kernels_.push_back(resolve_ids(sum.factors, sum.factor_ids));
   }
   for (const auto& w : plan_.leaf_writes) {
-    leaf_write_factors_.push_back(resolve(w.leaf_factors));
+    leaf_write_kernels_.push_back(resolve_ids(w.leaf_factors, w.factor_ids));
+  }
+  leaf_kernels_.reserve(table.size());
+  for (const auto& [col, fn] : table) {
+    const Column& c = relation_.column(col);
+    leaf_kernels_.push_back(
+        c.type() == AttrType::kInt
+            ? MakeLeafKernel(c.ints().data(), nullptr, fn)
+            : MakeLeafKernel(nullptr, c.doubles().data(), fn));
+  }
+  leaf_scratch_.resize(leaf_kernels_.size());
+
+  // Flatten the register program: the interpreter's per-match loops run
+  // over these contiguous op arrays instead of chasing the plan's nested
+  // register/part vectors (a PlanPart drags a shared_ptr-carrying Function
+  // through cache; an ExecPart is a quarter the size and sequential).
+  auto lower_part = [this](const PlanPart& p) {
+    ExecPart e{};
+    e.kind = static_cast<uint8_t>(p.kind);
+    e.view_index = static_cast<int16_t>(p.view_index);
+    e.slot = p.slot;
+    e.level = p.level;
+    e.range_sum_id = p.range_sum_id;
+    if (p.kind == PlanPart::Kind::kFactor) {
+      e.fn_kind = static_cast<uint8_t>(p.factor.fn.kind());
+      e.threshold = p.factor.fn.threshold();
+      e.dict = p.factor.fn.dict().get();
+    }
+    exec_parts_.push_back(e);
+  };
+  // Registers are renumbered to op order (level-major) so one level's
+  // values are contiguous; compute the renumbering first — beta suffixes
+  // reference betas of deeper levels, which are lowered later.
+  std::vector<int32_t> alpha_pos(plan_.alphas.size(), -1);
+  std::vector<int32_t> beta_pos(plan_.betas.size(), -1);
+  {
+    int32_t na = 0;
+    int32_t nb = 0;
+    for (int l = 0; l <= levels; ++l) {
+      for (int a : plan_.alphas_at_level[static_cast<size_t>(l)]) {
+        alpha_pos[static_cast<size_t>(a)] = na++;
+      }
+      for (int b : plan_.betas_at_level[static_cast<size_t>(l)]) {
+        beta_pos[static_cast<size_t>(b)] = nb++;
+      }
+    }
+  }
+  auto lower_suffix = [&beta_pos](const GroupPlan::Suffix& s,
+                                  uint8_t* kind, int32_t* index) {
+    *kind = static_cast<uint8_t>(s.kind);
+    *index = s.kind == GroupPlan::SuffixKind::kBeta
+                 ? beta_pos[static_cast<size_t>(s.index)]
+                 : s.index;
+  };
+  // Fuse the dominant single-part shape (see RegOp docs).
+  auto fuse_shape = [this](RegOp* op) {
+    if (op->part_end - op->part_begin != 1) return;
+    const ExecPart& p = exec_parts_[op->part_begin];
+    if (static_cast<PlanPart::Kind>(p.kind) != PlanPart::Kind::kViewPayload) {
+      return;
+    }
+    op->shape = RegShape::kPayload;
+    op->view = p.view_index;
+    op->slot = p.slot;
+  };
+  alpha_level_begin_.resize(static_cast<size_t>(levels) + 2);
+  beta_level_begin_.resize(static_cast<size_t>(levels) + 2);
+  write_level_begin_.resize(static_cast<size_t>(levels) + 2);
+  for (int l = 0; l <= levels; ++l) {
+    alpha_level_begin_[static_cast<size_t>(l)] =
+        static_cast<uint32_t>(alpha_ops_.size());
+    for (int a : plan_.alphas_at_level[static_cast<size_t>(l)]) {
+      const GroupPlan::AlphaReg& reg = plan_.alphas[static_cast<size_t>(a)];
+      RegOp op{};
+      op.reg = alpha_pos[static_cast<size_t>(a)];
+      op.prev =
+          reg.prev >= 0 ? alpha_pos[static_cast<size_t>(reg.prev)] : -1;
+      op.part_begin = static_cast<uint32_t>(exec_parts_.size());
+      for (const PlanPart& p : reg.parts) lower_part(p);
+      op.part_end = static_cast<uint32_t>(exec_parts_.size());
+      fuse_shape(&op);
+      alpha_ops_.push_back(op);
+    }
+    beta_level_begin_[static_cast<size_t>(l)] =
+        static_cast<uint32_t>(beta_ops_.size());
+    for (int b : plan_.betas_at_level[static_cast<size_t>(l)]) {
+      const GroupPlan::BetaReg& reg = plan_.betas[static_cast<size_t>(b)];
+      RegOp op{};
+      op.reg = beta_pos[static_cast<size_t>(b)];
+      op.prev = -1;
+      lower_suffix(reg.next, &op.suffix_kind, &op.suffix_index);
+      op.part_begin = static_cast<uint32_t>(exec_parts_.size());
+      for (const PlanPart& p : reg.parts) lower_part(p);
+      op.part_end = static_cast<uint32_t>(exec_parts_.size());
+      fuse_shape(&op);
+      beta_ops_.push_back(op);
+    }
+    write_level_begin_[static_cast<size_t>(l)] =
+        static_cast<uint32_t>(write_ops_.size());
+    for (const GroupPlan::Write& w :
+         plan_.writes_at_level[static_cast<size_t>(l)]) {
+      WriteOp op{};
+      op.write = &w;
+      op.output = w.output;
+      op.slot = w.slot;
+      op.alpha = w.alpha >= 0 ? alpha_pos[static_cast<size_t>(w.alpha)] : -1;
+      lower_suffix(w.suffix, &op.suffix_kind, &op.suffix_index);
+      op.keyed =
+          !plan_.outputs[static_cast<size_t>(w.output)].key_views.empty();
+      write_ops_.push_back(op);
+    }
+  }
+  alpha_level_begin_[static_cast<size_t>(levels) + 1] =
+      static_cast<uint32_t>(alpha_ops_.size());
+  beta_level_begin_[static_cast<size_t>(levels) + 1] =
+      static_cast<uint32_t>(beta_ops_.size());
+  write_level_begin_[static_cast<size_t>(levels) + 1] =
+      static_cast<uint32_t>(write_ops_.size());
+  for (const GroupPlan::LeafWrite& lw : plan_.leaf_writes) {
+    const uint32_t begin = static_cast<uint32_t>(exec_parts_.size());
+    for (const PlanPart& p : lw.parts) lower_part(p);
+    leaf_write_parts_.emplace_back(begin,
+                                   static_cast<uint32_t>(exec_parts_.size()));
   }
 }
 
@@ -162,6 +343,14 @@ Status GroupExecutor::Validate() const {
   for (size_t v = 0; v < views_.size(); ++v) {
     if (views_[v]->width != plan_.incoming[v].width) {
       return Status::InvalidArgument("executor: view width mismatch");
+    }
+    // The range-sum and entry-iteration kernels read contiguous payload
+    // columns; multi-entry views must therefore arrive columnar
+    // (BuildConsumedView and the plan's freeze layout guarantee it).
+    if (plan_.incoming[v].IsMultiEntry() &&
+        views_[v]->payload_layout != PayloadLayout::kColumnar) {
+      return Status::InvalidArgument(
+          "executor: multi-entry view payload must be columnar");
     }
   }
   return Status::OK();
@@ -176,10 +365,15 @@ void GroupExecutor::Prepare(const std::vector<ViewMap*>& outputs) {
     view_range_[v * level_stride_] = Range{0, views_[v]->size};
   }
   bound_.assign(static_cast<size_t>(levels) + 1, 0);
-  view_payload_cache_.assign(views_.size(), nullptr);
+  view_payload_cache_.assign(views_.size(), PayloadRef{});
+  for (size_t v = 0; v < views_.size(); ++v) {
+    view_payload_cache_[v].sstride = views_[v]->payload_slot_stride;
+  }
   alpha_vals_.assign(plan_.alphas.size(), 0.0);
   beta_vals_.assign(plan_.betas.size(), 0.0);
   leaf_vals_.assign(plan_.leaf_sums.size(), 0.0);
+  range_sum_cache_.assign(static_cast<size_t>(plan_.num_range_sums),
+                          RangeSumCache{});
   outputs_ = outputs;
 }
 
@@ -212,8 +406,8 @@ Status GroupExecutor::ExecuteShard(const std::vector<ViewMap*>& outputs,
     }
     return Status::OK();
   }
-  for (int b : plan_.betas_at_level[1]) {
-    beta_vals_[static_cast<size_t>(b)] = 0.0;
+  for (uint32_t i = beta_level_begin_[1]; i < beta_level_begin_[2]; ++i) {
+    beta_vals_[static_cast<size_t>(beta_ops_[i].reg)] = 0.0;
   }
   IterateLevel(1, shard, num_shards);
   // Write outputs with empty write level; their beta values are
@@ -323,8 +517,9 @@ void GroupExecutor::ProcessMatch(int level, int64_t value, int shard,
   for (int v : level_bound_views_[static_cast<size_t>(level)]) {
     const Range& r = view_range_[static_cast<size_t>(v) * level_stride_ +
                                  static_cast<size_t>(level)];
-    view_payload_cache_[static_cast<size_t>(v)] =
-        views_[static_cast<size_t>(v)]->payload(r.lo);
+    const ConsumedView* cv = views_[static_cast<size_t>(v)];
+    view_payload_cache_[static_cast<size_t>(v)].ptr =
+        cv->payload_base + r.lo * cv->payload_entry_stride;
   }
   EvalAlphas(level);
   const int levels = plan_.num_levels();
@@ -332,8 +527,10 @@ void GroupExecutor::ProcessMatch(int level, int64_t value, int shard,
     for (double& v : leaf_vals_) v = 0.0;
     LeafLoop(rel_range_[static_cast<size_t>(level)]);
   } else {
-    for (int b : plan_.betas_at_level[static_cast<size_t>(level + 1)]) {
-      beta_vals_[static_cast<size_t>(b)] = 0.0;
+    const size_t next = static_cast<size_t>(level) + 1;
+    for (uint32_t i = beta_level_begin_[next]; i < beta_level_begin_[next + 1];
+         ++i) {
+      beta_vals_[static_cast<size_t>(beta_ops_[i].reg)] = 0.0;
     }
     IterateLevel(level + 1, shard, num_shards);
   }
@@ -342,19 +539,55 @@ void GroupExecutor::ProcessMatch(int level, int64_t value, int shard,
 }
 
 void GroupExecutor::LeafLoop(const Range& range) {
-  for (size_t row = range.lo; row < range.hi; ++row) {
-    for (size_t s = 0; s < leaf_factors_.size(); ++s) {
-      double prod = 1.0;
-      for (const ResolvedFactor& rf : leaf_factors_[s]) {
-        const double x = rf.icol != nullptr
-                             ? static_cast<double>(rf.icol[row])
-                             : rf.dcol[row];
-        prod *= rf.fn.Eval(x);
+  if (range.empty()) return;
+  const size_t rows = range.hi - range.lo;
+  if (!leaf_kernels_.empty() && leaf_scratch_rows_ < rows) {
+    for (auto& s : leaf_scratch_) s.resize(rows);
+    leaf_prod_scratch_.resize(rows);
+    leaf_scratch_rows_ = rows;
+  }
+  // Lower each distinct (column, function) factor once for this run: the
+  // kind-specialized kernels fill whole scratch columns with no per-row
+  // dispatch.
+  for (size_t k = 0; k < leaf_kernels_.size(); ++k) {
+    leaf_kernels_[k].fill(leaf_kernels_[k], range.lo, range.hi,
+                          leaf_scratch_[k].data());
+  }
+  // Leaf sums: unit-stride products over the scratch columns.
+  for (size_t s = 0; s < leaf_sum_kernels_.size(); ++s) {
+    leaf_vals_[s] += ScratchProductSum(leaf_sum_kernels_[s], rows);
+  }
+  // Non-factorized leaf writes, hoisted from per-row to whole-range form.
+  for (size_t w = 0; w < plan_.leaf_writes.size(); ++w) {
+    EmitLeafWriteBatch(w, rows);
+  }
+}
+
+double GroupExecutor::ScratchProductSum(const std::vector<int>& kernel_ids,
+                                        size_t rows) {
+  switch (kernel_ids.size()) {
+    case 0:
+      return static_cast<double>(rows);  // SUM(1): the tuple count.
+    case 1:
+      return SumRange(leaf_scratch_[static_cast<size_t>(kernel_ids[0])].data(),
+                      0, rows);
+    case 2:
+      return DotRange(
+          leaf_scratch_[static_cast<size_t>(kernel_ids[0])].data(),
+          leaf_scratch_[static_cast<size_t>(kernel_ids[1])].data(), rows);
+    default: {
+      double* prod = leaf_prod_scratch_.data();
+      std::memcpy(prod,
+                  leaf_scratch_[static_cast<size_t>(kernel_ids[0])].data(),
+                  rows * sizeof(double));
+      for (size_t f = 1; f + 1 < kernel_ids.size(); ++f) {
+        const double* a =
+            leaf_scratch_[static_cast<size_t>(kernel_ids[f])].data();
+        for (size_t i = 0; i < rows; ++i) prod[i] *= a[i];
       }
-      leaf_vals_[s] += prod;
-    }
-    for (size_t w = 0; w < plan_.leaf_writes.size(); ++w) {
-      EmitLeafWrite(w, row);
+      return DotRange(
+          prod, leaf_scratch_[static_cast<size_t>(kernel_ids.back())].data(),
+          rows);
     }
   }
 }
@@ -366,62 +599,117 @@ GroupExecutor::Range GroupExecutor::ViewRangeAt(int view_index,
   return view_range_[row + static_cast<size_t>(effective)];
 }
 
-double GroupExecutor::EvalPart(const PlanPart& part) const {
-  switch (part.kind) {
-    case PlanPart::Kind::kFactor:
-      return part.factor.fn.Eval(
-          static_cast<double>(bound_[static_cast<size_t>(part.level)]));
-    case PlanPart::Kind::kViewPayload:
-      return view_payload_cache_[static_cast<size_t>(part.view_index)]
-                                [part.slot];
+double GroupExecutor::EvalExecPart(const ExecPart& part) {
+  switch (static_cast<PlanPart::Kind>(part.kind)) {
+    case PlanPart::Kind::kFactor: {
+      // Scalar factor of the bound level value: the function kind and
+      // parameters were flattened into the op, so no Function object (or
+      // its shared_ptr) is touched here. Semantics match Function::Eval.
+      const double x =
+          static_cast<double>(bound_[static_cast<size_t>(part.level)]);
+      switch (static_cast<FunctionKind>(part.fn_kind)) {
+        case FunctionKind::kIdentity:
+          return x;
+        case FunctionKind::kSquare:
+          return x * x;
+        case FunctionKind::kDictionary: {
+          const auto it = part.dict->table.find(
+              static_cast<int64_t>(std::llround(x)));
+          return it == part.dict->table.end() ? part.dict->default_value
+                                              : it->second;
+        }
+        case FunctionKind::kIndicatorLe:
+          return x <= part.threshold ? 1.0 : 0.0;
+        case FunctionKind::kIndicatorLt:
+          return x < part.threshold ? 1.0 : 0.0;
+        case FunctionKind::kIndicatorGe:
+          return x >= part.threshold ? 1.0 : 0.0;
+        case FunctionKind::kIndicatorGt:
+          return x > part.threshold ? 1.0 : 0.0;
+        case FunctionKind::kIndicatorEq:
+          return x == part.threshold ? 1.0 : 0.0;
+        case FunctionKind::kIndicatorNe:
+          return x != part.threshold ? 1.0 : 0.0;
+      }
+      return 0.0;
+    }
+    case PlanPart::Kind::kViewPayload: {
+      const PayloadRef& pr =
+          view_payload_cache_[static_cast<size_t>(part.view_index)];
+      return pr.ptr[static_cast<size_t>(part.slot) * pr.sstride];
+    }
     case PlanPart::Kind::kViewRangeSum: {
       const Range r = ViewRangeAt(part.view_index, part.level);
       const ConsumedView* v = views_[static_cast<size_t>(part.view_index)];
-      double sum = 0.0;
-      for (size_t i = r.lo; i < r.hi; ++i) sum += v->payload(i)[part.slot];
-      return sum;
+      if (part.range_sum_id >= 0 &&
+          static_cast<size_t>(part.range_sum_id) < range_sum_cache_.size()) {
+        RangeSumCache& c =
+            range_sum_cache_[static_cast<size_t>(part.range_sum_id)];
+        if (c.lo == r.lo && c.hi == r.hi) return c.sum;
+        const double sum = SumRange(v->pcol(part.slot), r.lo, r.hi);
+        c.lo = r.lo;
+        c.hi = r.hi;
+        c.sum = sum;
+        return sum;
+      }
+      return SumRange(v->pcol(part.slot), r.lo, r.hi);
     }
   }
   return 1.0;
 }
 
-double GroupExecutor::SuffixValue(const GroupPlan::Suffix& suffix) const {
-  switch (suffix.kind) {
+double GroupExecutor::SuffixValue(uint8_t kind, int32_t index) const {
+  switch (static_cast<GroupPlan::SuffixKind>(kind)) {
     case GroupPlan::SuffixKind::kOne:
       return 1.0;
     case GroupPlan::SuffixKind::kLeaf:
-      return leaf_vals_[static_cast<size_t>(suffix.index)];
+      return leaf_vals_[static_cast<size_t>(index)];
     case GroupPlan::SuffixKind::kBeta:
-      return beta_vals_[static_cast<size_t>(suffix.index)];
+      return beta_vals_[static_cast<size_t>(index)];
   }
   return 1.0;
 }
 
 void GroupExecutor::EvalAlphas(int level) {
-  for (int a : plan_.alphas_at_level[static_cast<size_t>(level)]) {
-    const GroupPlan::AlphaReg& reg = plan_.alphas[static_cast<size_t>(a)];
-    double v =
-        reg.prev >= 0 ? alpha_vals_[static_cast<size_t>(reg.prev)] : 1.0;
-    for (const PlanPart& p : reg.parts) v *= EvalPart(p);
-    alpha_vals_[static_cast<size_t>(a)] = v;
+  const uint32_t end = alpha_level_begin_[static_cast<size_t>(level) + 1];
+  for (uint32_t i = alpha_level_begin_[static_cast<size_t>(level)]; i < end;
+       ++i) {
+    const RegOp& op = alpha_ops_[i];
+    double v = op.prev >= 0 ? alpha_vals_[static_cast<size_t>(op.prev)] : 1.0;
+    if (op.shape == RegShape::kPayload) {
+      const PayloadRef& pr = view_payload_cache_[static_cast<size_t>(op.view)];
+      v *= pr.ptr[static_cast<size_t>(op.slot) * pr.sstride];
+    } else {
+      for (uint32_t p = op.part_begin; p < op.part_end; ++p) {
+        v *= EvalExecPart(exec_parts_[p]);
+      }
+    }
+    alpha_vals_[static_cast<size_t>(op.reg)] = v;
   }
 }
 
 void GroupExecutor::AccumulateBetas(int level) {
-  for (int b : plan_.betas_at_level[static_cast<size_t>(level)]) {
-    const GroupPlan::BetaReg& reg = plan_.betas[static_cast<size_t>(b)];
-    double v = SuffixValue(reg.next);
-    for (const PlanPart& p : reg.parts) v *= EvalPart(p);
-    beta_vals_[static_cast<size_t>(b)] += v;
+  const uint32_t end = beta_level_begin_[static_cast<size_t>(level) + 1];
+  for (uint32_t i = beta_level_begin_[static_cast<size_t>(level)]; i < end;
+       ++i) {
+    const RegOp& op = beta_ops_[i];
+    double v = SuffixValue(op.suffix_kind, op.suffix_index);
+    if (op.shape == RegShape::kPayload) {
+      const PayloadRef& pr = view_payload_cache_[static_cast<size_t>(op.view)];
+      v *= pr.ptr[static_cast<size_t>(op.slot) * pr.sstride];
+    } else {
+      for (uint32_t p = op.part_begin; p < op.part_end; ++p) {
+        v *= EvalExecPart(exec_parts_[p]);
+      }
+    }
+    beta_vals_[static_cast<size_t>(op.reg)] += v;
   }
 }
 
-void GroupExecutor::EmitWrite(const GroupPlan::Write& w, int level) {
-  const GroupPlan::OutputInfo& o =
-      plan_.outputs[static_cast<size_t>(w.output)];
-  double base = w.alpha >= 0 ? alpha_vals_[static_cast<size_t>(w.alpha)] : 1.0;
-  base *= SuffixValue(w.suffix);
-
+void GroupExecutor::EmitKeyedWrite(const GroupPlan::OutputInfo& o, int output,
+                                   int slot,
+                                   const std::vector<int>& entry_slots,
+                                   double base, int level) {
   // Raw packed key buffer: only the output's actual arity is touched, and
   // UpsertHashed skips the inline-tuple handle entirely.
   const int key_n = static_cast<int>(o.key_sources.size());
@@ -434,26 +722,29 @@ void GroupExecutor::EmitWrite(const GroupPlan::Write& w, int level) {
     }
   }
   if (o.key_views.empty()) {
-    outputs_[static_cast<size_t>(w.output)]
-        ->UpsertHashed(key, HashKeySpan(key, key_n))[w.slot] += base;
+    outputs_[static_cast<size_t>(output)]
+        ->UpsertHashed(key, HashKeySpan(key, key_n))[slot] += base;
     return;
   }
-  // Iterate the cross product of the key views' entry ranges.
+  // Iterate the cross product of the key views' entry ranges. The entry
+  // payload columns are resolved once, outside the odometer.
   const size_t nv = o.key_views.size();
   if (entry_cursor_.size() < nv) {
     entry_cursor_.resize(nv);
     write_ranges_.resize(nv);
   }
+  const double* entry_pcols[TupleKey::kMaxArity];
   for (size_t i = 0; i < nv; ++i) {
     write_ranges_[i] = ViewRangeAt(o.key_views[i], level);
     if (write_ranges_[i].empty()) return;
     entry_cursor_[i] = write_ranges_[i].lo;
+    entry_pcols[i] = views_[static_cast<size_t>(o.key_views[i])]->pcol(
+        entry_slots[i]);
   }
   for (;;) {
     double value = base;
     for (size_t i = 0; i < nv; ++i) {
-      value *= views_[static_cast<size_t>(o.key_views[i])]
-                   ->payload(entry_cursor_[i])[w.entry_slots[i]];
+      value *= entry_pcols[i][entry_cursor_[i]];
     }
     for (int i = 0; i < key_n; ++i) {
       const GroupPlan::KeySource& src = o.key_sources[static_cast<size_t>(i)];
@@ -467,8 +758,8 @@ void GroupExecutor::EmitWrite(const GroupPlan::Write& w, int level) {
         }
       }
     }
-    outputs_[static_cast<size_t>(w.output)]
-        ->UpsertHashed(key, HashKeySpan(key, key_n))[w.slot] += value;
+    outputs_[static_cast<size_t>(output)]
+        ->UpsertHashed(key, HashKeySpan(key, key_n))[slot] += value;
     // Advance the odometer.
     size_t i = 0;
     for (; i < nv; ++i) {
@@ -481,96 +772,59 @@ void GroupExecutor::EmitWrite(const GroupPlan::Write& w, int level) {
 
 void GroupExecutor::WriteOutputs(int level) {
   // Writes for the same output are consecutive (the plan lowers slots in
-  // order); outputs without key views share one key probe per match.
+  // order); outputs without key views share one key probe per match. The
+  // non-keyed fast path reads only the flat WriteOp.
   int last_output = -1;
   double* payload = nullptr;
-  for (const GroupPlan::Write& w :
-       plan_.writes_at_level[static_cast<size_t>(level)]) {
-    const GroupPlan::OutputInfo& o =
-        plan_.outputs[static_cast<size_t>(w.output)];
-    if (!o.key_views.empty()) {
-      EmitWrite(w, level);
+  const uint32_t end = write_level_begin_[static_cast<size_t>(level) + 1];
+  for (uint32_t i = write_level_begin_[static_cast<size_t>(level)]; i < end;
+       ++i) {
+    const WriteOp& op = write_ops_[i];
+    if (op.keyed) {
+      double base =
+          op.alpha >= 0 ? alpha_vals_[static_cast<size_t>(op.alpha)] : 1.0;
+      base *= SuffixValue(op.suffix_kind, op.suffix_index);
+      EmitKeyedWrite(plan_.outputs[static_cast<size_t>(op.output)], op.output,
+                     op.slot, op.write->entry_slots, base, level);
       continue;
     }
-    if (w.output != last_output) {
+    if (op.output != last_output) {
+      const GroupPlan::OutputInfo& o =
+          plan_.outputs[static_cast<size_t>(op.output)];
       const int key_n = static_cast<int>(o.key_sources.size());
       int64_t key[TupleKey::kMaxArity];
-      for (int i = 0; i < key_n; ++i) {
-        key[i] =
-            bound_[static_cast<size_t>(o.key_sources[static_cast<size_t>(i)]
+      for (int i2 = 0; i2 < key_n; ++i2) {
+        key[i2] =
+            bound_[static_cast<size_t>(o.key_sources[static_cast<size_t>(i2)]
                                            .level)];
       }
-      payload = outputs_[static_cast<size_t>(w.output)]->UpsertHashed(
+      payload = outputs_[static_cast<size_t>(op.output)]->UpsertHashed(
           key, HashKeySpan(key, key_n));
-      last_output = w.output;
+      last_output = op.output;
     }
-    double v = w.alpha >= 0 ? alpha_vals_[static_cast<size_t>(w.alpha)] : 1.0;
-    v *= SuffixValue(w.suffix);
-    payload[w.slot] += v;
+    double v =
+        op.alpha >= 0 ? alpha_vals_[static_cast<size_t>(op.alpha)] : 1.0;
+    v *= SuffixValue(op.suffix_kind, op.suffix_index);
+    payload[op.slot] += v;
   }
 }
 
-void GroupExecutor::EmitLeafWrite(size_t leaf_write_index, size_t row) {
+void GroupExecutor::EmitLeafWriteBatch(size_t leaf_write_index, size_t rows) {
   const GroupPlan::LeafWrite& lw = plan_.leaf_writes[leaf_write_index];
   const GroupPlan::OutputInfo& o =
       plan_.outputs[static_cast<size_t>(lw.output)];
-  const int levels = plan_.num_levels();
+  // The view parts are loop-invariant over the leaf range and the per-row
+  // factor product distributes over the row sum, so one whole-range write
+  // replaces the old per-row emission (same keys: the key components come
+  // from bound levels and view entries, never from the row).
   double base = 1.0;
-  for (const PlanPart& p : lw.parts) base *= EvalPart(p);
-  for (const ResolvedFactor& rf : leaf_write_factors_[leaf_write_index]) {
-    const double x =
-        rf.icol != nullptr ? static_cast<double>(rf.icol[row]) : rf.dcol[row];
-    base *= rf.fn.Eval(x);
+  const auto& [part_begin, part_end] = leaf_write_parts_[leaf_write_index];
+  for (uint32_t p = part_begin; p < part_end; ++p) {
+    base *= EvalExecPart(exec_parts_[p]);
   }
-  const int key_n = static_cast<int>(o.key_sources.size());
-  int64_t key[TupleKey::kMaxArity];
-  for (int i = 0; i < key_n; ++i) {
-    const GroupPlan::KeySource& src = o.key_sources[static_cast<size_t>(i)];
-    if (src.from_level) {
-      key[i] = bound_[static_cast<size_t>(src.level)];
-    }
-  }
-  if (o.key_views.empty()) {
-    outputs_[static_cast<size_t>(lw.output)]
-        ->UpsertHashed(key, HashKeySpan(key, key_n))[lw.slot] += base;
-    return;
-  }
-  const size_t nv = o.key_views.size();
-  if (entry_cursor_.size() < nv) {
-    entry_cursor_.resize(nv);
-    write_ranges_.resize(nv);
-  }
-  for (size_t i = 0; i < nv; ++i) {
-    write_ranges_[i] = ViewRangeAt(o.key_views[i], levels);
-    if (write_ranges_[i].empty()) return;
-    entry_cursor_[i] = write_ranges_[i].lo;
-  }
-  for (;;) {
-    double value = base;
-    for (size_t i = 0; i < nv; ++i) {
-      value *= views_[static_cast<size_t>(o.key_views[i])]
-                   ->payload(entry_cursor_[i])[lw.entry_slots[i]];
-    }
-    for (int i = 0; i < key_n; ++i) {
-      const GroupPlan::KeySource& src = o.key_sources[static_cast<size_t>(i)];
-      if (src.from_level) continue;
-      for (size_t kv = 0; kv < nv; ++kv) {
-        if (o.key_views[kv] == src.view_index) {
-          key[i] = views_[static_cast<size_t>(src.view_index)]
-                       ->col(src.comp)[entry_cursor_[kv]];
-          break;
-        }
-      }
-    }
-    outputs_[static_cast<size_t>(lw.output)]
-        ->UpsertHashed(key, HashKeySpan(key, key_n))[lw.slot] += value;
-    size_t i = 0;
-    for (; i < nv; ++i) {
-      if (++entry_cursor_[i] < write_ranges_[i].hi) break;
-      entry_cursor_[i] = write_ranges_[i].lo;
-    }
-    if (i == nv) break;
-  }
+  base *= ScratchProductSum(leaf_write_kernels_[leaf_write_index], rows);
+  EmitKeyedWrite(o, lw.output, lw.slot, lw.entry_slots, base,
+                 plan_.num_levels());
 }
 
 }  // namespace lmfao

@@ -7,8 +7,12 @@
 /// evaluated exactly where the plan placed them; multi-entry views (those
 /// carrying group-by attributes that are not relation attributes) expose
 /// contiguous entry ranges that writes iterate and marginalizing parts sum
-/// over. This interpreter and the C++ code generator (codegen.h) lower the
-/// same plan, so they produce identical results.
+/// over. The interpreter's inner loops are column-at-a-time: leaf factors
+/// are lowered once per leaf run into scratch columns by kind-specialized
+/// kernels (leaf_kernels.h), leaf sums are unit-stride products over those
+/// columns, and range sums are unit-stride scans of contiguous payload
+/// columns memoized per bind. This interpreter and the C++ code generator
+/// (codegen.h) lower the same plan, so they produce identical results.
 
 #ifndef LMFAO_ENGINE_EXECUTOR_H_
 #define LMFAO_ENGINE_EXECUTOR_H_
@@ -17,8 +21,10 @@
 #include <memory>
 #include <vector>
 
+#include "engine/leaf_kernels.h"
 #include "engine/plan.h"
 #include "storage/key_columns.h"
+#include "storage/payload_columns.h"
 #include "storage/relation.h"
 #include "storage/view.h"
 #include "util/status.h"
@@ -26,18 +32,26 @@
 namespace lmfao {
 
 /// \brief An incoming view re-sorted for consumption by one group, keys
-/// exposed as per-component columns.
+/// exposed as per-component columns, payloads in the layout matching the
+/// consumption pattern.
 ///
 /// Keys are permuted into (relation components in trie-level order, then
-/// extra components) and sorted lexicographically; payloads are stored
-/// contiguously. Entries agreeing on the bound relation components are
-/// therefore contiguous, and each consumed component is one contiguous
-/// int64 column — the executor's merge-join cursors seek over plain
-/// columns instead of strided key objects.
+/// extra components) and sorted lexicographically, so entries agreeing on
+/// the bound relation components are contiguous and each consumed key
+/// component is one contiguous int64 column — the executor's merge-join
+/// cursors seek over plain columns instead of strided key objects.
+/// Payloads follow the consumption pattern: *multi-entry* views (whose
+/// entry ranges are marginalized over or iterated by writes) are columnar
+/// — a range sum over one slot is a unit-stride scan of one payload
+/// column — while *single-entry* views (bound to one entry per match,
+/// many slots read together) stay row-major so one match's register reads
+/// share cache lines. The executor requires multi-entry views to be
+/// columnar (Validate); single-entry views may be either (a borrowed
+/// frozen view carries its producer's layout).
 ///
-/// The consumed form either owns a permuted columnar copy (built by
+/// The consumed form either owns a permuted copy (built by
 /// BuildConsumedView via an index argsort + per-column gather) or borrows
-/// the columns of a frozen SortView when the consumed order equals the
+/// the arrays of a frozen SortView when the consumed order equals the
 /// canonical order (GroupPlan::IncomingView::identity_perm) — the
 /// zero-copy path the ViewStore takes for frozen views.
 struct ConsumedView {
@@ -48,7 +62,14 @@ struct ConsumedView {
   /// `owned_keys` or into a borrowed SortView that must outlive this
   /// object.
   std::array<const int64_t*, TupleKey::kMaxArity> cols{};
-  const double* payloads = nullptr;
+  /// Payload base in `payload_layout` order (strides below); points into
+  /// `owned_payloads` or a borrowed SortView.
+  const double* payload_base = nullptr;
+  PayloadLayout payload_layout = PayloadLayout::kColumnar;
+  /// Distance (in doubles) between consecutive entries of one slot /
+  /// consecutive slots of one entry.
+  size_t payload_entry_stride = 0;
+  size_t payload_slot_stride = 0;
 
   ConsumedView() = default;
   ConsumedView(const ConsumedView&) = delete;
@@ -62,12 +83,19 @@ struct ConsumedView {
 
   const int64_t* col(int c) const { return cols[static_cast<size_t>(c)]; }
 
-  const double* payload(size_t i) const {
-    return payloads + i * static_cast<size_t>(width);
+  /// Contiguous payload column of aggregate slot `s` (columnar layout —
+  /// the multi-entry range-sum / entry-iteration hot paths).
+  const double* pcol(int s) const {
+    return payload_base + static_cast<size_t>(s) * payload_slot_stride;
+  }
+  /// Payload slot `s` of entry `i`, any layout (single-entry reads).
+  double payload_at(size_t i, int s) const {
+    return payload_base[i * payload_entry_stride +
+                        static_cast<size_t>(s) * payload_slot_stride];
   }
 
   KeyColumns owned_keys;
-  std::vector<double> owned_payloads;
+  PayloadMatrix owned_payloads;
 };
 
 /// \brief Builds the consumed (trie-ordered, sorted) form of a produced view
@@ -110,22 +138,90 @@ class GroupExecutor {
   /// buffers); far above any realistic group.
   static constexpr size_t kMaxLevelViews = 64;
 
+  /// \name Flattened register program.
+  ///
+  /// The plan's registers are nested heap structures (vectors of registers
+  /// of vectors of PlanParts, each part dragging a shared_ptr-carrying
+  /// Function through cache); the inner interpreter loop instead runs over
+  /// compact contiguous op arrays lowered once at construction: one
+  /// ExecPart per multiplicative part (16 bytes + the factor parameter),
+  /// one RegOp per (register, level), one WriteOp per write. Evaluating a
+  /// level's registers is then a linear scan of one array slice.
+  /// @{
+  struct ExecPart {
+    uint8_t kind;       ///< PlanPart::Kind.
+    uint8_t fn_kind;    ///< FunctionKind of a factor part.
+    int16_t view_index;
+    int32_t slot;
+    int32_t level;
+    int32_t range_sum_id;
+    double threshold;              ///< Indicator threshold.
+    const FunctionDict* dict = nullptr;  ///< Dictionary payload (borrowed).
+  };
+  /// Alpha/beta registers are renumbered to op order (level-major), so
+  /// alpha_vals_ / beta_vals_ are indexed by op position: one level's
+  /// registers occupy one contiguous value range (zeroing is a fill,
+  /// accumulation walks sequentially). All references (prev, beta
+  /// suffixes, write alphas) carry the renumbered index.
+  ///
+  /// The dominant register shape by dynamic count — a single kViewPayload
+  /// part (one slot of a bound single-entry view, scaled by the suffix) —
+  /// is fused into the op at lowering time (`shape == kPayload`): the
+  /// accumulation loop then does two loads and a multiply-add with no
+  /// part dispatch at all. Everything else takes the generic part loop.
+  enum class RegShape : uint8_t { kGeneric, kPayload };
+  struct RegOp {
+    int32_t reg;            ///< alpha_vals_ / beta_vals_ index (op order).
+    int32_t prev;           ///< Alphas: chained register, -1 for none.
+    uint8_t suffix_kind;    ///< Betas: GroupPlan::SuffixKind.
+    RegShape shape = RegShape::kGeneric;
+    int16_t view = -1;      ///< kPayload: view index of the fused part.
+    int32_t slot = -1;      ///< kPayload: payload slot of the fused part.
+    int32_t suffix_index;
+    uint32_t part_begin;    ///< [part_begin, part_end) into exec_parts_.
+    uint32_t part_end;
+  };
+  struct WriteOp {
+    const GroupPlan::Write* write;  ///< Keyed path (entry_slots).
+    int32_t output;
+    int32_t slot;
+    int32_t alpha;
+    uint8_t suffix_kind;
+    int32_t suffix_index;
+    bool keyed;  ///< True when the output iterates key-view entry ranges.
+  };
+  /// @}
+
   Status Validate() const;
   void Prepare(const std::vector<ViewMap*>& outputs);
   void IterateLevel(int level, int shard, int num_shards);
   void ProcessMatch(int level, int64_t value, int shard, int num_shards);
+  /// Column-at-a-time leaf evaluation of one relation range: lowers each
+  /// distinct leaf factor once into a scratch column (kind-specialized
+  /// kernels, no per-row Function::Eval dispatch), folds leaf sums as
+  /// unit-stride products over those columns, and emits the hoisted
+  /// non-factorized leaf writes.
   void LeafLoop(const Range& range);
   void EvalAlphas(int level);
   void AccumulateBetas(int level);
   void WriteOutputs(int level);
-  double EvalPart(const PlanPart& part) const;
-  double SuffixValue(const GroupPlan::Suffix& suffix) const;
+  double EvalExecPart(const ExecPart& part);
+  double SuffixValue(uint8_t kind, int32_t index) const;
   /// Entry range of a view at (or below) its bound level.
   Range ViewRangeAt(int view_index, int level) const;
-  /// Emits one aggregate write, iterating the output's key-view entries.
-  void EmitWrite(const GroupPlan::Write& w, int level);
-  /// Per-tuple write of the non-factorized ablation.
-  void EmitLeafWrite(size_t leaf_write_index, size_t row);
+  /// Shared tail of keyed WriteOutputs / the batched leaf writes: upserts
+  /// `base` (times the key views' entry payload products) into the output,
+  /// iterating the cross product of the key views' entry ranges at `level`.
+  void EmitKeyedWrite(const GroupPlan::OutputInfo& o, int output, int slot,
+                      const std::vector<int>& entry_slots, double base,
+                      int level);
+  /// Whole-range write of one non-factorized ablation aggregate: the
+  /// per-row factor product is pre-summed over the leaf range (scratch
+  /// columns), so the write runs once per range instead of once per row.
+  void EmitLeafWriteBatch(size_t leaf_write_index, size_t rows);
+  /// Sum over the current leaf run of the product of the given scratch
+  /// columns (empty = the run length, i.e. the tuple count).
+  double ScratchProductSum(const std::vector<int>& kernel_ids, size_t rows);
 
   const GroupPlan& plan_;
   const Relation& relation_;
@@ -136,8 +232,8 @@ class GroupExecutor {
   // (view index, key component) pairs participating per level.
   std::vector<std::vector<std::pair<int, int>>> level_views_;
   // Single-entry views whose last key component binds at each level; their
-  // payload pointers are cached once per match instead of being re-derived
-  // for every register evaluation.
+  // entry rows are cached once per match instead of being re-derived for
+  // every register evaluation.
   std::vector<std::vector<int>> level_bound_views_;
   // effective_level_[v * level_stride_ + l] = deepest level <= l at which
   // view v's range was narrowed (v participates). Ranges are only written
@@ -156,20 +252,52 @@ class GroupExecutor {
   std::vector<double> beta_vals_;
   std::vector<double> leaf_vals_;
   std::vector<ViewMap*> outputs_;
-  // Cached payload pointer per single-entry view (set when it binds).
-  std::vector<const double*> view_payload_cache_;
+  // Cached payload pointer to the bound entry of each single-entry view
+  // (set when it binds): slot s of view v is ptr[s * sstride] — one load
+  // off the cached pointer for row-major views (stride 1), a strided read
+  // for a borrowed columnar frozen view. Pointer and stride share one
+  // 16-byte entry so a kViewPayload eval touches a single cache line.
+  struct PayloadRef {
+    const double* ptr = nullptr;
+    size_t sstride = 0;
+  };
+  std::vector<PayloadRef> view_payload_cache_;
   // Scratch for key-view entry iteration (no per-write allocation).
   std::vector<size_t> entry_cursor_;
   std::vector<Range> write_ranges_;
 
-  // Resolved leaf factor columns.
-  struct ResolvedFactor {
-    const int64_t* icol = nullptr;
-    const double* dcol = nullptr;
-    Function fn = Function::Identity();
+  // Memoized range sums: one entry per distinct (view, slot) range-sum
+  // part (PlanPart::range_sum_id). Validated by the exact [lo, hi) the sum
+  // was computed for, so a range referenced by several registers is summed
+  // once per bind.
+  struct RangeSumCache {
+    size_t lo = static_cast<size_t>(-1);
+    size_t hi = static_cast<size_t>(-1);
+    double sum = 0.0;
   };
-  std::vector<std::vector<ResolvedFactor>> leaf_factors_;
-  std::vector<std::vector<ResolvedFactor>> leaf_write_factors_;
+  std::vector<RangeSumCache> range_sum_cache_;
+
+  // Flattened register program (see the struct docs above).
+  std::vector<ExecPart> exec_parts_;
+  std::vector<RegOp> alpha_ops_;
+  std::vector<RegOp> beta_ops_;
+  std::vector<WriteOp> write_ops_;
+  // Per level 0..L: [begin, end) slices of the op arrays.
+  std::vector<uint32_t> alpha_level_begin_;
+  std::vector<uint32_t> beta_level_begin_;
+  std::vector<uint32_t> write_level_begin_;
+  // Per leaf write: its parts as an exec_parts_ slice.
+  std::vector<std::pair<uint32_t, uint32_t>> leaf_write_parts_;
+
+  // Batched leaf evaluation: one kind-specialized kernel per distinct
+  // (column, function) leaf factor, its scratch column, and per
+  // leaf-sum / leaf-write id lists into the kernel table.
+  std::vector<LeafKernel> leaf_kernels_;
+  std::vector<std::vector<double>> leaf_scratch_;
+  size_t leaf_scratch_rows_ = 0;
+  std::vector<double> leaf_prod_scratch_;
+  std::vector<std::vector<int>> leaf_sum_kernels_;
+  std::vector<std::vector<int>> leaf_write_kernels_;
 };
 
 }  // namespace lmfao

@@ -1,0 +1,96 @@
+#include "engine/leaf_kernels.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace lmfao {
+
+namespace {
+
+/// One specialized fill loop per (function kind, column type): the kind
+/// and type are template parameters, so the emitted loop body is straight-
+/// line code — the per-row switch and int-vs-double branch of the scalar
+/// interpreter compile away entirely.
+template <FunctionKind K, bool kIntColumn>
+void Fill(const LeafKernel& k, size_t lo, size_t hi, double* dst) {
+  const size_t n = hi - lo;
+  const int64_t* ic = kIntColumn ? k.icol + lo : nullptr;
+  const double* dc = kIntColumn ? nullptr : k.dcol + lo;
+  for (size_t i = 0; i < n; ++i) {
+    const double x =
+        kIntColumn ? static_cast<double>(ic[i]) : dc[i];
+    if constexpr (K == FunctionKind::kIdentity) {
+      dst[i] = x;
+    } else if constexpr (K == FunctionKind::kSquare) {
+      dst[i] = x * x;
+    } else if constexpr (K == FunctionKind::kDictionary) {
+      // Promote-then-round through double for BOTH column types — this is
+      // what Function::Eval does, and int keys with |v| >= 2^53 must keep
+      // rounding identically to the scalar path. The hash probe per row is
+      // inherent to dictionary functions, but the surrounding loop still
+      // carries no dispatch.
+      const int64_t key = static_cast<int64_t>(std::llround(x));
+      const auto it = k.dict->table.find(key);
+      dst[i] = it == k.dict->table.end() ? k.dict->default_value : it->second;
+    } else if constexpr (K == FunctionKind::kIndicatorLe) {
+      dst[i] = x <= k.threshold ? 1.0 : 0.0;
+    } else if constexpr (K == FunctionKind::kIndicatorLt) {
+      dst[i] = x < k.threshold ? 1.0 : 0.0;
+    } else if constexpr (K == FunctionKind::kIndicatorGe) {
+      dst[i] = x >= k.threshold ? 1.0 : 0.0;
+    } else if constexpr (K == FunctionKind::kIndicatorGt) {
+      dst[i] = x > k.threshold ? 1.0 : 0.0;
+    } else if constexpr (K == FunctionKind::kIndicatorEq) {
+      dst[i] = x == k.threshold ? 1.0 : 0.0;
+    } else if constexpr (K == FunctionKind::kIndicatorNe) {
+      dst[i] = x != k.threshold ? 1.0 : 0.0;
+    }
+  }
+}
+
+template <bool kIntColumn>
+LeafKernel::FillFn SelectFill(FunctionKind kind) {
+  switch (kind) {
+    case FunctionKind::kIdentity:
+      return &Fill<FunctionKind::kIdentity, kIntColumn>;
+    case FunctionKind::kSquare:
+      return &Fill<FunctionKind::kSquare, kIntColumn>;
+    case FunctionKind::kDictionary:
+      return &Fill<FunctionKind::kDictionary, kIntColumn>;
+    case FunctionKind::kIndicatorLe:
+      return &Fill<FunctionKind::kIndicatorLe, kIntColumn>;
+    case FunctionKind::kIndicatorLt:
+      return &Fill<FunctionKind::kIndicatorLt, kIntColumn>;
+    case FunctionKind::kIndicatorGe:
+      return &Fill<FunctionKind::kIndicatorGe, kIntColumn>;
+    case FunctionKind::kIndicatorGt:
+      return &Fill<FunctionKind::kIndicatorGt, kIntColumn>;
+    case FunctionKind::kIndicatorEq:
+      return &Fill<FunctionKind::kIndicatorEq, kIntColumn>;
+    case FunctionKind::kIndicatorNe:
+      return &Fill<FunctionKind::kIndicatorNe, kIntColumn>;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+LeafKernel MakeLeafKernel(const int64_t* icol, const double* dcol,
+                          const Function& fn) {
+  LMFAO_CHECK((icol != nullptr) != (dcol != nullptr));
+  LeafKernel k;
+  k.icol = icol;
+  k.dcol = dcol;
+  k.threshold = fn.threshold();
+  k.dict = fn.dict().get();
+  if (fn.kind() == FunctionKind::kDictionary) {
+    LMFAO_CHECK(k.dict != nullptr);
+  }
+  k.fill = icol != nullptr ? SelectFill<true>(fn.kind())
+                           : SelectFill<false>(fn.kind());
+  LMFAO_CHECK(k.fill != nullptr);
+  return k;
+}
+
+}  // namespace lmfao

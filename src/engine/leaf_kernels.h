@@ -1,0 +1,54 @@
+/// \file leaf_kernels.h
+/// \brief Kind-specialized batched kernels for leaf factor evaluation.
+///
+/// The executor's leaf loop evaluates products of unary functions over
+/// relation columns. Dispatching `Function::Eval`'s switch (and the
+/// int-vs-double column branch) per factor per row keeps the loop scalar;
+/// instead, each distinct (column, function) factor is resolved ONCE at
+/// bind time to a typed kernel pointer that fills a whole scratch column
+/// for a row range: `dst[i - lo] = f(column[i])` with no switch and no
+/// type branch inside the loop. Leaf sums and leaf writes then reduce to
+/// unit-stride products over scratch columns.
+
+#ifndef LMFAO_ENGINE_LEAF_KERNELS_H_
+#define LMFAO_ENGINE_LEAF_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "query/function.h"
+
+namespace lmfao {
+
+/// \brief A leaf factor resolved to its source column and a batched,
+/// kind-specialized fill kernel.
+///
+/// Exactly one of `icol` / `dcol` is set (the factor's relation column in
+/// its native type); `threshold` / `dict` carry the function's parameters
+/// so the kernel loop reads plain members instead of chasing the Function
+/// object. The pointees must outlive the kernel (the relation and the
+/// workload's dictionaries do).
+struct LeafKernel {
+  using FillFn = void (*)(const LeafKernel&, size_t lo, size_t hi,
+                          double* dst);
+
+  const int64_t* icol = nullptr;
+  const double* dcol = nullptr;
+  double threshold = 0.0;
+  const FunctionDict* dict = nullptr;
+  /// Writes f(column[lo + i]) to dst[i] for i in [0, hi - lo).
+  FillFn fill = nullptr;
+};
+
+/// \brief Resolves a (column, function) leaf factor to its batched kernel.
+///
+/// Exactly one of `icol` / `dcol` must be non-null; `fn` selects the
+/// specialized fill loop (identity / square / indicator comparisons /
+/// dictionary) for that column type. Evaluation semantics match
+/// `Function::Eval` on the promoted double value bit-for-bit.
+LeafKernel MakeLeafKernel(const int64_t* icol, const double* dcol,
+                          const Function& fn);
+
+}  // namespace lmfao
+
+#endif  // LMFAO_ENGINE_LEAF_KERNELS_H_

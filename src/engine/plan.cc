@@ -298,6 +298,9 @@ class PlanBuilder {
       p.view_index = vi;
       p.slot = child_slot;
       p.level = in.bound_level;
+      if (p.kind == PlanPart::Kind::kViewRangeSum) {
+        p.range_sum_id = RequireRangeSum(vi, child_slot);
+      }
       parts.push_back(p);
     }
     for (size_t i = 0; i < entry_slots.size(); ++i) {
@@ -317,6 +320,7 @@ class PlanBuilder {
       w.output = out_index;
       w.slot = slot;
       w.parts = std::move(parts);
+      w.factor_ids = RequireLeafFactors(leaf_factors);
       w.leaf_factors = std::move(leaf_factors);
       w.entry_slots = std::move(entry_slots);
       plan_.leaf_writes.push_back(std::move(w));
@@ -404,10 +408,36 @@ class PlanBuilder {
     if (it != leaf_registry_.end()) return it->second;
     GroupPlan::LeafSum sum;
     sum.factors = factors;
+    sum.factor_ids = RequireLeafFactors(factors);
     const int index = static_cast<int>(plan_.leaf_sums.size());
     plan_.leaf_sums.push_back(std::move(sum));
     leaf_registry_.emplace(sig, index);
     return index;
+  }
+
+  /// Interns each (column, function) factor in the plan's distinct leaf
+  /// factor table.
+  std::vector<int> RequireLeafFactors(
+      const std::vector<std::pair<int, Function>>& factors) {
+    std::vector<int> ids;
+    ids.reserve(factors.size());
+    for (const auto& [col, fn] : factors) {
+      ids.push_back(InternLeafFactor(&plan_.leaf_factor_table, col, fn));
+    }
+    return ids;
+  }
+
+  /// Dense id of the distinct (view, slot) range sum.
+  int RequireRangeSum(int view_index, int slot) {
+    const uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(
+                              view_index))
+                          << 32) |
+                         static_cast<uint32_t>(slot);
+    auto it = range_sum_registry_.find(key);
+    if (it != range_sum_registry_.end()) return it->second;
+    const int id = plan_.num_range_sums++;
+    range_sum_registry_.emplace(key, id);
+    return id;
   }
 
   const Workload& workload_;
@@ -419,9 +449,20 @@ class PlanBuilder {
   std::unordered_map<uint64_t, int> alpha_registry_;
   std::unordered_map<uint64_t, int> beta_registry_;
   std::unordered_map<uint64_t, int> leaf_registry_;
+  std::unordered_map<uint64_t, int> range_sum_registry_;
 };
 
 }  // namespace
+
+int InternLeafFactor(std::vector<std::pair<int, Function>>* table, int col,
+                     const Function& fn) {
+  for (size_t i = 0; i < table->size(); ++i) {
+    const auto& [tcol, tfn] = (*table)[i];
+    if (tcol == col && tfn == fn) return static_cast<int>(i);
+  }
+  table->emplace_back(col, fn);
+  return static_cast<int>(table->size() - 1);
+}
 
 StatusOr<GroupPlan> BuildGroupPlan(const Workload& workload,
                                    const ViewGroup& group,
@@ -448,6 +489,11 @@ void AssignViewForms(const Workload& workload, const GroupedWorkload& grouped,
   }
   if (!options.freeze_views) return;
   (void)grouped;
+  for (GroupPlan& plan : *plans) {
+    for (GroupPlan::OutputInfo& out : plan.outputs) {
+      out.payload_layout = PayloadLayout::kRowMajor;
+    }
+  }
   for (const GroupPlan& plan : *plans) {
     for (const GroupPlan::IncomingView& in : plan.incoming) {
       if (!in.identity_perm) continue;
@@ -460,6 +506,13 @@ void AssignViewForms(const Workload& workload, const GroupedWorkload& grouped,
       GroupPlan::OutputInfo& out =
           (*plans)[static_cast<size_t>(g)].outputs[static_cast<size_t>(o)];
       out.form = ViewForm::kFrozenSorted;
+      // The frozen array is shared with every identity-order consumer; if
+      // any of them consumes entry ranges (marginalizing range sums /
+      // entry-iterating writes), its payload must be columnar. Otherwise
+      // all borrowers bind single entries and row-major reads win.
+      if (in.IsMultiEntry()) {
+        out.payload_layout = PayloadLayout::kColumnar;
+      }
     }
   }
 }

@@ -68,6 +68,12 @@ struct PlanPart {
   int slot = -1;
   /// 1-based trie level at which the part becomes available.
   int level = 0;
+  /// For kViewRangeSum: dense id of the distinct (view_index, slot) range
+  /// sum within the plan (see GroupPlan::num_range_sums), assigned by
+  /// BuildGroupPlan so the executor memoizes the sum per bind — a range
+  /// referenced by several registers is summed once, not once per
+  /// reference. -1 (hand-built parts) disables memoization.
+  int range_sum_id = -1;
 
   bool is_view() const { return kind != Kind::kFactor; }
   uint64_t Signature() const;
@@ -135,8 +141,23 @@ struct GroupPlan {
   struct LeafSum {
     /// (relation column index, function) pairs.
     std::vector<std::pair<int, Function>> factors;
+    /// Indices into leaf_factor_table, parallel to `factors`. Lowered by
+    /// BuildGroupPlan; empty on hand-built plans (the executor then
+    /// deduplicates locally).
+    std::vector<int> factor_ids;
   };
   std::vector<LeafSum> leaf_sums;
+
+  /// Distinct (relation column index, function) leaf factors across all
+  /// leaf sums and leaf writes. The executor lowers each entry once per
+  /// leaf run into a scratch column via a kind-specialized batched kernel
+  /// (leaf_kernels.h); LeafSum::factor_ids / LeafWrite::factor_ids index
+  /// into this table.
+  std::vector<std::pair<int, Function>> leaf_factor_table;
+
+  /// Number of distinct (view, slot) range-sum parts
+  /// (PlanPart::range_sum_id takes values in [0, num_range_sums)).
+  int num_range_sums = 0;
 
   enum class SuffixKind { kOne, kLeaf, kBeta };
   struct Suffix {
@@ -182,6 +203,13 @@ struct GroupPlan {
     /// Materialized form of the produced view. Query outputs always stay
     /// kHashMap; inner views are frozen by AssignViewForms when profitable.
     ViewForm form = ViewForm::kHashMap;
+    /// Payload layout of the frozen form (ignored for kHashMap): columnar
+    /// when some borrowing (identity-order) consumer marginalizes or
+    /// iterates the view's entry ranges — range sums must scan unit-stride
+    /// columns — row-major when every such consumer binds single entries
+    /// (their per-match multi-slot reads then share cache lines). Set by
+    /// AssignViewForms.
+    PayloadLayout payload_layout = PayloadLayout::kColumnar;
     /// Estimated number of result entries, from the catalog's cardinality
     /// constraints (domain sizes of the key attributes, capped by the node
     /// relation size for purely level-sourced keys). 0 = unknown. Used to
@@ -212,6 +240,9 @@ struct GroupPlan {
     int slot = -1;
     std::vector<PlanPart> parts;
     std::vector<std::pair<int, Function>> leaf_factors;
+    /// Indices into leaf_factor_table, parallel to `leaf_factors` (see
+    /// LeafSum::factor_ids).
+    std::vector<int> factor_ids;
     /// Entry payload slots, parallel to the output's key_views.
     std::vector<int> entry_slots;
   };
@@ -223,6 +254,15 @@ struct GroupPlan {
   /// statements).
   std::string ToString(const Workload& workload, const Catalog& catalog) const;
 };
+
+/// \brief Interns the `(column, function)` leaf factor in `table` and
+/// returns its index (exact Function equality; leaf factor tables stay
+/// tiny, so a linear scan beats maintaining a collision-proof hash key).
+///
+/// Shared by BuildGroupPlan's lowering and the executor's fallback
+/// interning for hand-built plans, so the two can't diverge.
+int InternLeafFactor(std::vector<std::pair<int, Function>>* table, int col,
+                     const Function& fn);
 
 /// \brief Compiles one view group into a register program.
 StatusOr<GroupPlan> BuildGroupPlan(const Workload& workload,

@@ -117,7 +117,7 @@ void ViewMap::MergeAdd(const ViewMap& other) {
   }
 }
 
-SortView SortView::FromMap(const ViewMap& map) {
+SortView SortView::FromMap(const ViewMap& map, PayloadLayout layout) {
   SortView out;
   out.width_ = map.width();
   const int arity = map.key_arity();
@@ -139,32 +139,30 @@ SortView SortView::FromMap(const ViewMap& map) {
     return false;
   });
 
-  // ... then one gather per key column and one payload gather — no hash
-  // lookups.
+  // ... then one gather per key column and one payload gather into the
+  // requested layout (a straight row copy, or a tiled transpose into
+  // per-slot columns) — no hash lookups.
   const size_t n = slots.size();
   out.keys_ = KeyColumns(arity, n);
   for (int c = 0; c < arity; ++c) {
     int64_t* dst = out.keys_.col(c);
     for (size_t i = 0; i < n; ++i) dst[i] = map.slot_key(slots[i])[c];
   }
-  const int width = out.width_;
-  out.payloads_.resize(n * static_cast<size_t>(width));
-  for (size_t i = 0; i < n; ++i) {
-    std::memcpy(out.payloads_.data() + i * static_cast<size_t>(width),
-                map.slot_payload(slots[i]),
-                sizeof(double) * static_cast<size_t>(width));
-  }
+  out.payloads_ = PayloadMatrix(out.width_, n, layout);
+  GatherRows(&out.payloads_, [&map, &slots](size_t i) {
+    return map.slot_payload(slots[i]);
+  });
   return out;
 }
 
-const double* SortView::Lookup(const TupleKey& key) const {
-  if (key.size() != keys_.arity()) return nullptr;
+size_t SortView::Find(const TupleKey& key) const {
+  if (key.size() != keys_.arity()) return kNotFound;
   const size_t i = LowerBound(key);
-  if (i >= keys_.size()) return nullptr;
+  if (i >= keys_.size()) return kNotFound;
   for (int c = 0; c < keys_.arity(); ++c) {
-    if (keys_.col(c)[i] != key[c]) return nullptr;
+    if (keys_.col(c)[i] != key[c]) return kNotFound;
   }
-  return payload(i);
+  return i;
 }
 
 size_t SortView::LowerBound(const TupleKey& key) const {

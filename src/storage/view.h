@@ -10,9 +10,12 @@
 ///     compares 8·arity bytes instead of a fixed-capacity TupleKey (the
 ///     default; supports out-of-order upserts),
 ///   - SortView: the *frozen* sorted-array form with columnar (SoA) keys
-///     (KeyColumns), which iterates in key order and supports binary-search
-///     lookups over plain contiguous int64 columns. Which form a produced
-///     view materializes in is a plan-layer decision
+///     (KeyColumns) and payloads in the layout the plan chose
+///     (PayloadMatrix — slot-major columns when consumers marginalize or
+///     iterate entry ranges, entry-major rows when every consumer binds
+///     single entries), which iterates in key order and supports
+///     binary-search lookups over plain contiguous int64 columns.
+///     Which form a produced view materializes in is a plan-layer decision
 ///     (GroupPlan::OutputInfo::form, see plan.h); the ViewStore
 ///     (view_store.h) freezes hash maps into SortViews at publish time.
 ///
@@ -28,6 +31,7 @@
 #include <vector>
 
 #include "storage/key_columns.h"
+#include "storage/payload_columns.h"
 #include "storage/schema.h"
 #include "util/hash.h"
 #include "util/status.h"
@@ -165,21 +169,30 @@ class ViewMap {
   std::vector<double> payloads_;
 };
 
-/// \brief Sorted-array view: entries ordered by key, keys stored columnar.
+/// \brief Sorted-array view: entries ordered by key, keys stored columnar
+/// (SoA), payloads in the plan-chosen PayloadLayout.
 ///
 /// Built by freezing a ViewMap: an index argsort over the occupied slots
-/// followed by a single gather into per-component columns (no per-entry
-/// hash lookups). Supports ordered iteration (merge-join style consumption)
-/// and binary-search lookup that narrows one contiguous column at a time.
-/// The raw columns and payload array are exposed so the execution runtime
-/// can hand them to consumers without copying (ConsumedView borrows them
-/// when the consumed order equals the canonical order).
+/// followed by a single gather into per-component key columns and a gather
+/// of the slot payloads into the requested layout (no per-entry hash
+/// lookups). Supports ordered iteration (merge-join style consumption) and
+/// binary-search lookup that narrows one contiguous column at a time. The
+/// raw key and payload arrays are exposed so the execution runtime can
+/// hand them to consumers without copying (ConsumedView borrows them when
+/// the consumed order equals the canonical order); with the columnar
+/// payload layout a marginalizing range sum over one slot is a unit-stride
+/// scan of one payload column.
 class SortView {
  public:
+  /// Sentinel returned by Find for absent keys.
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+
   SortView() : width_(0) {}
 
-  /// Freezes `map` into sorted form.
-  static SortView FromMap(const ViewMap& map);
+  /// Freezes `map` into sorted form with the given payload layout
+  /// (GroupPlan::OutputInfo::payload_layout for plan-produced views).
+  static SortView FromMap(const ViewMap& map,
+                          PayloadLayout layout = PayloadLayout::kColumnar);
 
   int key_arity() const { return keys_.arity(); }
   int width() const { return width_; }
@@ -187,20 +200,22 @@ class SortView {
 
   /// Gathers entry `i` into an inline TupleKey (cold paths and tests).
   TupleKey key(size_t i) const { return keys_.Row(i); }
-  const double* payload(size_t i) const {
-    return payloads_.data() + i * static_cast<size_t>(width_);
-  }
+  /// Payload slot `s` of entry `i` (layout-independent; cold paths and
+  /// tests — hot paths read whole columns/rows via the matrix).
+  double payload_at(size_t i, int s) const { return payloads_.at(i, s); }
 
   /// \name Raw sorted arrays (for zero-copy consumption).
   /// @{
   const KeyColumns& key_columns() const { return keys_; }
   /// Contiguous sorted column of key component `c`.
   const int64_t* col(int c) const { return keys_.col(c); }
-  const std::vector<double>& payloads() const { return payloads_; }
+  const PayloadMatrix& payload_matrix() const { return payloads_; }
+  /// Contiguous payload column of aggregate slot `s` (columnar layout).
+  const double* pcol(int s) const { return payloads_.col(s); }
   /// @}
 
-  /// Binary-search lookup; nullptr if absent.
-  const double* Lookup(const TupleKey& key) const;
+  /// Binary-search lookup; the entry index, or kNotFound if absent.
+  size_t Find(const TupleKey& key) const;
 
   /// Index of the first entry with key >= `key` (lexicographic).
   size_t LowerBound(const TupleKey& key) const;
@@ -208,14 +223,14 @@ class SortView {
   /// \name Memory accounting (columnar keys / payload split).
   /// @{
   size_t KeyBytes() const { return keys_.bytes(); }
-  size_t PayloadBytes() const { return payloads_.size() * sizeof(double); }
+  size_t PayloadBytes() const { return payloads_.bytes(); }
   size_t MemoryUsage() const { return KeyBytes() + PayloadBytes(); }
   /// @}
 
  private:
   int width_;
   KeyColumns keys_;
-  std::vector<double> payloads_;
+  PayloadMatrix payloads_;
 };
 
 }  // namespace lmfao

@@ -6,13 +6,14 @@
 namespace lmfao {
 
 void ViewStore::Register(int32_t view_id, int consumers, ViewForm form,
-                         bool pinned) {
+                         bool pinned, PayloadLayout payload_layout) {
   std::lock_guard<std::mutex> lock(mu_);
   if (static_cast<size_t>(view_id) >= entries_.size()) {
     entries_.resize(static_cast<size_t>(view_id) + 1);
   }
   Entry& e = entries_[static_cast<size_t>(view_id)];
   e.form = form;
+  e.payload_layout = payload_layout;
   e.refs = consumers;
   e.pinned = pinned;
 }
@@ -26,7 +27,8 @@ Status ViewStore::Publish(int32_t view_id, std::unique_ptr<ViewMap> map) {
   const Entry& meta = entries_[static_cast<size_t>(view_id)];
   std::unique_ptr<SortView> frozen;
   if (meta.form == ViewForm::kFrozenSorted) {
-    frozen = std::make_unique<SortView>(SortView::FromMap(*map));
+    frozen = std::make_unique<SortView>(
+        SortView::FromMap(*map, meta.payload_layout));
     map.reset();
   } else {
     // The map takes no further inserts once published; return the slack of

@@ -41,10 +41,13 @@ class ViewStore {
   ViewStore& operator=(const ViewStore&) = delete;
 
   /// Registers view `view_id` before execution starts: `consumers` groups
-  /// will Acquire/Release it, it materializes as `form`, and `pinned` views
-  /// (query outputs) survive until TakeResult. Must be called for every
-  /// view id in [0, num_views) exactly once, before Run.
-  void Register(int32_t view_id, int consumers, ViewForm form, bool pinned);
+  /// will Acquire/Release it, it materializes as `form` (frozen payloads
+  /// in `payload_layout` — the plan-layer decision of
+  /// GroupPlan::OutputInfo::payload_layout), and `pinned` views (query
+  /// outputs) survive until TakeResult. Must be called for every view id
+  /// in [0, num_views) exactly once, before Run.
+  void Register(int32_t view_id, int consumers, ViewForm form, bool pinned,
+                PayloadLayout payload_layout = PayloadLayout::kColumnar);
 
   /// Publishes the produced map. If the registered form is kFrozenSorted,
   /// the map is frozen into a SortView and the hash form is dropped.
@@ -87,6 +90,7 @@ class ViewStore {
     std::unique_ptr<ViewMap> map;
     std::unique_ptr<SortView> frozen;
     ViewForm form = ViewForm::kHashMap;
+    PayloadLayout payload_layout = PayloadLayout::kColumnar;
     int refs = 0;
     bool pinned = false;
     bool published = false;

@@ -222,8 +222,10 @@ TEST(ConsumedViewTest, PermutesAndSorts) {
   EXPECT_EQ(cv.col(0)[1], 20);
   EXPECT_EQ(cv.col(1)[0], 2);
   EXPECT_EQ(cv.col(1)[1], 1);
-  EXPECT_DOUBLE_EQ(cv.payload(0)[0], 2.0);
-  EXPECT_DOUBLE_EQ(cv.payload(1)[0], 1.0);
+  // Payloads are columnar: slot 0 is one contiguous column over entries.
+  EXPECT_DOUBLE_EQ(cv.pcol(0)[0], 2.0);
+  EXPECT_DOUBLE_EQ(cv.pcol(0)[1], 1.0);
+  EXPECT_DOUBLE_EQ(cv.payload_at(0, 0), 2.0);
 }
 
 }  // namespace

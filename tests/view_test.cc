@@ -135,15 +135,17 @@ TEST(SortViewTest, FromMapSortsKeys) {
   EXPECT_EQ(view.key(0), TupleKey({1, 2}));
   EXPECT_EQ(view.key(1), TupleKey({1, 9}));
   EXPECT_EQ(view.key(2), TupleKey({2, 1}));
-  EXPECT_DOUBLE_EQ(view.payload(0)[0], 12.0);
+  EXPECT_DOUBLE_EQ(view.payload_at(0, 0), 12.0);
 }
 
-TEST(SortViewTest, LookupBinarySearch) {
+TEST(SortViewTest, FindBinarySearch) {
   ViewMap map(1, 1);
   for (int64_t i = 0; i < 100; i += 2) map.Upsert(TupleKey({i}))[0] = i;
   SortView view = SortView::FromMap(map);
-  EXPECT_DOUBLE_EQ(view.Lookup(TupleKey({42}))[0], 42.0);
-  EXPECT_EQ(view.Lookup(TupleKey({43})), nullptr);
+  const size_t hit = view.Find(TupleKey({42}));
+  ASSERT_NE(hit, SortView::kNotFound);
+  EXPECT_DOUBLE_EQ(view.payload_at(hit, 0), 42.0);
+  EXPECT_EQ(view.Find(TupleKey({43})), SortView::kNotFound);
 }
 
 TEST(SortViewTest, RawColumnsMatchAccessors) {
@@ -160,13 +162,42 @@ TEST(SortViewTest, RawColumnsMatchAccessors) {
   EXPECT_EQ(view.col(1)[1], 7);
   EXPECT_EQ(view.col(0)[0], view.key(0)[0]);
   EXPECT_EQ(view.col(1)[0], view.key(0)[1]);
-  EXPECT_EQ(view.payloads().data(), view.payload(0));
-  EXPECT_DOUBLE_EQ(view.payloads()[1], 2.0);  // Key {1,9} sorts first.
+  // Default freeze layout is columnar: slot s is one contiguous column of
+  // size() doubles. Key {1,9} sorts first (its slot-1 value was 2.0).
+  EXPECT_EQ(view.payload_matrix().layout(), PayloadLayout::kColumnar);
+  EXPECT_EQ(view.pcol(0), view.payload_matrix().data());
+  EXPECT_EQ(view.pcol(1), view.payload_matrix().data() + view.size());
+  EXPECT_DOUBLE_EQ(view.pcol(1)[0], 2.0);
+  EXPECT_DOUBLE_EQ(view.pcol(0)[1], 1.0);
+  EXPECT_DOUBLE_EQ(view.pcol(0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(view.pcol(1)[1], 0.0);
   // Packed accounting: 2 entries x 2 components x 8 bytes of keys, and
   // 2 entries x 2 slots x 8 bytes of payloads.
   EXPECT_EQ(view.KeyBytes(), 2u * 2u * sizeof(int64_t));
   EXPECT_EQ(view.PayloadBytes(), 2u * 2u * sizeof(double));
   EXPECT_EQ(view.MemoryUsage(), view.KeyBytes() + view.PayloadBytes());
+}
+
+TEST(SortViewTest, RowMajorFreezeMatchesColumnar) {
+  ViewMap map(1, 3);
+  for (int64_t i = 0; i < 20; ++i) {
+    double* p = map.Upsert(TupleKey({19 - i}));
+    for (int s = 0; s < 3; ++s) p[s] = static_cast<double>(i * 10 + s);
+  }
+  const SortView columnar = SortView::FromMap(map, PayloadLayout::kColumnar);
+  const SortView row_major = SortView::FromMap(map, PayloadLayout::kRowMajor);
+  ASSERT_EQ(columnar.size(), row_major.size());
+  EXPECT_EQ(row_major.payload_matrix().layout(), PayloadLayout::kRowMajor);
+  // Same logical matrix through payload_at; row-major rows are contiguous.
+  for (size_t i = 0; i < columnar.size(); ++i) {
+    EXPECT_EQ(columnar.key(i), row_major.key(i));
+    const double* row = row_major.payload_matrix().row(i);
+    for (int s = 0; s < 3; ++s) {
+      EXPECT_DOUBLE_EQ(columnar.payload_at(i, s), row_major.payload_at(i, s));
+      EXPECT_DOUBLE_EQ(row[s], row_major.payload_at(i, s));
+    }
+  }
+  EXPECT_EQ(columnar.PayloadBytes(), row_major.PayloadBytes());
 }
 
 TEST(SortViewTest, LowerBound) {
