@@ -112,6 +112,16 @@ inline void ExportViewMemoryCounters(benchmark::State& state,
       static_cast<double>(stats.peak_view_payload_bytes) / kMiB;
 }
 
+/// Exports the compile/execute timing split of one evaluation: compile_ms
+/// is the optimization-layer time the call actually paid (~0 on plan-cache
+/// hits and prepared executes), execute_ms the execution layer. Makes
+/// compile amortization visible in the uploaded BENCH_*.json.
+inline void ExportTimingCounters(benchmark::State& state,
+                                 const ExecutionStats& stats) {
+  state.counters["compile_ms"] = stats.compile_seconds * 1e3;
+  state.counters["execute_ms"] = stats.execute_seconds * 1e3;
+}
+
 /// A Favorita learning task (for covariance/e2e benches).
 inline FeatureSet FavoritaFeatures(const FavoritaData& db) {
   FeatureSet features;

@@ -68,8 +68,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", tree_or.status().ToString().c_str());
     return 1;
   }
-  std::printf("trained %d nodes (depth %d) in %.1f ms\n\n",
+  std::printf("trained %d nodes (depth %d) in %.1f ms\n",
               tree_or->num_nodes, tree_or->depth, timer.ElapsedMillis());
+  // Node batches are parameterized, so every node whose path shape was
+  // seen before executes against a cached compiled artifact.
+  const Engine::PlanCacheStats cache = engine.plan_cache_stats();
+  std::printf(
+      "plan cache: %zu distinct batch shapes compiled, %zu cache hits\n\n",
+      cache.entries, cache.hits);
   PrintTree(db.catalog, tree_or->root.get(), 0);
   return 0;
 }

@@ -49,7 +49,15 @@ int main(int argc, char** argv) {
                 plan.ToString(compiled.workload, db.catalog).c_str());
   }
 
-  auto result_or = engine.Evaluate(batch);
+  // Prepare/Execute lifecycle: the compile above was inspection-only; the
+  // prepared handle owns the executable artifact and could serve this
+  // batch shape repeatedly.
+  auto prepared_or = engine.Prepare(batch);
+  if (!prepared_or.ok()) {
+    std::fprintf(stderr, "%s\n", prepared_or.status().ToString().c_str());
+    return 1;
+  }
+  auto result_or = prepared_or->Execute();
   if (!result_or.ok()) {
     std::fprintf(stderr, "%s\n", result_or.status().ToString().c_str());
     return 1;

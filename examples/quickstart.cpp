@@ -3,7 +3,10 @@
 ///   1. define a schema and load (generate) data,
 ///   2. build a join tree,
 ///   3. write a batch of group-by aggregates over the join,
-///   4. evaluate it with the engine and read the results.
+///   4. Prepare the batch once — all three optimization layers run here —
+///      and Execute the prepared handle (repeatably) to read results,
+///   5. re-Execute a *parameterized* batch with new constants, paying no
+///      recompile.
 ///
 /// Run: ./quickstart
 
@@ -28,7 +31,9 @@ int main() {
   std::printf("Database:\n%s\n", db.catalog.ToString().c_str());
   std::printf("Join tree:\n%s\n", db.tree.ToString(db.catalog).c_str());
 
-  // 3. A small batch: total units, units by store, promo counts by family.
+  // 3. A small batch: total units, units by store, promo units by family.
+  // The promo indicator threshold is a *parameter slot* (p0), bound at
+  // execution time instead of baked into the compiled plan.
   QueryBatch batch;
   {
     Query q;
@@ -49,7 +54,8 @@ int main() {
     q.name = "promo_by_family";
     q.group_by = {db.family};
     q.aggregates.push_back(Aggregate(
-        {Factor{db.promo, Function::Indicator(FunctionKind::kIndicatorEq, 1)},
+        {Factor{db.promo,
+                Function::IndicatorParam(FunctionKind::kIndicatorEq, 0)},
          Factor{db.units, Function::Identity()}}));
     batch.Add(std::move(q));
   }
@@ -57,17 +63,33 @@ int main() {
     std::printf("%s;\n", q.ToString(&db.catalog).c_str());
   }
 
-  // 4. Evaluate. The engine never materializes the join.
+  // 4. Prepare once: view generation, multi-output grouping, and register
+  // -program compilation all happen here. The engine never materializes
+  // the join. The handle is immutable and can Execute concurrently.
   Engine engine(&db.catalog, &db.tree, EngineOptions{});
-  auto result_or = engine.Evaluate(batch);
+  auto prepared_or = engine.Prepare(batch);
+  if (!prepared_or.ok()) {
+    std::fprintf(stderr, "%s\n", prepared_or.status().ToString().c_str());
+    return 1;
+  }
+  PreparedBatch& prepared = *prepared_or;
+  std::printf("\nprepared in %.3f ms (%d param slot%s)\n",
+              prepared.compile_seconds() * 1e3,
+              static_cast<int>(prepared.required_params().size()),
+              prepared.required_params().size() == 1 ? "" : "s");
+
+  // Execute with p0 = 1 (promo items).
+  ParamPack params;
+  params.Set(0, 1.0);
+  auto result_or = prepared.Execute(params);
   if (!result_or.ok()) {
     std::fprintf(stderr, "%s\n", result_or.status().ToString().c_str());
     return 1;
   }
   BatchResult& result = *result_or;
-  std::printf("\nevaluated %d queries via %d views in %d groups in %.3f ms\n",
+  std::printf("executed %d queries via %d views in %d groups in %.3f ms\n",
               result.stats.num_queries, result.stats.num_views,
-              result.stats.num_groups, result.stats.total_seconds * 1e3);
+              result.stats.num_groups, result.stats.execute_seconds * 1e3);
 
   const double* total = result.results[0].data.Lookup(TupleKey());
   std::printf("\ntotal units: %.1f\n", total != nullptr ? total[0] : 0.0);
@@ -79,7 +101,22 @@ int main() {
                   static_cast<long long>(key[0]), p[0], p[1]);
     }
   });
-  std::printf("promo units by family: %zu groups\n",
-              result.results[2].data.size());
+  std::printf("promo units by family: %zu groups, %.1f units total\n",
+              result.results[2].data.size(),
+              result.results[2].TotalOf(0));
+
+  // 5. Execute again with p0 = 0 (non-promo items): same compiled
+  // artifact, new constants, zero recompile — the compile-once /
+  // execute-many contract that CART and k-means style workloads live on.
+  params.Set(0, 0.0);
+  auto rerun_or = prepared.Execute(params);
+  if (!rerun_or.ok()) {
+    std::fprintf(stderr, "%s\n", rerun_or.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "re-executed with p0=0 in %.3f ms: %.1f non-promo units total\n",
+      rerun_or->stats.execute_seconds * 1e3,
+      rerun_or->results[2].TotalOf(0));
   return 0;
 }

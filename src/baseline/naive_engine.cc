@@ -28,6 +28,11 @@ StatusOr<ResolvedQuery> Resolve(const Relation& joined, const Query& q) {
       if (col < 0) {
         return Status::InvalidArgument("factor attribute missing from join");
       }
+      if (f.fn.IsParameterized()) {
+        return Status::InvalidArgument(
+            "scan baseline requires a literal batch; bind the parameters "
+            "first (QueryBatch::Bind)");
+      }
       factors.emplace_back(col, f.fn);
     }
     out.aggs.push_back(std::move(factors));

@@ -1,14 +1,84 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <cstring>
 #include <mutex>
+#include <string>
 
 #include "engine/attribute_order.h"
 #include "engine/execution_context.h"
 #include "storage/sort.h"
+#include "util/hash.h"
 #include "util/timer.h"
 
 namespace lmfao {
+
+namespace {
+
+/// Fingerprint of the compile-relevant options: anything that changes what
+/// the three optimization layers produce must be part of the plan-cache
+/// key. Scheduler options are execution-only and deliberately excluded.
+uint64_t OptionsFingerprint(const EngineOptions& o) {
+  uint64_t h = Mix64(0x5f356495u);
+  h = HashCombine(h, static_cast<uint64_t>(o.view_generation.merge_views));
+  h = HashCombine(h, static_cast<uint64_t>(o.grouping.multi_output));
+  h = HashCombine(h, static_cast<uint64_t>(o.plan.factorize));
+  h = HashCombine(h, static_cast<uint64_t>(o.plan.freeze_views));
+  return h;
+}
+
+/// Exact structural encoding of a batch under the given options: a flat
+/// word sequence with size prefixes, so equality of two keys IS structural
+/// equality of the batches (group-by sets, root hints, and every factor's
+/// attr/kind/threshold-or-slot/dictionary identity, in canonical order).
+/// Query names are excluded (they never reach the compiled artifact);
+/// parameterized functions encode their slot, not any bound value — which
+/// is exactly what lets CART-style workloads share one artifact across
+/// re-issued batches that differ only in constants. The plan cache stores
+/// this key per entry and verifies it on every hit, so a collision of the
+/// 64-bit signature hash degrades to a fresh compile, never to serving
+/// another shape's plans.
+std::vector<uint64_t> BatchStructuralKey(const QueryBatch& batch,
+                                         const EngineOptions& o) {
+  std::vector<uint64_t> key;
+  key.push_back(OptionsFingerprint(o));
+  key.push_back(static_cast<uint64_t>(batch.size()));
+  for (const Query& q : batch.queries()) {
+    key.push_back(q.group_by.size());
+    for (AttrId a : q.group_by) key.push_back(static_cast<uint64_t>(a));
+    key.push_back(static_cast<uint64_t>(q.root_hint));
+    key.push_back(q.aggregates.size());
+    for (const Aggregate& agg : q.aggregates) {
+      key.push_back(agg.factors().size());
+      for (const Factor& f : agg.factors()) {
+        key.push_back(static_cast<uint64_t>(f.attr));
+        key.push_back(static_cast<uint64_t>(f.fn.kind()));
+        if (f.fn.kind() == FunctionKind::kDictionary) {
+          key.push_back(reinterpret_cast<uintptr_t>(f.fn.dict().get()));
+        } else if (f.fn.IsParameterized()) {
+          key.push_back(1);  // Tag: slot, not literal threshold.
+          key.push_back(static_cast<uint64_t>(f.fn.param()));
+        } else {
+          key.push_back(0);
+          const double threshold = f.fn.threshold();
+          uint64_t bits;
+          std::memcpy(&bits, &threshold, sizeof(bits));
+          key.push_back(bits);
+        }
+      }
+    }
+  }
+  return key;
+}
+
+/// The plan-cache signature: a hash of the structural key.
+uint64_t KeySignature(const std::vector<uint64_t>& key) {
+  uint64_t h = Mix64(0x7b9f4a31u);
+  for (uint64_t w : key) h = HashCombine(h, w);
+  return h;
+}
+
+}  // namespace
 
 Engine::Engine(const Catalog* catalog, const JoinTree* tree,
                EngineOptions options)
@@ -18,31 +88,209 @@ Engine::Engine(const Catalog* catalog, const JoinTree* tree,
 }
 
 void Engine::InvalidateCaches() {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  sorted_cache_.clear();
+  // Sorted relations first, then — atomically under plan_mu_ — the
+  // generation bump and the plan-cache clear. Prepare reads the
+  // generation and probes the cache under the same lock, so a racing
+  // Prepare either sees the old generation (its handle fails Execute as
+  // stale) or the new generation with an already-empty cache; the
+  // combination "new generation, stale cache entry" cannot be observed.
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    sorted_cache_.clear();
+  }
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  plan_cache_.clear();
+  plan_lru_.clear();
+}
+
+Engine::PlanCacheStats Engine::plan_cache_stats() const {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  PlanCacheStats stats;
+  stats.hits = plan_cache_hits_;
+  stats.misses = plan_cache_misses_;
+  stats.entries = plan_cache_.size();
+  return stats;
 }
 
 StatusOr<CompiledBatch> Engine::Compile(const QueryBatch& batch) const {
-  CompiledBatch compiled;
+  // One compile pipeline: the inspection surface extracts the artifacts
+  // from the same code path Prepare runs, so displayed plans can never
+  // drift from executed plans.
+  LMFAO_ASSIGN_OR_RETURN(std::shared_ptr<CompiledArtifact> artifact,
+                         CompileArtifact(batch));
+  return std::move(artifact->compiled);
+}
+
+StatusOr<std::shared_ptr<CompiledArtifact>> Engine::CompileArtifact(
+    const QueryBatch& batch) const {
+  auto artifact = std::make_shared<CompiledArtifact>();
+  artifact->required_params = batch.RequiredParams();
+  artifact->num_queries = batch.size();
+
+  Timer phase_timer;
   LMFAO_ASSIGN_OR_RETURN(
-      compiled.workload,
+      artifact->compiled.workload,
       GenerateViews(batch, *catalog_, *tree_, options_.view_generation));
-  LMFAO_ASSIGN_OR_RETURN(compiled.grouped,
-                         GroupViews(compiled.workload, *catalog_, options_.grouping));
-  for (const ViewGroup& group : compiled.grouped.groups) {
+  artifact->viewgen_seconds = phase_timer.ElapsedSeconds();
+  artifact->num_views = artifact->compiled.workload.NumInnerViews();
+  for (const ViewInfo& v : artifact->compiled.workload.views) {
+    artifact->num_aggregates += static_cast<int>(v.aggregates.size());
+  }
+
+  phase_timer.Reset();
+  LMFAO_ASSIGN_OR_RETURN(
+      artifact->compiled.grouped,
+      GroupViews(artifact->compiled.workload, *catalog_, options_.grouping));
+  artifact->grouping_seconds = phase_timer.ElapsedSeconds();
+
+  phase_timer.Reset();
+  for (const ViewGroup& group : artifact->compiled.grouped.groups) {
     LMFAO_ASSIGN_OR_RETURN(
         std::vector<AttrId> order,
-        ComputeAttributeOrder(compiled.workload, group, *catalog_));
+        ComputeAttributeOrder(artifact->compiled.workload, group, *catalog_));
     LMFAO_ASSIGN_OR_RETURN(
         GroupPlan plan,
-        BuildGroupPlan(compiled.workload, group, *catalog_, order,
+        BuildGroupPlan(artifact->compiled.workload, group, *catalog_, order,
                        options_.plan));
-    compiled.attr_orders.push_back(std::move(order));
-    compiled.plans.push_back(std::move(plan));
+    artifact->compiled.attr_orders.push_back(std::move(order));
+    artifact->compiled.plans.push_back(std::move(plan));
   }
-  AssignViewForms(compiled.workload, compiled.grouped, options_.plan,
-                  &compiled.plans);
-  return compiled;
+  AssignViewForms(artifact->compiled.workload, artifact->compiled.grouped,
+                  options_.plan, &artifact->compiled.plans);
+  artifact->plan_seconds = phase_timer.ElapsedSeconds();
+  return artifact;
+}
+
+StatusOr<PreparedBatch> Engine::Prepare(const QueryBatch& batch) {
+  Timer prepare_timer;
+  std::vector<uint64_t> structural_key = BatchStructuralKey(batch, options_);
+  const uint64_t signature = KeySignature(structural_key);
+  const size_t capacity = options_.plan_cache_capacity;
+
+  PreparedBatch prepared;
+  prepared.engine_ = this;
+  prepared.options_ = options_;
+  bool collision = false;
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    prepared.generation_ = generation();
+    auto it = plan_cache_.find(signature);
+    if (it != plan_cache_.end()) {
+      if (it->second.structural_key == structural_key) {
+        ++plan_cache_hits_;
+        plan_lru_.splice(plan_lru_.end(), plan_lru_, it->second.lru_pos);
+        prepared.artifact_ = it->second.artifact;
+        prepared.from_cache_ = true;
+        prepared.compile_seconds_ = prepare_timer.ElapsedSeconds();
+        return prepared;
+      }
+      // Signature collision with a structurally different batch (~2^-64):
+      // compile fresh and leave the existing entry in place.
+      collision = true;
+    }
+    ++plan_cache_misses_;
+  }
+
+  // Compile outside the lock: concurrent Prepares of the same shape may
+  // duplicate work, but never block each other on a long compile.
+  LMFAO_ASSIGN_OR_RETURN(std::shared_ptr<CompiledArtifact> fresh,
+                         CompileArtifact(batch));
+  fresh->signature = signature;
+  const std::shared_ptr<const CompiledArtifact> artifact = std::move(fresh);
+  prepared.artifact_ = artifact;
+  if (capacity > 0 && !collision) {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    // Insert only while the generation still matches the one this handle
+    // carries: if InvalidateCaches ran mid-compile, the artifact stays
+    // private to this (already stale) handle and the fresh cache never
+    // holds it.
+    if (generation() == prepared.generation_ &&
+        plan_cache_.find(signature) == plan_cache_.end()) {
+      plan_lru_.push_back(signature);
+      PlanCacheEntry entry;
+      entry.structural_key = std::move(structural_key);
+      entry.artifact = artifact;
+      entry.lru_pos = std::prev(plan_lru_.end());
+      plan_cache_.emplace(signature, std::move(entry));
+      while (plan_cache_.size() > capacity) {
+        plan_cache_.erase(plan_lru_.front());
+        plan_lru_.pop_front();
+      }
+    }
+  }
+  prepared.compile_seconds_ = prepare_timer.ElapsedSeconds();
+  return prepared;
+}
+
+StatusOr<BatchResult> PreparedBatch::Execute(const ParamPack& params) const {
+  if (engine_ == nullptr || artifact_ == nullptr) {
+    return Status::FailedPrecondition(
+        "PreparedBatch::Execute on an empty handle");
+  }
+  if (engine_->generation() != generation_) {
+    return Status::FailedPrecondition(
+        "stale PreparedBatch: Engine::InvalidateCaches ran after Prepare; "
+        "re-Prepare the batch against the current data");
+  }
+  for (ParamId p : artifact_->required_params) {
+    if (!params.Has(p)) {
+      return Status::InvalidArgument(
+          "PreparedBatch::Execute: unbound parameter p" + std::to_string(p));
+    }
+  }
+
+  Timer total_timer;
+  BatchResult result;
+  const CompiledBatch& compiled = artifact_->compiled;
+  result.stats.num_queries = artifact_->num_queries;
+  result.stats.num_views = artifact_->num_views;
+  result.stats.num_aggregates = artifact_->num_aggregates;
+  result.stats.num_groups =
+      static_cast<int>(compiled.grouped.groups.size());
+  // Phase times of the artifact's original compilation; this call itself
+  // pays no compile (the Evaluate wrapper overwrites these two fields with
+  // its measured Prepare cost).
+  result.stats.viewgen_seconds = artifact_->viewgen_seconds;
+  result.stats.grouping_seconds = artifact_->grouping_seconds;
+  result.stats.plan_seconds = artifact_->plan_seconds;
+  result.stats.compile_seconds = 0.0;
+  result.stats.plan_cache_hit = true;
+
+  Timer exec_timer;
+  ExecutionContext context(
+      compiled.workload, compiled.grouped, compiled.plans,
+      options_.scheduler,
+      [this](RelationId node, const std::vector<AttrId>& order) {
+        return engine_->SortedRelation(node, order);
+      },
+      &params);
+  LMFAO_RETURN_NOT_OK(context.Run(&result.stats));
+  result.stats.execute_seconds = exec_timer.ElapsedSeconds();
+
+  // Extract query results.
+  result.results.resize(static_cast<size_t>(artifact_->num_queries));
+  for (QueryId q = 0; q < artifact_->num_queries; ++q) {
+    const ViewId out =
+        compiled.workload.query_outputs[static_cast<size_t>(q)];
+    QueryResult& qr = result.results[static_cast<size_t>(q)];
+    qr.query_id = q;
+    qr.group_by = compiled.workload.view(out).key;
+    LMFAO_ASSIGN_OR_RETURN(qr.data, context.TakeQueryResult(out));
+  }
+  result.stats.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+StatusOr<BatchResult> Engine::Evaluate(const QueryBatch& batch,
+                                       const ParamPack& params) {
+  Timer total_timer;
+  LMFAO_ASSIGN_OR_RETURN(PreparedBatch prepared, Prepare(batch));
+  LMFAO_ASSIGN_OR_RETURN(BatchResult result, prepared.Execute(params));
+  result.stats.compile_seconds = prepared.compile_seconds();
+  result.stats.plan_cache_hit = prepared.from_cache();
+  result.stats.total_seconds = total_timer.ElapsedSeconds();
+  return result;
 }
 
 StatusOr<const Relation*> Engine::SortedRelation(
@@ -65,64 +313,6 @@ StatusOr<const Relation*> Engine::SortedRelation(
   auto [it, inserted] = sorted_cache_.emplace(
       std::make_pair(node, std::move(sub)), std::move(copy));
   return it->second.get();
-}
-
-StatusOr<BatchResult> Engine::Evaluate(const QueryBatch& batch) {
-  Timer total_timer;
-  BatchResult result;
-  result.stats.num_queries = batch.size();
-
-  Timer phase_timer;
-  LMFAO_ASSIGN_OR_RETURN(
-      Workload workload,
-      GenerateViews(batch, *catalog_, *tree_, options_.view_generation));
-  result.stats.viewgen_seconds = phase_timer.ElapsedSeconds();
-  result.stats.num_views = workload.NumInnerViews();
-  for (const ViewInfo& v : workload.views) {
-    result.stats.num_aggregates += static_cast<int>(v.aggregates.size());
-  }
-
-  phase_timer.Reset();
-  LMFAO_ASSIGN_OR_RETURN(GroupedWorkload grouped,
-                         GroupViews(workload, *catalog_, options_.grouping));
-  result.stats.grouping_seconds = phase_timer.ElapsedSeconds();
-  result.stats.num_groups = static_cast<int>(grouped.groups.size());
-
-  phase_timer.Reset();
-  std::vector<GroupPlan> plans;
-  plans.reserve(grouped.groups.size());
-  for (const ViewGroup& group : grouped.groups) {
-    LMFAO_ASSIGN_OR_RETURN(std::vector<AttrId> order,
-                           ComputeAttributeOrder(workload, group, *catalog_));
-    LMFAO_ASSIGN_OR_RETURN(
-        GroupPlan plan,
-        BuildGroupPlan(workload, group, *catalog_, order, options_.plan));
-    plans.push_back(std::move(plan));
-  }
-  AssignViewForms(workload, grouped, options_.plan, &plans);
-  result.stats.plan_seconds = phase_timer.ElapsedSeconds();
-
-  // Execution: the runtime owns view storage, lifetime, and scheduling.
-  phase_timer.Reset();
-  ExecutionContext context(
-      workload, grouped, plans, options_.scheduler,
-      [this](RelationId node, const std::vector<AttrId>& order) {
-        return SortedRelation(node, order);
-      });
-  LMFAO_RETURN_NOT_OK(context.Run(&result.stats));
-  result.stats.execute_seconds = phase_timer.ElapsedSeconds();
-
-  // Extract query results.
-  result.results.resize(static_cast<size_t>(batch.size()));
-  for (QueryId q = 0; q < batch.size(); ++q) {
-    const ViewId out = workload.query_outputs[static_cast<size_t>(q)];
-    QueryResult& qr = result.results[static_cast<size_t>(q)];
-    qr.query_id = q;
-    qr.group_by = workload.view(out).key;
-    LMFAO_ASSIGN_OR_RETURN(qr.data, context.TakeQueryResult(out));
-  }
-  result.stats.total_seconds = total_timer.ElapsedSeconds();
-  return result;
 }
 
 }  // namespace lmfao

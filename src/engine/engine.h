@@ -1,18 +1,47 @@
 /// \file engine.h
-/// \brief The LMFAO engine: end-to-end evaluation of aggregate batches.
+/// \brief The LMFAO engine: prepare-once / execute-many evaluation of
+/// aggregate batches.
 ///
 /// Ties the layers together (Fig. 1): View Generation lowers the batch into
 /// a workload of merged directional views; Multi-Output Optimization groups
 /// the views and compiles one register program per group; execution runs the
 /// groups over the join tree, sequentially or in parallel, and extracts one
 /// result map per query.
+///
+/// The public surface is a prepared-statement-style split:
+///
+///   - `Engine::Prepare(batch)` runs all three optimization layers once and
+///     returns a `PreparedBatch` handle owning the immutable compiled
+///     artifact (workload, groups, attribute orders, group plans with leaf
+///     factor tables and flattened register programs) plus a frozen
+///     snapshot of the engine options.
+///   - `PreparedBatch::Execute(params)` runs ONLY the execution layer. It
+///     is repeatable and safe to call concurrently from multiple threads:
+///     the compiled state is never mutated, and each Execute builds its own
+///     ExecutionContext. Parameterized functions (Function::IndicatorParam)
+///     resolve their threshold slots against `params` at group bind time.
+///   - `Engine::Evaluate(batch, params)` remains as the one-shot
+///     convenience wrapper, literally Prepare + Execute.
+///
+/// Prepare is backed by a *structural plan cache*: batches with equal
+/// structure (group-bys, root hints, aggregate signatures — parameterized
+/// functions hash their slot, not any bound constant) and equal
+/// compile-relevant options share one compiled artifact, so workloads that
+/// re-issue the same batch shape with different constants (CART node
+/// batches, k-means iterations) compile once and execute many times.
+/// `InvalidateCaches()` bumps a generation counter: existing PreparedBatch
+/// handles turn stale and fail Execute with FailedPrecondition instead of
+/// silently reusing sort/plan caches of mutated relations.
 
 #ifndef LMFAO_ENGINE_ENGINE_H_
 #define LMFAO_ENGINE_ENGINE_H_
 
+#include <atomic>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/grouping.h"
@@ -23,10 +52,13 @@
 #include "jointree/join_tree.h"
 #include "query/query.h"
 #include "storage/catalog.h"
+#include "util/logging.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace lmfao {
+
+class Engine;
 
 /// \brief All engine options, including the ablation toggles benchmarked by
 /// bench_ablation.
@@ -39,6 +71,12 @@ struct EngineOptions {
   /// the hybrid scheduler, whose task-only / domain-only degenerations are
   /// toggles on SchedulerOptions.
   SchedulerOptions scheduler;
+  /// Maximum distinct batch shapes held by the structural plan cache
+  /// (least-recently-used shapes are evicted beyond this; outstanding
+  /// PreparedBatch handles keep their artifact alive regardless). 0
+  /// disables caching — every Prepare compiles fresh. Execution-only: not
+  /// part of the cache key.
+  size_t plan_cache_capacity = 64;
 };
 
 /// \brief Per-group execution statistics.
@@ -63,6 +101,12 @@ struct GroupStats {
 };
 
 /// \brief Statistics of one batch evaluation.
+///
+/// Timing is split along the Prepare/Execute boundary: `compile_seconds`
+/// is the optimization-layer time THIS call actually paid (0 when the
+/// artifact came from a PreparedBatch or the plan cache), while
+/// viewgen/grouping/plan_seconds record the phase breakdown of the
+/// artifact's original compilation, whenever it happened.
 struct ExecutionStats {
   int num_queries = 0;
   int num_views = 0;        ///< Inner (directional) views after merging.
@@ -71,6 +115,12 @@ struct ExecutionStats {
   double viewgen_seconds = 0.0;
   double grouping_seconds = 0.0;
   double plan_seconds = 0.0;
+  /// Compile time paid by this call (viewgen + grouping + planning, plus
+  /// cache bookkeeping). ~0 on a plan-cache hit or a prepared Execute.
+  double compile_seconds = 0.0;
+  /// True when this call reused a previously compiled artifact (plan-cache
+  /// hit, or any Execute of an existing PreparedBatch).
+  bool plan_cache_hit = false;
   double execute_seconds = 0.0;
   double total_seconds = 0.0;
   /// Peak number of simultaneously materialized views; eager eviction
@@ -102,12 +152,111 @@ struct CompiledBatch {
   std::vector<GroupPlan> plans;                  ///< Per group.
 };
 
+/// \brief The immutable product of compiling one batch shape: everything
+/// the execution layer needs, plus the structural signature and the cost
+/// of the original compile. Shared (by shared_ptr) between the engine's
+/// plan cache and every PreparedBatch handle, and never mutated after
+/// construction — which is what makes concurrent Executes safe.
+struct CompiledArtifact {
+  CompiledBatch compiled;
+  /// Sorted distinct parameter slots the batch references; Execute
+  /// validates all of them are bound before running.
+  std::vector<ParamId> required_params;
+  /// Structural batch signature + compile-relevant options fingerprint
+  /// (the plan-cache key).
+  uint64_t signature = 0;
+  int num_queries = 0;
+  int num_views = 0;
+  int num_aggregates = 0;
+  /// Phase breakdown of the original compilation.
+  double viewgen_seconds = 0.0;
+  double grouping_seconds = 0.0;
+  double plan_seconds = 0.0;
+};
+
+/// \brief A compiled batch ready for repeated execution.
+///
+/// Obtained from `Engine::Prepare`. The handle borrows the Engine (which
+/// must outlive it) and shares the immutable compiled artifact; copying a
+/// PreparedBatch is cheap and copies share the artifact.
+///
+/// Thread safety: `Execute` may be called concurrently from any number of
+/// threads — each call builds a private ExecutionContext over the shared
+/// immutable artifact, and the engine's sorted-relation cache is
+/// internally synchronized. `Engine::InvalidateCaches` must not run while
+/// Executes are in flight; it marks this handle stale so *subsequent*
+/// Executes fail cleanly.
+class PreparedBatch {
+ public:
+  PreparedBatch() = default;
+
+  /// Runs the execution layer over the compiled artifact. `params` binds
+  /// the batch's parameterized functions (all `required_params` slots must
+  /// be bound); a batch with no parameterized functions executes with the
+  /// default empty pack. Fails with FailedPrecondition when the handle is
+  /// stale (InvalidateCaches was called after Prepare).
+  StatusOr<BatchResult> Execute(const ParamPack& params = {}) const;
+
+  bool valid() const { return artifact_ != nullptr; }
+  /// The artifact accessors below require valid() (checked): an empty or
+  /// moved-from handle has no artifact.
+  const CompiledBatch& compiled() const {
+    LMFAO_CHECK(valid());
+    return artifact_->compiled;
+  }
+  const std::vector<ParamId>& required_params() const {
+    LMFAO_CHECK(valid());
+    return artifact_->required_params;
+  }
+  /// The engine options frozen at Prepare time; Execute always uses this
+  /// snapshot (later Engine::mutable_options() mutations affect only
+  /// future Prepares).
+  const EngineOptions& options() const { return options_; }
+  uint64_t signature() const {
+    LMFAO_CHECK(valid());
+    return artifact_->signature;
+  }
+  /// True when Prepare served this handle from the plan cache.
+  bool from_cache() const { return from_cache_; }
+  /// Compile time paid by the Prepare call that produced this handle
+  /// (~0 when from_cache()).
+  double compile_seconds() const { return compile_seconds_; }
+
+ private:
+  friend class Engine;
+
+  Engine* engine_ = nullptr;
+  std::shared_ptr<const CompiledArtifact> artifact_;
+  EngineOptions options_;
+  uint64_t generation_ = 0;
+  bool from_cache_ = false;
+  double compile_seconds_ = 0.0;
+};
+
 /// \brief The optimization and execution engine.
 ///
-/// The engine borrows the catalog and join tree; both must outlive it.
-/// Sorted copies of node relations are cached across Evaluate calls (keyed
-/// by relation and sort order); call InvalidateCaches() after mutating
-/// relations.
+/// The engine borrows the catalog and join tree; both must outlive it (as
+/// must every PreparedBatch handle it hands out — handles borrow the
+/// engine).
+///
+/// Caching: sorted copies of node relations are cached across executions
+/// (keyed by relation and sort order), and compiled artifacts are cached
+/// by batch structure (see Prepare) — bounded to
+/// `EngineOptions::plan_cache_capacity` shapes with LRU eviction, every
+/// hit verified against the exact structural key (a signature-hash
+/// collision recompiles instead of serving the wrong plans). After
+/// mutating relations, call `InvalidateCaches()` — it drops both caches
+/// and bumps the generation counter, so outstanding PreparedBatch handles
+/// fail their next Execute instead of reading stale sorted data.
+///
+/// `mutable_options()` semantics: options are snapshotted into the
+/// PreparedBatch at Prepare time. Mutations affect only future Prepares
+/// (and Evaluates, which Prepare internally); already-prepared handles
+/// keep executing under their snapshot. Compile-relevant options
+/// (view_generation, grouping, plan) are part of the plan-cache key, so
+/// toggling them never serves a mismatched cached artifact; scheduler
+/// options do not key the cache (they are execution-only) but are frozen
+/// per handle.
 class Engine {
  public:
   Engine(const Catalog* catalog, const JoinTree* tree,
@@ -116,20 +265,52 @@ class Engine {
   /// Compiles the batch through all optimization layers without executing.
   StatusOr<CompiledBatch> Compile(const QueryBatch& batch) const;
 
-  /// Evaluates the batch end to end.
-  StatusOr<BatchResult> Evaluate(const QueryBatch& batch);
+  /// Compiles the batch (or fetches the structurally equal compiled
+  /// artifact from the plan cache) and returns the execute-many handle.
+  StatusOr<PreparedBatch> Prepare(const QueryBatch& batch);
 
-  /// Drops cached sorted relations.
+  /// One-shot convenience: Prepare + Execute. `params` binds parameterized
+  /// functions, as in PreparedBatch::Execute.
+  StatusOr<BatchResult> Evaluate(const QueryBatch& batch,
+                                 const ParamPack& params = {});
+
+  /// Drops cached sorted relations and compiled artifacts, and bumps the
+  /// generation counter: every PreparedBatch handed out so far becomes
+  /// stale. Call after mutating relations. Must not run concurrently with
+  /// in-flight Executes.
   void InvalidateCaches();
 
+  /// Monotonic cache generation; PreparedBatch handles are valid only for
+  /// the generation they were prepared under.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// \brief Plan-cache observability (for benches and tests).
+  struct PlanCacheStats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t entries = 0;
+  };
+  PlanCacheStats plan_cache_stats() const;
+
   const EngineOptions& options() const { return options_; }
+  /// See the class comment for the post-Prepare mutation contract.
   EngineOptions& mutable_options() { return options_; }
 
  private:
+  friend class PreparedBatch;
+
   /// Returns the node relation sorted by the subsequence of `order` present
   /// in it (cached). Returns the original relation when no sort is needed.
   StatusOr<const Relation*> SortedRelation(RelationId node,
                                            const std::vector<AttrId>& order);
+
+  /// Compiles a fresh artifact (all three layers) for `batch` — the one
+  /// compile pipeline behind both Compile and Prepare. The caller sets
+  /// the signature before freezing the artifact const.
+  StatusOr<std::shared_ptr<CompiledArtifact>> CompileArtifact(
+      const QueryBatch& batch) const;
 
   const Catalog* catalog_;
   const JoinTree* tree_;
@@ -138,6 +319,28 @@ class Engine {
            std::unique_ptr<Relation>>
       sorted_cache_;
   std::mutex cache_mu_;
+
+  /// Structural plan cache: signature -> (exact structural key, artifact,
+  /// LRU position). The signature is a 64-bit hash of the structural key;
+  /// every hit verifies the full key, so a hash collision degrades to a
+  /// fresh compile instead of silently serving another shape's plans.
+  /// Bounded to EngineOptions::plan_cache_capacity shapes, LRU-evicted.
+  struct PlanCacheEntry {
+    std::vector<uint64_t> structural_key;
+    std::shared_ptr<const CompiledArtifact> artifact;
+    std::list<uint64_t>::iterator lru_pos;
+  };
+  std::unordered_map<uint64_t, PlanCacheEntry> plan_cache_;
+  /// Signatures in recency order: least-recently-used at the front.
+  std::list<uint64_t> plan_lru_;
+  size_t plan_cache_hits_ = 0;
+  size_t plan_cache_misses_ = 0;
+  mutable std::mutex plan_mu_;
+
+  /// Bumped (and the plan cache cleared) atomically under plan_mu_, so a
+  /// racing Prepare can never pair the new generation with a stale cache
+  /// entry.
+  std::atomic<uint64_t> generation_{0};
 };
 
 }  // namespace lmfao

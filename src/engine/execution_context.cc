@@ -52,12 +52,14 @@ ExecutionContext::ExecutionContext(const Workload& workload,
                                    const GroupedWorkload& grouped,
                                    const std::vector<GroupPlan>& plans,
                                    const SchedulerOptions& options,
-                                   SortedRelationProvider sorted_relation)
+                                   SortedRelationProvider sorted_relation,
+                                   const ParamPack* params)
     : workload_(workload),
       grouped_(grouped),
       plans_(plans),
       options_(options),
-      sorted_relation_(std::move(sorted_relation)) {
+      sorted_relation_(std::move(sorted_relation)),
+      params_(params) {
   LMFAO_CHECK_EQ(grouped_.groups.size(), plans_.size());
 }
 
@@ -162,7 +164,7 @@ Status ExecutionContext::RunGroup(int gid, const GroupStart& start,
   std::vector<ViewMap*> out_ptrs;
   if (shards <= 1) {
     make_output_maps(1, &out_maps, &out_ptrs);
-    GroupExecutor executor(plan, *rel, consumed_ptrs);
+    GroupExecutor executor(plan, *rel, consumed_ptrs, params_);
     LMFAO_RETURN_NOT_OK(executor.Execute(out_ptrs));
   } else {
     // Domain parallelism: each shard fills private maps. The merge targets
@@ -179,7 +181,7 @@ Status ExecutionContext::RunGroup(int gid, const GroupStart& start,
           pool_.get(), static_cast<size_t>(shards), [&](size_t s) {
             make_output_maps(static_cast<size_t>(shards), &shard_maps[s],
                              &shard_ptrs[s]);
-            GroupExecutor executor(plan, *rel, consumed_ptrs);
+            GroupExecutor executor(plan, *rel, consumed_ptrs, params_);
             shard_status[s] = executor.ExecuteShard(
                 shard_ptrs[s], static_cast<int>(s), shards);
           });

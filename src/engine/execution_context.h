@@ -45,11 +45,16 @@ class ExecutionContext {
   using SortedRelationProvider = std::function<StatusOr<const Relation*>(
       RelationId, const std::vector<AttrId>&)>;
 
-  /// Borrows all compile artifacts; they must outlive the context.
+  /// Borrows all compile artifacts (and the param bindings, when given);
+  /// they must outlive the context. `params` resolves parameterized
+  /// functions at each group's bind time — the compiled plans themselves
+  /// are never mutated, which is what makes one compiled batch safe to
+  /// execute from many contexts concurrently.
   ExecutionContext(const Workload& workload, const GroupedWorkload& grouped,
                    const std::vector<GroupPlan>& plans,
                    const SchedulerOptions& options,
-                   SortedRelationProvider sorted_relation);
+                   SortedRelationProvider sorted_relation,
+                   const ParamPack* params = nullptr);
 
   ExecutionContext(const ExecutionContext&) = delete;
   ExecutionContext& operator=(const ExecutionContext&) = delete;
@@ -72,6 +77,7 @@ class ExecutionContext {
   const std::vector<GroupPlan>& plans_;
   SchedulerOptions options_;
   SortedRelationProvider sorted_relation_;
+  const ParamPack* params_ = nullptr;
   ViewStore store_;
   std::unique_ptr<ThreadPool> pool_;
   /// Threads occupied by group runners *and* their domain-shard helpers —

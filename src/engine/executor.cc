@@ -150,7 +150,8 @@ ConsumedView BuildConsumedView(const SortView& produced,
 
 GroupExecutor::GroupExecutor(const GroupPlan& plan,
                              const Relation& sorted_relation,
-                             std::vector<const ConsumedView*> views)
+                             std::vector<const ConsumedView*> views,
+                             const ParamPack* params)
     : plan_(plan), relation_(sorted_relation), views_(std::move(views)) {
   const int levels = plan_.num_levels();
   level_rel_column_.assign(static_cast<size_t>(levels) + 1, nullptr);
@@ -217,8 +218,8 @@ GroupExecutor::GroupExecutor(const GroupPlan& plan,
     const Column& c = relation_.column(col);
     leaf_kernels_.push_back(
         c.type() == AttrType::kInt
-            ? MakeLeafKernel(c.ints().data(), nullptr, fn)
-            : MakeLeafKernel(nullptr, c.doubles().data(), fn));
+            ? MakeLeafKernel(c.ints().data(), nullptr, fn, params)
+            : MakeLeafKernel(nullptr, c.doubles().data(), fn, params));
   }
   leaf_scratch_.resize(leaf_kernels_.size());
 
@@ -226,7 +227,7 @@ GroupExecutor::GroupExecutor(const GroupPlan& plan,
   // over these contiguous op arrays instead of chasing the plan's nested
   // register/part vectors (a PlanPart drags a shared_ptr-carrying Function
   // through cache; an ExecPart is a quarter the size and sequential).
-  auto lower_part = [this](const PlanPart& p) {
+  auto lower_part = [this, params](const PlanPart& p) {
     ExecPart e{};
     e.kind = static_cast<uint8_t>(p.kind);
     e.view_index = static_cast<int16_t>(p.view_index);
@@ -235,7 +236,7 @@ GroupExecutor::GroupExecutor(const GroupPlan& plan,
     e.range_sum_id = p.range_sum_id;
     if (p.kind == PlanPart::Kind::kFactor) {
       e.fn_kind = static_cast<uint8_t>(p.factor.fn.kind());
-      e.threshold = p.factor.fn.threshold();
+      e.threshold = p.factor.fn.ResolvedThreshold(params);
       e.dict = p.factor.fn.dict().get();
     }
     exec_parts_.push_back(e);

@@ -115,8 +115,15 @@ ConsumedView BuildConsumedView(const SortView& produced,
 /// width).
 class GroupExecutor {
  public:
+  /// `params` supplies the bound values of parameterized functions; they
+  /// are resolved ONCE here, at lowering time (leaf kernels, flattened
+  /// exec parts), so the interpreter's inner loops are identical for
+  /// literal and parameterized batches. May be null when the plan uses no
+  /// parameterized functions; all referenced slots must be bound
+  /// (validated by PreparedBatch::Execute before any executor is built).
   GroupExecutor(const GroupPlan& plan, const Relation& sorted_relation,
-                std::vector<const ConsumedView*> views);
+                std::vector<const ConsumedView*> views,
+                const ParamPack* params = nullptr);
 
   /// Runs the whole group.
   Status Execute(const std::vector<ViewMap*>& outputs);

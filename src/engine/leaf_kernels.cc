@@ -77,12 +77,12 @@ LeafKernel::FillFn SelectFill(FunctionKind kind) {
 }  // namespace
 
 LeafKernel MakeLeafKernel(const int64_t* icol, const double* dcol,
-                          const Function& fn) {
+                          const Function& fn, const ParamPack* params) {
   LMFAO_CHECK((icol != nullptr) != (dcol != nullptr));
   LeafKernel k;
   k.icol = icol;
   k.dcol = dcol;
-  k.threshold = fn.threshold();
+  k.threshold = fn.ResolvedThreshold(params);
   k.dict = fn.dict().get();
   if (fn.kind() == FunctionKind::kDictionary) {
     LMFAO_CHECK(k.dict != nullptr);

@@ -45,9 +45,13 @@ struct LeafKernel {
 /// Exactly one of `icol` / `dcol` must be non-null; `fn` selects the
 /// specialized fill loop (identity / square / indicator comparisons /
 /// dictionary) for that column type. Evaluation semantics match
-/// `Function::Eval` on the promoted double value bit-for-bit.
+/// `Function::Eval` on the promoted double value bit-for-bit. A
+/// parameterized indicator resolves its threshold slot against `params`
+/// here — once per bind — so the fill loop is identical to the literal
+/// case.
 LeafKernel MakeLeafKernel(const int64_t* icol, const double* dcol,
-                          const Function& fn);
+                          const Function& fn,
+                          const ParamPack* params = nullptr);
 
 }  // namespace lmfao
 

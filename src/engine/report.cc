@@ -57,8 +57,9 @@ std::string ReportExecution(const ExecutionStats& stats,
       stats.num_queries, stats.num_views, stats.num_aggregates,
       stats.num_groups);
   out << StringPrintf(
-      "  view generation %.2f ms, grouping %.2f ms, planning %.2f ms, "
-      "execution %.2f ms, total %.2f ms\n",
+      "  compile %.2f ms%s (view generation %.2f + grouping %.2f + "
+      "planning %.2f), execute %.2f ms, total %.2f ms\n",
+      stats.compile_seconds * 1e3, stats.plan_cache_hit ? " [cached]" : "",
       stats.viewgen_seconds * 1e3, stats.grouping_seconds * 1e3,
       stats.plan_seconds * 1e3, stats.execute_seconds * 1e3,
       stats.total_seconds * 1e3);

@@ -23,14 +23,19 @@ double DecisionTree::Predict(const Relation& rel, size_t row) const {
 }
 
 StatusOr<std::vector<QueryResult>> LmfaoCartProvider::EvaluateBatch(
-    const QueryBatch& batch) {
-  LMFAO_ASSIGN_OR_RETURN(BatchResult result, engine_->Evaluate(batch));
+    const QueryBatch& batch, const ParamPack& params) {
+  // Prepare routes through the engine's structural plan cache: all node
+  // batches sharing this shape (same path attr/op sequence) reuse one
+  // compiled artifact and only pay execution here.
+  LMFAO_ASSIGN_OR_RETURN(PreparedBatch prepared, engine_->Prepare(batch));
+  LMFAO_ASSIGN_OR_RETURN(BatchResult result, prepared.Execute(params));
   return std::move(result.results);
 }
 
 StatusOr<std::vector<QueryResult>> ScanCartProvider::EvaluateBatch(
-    const QueryBatch& batch) {
-  return EvaluateBatchSharedScan(*joined_, batch);
+    const QueryBatch& batch, const ParamPack& params) {
+  LMFAO_ASSIGN_OR_RETURN(QueryBatch bound, batch.Bind(params));
+  return EvaluateBatchSharedScan(*joined_, bound);
 }
 
 CartTrainer::CartTrainer(const FeatureSet& features, const Catalog* catalog,
@@ -73,11 +78,21 @@ CartTrainer::CartTrainer(const FeatureSet& features, const Catalog* catalog,
   }
 }
 
-QueryBatch CartTrainer::BuildNodeBatch(
+CartNodeBatch CartTrainer::BuildNodeBatch(
     const std::vector<CartCondition>& path) const {
-  QueryBatch batch;
+  CartNodeBatch out;
+  // Slot allocation is positional and deterministic: path conditions
+  // first, then candidates in enumeration order. Two nodes whose paths
+  // agree on (attr, op) sequences therefore build byte-identical query
+  // structures — the engine's plan cache key — with only these bindings
+  // differing.
+  ParamId next_param = 0;
   std::vector<Factor> path_factors;
-  for (const CartCondition& c : path) path_factors.push_back(c.ToFactor());
+  for (const CartCondition& c : path) {
+    path_factors.push_back(c.ToParamFactor(next_param));
+    out.params.Set(next_param, c.threshold);
+    ++next_param;
+  }
 
   auto make_query = [&](const std::string& name,
                         const std::vector<Factor>& extra) {
@@ -95,27 +110,33 @@ QueryBatch CartTrainer::BuildNodeBatch(
     q.aggregates.push_back(Aggregate(with_y2));
     return q;
   };
+  auto candidate_factor = [&](AttrId attr, FunctionKind op, double value) {
+    Factor f{attr, Function::IndicatorParam(op, next_param)};
+    out.params.Set(next_param, value);
+    ++next_param;
+    return f;
+  };
 
   // Node totals (needed for the complement side of every split).
-  batch.Add(make_query("node_total", {}));
+  out.batch.Add(make_query("node_total", {}));
   for (size_t f = 0; f < features_.continuous.size(); ++f) {
     for (double t : cont_thresholds_[f]) {
-      batch.Add(make_query(
+      out.batch.Add(make_query(
           "cont_" + std::to_string(f) + "_" + std::to_string(t),
-          {Factor{features_.continuous[f],
-                  Function::Indicator(FunctionKind::kIndicatorLe, t)}}));
+          {candidate_factor(features_.continuous[f],
+                            FunctionKind::kIndicatorLe, t)}));
     }
   }
   for (size_t f = 0; f < features_.categorical.size(); ++f) {
     for (int64_t v : cat_values_[f]) {
-      batch.Add(make_query(
+      out.batch.Add(make_query(
           "cat_" + std::to_string(f) + "_" + std::to_string(v),
-          {Factor{features_.categorical[f],
-                  Function::Indicator(FunctionKind::kIndicatorEq,
-                                      static_cast<double>(v))}}));
+          {candidate_factor(features_.categorical[f],
+                            FunctionKind::kIndicatorEq,
+                            static_cast<double>(v))}));
     }
   }
-  return batch;
+  return out;
 }
 
 int CartTrainer::NodeAggregateCount() const {
@@ -151,9 +172,10 @@ Status CartTrainer::GrowNode(CartAggregateProvider* provider,
                              int depth, CartNode* node, int* num_nodes,
                              int* max_depth) {
   *max_depth = std::max(*max_depth, depth);
-  const QueryBatch batch = BuildNodeBatch(path);
-  LMFAO_ASSIGN_OR_RETURN(std::vector<QueryResult> results,
-                         provider->EvaluateBatch(batch));
+  const CartNodeBatch node_batch = BuildNodeBatch(path);
+  LMFAO_ASSIGN_OR_RETURN(
+      std::vector<QueryResult> results,
+      provider->EvaluateBatch(node_batch.batch, node_batch.params));
 
   double total_count, total_sum, total_sum2;
   ReadMoments(results[0], &total_count, &total_sum, &total_sum2);

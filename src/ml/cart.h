@@ -32,6 +32,25 @@ struct CartCondition {
   Factor ToFactor() const {
     return Factor{attr, Function::Indicator(op, threshold)};
   }
+  /// Parameterized form: the threshold lives in slot `param` of the node
+  /// batch's ParamPack, so the condition's *structure* (attr, op, slot) is
+  /// stable across nodes whose paths differ only in threshold values.
+  Factor ToParamFactor(ParamId param) const {
+    return Factor{attr, Function::IndicatorParam(op, param)};
+  }
+};
+
+/// \brief One CART node's aggregate batch: the structural (parameterized)
+/// queries plus the bindings of every threshold slot.
+///
+/// All indicator thresholds — the root-to-node path conditions and every
+/// candidate split — are parameter slots, so two nodes whose paths share
+/// the same (attr, op) sequence produce *structurally identical* batches:
+/// the engine compiles the shape once and each node's evaluation is an
+/// execute with fresh bindings.
+struct CartNodeBatch {
+  QueryBatch batch;
+  ParamPack params;
 };
 
 /// \brief A binary regression-tree node.
@@ -71,28 +90,32 @@ struct CartOptions {
 class CartAggregateProvider {
  public:
   virtual ~CartAggregateProvider() = default;
-  /// Evaluates a batch of no-group-by queries; results parallel the batch.
+  /// Evaluates a parameterized batch of no-group-by queries under the
+  /// given bindings; results parallel the batch.
   virtual StatusOr<std::vector<QueryResult>> EvaluateBatch(
-      const QueryBatch& batch) = 0;
+      const QueryBatch& batch, const ParamPack& params) = 0;
 };
 
-/// \brief LMFAO-backed provider.
+/// \brief LMFAO-backed provider: Prepare + Execute through the engine's
+/// structural plan cache, so structurally repeated node shapes (every
+/// retrain, and all same-path-shape nodes of one tree) compile once.
 class LmfaoCartProvider : public CartAggregateProvider {
  public:
   explicit LmfaoCartProvider(Engine* engine) : engine_(engine) {}
   StatusOr<std::vector<QueryResult>> EvaluateBatch(
-      const QueryBatch& batch) override;
+      const QueryBatch& batch, const ParamPack& params) override;
 
  private:
   Engine* engine_;
 };
 
 /// \brief Scan-based provider over the materialized join (baseline).
+/// Binds the parameterized batch to its literal form before scanning.
 class ScanCartProvider : public CartAggregateProvider {
  public:
   explicit ScanCartProvider(const Relation* joined) : joined_(joined) {}
   StatusOr<std::vector<QueryResult>> EvaluateBatch(
-      const QueryBatch& batch) override;
+      const QueryBatch& batch, const ParamPack& params) override;
 
  private:
   const Relation* joined_;
@@ -108,8 +131,9 @@ class CartTrainer {
   StatusOr<DecisionTree> Train(CartAggregateProvider* provider);
 
   /// Builds the aggregate batch of one node (exposed for the batch-size
-  /// report of EXPERIMENTS.md and for tests).
-  QueryBatch BuildNodeBatch(const std::vector<CartCondition>& path) const;
+  /// report of EXPERIMENTS.md and for tests). Every indicator threshold is
+  /// a parameter slot; the returned ParamPack carries this node's values.
+  CartNodeBatch BuildNodeBatch(const std::vector<CartCondition>& path) const;
 
   /// Number of aggregates in one node's batch.
   int NodeAggregateCount() const;

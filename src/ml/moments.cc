@@ -64,8 +64,11 @@ StatusOr<MomentTensor> ComputeMomentsLmfao(Engine* engine,
                                            const Catalog& catalog) {
   LMFAO_ASSIGN_OR_RETURN(MomentBatch moments,
                          BuildMomentBatch(attrs, degree, catalog));
-  LMFAO_ASSIGN_OR_RETURN(BatchResult result,
-                         engine->Evaluate(moments.batch));
+  // Compile-once/execute-many: repeated moment computations of the same
+  // (attrs, degree) shape reuse the engine's cached artifact.
+  LMFAO_ASSIGN_OR_RETURN(PreparedBatch prepared,
+                         engine->Prepare(moments.batch));
+  LMFAO_ASSIGN_OR_RETURN(BatchResult result, prepared.Execute());
   MomentTensor tensor;
   for (size_t q = 0; q < moments.monomials.size(); ++q) {
     const double* payload = result.results[q].data.Lookup(TupleKey());

@@ -66,7 +66,9 @@ StatusOr<RkMeansResult> RunRkMeans(
   }
   Engine step1_engine(catalog, &tree, engine_options);
   Timer step1_timer;
-  LMFAO_ASSIGN_OR_RETURN(BatchResult step1, step1_engine.Evaluate(projections));
+  LMFAO_ASSIGN_OR_RETURN(PreparedBatch step1_prepared,
+                         step1_engine.Prepare(projections));
+  LMFAO_ASSIGN_OR_RETURN(BatchResult step1, step1_prepared.Execute());
 
   // --- Step 2: weighted 1-D k-means per dimension.
   struct DimensionClustering {
@@ -157,10 +159,13 @@ StatusOr<RkMeansResult> RunRkMeans(
     q.aggregates.push_back(Aggregate::Count());
     coreset_batch.Add(std::move(q));
   }
+  // A fresh engine for step 3: the catalog was mutated above (derived
+  // cluster-assignment columns), so step 1's sorted/plan caches are dead.
   Engine step3_engine(catalog, &tree3, engine_options);
   Timer coreset_timer;
-  LMFAO_ASSIGN_OR_RETURN(BatchResult step3,
-                         step3_engine.Evaluate(coreset_batch));
+  LMFAO_ASSIGN_OR_RETURN(PreparedBatch step3_prepared,
+                         step3_engine.Prepare(coreset_batch));
+  LMFAO_ASSIGN_OR_RETURN(BatchResult step3, step3_prepared.Execute());
   result.coreset_seconds = coreset_timer.ElapsedSeconds();
 
   // --- Step 4: weighted k-means over the occupied grid points.

@@ -55,6 +55,23 @@ Aggregate Aggregate::Restrict(const std::vector<AttrId>& attrs) const {
   return Aggregate(std::move(kept));
 }
 
+Aggregate Aggregate::Bind(const ParamPack& params) const {
+  std::vector<Factor> resolved;
+  resolved.reserve(factors_.size());
+  for (const Factor& f : factors_) {
+    resolved.push_back(Factor{f.attr, f.fn.Resolve(params)});
+  }
+  // Re-sort through the constructor: resolving changes factor signatures,
+  // which the canonical factor order depends on.
+  return Aggregate(std::move(resolved));
+}
+
+void Aggregate::CollectParams(std::vector<ParamId>* out) const {
+  for (const Factor& f : factors_) {
+    if (f.fn.IsParameterized()) out->push_back(f.fn.param());
+  }
+}
+
 std::vector<AttrId> Aggregate::Attributes() const {
   std::vector<AttrId> out;
   out.reserve(factors_.size());

@@ -64,6 +64,14 @@ class Aggregate {
   /// query aggregate to a subtree.
   Aggregate Restrict(const std::vector<AttrId>& attrs) const;
 
+  /// Returns a copy with every parameterized factor resolved to its bound
+  /// literal threshold (all referenced slots must be bound — checked).
+  Aggregate Bind(const ParamPack& params) const;
+
+  /// Appends the parameter slots referenced by any factor to `out`
+  /// (unsorted, may repeat).
+  void CollectParams(std::vector<ParamId>* out) const;
+
   /// Sorted set of attributes referenced by any factor.
   std::vector<AttrId> Attributes() const;
 

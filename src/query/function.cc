@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <sstream>
 
 #include "util/hash.h"
@@ -30,7 +31,25 @@ Function Function::Indicator(FunctionKind op, double threshold) {
   return Function(op, threshold, nullptr);
 }
 
+Function Function::IndicatorParam(FunctionKind op, ParamId param) {
+  LMFAO_CHECK(op == FunctionKind::kIndicatorLe || op == FunctionKind::kIndicatorLt ||
+              op == FunctionKind::kIndicatorGe || op == FunctionKind::kIndicatorGt ||
+              op == FunctionKind::kIndicatorEq || op == FunctionKind::kIndicatorNe);
+  LMFAO_CHECK_GE(param, 0);
+  // The stored threshold of an unbound slot is NaN so an accidental
+  // unresolved evaluation can never masquerade as a real indicator.
+  return Function(op, std::numeric_limits<double>::quiet_NaN(), nullptr,
+                  param);
+}
+
+Function Function::Resolve(const ParamPack& params) const {
+  if (param_ == kNoParam) return *this;
+  return Function(kind_, ResolvedThreshold(&params), dict_);
+}
+
 double Function::Eval(double x) const {
+  LMFAO_CHECK(param_ == kNoParam)
+      << "Eval on parameterized function; Resolve() it first";
   switch (kind_) {
     case FunctionKind::kIdentity:
       return x;
@@ -58,7 +77,11 @@ double Function::Eval(double x) const {
 
 bool Function::operator==(const Function& o) const {
   if (kind_ != o.kind_) return false;
+  if (param_ != o.param_) return false;
   if (kind_ == FunctionKind::kDictionary) return dict_ == o.dict_;
+  // Parameterized functions are equal by slot alone (their stored
+  // thresholds are NaN placeholders).
+  if (param_ != kNoParam) return true;
   return threshold_ == o.threshold_;
 }
 
@@ -66,6 +89,10 @@ uint64_t Function::Signature() const {
   uint64_t h = Mix64(static_cast<uint64_t>(kind_) + 0x51ed2701);
   if (kind_ == FunctionKind::kDictionary) {
     h = HashCombine(h, reinterpret_cast<uintptr_t>(dict_.get()));
+  } else if (param_ != kNoParam) {
+    // Slot identity, distinctly salted so p0 never collides with a
+    // literal threshold of 0.
+    h = HashCombine(h, Mix64(static_cast<uint64_t>(param_) + 0x9e3779b9));
   } else {
     uint64_t bits;
     std::memcpy(&bits, &threshold_, sizeof(bits));
@@ -119,13 +146,21 @@ std::string Function::ToString() const {
       return dict_->name + "[·]";
     default: {
       std::ostringstream out;
-      out << "(x" << IndicatorOp(kind_) << threshold_ << ")";
+      out << "(x" << IndicatorOp(kind_);
+      if (param_ != kNoParam) {
+        out << "?p" << param_;
+      } else {
+        out << threshold_;
+      }
+      out << ")";
       return out.str();
     }
   }
 }
 
 std::string Function::CodegenExpr(const std::string& arg) const {
+  LMFAO_CHECK(param_ == kNoParam)
+      << "codegen requires resolved functions; Resolve() the batch first";
   switch (kind_) {
     case FunctionKind::kIdentity:
       return arg;

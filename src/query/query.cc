@@ -59,6 +59,33 @@ int QueryBatch::TotalAggregates() const {
   return total;
 }
 
+std::vector<ParamId> QueryBatch::RequiredParams() const {
+  std::vector<ParamId> params;
+  for (const Query& q : queries_) {
+    for (const Aggregate& agg : q.aggregates) agg.CollectParams(&params);
+  }
+  return SortedUnique(std::move(params));
+}
+
+StatusOr<QueryBatch> QueryBatch::Bind(const ParamPack& params) const {
+  for (ParamId p : RequiredParams()) {
+    if (!params.Has(p)) {
+      return Status::InvalidArgument("unbound parameter p" +
+                                     std::to_string(p));
+    }
+  }
+  QueryBatch bound;
+  for (const Query& q : queries_) {
+    Query copy = q;
+    copy.aggregates.clear();
+    for (const Aggregate& agg : q.aggregates) {
+      copy.aggregates.push_back(agg.Bind(params));
+    }
+    bound.Add(std::move(copy));
+  }
+  return bound;
+}
+
 Status QueryBatch::Validate(const Catalog& catalog) const {
   // An attribute is coverable iff it occurs in at least one relation.
   std::vector<bool> covered(static_cast<size_t>(catalog.num_attrs()), false);

@@ -63,6 +63,16 @@ class QueryBatch {
   /// Total number of aggregates across all queries.
   int TotalAggregates() const;
 
+  /// Sorted, deduplicated parameter slots referenced by any aggregate.
+  /// `PreparedBatch::Execute` requires exactly these slots bound.
+  std::vector<ParamId> RequiredParams() const;
+
+  /// Returns a copy of the batch with every parameterized function
+  /// resolved against `params` — the literal batch a one-shot consumer
+  /// (scan baselines, codegen) evaluates. Fails if a referenced slot is
+  /// unbound.
+  StatusOr<QueryBatch> Bind(const ParamPack& params) const;
+
   /// Validates the batch against a catalog: group-by attributes exist, are
   /// int-typed, and every referenced attribute occurs in some relation.
   Status Validate(const Catalog& catalog) const;

@@ -38,7 +38,8 @@ TEST_F(CartTest, NodeBatchStructure) {
   CartOptions options;
   options.num_thresholds = 8;
   CartTrainer trainer(features_, &data_->catalog, options);
-  const QueryBatch batch = trainer.BuildNodeBatch({});
+  const CartNodeBatch node = trainer.BuildNodeBatch({});
+  const QueryBatch& batch = node.batch;
   // 1 total + 2 continuous features x 8 thresholds + |promo| + |stype|
   // candidate queries, 3 aggregates each.
   EXPECT_EQ(batch.TotalAggregates(), trainer.NodeAggregateCount());
@@ -47,20 +48,52 @@ TEST_F(CartTest, NodeBatchStructure) {
     EXPECT_TRUE(q.group_by.empty());
     ASSERT_EQ(q.aggregates.size(), 3u);
   }
+  // Every candidate threshold is a parameter slot with a binding: the
+  // batch after the node-total query references one slot per candidate.
+  const std::vector<ParamId> required = batch.RequiredParams();
+  EXPECT_EQ(required.size(), static_cast<size_t>(batch.size()) - 1);
+  for (ParamId p : required) EXPECT_TRUE(node.params.Has(p));
+}
+
+TEST_F(CartTest, NodeBatchesShareStructureAcrossThresholds) {
+  // Two nodes whose paths differ only in threshold values produce
+  // structurally identical batches — the engine compiles the shape once.
+  CartOptions options;
+  options.num_thresholds = 4;
+  CartTrainer trainer(features_, &data_->catalog, options);
+  const CartNodeBatch a = trainer.BuildNodeBatch(
+      {{data_->price, FunctionKind::kIndicatorLe, 10.0}});
+  const CartNodeBatch b = trainer.BuildNodeBatch(
+      {{data_->price, FunctionKind::kIndicatorLe, 77.0}});
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto pa = engine.Prepare(a.batch);
+  auto pb = engine.Prepare(b.batch);
+  ASSERT_TRUE(pa.ok());
+  ASSERT_TRUE(pb.ok());
+  EXPECT_EQ(pa->signature(), pb->signature());
+  EXPECT_FALSE(pa->from_cache());
+  EXPECT_TRUE(pb->from_cache());
+  // A different op sequence (the complement side) is a different shape.
+  const CartNodeBatch c = trainer.BuildNodeBatch(
+      {{data_->price, FunctionKind::kIndicatorGt, 10.0}});
+  auto pc = engine.Prepare(c.batch);
+  ASSERT_TRUE(pc.ok());
+  EXPECT_NE(pc->signature(), pa->signature());
 }
 
 TEST_F(CartTest, PathConditionsAppearInEveryAggregate) {
   CartTrainer trainer(features_, &data_->catalog, CartOptions{});
   std::vector<CartCondition> path = {
       {data_->price, FunctionKind::kIndicatorLe, 50.0}};
-  const QueryBatch batch = trainer.BuildNodeBatch(path);
-  for (const Query& q : batch.queries()) {
+  const CartNodeBatch node = trainer.BuildNodeBatch(path);
+  for (const Query& q : node.batch.queries()) {
     for (const Aggregate& agg : q.aggregates) {
       bool has_path_condition = false;
       for (const Factor& f : agg.factors()) {
         has_path_condition |=
             f.attr == data_->price && f.fn.IsIndicator() &&
-            f.fn.threshold() == 50.0;
+            f.fn.IsParameterized() &&
+            node.params.Get(f.fn.param()) == 50.0;
       }
       EXPECT_TRUE(has_path_condition);
     }
@@ -188,8 +221,8 @@ TEST(CartRetailerTest, NodeAggregateCountScale) {
   // 3 * (1 + 32 features * 32 thresholds + categorical domain sizes).
   EXPECT_GT(count, 3000);
   EXPECT_EQ(count % 3, 0);
-  const QueryBatch batch = trainer.BuildNodeBatch({});
-  EXPECT_EQ(batch.TotalAggregates(), count);
+  const CartNodeBatch node = trainer.BuildNodeBatch({});
+  EXPECT_EQ(node.batch.TotalAggregates(), count);
 }
 
 }  // namespace

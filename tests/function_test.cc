@@ -93,5 +93,55 @@ TEST(FunctionTest, CodegenExpr) {
   EXPECT_NE(ind.find("? 1.0 : 0.0"), std::string::npos);
 }
 
+TEST(FunctionTest, ParameterizedIdentityIsTheSlot) {
+  const Function p3 =
+      Function::IndicatorParam(FunctionKind::kIndicatorLe, 3);
+  EXPECT_TRUE(p3.IsParameterized());
+  EXPECT_TRUE(p3.IsIndicator());
+  EXPECT_EQ(p3.param(), 3);
+  // Equality and signature are the slot, never a bound value.
+  EXPECT_EQ(p3, Function::IndicatorParam(FunctionKind::kIndicatorLe, 3));
+  EXPECT_NE(p3, Function::IndicatorParam(FunctionKind::kIndicatorLe, 4));
+  EXPECT_NE(p3, Function::IndicatorParam(FunctionKind::kIndicatorGt, 3));
+  EXPECT_NE(p3, Function::Indicator(FunctionKind::kIndicatorLe, 3.0));
+  EXPECT_EQ(p3.Signature(),
+            Function::IndicatorParam(FunctionKind::kIndicatorLe, 3)
+                .Signature());
+  EXPECT_NE(p3.Signature(),
+            Function::Indicator(FunctionKind::kIndicatorLe, 3.0)
+                .Signature());
+  EXPECT_EQ(p3.ToString(), "(x<=?p3)");
+}
+
+TEST(FunctionTest, ResolveSubstitutesTheBoundValue) {
+  const Function p0 =
+      Function::IndicatorParam(FunctionKind::kIndicatorGe, 0);
+  ParamPack params;
+  params.Set(0, 2.5);
+  const Function resolved = p0.Resolve(params);
+  EXPECT_FALSE(resolved.IsParameterized());
+  EXPECT_EQ(resolved, Function::Indicator(FunctionKind::kIndicatorGe, 2.5));
+  EXPECT_EQ(resolved.Eval(2.5), 1.0);
+  EXPECT_EQ(resolved.Eval(2.4), 0.0);
+  EXPECT_EQ(p0.ResolvedThreshold(&params), 2.5);
+  // Literal functions resolve to themselves regardless of the pack.
+  EXPECT_EQ(Function::Square().Resolve(params), Function::Square());
+}
+
+TEST(FunctionTest, ParamPackBasics) {
+  ParamPack pack;
+  EXPECT_TRUE(pack.empty());
+  EXPECT_FALSE(pack.Has(0));
+  pack.Set(2, -1.5);
+  EXPECT_TRUE(pack.Has(2));
+  EXPECT_FALSE(pack.Has(0));
+  EXPECT_FALSE(pack.Has(1));
+  EXPECT_EQ(pack.Get(2), -1.5);
+  EXPECT_EQ(pack.size(), 1u);
+  pack.Set(2, 7.0);  // Rebind overwrites.
+  EXPECT_EQ(pack.Get(2), 7.0);
+  EXPECT_EQ(pack.size(), 1u);
+}
+
 }  // namespace
 }  // namespace lmfao

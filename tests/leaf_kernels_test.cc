@@ -162,5 +162,31 @@ TEST(LeafKernelTest, EmptyRangeWritesNothing) {
   EXPECT_EQ(sentinel, 42.0);
 }
 
+TEST(LeafKernelTest, ParameterizedThresholdResolvesAtBindTime) {
+  // A parameterized indicator bound through MakeLeafKernel must produce
+  // exactly the same column as its literal counterpart — slot resolution
+  // happens once at kernel construction, never per row.
+  const std::vector<double> col = {-2.0, 0.5, 1.0, 1.5, 3.0};
+  const Function parameterized =
+      Function::IndicatorParam(FunctionKind::kIndicatorLe, 5);
+  ParamPack params;
+  params.Set(5, 1.0);
+  const LeafKernel bound =
+      MakeLeafKernel(nullptr, col.data(), parameterized, &params);
+  const LeafKernel literal = MakeLeafKernel(
+      nullptr, col.data(),
+      Function::Indicator(FunctionKind::kIndicatorLe, 1.0));
+  std::vector<double> got(col.size());
+  std::vector<double> want(col.size());
+  bound.fill(bound, 0, col.size(), got.data());
+  literal.fill(literal, 0, col.size(), want.data());
+  EXPECT_EQ(got, want);
+  // And both agree with the resolved scalar reference.
+  const Function resolved = parameterized.Resolve(params);
+  for (size_t i = 0; i < col.size(); ++i) {
+    EXPECT_EQ(got[i], resolved.Eval(col[i]));
+  }
+}
+
 }  // namespace
 }  // namespace lmfao

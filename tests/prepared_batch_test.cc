@@ -1,0 +1,301 @@
+/// \file prepared_batch_test.cc
+/// \brief The Prepare/Execute engine surface: differential parity with
+/// one-shot Evaluate (including re-Execute and param re-binding), the
+/// structural plan cache, stale-handle semantics after InvalidateCaches,
+/// options-snapshot semantics, and concurrent Executes of one handle
+/// (exercised under TSan by the tsan ctest preset).
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/naive_engine.h"
+#include "data/favorita.h"
+#include "engine/engine.h"
+
+namespace lmfao {
+namespace {
+
+class PreparedBatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto data = MakeFavorita(FavoritaOptions{.num_sales = 2000});
+    ASSERT_TRUE(data.ok());
+    data_ = std::move(data).value();
+  }
+
+  /// A batch whose indicator thresholds are parameter slots p0 (promo
+  /// equality) and p1 (price upper bound).
+  QueryBatch MakeParameterizedBatch() const {
+    QueryBatch batch;
+    {
+      Query q;
+      q.name = "promo_units_by_family";
+      q.group_by = {data_->family};
+      q.aggregates.push_back(Aggregate(
+          {Factor{data_->promo,
+                  Function::IndicatorParam(FunctionKind::kIndicatorEq, 0)},
+           Factor{data_->units, Function::Identity()}}));
+      batch.Add(std::move(q));
+    }
+    {
+      Query q;
+      q.name = "cheap_sales_by_store";
+      q.group_by = {data_->store};
+      q.aggregates.push_back(Aggregate(
+          {Factor{data_->price,
+                  Function::IndicatorParam(FunctionKind::kIndicatorLe, 1)}}));
+      q.aggregates.push_back(Aggregate::Count());
+      batch.Add(std::move(q));
+    }
+    return batch;
+  }
+
+  std::unique_ptr<FavoritaData> data_;
+};
+
+TEST_F(PreparedBatchTest, ExecuteMatchesEvaluateBitForBit) {
+  const QueryBatch batch = MakeExampleBatch(*data_);
+  Engine eval_engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto evaluated = eval_engine.Evaluate(batch);
+  ASSERT_TRUE(evaluated.ok());
+
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto prepared = engine.Prepare(batch);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_TRUE(prepared->valid());
+  EXPECT_TRUE(prepared->required_params().empty());
+
+  // Execute twice: both bit-identical to the one-shot result.
+  for (int run = 0; run < 2; ++run) {
+    auto executed = prepared->Execute();
+    ASSERT_TRUE(executed.ok());
+    ASSERT_EQ(executed->results.size(), evaluated->results.size());
+    for (size_t q = 0; q < evaluated->results.size(); ++q) {
+      EXPECT_TRUE(ResultsEquivalent(executed->results[q],
+                                    evaluated->results[q], 0.0));
+    }
+    // A prepared Execute pays no compile.
+    EXPECT_EQ(executed->stats.compile_seconds, 0.0);
+    EXPECT_TRUE(executed->stats.plan_cache_hit);
+    EXPECT_GT(executed->stats.num_groups, 0);
+  }
+}
+
+TEST_F(PreparedBatchTest, ParamRebindMatchesBoundEvaluate) {
+  const QueryBatch batch = MakeParameterizedBatch();
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto prepared = engine.Prepare(batch);
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_EQ(prepared->required_params(), (std::vector<ParamId>{0, 1}));
+
+  // Re-bind the same compiled artifact with different constants; each run
+  // must match a one-shot Evaluate of the literal (bound) batch.
+  const double promo_values[] = {1.0, 0.0};
+  const double price_bounds[] = {20.0, 55.5};
+  for (int i = 0; i < 2; ++i) {
+    ParamPack params;
+    params.Set(0, promo_values[i]);
+    params.Set(1, price_bounds[i]);
+    auto executed = prepared->Execute(params);
+    ASSERT_TRUE(executed.ok());
+
+    auto bound = batch.Bind(params);
+    ASSERT_TRUE(bound.ok());
+    Engine fresh(&data_->catalog, &data_->tree, EngineOptions{});
+    auto evaluated = fresh.Evaluate(*bound);
+    ASSERT_TRUE(evaluated.ok());
+    for (size_t q = 0; q < evaluated->results.size(); ++q) {
+      EXPECT_TRUE(ResultsEquivalent(executed->results[q],
+                                    evaluated->results[q], 0.0))
+          << "binding " << i << " query " << q;
+    }
+  }
+}
+
+TEST_F(PreparedBatchTest, UnboundParamFailsCleanly) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto prepared = engine.Prepare(MakeParameterizedBatch());
+  ASSERT_TRUE(prepared.ok());
+  ParamPack partial;
+  partial.Set(0, 1.0);  // p1 missing.
+  auto executed = prepared->Execute(partial);
+  EXPECT_FALSE(executed.ok());
+  EXPECT_EQ(executed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PreparedBatchTest, StaleHandleAfterInvalidateCaches) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  const QueryBatch batch = MakeExampleBatch(*data_);
+  auto prepared = engine.Prepare(batch);
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_TRUE(prepared->Execute().ok());
+
+  engine.InvalidateCaches();
+  auto stale = prepared->Execute();
+  EXPECT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kFailedPrecondition);
+
+  // Re-Prepare against the current generation works and recompiles.
+  auto again = engine.Prepare(batch);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->from_cache());
+  EXPECT_TRUE(again->Execute().ok());
+}
+
+TEST_F(PreparedBatchTest, PlanCacheSharesStructurallyEqualShapes) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  const QueryBatch batch = MakeParameterizedBatch();
+  auto first = engine.Prepare(batch);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->from_cache());
+
+  // The identical shape (rebuilt from scratch) hits the cache.
+  auto second = engine.Prepare(MakeParameterizedBatch());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->from_cache());
+  EXPECT_EQ(second->signature(), first->signature());
+
+  const Engine::PlanCacheStats stats = engine.plan_cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  // A literal batch with baked thresholds is a different structure.
+  ParamPack params;
+  params.Set(0, 1.0);
+  params.Set(1, 20.0);
+  auto bound = batch.Bind(params);
+  ASSERT_TRUE(bound.ok());
+  auto literal = engine.Prepare(*bound);
+  ASSERT_TRUE(literal.ok());
+  EXPECT_FALSE(literal->from_cache());
+  EXPECT_NE(literal->signature(), first->signature());
+}
+
+TEST_F(PreparedBatchTest, PlanCacheCapacityEvictsLeastRecentlyUsed) {
+  EngineOptions options;
+  options.plan_cache_capacity = 1;
+  Engine engine(&data_->catalog, &data_->tree, options);
+  const QueryBatch example = MakeExampleBatch(*data_);
+  const QueryBatch parameterized = MakeParameterizedBatch();
+
+  ASSERT_TRUE(engine.Prepare(example).ok());            // miss, cached
+  EXPECT_TRUE(engine.Prepare(example)->from_cache());   // hit
+  ASSERT_TRUE(engine.Prepare(parameterized).ok());      // miss, evicts
+  EXPECT_EQ(engine.plan_cache_stats().entries, 1u);
+  EXPECT_FALSE(engine.Prepare(example)->from_cache());  // evicted: miss
+
+  // Capacity 0 disables caching entirely; handles still execute.
+  EngineOptions uncached_options;
+  uncached_options.plan_cache_capacity = 0;
+  Engine uncached(&data_->catalog, &data_->tree, uncached_options);
+  auto first = uncached.Prepare(example);
+  auto second = uncached.Prepare(example);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_FALSE(second->from_cache());
+  EXPECT_EQ(uncached.plan_cache_stats().entries, 0u);
+  EXPECT_TRUE(second->Execute().ok());
+}
+
+TEST_F(PreparedBatchTest, CompileRelevantOptionsKeyTheCache) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  const QueryBatch batch = MakeExampleBatch(*data_);
+  auto first = engine.Prepare(batch);
+  ASSERT_TRUE(first.ok());
+
+  engine.mutable_options().plan.factorize = false;
+  auto unfactorized = engine.Prepare(batch);
+  ASSERT_TRUE(unfactorized.ok());
+  EXPECT_FALSE(unfactorized->from_cache());
+  EXPECT_NE(unfactorized->signature(), first->signature());
+
+  // Scheduler options are execution-only: they do not key the cache but
+  // are frozen into the handle at Prepare time.
+  engine.mutable_options().plan.factorize = true;
+  engine.mutable_options().scheduler.num_threads = 1;
+  auto snap = engine.Prepare(batch);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_TRUE(snap->from_cache());
+  engine.mutable_options().scheduler.num_threads = 4;
+  EXPECT_EQ(snap->options().scheduler.num_threads, 1);
+  auto after = engine.Prepare(batch);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->from_cache());
+  EXPECT_EQ(after->options().scheduler.num_threads, 4);
+}
+
+TEST_F(PreparedBatchTest, ConcurrentExecutesAgree) {
+  const QueryBatch batch = MakeParameterizedBatch();
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto prepared = engine.Prepare(batch);
+  ASSERT_TRUE(prepared.ok());
+
+  // Reference results for two different bindings.
+  ParamPack promo_params;
+  promo_params.Set(0, 1.0);
+  promo_params.Set(1, 20.0);
+  ParamPack nonpromo_params;
+  nonpromo_params.Set(0, 0.0);
+  nonpromo_params.Set(1, 90.0);
+  auto promo_ref = prepared->Execute(promo_params);
+  auto nonpromo_ref = prepared->Execute(nonpromo_params);
+  ASSERT_TRUE(promo_ref.ok() && nonpromo_ref.ok());
+
+  // Many threads share ONE handle, half per binding; every result must
+  // equal its sequential reference bit-for-bit.
+  constexpr int kThreads = 8;
+  std::vector<StatusOr<BatchResult>> results;
+  for (int t = 0; t < kThreads; ++t) {
+    results.emplace_back(Status::Internal("not run"));
+  }
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        results[static_cast<size_t>(t)] = prepared->Execute(
+            t % 2 == 0 ? promo_params : nonpromo_params);
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    const auto& got = results[static_cast<size_t>(t)];
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    const BatchResult& ref = t % 2 == 0 ? *promo_ref : *nonpromo_ref;
+    ASSERT_EQ(got->results.size(), ref.results.size());
+    for (size_t q = 0; q < ref.results.size(); ++q) {
+      EXPECT_TRUE(
+          ResultsEquivalent(got->results[q], ref.results[q], 0.0))
+          << "thread " << t << " query " << q;
+    }
+  }
+}
+
+TEST_F(PreparedBatchTest, EvaluateWrapperReportsCompileSplit) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  const QueryBatch batch = MakeExampleBatch(*data_);
+  auto cold = engine.Evaluate(batch);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->stats.plan_cache_hit);
+  EXPECT_GT(cold->stats.compile_seconds, 0.0);
+
+  auto warm = engine.Evaluate(batch);
+  ASSERT_TRUE(warm.ok());
+  // The cache-hit flag is the robust signal that no recompile happened
+  // (wall-clock comparisons flake on contended hosts); the phase
+  // breakdown still shows the original compile.
+  EXPECT_TRUE(warm->stats.plan_cache_hit);
+  EXPECT_GT(warm->stats.viewgen_seconds + warm->stats.grouping_seconds +
+                warm->stats.plan_seconds,
+            0.0);
+  for (size_t q = 0; q < cold->results.size(); ++q) {
+    EXPECT_TRUE(
+        ResultsEquivalent(warm->results[q], cold->results[q], 0.0));
+  }
+}
+
+}  // namespace
+}  // namespace lmfao
