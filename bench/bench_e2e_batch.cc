@@ -13,10 +13,13 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <map>
+#include <memory>
 
 #include "baseline/naive_engine.h"
 #include "bench_common.h"
 #include "engine/engine.h"
+#include "util/random.h"
 
 namespace lmfao {
 namespace {
@@ -168,6 +171,87 @@ void BM_E2E_RetailerCovariance_LmfaoHybrid4(benchmark::State& state) {
 BENCHMARK(BM_E2E_RetailerCovariance_LmfaoHybrid4)
     ->Unit(benchmark::kMillisecond)
     ->MinTime(2.0);
+
+/// A private Retailer instance per append fraction, with `permille`/1000
+/// of Inventory appended through the epoch API on top of the base rows
+/// (the shared bench::Retailer cache must stay append-free for the other
+/// benchmarks in this binary). `epoch0` pins the pre-append state so
+/// every invocation can rebuild the same delta base via ExecuteAt.
+struct DeltaRetailerInstance {
+  std::unique_ptr<RetailerData> db;
+  EpochSnapshot epoch0;
+};
+
+DeltaRetailerInstance& DeltaRetailer(int64_t permille) {
+  static std::map<int64_t, std::unique_ptr<DeltaRetailerInstance>> cache;
+  auto it = cache.find(permille);
+  if (it == cache.end()) {
+    RetailerOptions options;
+    options.num_inventory = kRetailerRows;
+    options.num_locations = 100;
+    options.num_dates = 200;
+    options.num_items = 2000;
+    options.num_zips = 50;
+    auto data = MakeRetailer(options);
+    LMFAO_CHECK(data.ok()) << data.status().ToString();
+    auto instance = std::make_unique<DeltaRetailerInstance>();
+    instance->db = std::move(data).value();
+    instance->epoch0 = instance->db->catalog.SnapshotEpoch();
+    const int64_t to_append = kRetailerRows * permille / 1000;
+    Rng rng(static_cast<uint64_t>(permille) + 17);
+    std::vector<std::vector<Value>> rows;
+    rows.reserve(static_cast<size_t>(to_append));
+    for (int64_t i = 0; i < to_append; ++i) {
+      rows.push_back({Value::Int(rng.UniformInt(0, 99)),
+                      Value::Int(rng.UniformInt(0, 199)),
+                      Value::Int(rng.UniformInt(0, 1999)),
+                      Value::Double(rng.UniformDouble(0.0, 50.0))});
+    }
+    LMFAO_CHECK(instance->db->catalog
+                    .AppendRows(instance->db->inventory, rows)
+                    .ok());
+    it = cache.emplace(permille, std::move(instance)).first;
+  }
+  return *it->second;
+}
+
+/// Incremental refresh of the covariance batch after appending
+/// 0.1%/1%/10% of Inventory (Arg is permille). The appends happen once,
+/// outside the timed loop; each iteration refreshes the SAME pre-append
+/// base result via ExecuteDelta (the base is untouched, so iterations are
+/// identical work). The headline ratio is delta_ms vs execute_ms — the
+/// delta pass against a full prepared Execute at the appended epoch.
+void BM_E2E_RetailerCovariance_DeltaRefresh(benchmark::State& state) {
+  DeltaRetailerInstance& instance = DeltaRetailer(state.range(0));
+  RetailerData& db = *instance.db;
+  auto cov = BuildCovarianceBatch(bench::RetailerFeatures(db), db.catalog);
+  LMFAO_CHECK(cov.ok());
+  Engine engine(&db.catalog, &db.tree, EngineOptions{});
+  auto prepared = engine.Prepare(cov->batch);
+  LMFAO_CHECK(prepared.ok());
+  auto base = prepared->ExecuteAt(instance.epoch0);
+  LMFAO_CHECK(base.ok());
+  auto full = prepared->Execute();  // Full recompute at the new epoch.
+  LMFAO_CHECK(full.ok());
+  ExecutionStats delta_stats;
+  for (auto _ : state) {
+    auto refreshed = prepared->ExecuteDelta(*base);
+    LMFAO_CHECK(refreshed.ok());
+    delta_stats = refreshed->stats;
+    benchmark::DoNotOptimize(refreshed);
+  }
+  state.counters["queries"] = cov->batch.size();
+  state.counters["appended_rows"] =
+      static_cast<double>(delta_stats.delta_rows);
+  state.counters["delta_ms"] = delta_stats.execute_seconds * 1e3;
+  state.counters["execute_ms"] = full->stats.execute_seconds * 1e3;
+}
+BENCHMARK(BM_E2E_RetailerCovariance_DeltaRefresh)
+    ->Arg(1)    // 0.1% of Inventory.
+    ->Arg(10)   // 1%.
+    ->Arg(100)  // 10%.
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(1.0);
 
 void BM_E2E_RetailerCovariance_MaterializeSharedScan(
     benchmark::State& state) {

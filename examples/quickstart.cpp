@@ -6,7 +6,10 @@
 ///   4. Prepare the batch once — all three optimization layers run here —
 ///      and Execute the prepared handle (repeatably) to read results,
 ///   5. re-Execute a *parameterized* batch with new constants, paying no
-///      recompile.
+///      recompile,
+///   6. append rows through the catalog's epoch API — which invalidates
+///      nothing — and refresh a held result incrementally with
+///      ExecuteDelta (only the appended rows' contribution is computed).
 ///
 /// Run: ./quickstart
 
@@ -118,5 +121,32 @@ int main() {
       "re-executed with p0=0 in %.3f ms: %.1f non-promo units total\n",
       rerun_or->stats.execute_seconds * 1e3,
       rerun_or->results[2].TotalOf(0));
+
+  // 6. Append-only growth: commit new sales through the epoch API (the
+  // prepared handle stays valid — appends are not a structural mutation)
+  // and refresh the held result with a delta pass instead of a full
+  // recompute. The binding must match the base result's.
+  auto append_status = db.catalog.AppendRows(
+      db.sales, {{Value::Int(0), Value::Int(0), Value::Int(0),
+                  Value::Double(40.0), Value::Int(0)},
+                 {Value::Int(1), Value::Int(1), Value::Int(1),
+                  Value::Double(2.0), Value::Int(0)}});
+  if (!append_status.ok()) {
+    std::fprintf(stderr, "%s\n", append_status.ToString().c_str());
+    return 1;
+  }
+  auto delta_or = prepared.ExecuteDelta(*rerun_or, params);
+  if (!delta_or.ok()) {
+    std::fprintf(stderr, "%s\n", delta_or.status().ToString().c_str());
+    return 1;
+  }
+  const double* new_total = delta_or->results[0].data.Lookup(TupleKey());
+  std::printf(
+      "appended 2 sales rows; delta refresh (%d pass, %zu rows) in %.3f ms:"
+      " total units %.1f -> %.1f\n",
+      delta_or->stats.delta_passes, delta_or->stats.delta_rows,
+      delta_or->stats.execute_seconds * 1e3,
+      total != nullptr ? total[0] : 0.0,
+      new_total != nullptr ? new_total[0] : 0.0);
   return 0;
 }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "engine/attribute_order.h"
@@ -75,6 +77,23 @@ std::vector<uint64_t> BatchStructuralKey(const QueryBatch& batch,
 uint64_t KeySignature(const std::vector<uint64_t>& key) {
   uint64_t h = Mix64(0x7b9f4a31u);
   for (uint64_t w : key) h = HashCombine(h, w);
+  return h;
+}
+
+/// Hash of the bound values of the batch's required parameter slots.
+/// Recorded in BatchResult so ExecuteDelta can verify the base result was
+/// computed under the same bindings (a delta under different parameters is
+/// not a delta of that result).
+uint64_t ParamFingerprint(const std::vector<ParamId>& required,
+                          const ParamPack& params) {
+  uint64_t h = Mix64(0x243f6a88u);
+  for (ParamId p : required) {
+    h = HashCombine(h, static_cast<uint64_t>(p));
+    const double v = params.Get(p);
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    h = HashCombine(h, bits);
+  }
   return h;
 }
 
@@ -223,7 +242,7 @@ StatusOr<PreparedBatch> Engine::Prepare(const QueryBatch& batch) {
   return prepared;
 }
 
-StatusOr<BatchResult> PreparedBatch::Execute(const ParamPack& params) const {
+Status PreparedBatch::CheckExecutable(const ParamPack& params) const {
   if (engine_ == nullptr || artifact_ == nullptr) {
     return Status::FailedPrecondition(
         "PreparedBatch::Execute on an empty handle");
@@ -239,7 +258,11 @@ StatusOr<BatchResult> PreparedBatch::Execute(const ParamPack& params) const {
           "PreparedBatch::Execute: unbound parameter p" + std::to_string(p));
     }
   }
+  return Status::OK();
+}
 
+StatusOr<BatchResult> PreparedBatch::RunPass(const PassSpec& spec,
+                                             const ParamPack& params) const {
   Timer total_timer;
   BatchResult result;
   const CompiledBatch& compiled = artifact_->compiled;
@@ -257,12 +280,33 @@ StatusOr<BatchResult> PreparedBatch::Execute(const ParamPack& params) const {
   result.stats.compile_seconds = 0.0;
   result.stats.plan_cache_hit = true;
 
+  // Snapshots served to this pass are pinned for its whole duration:
+  // the engine's sorted cache may prune an epoch while we still read it.
+  struct PinSet {
+    std::mutex mu;
+    std::vector<std::shared_ptr<const Relation>> pins;
+  } pin_set;
+
   Timer exec_timer;
   ExecutionContext context(
       compiled.workload, compiled.grouped, compiled.plans,
       options_.scheduler,
-      [this](RelationId node, const std::vector<AttrId>& order) {
-        return engine_->SortedRelation(node, order);
+      [this, &spec, &pin_set](
+          RelationId node,
+          const std::vector<AttrId>& order) -> StatusOr<const Relation*> {
+        std::shared_ptr<const Relation> snap;
+        if (node == spec.delta_node) {
+          LMFAO_ASSIGN_OR_RETURN(
+              snap, engine_->SortedDeltaSlice(node, order, spec.delta_lo,
+                                              spec.delta_hi));
+        } else {
+          LMFAO_ASSIGN_OR_RETURN(
+              snap, engine_->SortedRelationAt(node, order, spec.rows->at(node)));
+        }
+        const Relation* raw = snap.get();
+        std::lock_guard<std::mutex> lock(pin_set.mu);
+        pin_set.pins.push_back(std::move(snap));
+        return raw;
       },
       &params);
   LMFAO_RETURN_NOT_OK(context.Run(&result.stats));
@@ -282,6 +326,120 @@ StatusOr<BatchResult> PreparedBatch::Execute(const ParamPack& params) const {
   return result;
 }
 
+StatusOr<BatchResult> PreparedBatch::Execute(const ParamPack& params) const {
+  if (engine_ == nullptr || artifact_ == nullptr) {
+    return Status::FailedPrecondition(
+        "PreparedBatch::Execute on an empty handle");
+  }
+  return ExecuteAt(engine_->catalog_->SnapshotEpoch(), params);
+}
+
+StatusOr<BatchResult> PreparedBatch::ExecuteAt(const EpochSnapshot& epoch,
+                                               const ParamPack& params) const {
+  LMFAO_RETURN_NOT_OK(CheckExecutable(params));
+  if (epoch.rows.size() !=
+      static_cast<size_t>(engine_->catalog_->num_relations())) {
+    return Status::InvalidArgument(
+        "ExecuteAt: epoch snapshot tracks " +
+        std::to_string(epoch.rows.size()) + " relations, catalog has " +
+        std::to_string(engine_->catalog_->num_relations()));
+  }
+  PassSpec spec;
+  spec.rows = &epoch;
+  LMFAO_ASSIGN_OR_RETURN(BatchResult result, RunPass(spec, params));
+  result.epoch = epoch;
+  result.artifact_signature = artifact_->signature;
+  result.param_fingerprint =
+      ParamFingerprint(artifact_->required_params, params);
+  return result;
+}
+
+StatusOr<BatchResult> PreparedBatch::ExecuteDelta(const BatchResult& base,
+                                                  const ParamPack& params)
+    const {
+  LMFAO_RETURN_NOT_OK(CheckExecutable(params));
+  if (base.artifact_signature != artifact_->signature) {
+    return Status::InvalidArgument(
+        "ExecuteDelta: base result was computed by a different batch shape "
+        "(artifact signature mismatch)");
+  }
+  const uint64_t fingerprint =
+      ParamFingerprint(artifact_->required_params, params);
+  if (base.param_fingerprint != fingerprint) {
+    return Status::InvalidArgument(
+        "ExecuteDelta: base result was computed under different parameter "
+        "bindings; a delta under other parameters is not a delta of it");
+  }
+  const Catalog& catalog = *engine_->catalog_;
+  if (base.epoch.rows.size() != static_cast<size_t>(catalog.num_relations())) {
+    return Status::InvalidArgument(
+        "ExecuteDelta: base epoch tracks " +
+        std::to_string(base.epoch.rows.size()) + " relations, catalog has " +
+        std::to_string(catalog.num_relations()));
+  }
+
+  Timer total_timer;
+  EpochSnapshot target = catalog.SnapshotEpoch();
+  std::vector<RelationId> changed;
+  size_t delta_rows = 0;
+  for (RelationId r = 0; r < catalog.num_relations(); ++r) {
+    const size_t old_rows = base.epoch.at(r);
+    const size_t new_rows = target.at(r);
+    if (new_rows < old_rows) {
+      return Status::FailedPrecondition(
+          "ExecuteDelta: relation " + catalog.relation(r).name() +
+          " shrank below the base result's watermark — a non-append "
+          "mutation happened; call Engine::InvalidateCaches and re-execute");
+    }
+    if (new_rows > old_rows) {
+      changed.push_back(r);
+      delta_rows += new_rows - old_rows;
+    }
+  }
+
+  BatchResult result;
+  result.results = base.results;  // Deep copy: the base stays reusable.
+  result.epoch = std::move(target);
+  result.artifact_signature = artifact_->signature;
+  result.param_fingerprint = fingerprint;
+  result.stats = base.stats;
+  result.stats.compile_seconds = 0.0;
+  result.stats.plan_cache_hit = true;
+  result.stats.delta_execution = true;
+  result.stats.delta_passes = static_cast<int>(changed.size());
+  result.stats.delta_rows = delta_rows;
+  result.stats.delta_dirty_groups = 0;
+  result.stats.execute_seconds = 0.0;
+
+  // Multilinearity: summing, over changed relations c_1 < ... < c_k, the
+  // batch evaluated with c_i served as its appended slice, c_1..c_{i-1} at
+  // their NEW watermarks and c_{i+1}..c_k (and everything unchanged) at the
+  // OLD watermarks telescopes to exactly Q(new) - Q(old).
+  EpochSnapshot serve = base.epoch;
+  const std::vector<GroupPlan>& plans = artifact_->compiled.plans;
+  for (RelationId r : changed) {
+    PassSpec spec;
+    spec.rows = &serve;
+    spec.delta_node = r;
+    spec.delta_lo = base.epoch.at(r);
+    spec.delta_hi = result.epoch.at(r);
+    LMFAO_ASSIGN_OR_RETURN(BatchResult term, RunPass(spec, params));
+    result.stats.execute_seconds += term.stats.execute_seconds;
+    for (const GroupPlan& plan : plans) {
+      if (r < 64 && ((plan.source_relation_mask >> r) & 1)) {
+        ++result.stats.delta_dirty_groups;
+      }
+    }
+    for (size_t q = 0; q < result.results.size(); ++q) {
+      result.results[q].data.MergeAdd(term.results[q].data);
+    }
+    serve.rows[static_cast<size_t>(r)] =
+        result.epoch.at(r);  // Later terms see this relation's new extent.
+  }
+  result.stats.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
 StatusOr<BatchResult> Engine::Evaluate(const QueryBatch& batch,
                                        const ParamPack& params) {
   Timer total_timer;
@@ -293,26 +451,92 @@ StatusOr<BatchResult> Engine::Evaluate(const QueryBatch& batch,
   return result;
 }
 
-StatusOr<const Relation*> Engine::SortedRelation(
-    RelationId node, const std::vector<AttrId>& order) {
+StatusOr<std::shared_ptr<const Relation>> Engine::SortedRelationAt(
+    RelationId node, const std::vector<AttrId>& order, size_t rows) {
   const Relation& base = catalog_->relation(node);
   std::vector<AttrId> sub;
   for (AttrId a : order) {
     if (base.schema().Contains(a)) sub.push_back(a);
   }
-  if (sub.empty()) return &base;
+
+  const std::pair<RelationId, std::vector<AttrId>> key{node, sub};
+  std::shared_ptr<const Relation> prefix;  // Largest cached epoch <= rows.
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
-    auto it = sorted_cache_.find({node, sub});
-    if (it != sorted_cache_.end()) return it->second.get();
+    auto it = sorted_cache_.find(key);
+    if (it != sorted_cache_.end() && !it->second.empty()) {
+      auto eit = it->second.upper_bound(rows);
+      if (eit != it->second.begin()) {
+        --eit;
+        if (eit->first == rows) return eit->second;
+        prefix = eit->second;
+      }
+    }
   }
-  // Copy and sort outside the lock; duplicated work on a race is harmless.
-  auto copy = std::make_unique<Relation>(base);
-  LMFAO_RETURN_NOT_OK(SortRelation(copy.get(), sub));
+
+  // Build outside the cache lock (duplicated work on a race is harmless).
+  // Copy the rows the prefix is missing under a shared hold of the
+  // catalog's data mutex: committed rows are immutable, but a concurrent
+  // append may reallocate the column vectors mid-copy.
+  const size_t lo = prefix ? prefix->num_rows() : 0;
+  Relation slice;
+  {
+    std::shared_lock<std::shared_mutex> lock(catalog_->data_mutex());
+    if (rows > base.num_rows()) {
+      return Status::InvalidArgument(
+          "epoch watermark " + std::to_string(rows) + " beyond relation " +
+          base.name() + " (" + std::to_string(base.num_rows()) + " rows)");
+    }
+    slice = base.SliceRows(lo, rows);
+  }
+
+  std::shared_ptr<const Relation> built;
+  if (prefix == nullptr) {
+    if (!sub.empty()) LMFAO_RETURN_NOT_OK(SortRelation(&slice, sub));
+    built = std::make_shared<const Relation>(std::move(slice));
+  } else if (sub.empty()) {
+    Relation merged(*prefix);
+    LMFAO_RETURN_NOT_OK(merged.Append(slice));
+    built = std::make_shared<const Relation>(std::move(merged));
+  } else {
+    // Sort only the appended slice, then stable-merge (prefix first on
+    // ties) — bit-identical to sorting all `rows` rows from scratch,
+    // because SortPermutation breaks ties by original row index.
+    LMFAO_RETURN_NOT_OK(SortRelation(&slice, sub));
+    LMFAO_ASSIGN_OR_RETURN(Relation merged,
+                           MergeSortedRelations(*prefix, slice, sub));
+    built = std::make_shared<const Relation>(std::move(merged));
+  }
+
   std::lock_guard<std::mutex> lock(cache_mu_);
-  auto [it, inserted] = sorted_cache_.emplace(
-      std::make_pair(node, std::move(sub)), std::move(copy));
-  return it->second.get();
+  auto& epochs = sorted_cache_[key];
+  auto [eit, inserted] = epochs.emplace(rows, built);
+  if (!inserted) return eit->second;  // A racing build won; use its copy.
+  // Keep only the two largest epochs per (node, order): the current one
+  // and the previous (which in-flight old-epoch executions pin anyway).
+  while (epochs.size() > 2) epochs.erase(epochs.begin());
+  return built;
+}
+
+StatusOr<std::shared_ptr<const Relation>> Engine::SortedDeltaSlice(
+    RelationId node, const std::vector<AttrId>& order, size_t lo, size_t hi) {
+  const Relation& base = catalog_->relation(node);
+  std::vector<AttrId> sub;
+  for (AttrId a : order) {
+    if (base.schema().Contains(a)) sub.push_back(a);
+  }
+  Relation slice;
+  {
+    std::shared_lock<std::shared_mutex> lock(catalog_->data_mutex());
+    if (hi > base.num_rows()) {
+      return Status::InvalidArgument(
+          "delta watermark " + std::to_string(hi) + " beyond relation " +
+          base.name());
+    }
+    slice = base.SliceRows(lo, hi);
+  }
+  if (!sub.empty()) LMFAO_RETURN_NOT_OK(SortRelation(&slice, sub));
+  return std::make_shared<const Relation>(std::move(slice));
 }
 
 }  // namespace lmfao

@@ -134,6 +134,23 @@ struct ExecutionStats {
   size_t peak_view_payload_bytes = 0;
   /// Views frozen into sorted-array form (plan-layer freeze decision).
   int num_frozen_views = 0;
+  /// \name Delta execution (PreparedBatch::ExecuteDelta).
+  /// @{
+  /// True when this result was produced by folding delta passes into a
+  /// previous result instead of a full execution.
+  bool delta_execution = false;
+  /// Delta passes run — one per relation that grew between the base
+  /// result's epoch and the refresh epoch (0 = nothing changed, the base
+  /// results were returned unchanged).
+  int delta_passes = 0;
+  /// Total appended rows propagated across all delta passes.
+  size_t delta_rows = 0;
+  /// Across all delta passes, group executions whose input closure
+  /// (GroupPlan::source_relation_mask) contains the pass's delta relation —
+  /// the groups that computed true deltas rather than replaying unchanged
+  /// inputs.
+  int delta_dirty_groups = 0;
+  /// @}
   std::vector<GroupStats> groups;
 };
 
@@ -141,6 +158,19 @@ struct ExecutionStats {
 struct BatchResult {
   std::vector<QueryResult> results;  ///< Parallel to the batch's queries.
   ExecutionStats stats;
+  /// The epoch this result reflects: per-relation committed row counts at
+  /// execution time. `PreparedBatch::ExecuteDelta` refreshes a result from
+  /// these watermarks to the current epoch by propagating only the rows in
+  /// between.
+  EpochSnapshot epoch;
+  /// Signature of the compiled artifact that produced this result;
+  /// ExecuteDelta refuses to fold deltas computed under a different batch
+  /// shape.
+  uint64_t artifact_signature = 0;
+  /// Hash of the bound parameter values the result was computed under;
+  /// ExecuteDelta requires the same bindings (a delta under different
+  /// parameters is not a delta of this result).
+  uint64_t param_fingerprint = 0;
 };
 
 /// \brief Inspection artifacts (used by the demo-style examples and the
@@ -180,12 +210,15 @@ struct CompiledArtifact {
 /// must outlive it) and shares the immutable compiled artifact; copying a
 /// PreparedBatch is cheap and copies share the artifact.
 ///
-/// Thread safety: `Execute` may be called concurrently from any number of
-/// threads — each call builds a private ExecutionContext over the shared
-/// immutable artifact, and the engine's sorted-relation cache is
-/// internally synchronized. `Engine::InvalidateCaches` must not run while
-/// Executes are in flight; it marks this handle stale so *subsequent*
-/// Executes fail cleanly.
+/// Thread safety: `Execute` / `ExecuteAt` / `ExecuteDelta` may be called
+/// concurrently from any number of threads — each call builds a private
+/// ExecutionContext over the shared immutable artifact, and the engine's
+/// sorted-relation cache is internally synchronized. `Catalog::Append` may
+/// also run concurrently with executions: each execution reads an epoch
+/// snapshot, so it observes either none or all of any append.
+/// `Engine::InvalidateCaches` (required after *non-append* mutations) must
+/// not run while Executes are in flight; it marks this handle stale so
+/// *subsequent* Executes fail cleanly.
 class PreparedBatch {
  public:
   PreparedBatch() = default;
@@ -195,7 +228,42 @@ class PreparedBatch {
   /// be bound); a batch with no parameterized functions executes with the
   /// default empty pack. Fails with FailedPrecondition when the handle is
   /// stale (InvalidateCaches was called after Prepare).
+  ///
+  /// The execution reads the epoch snapshotted at call start: rows appended
+  /// concurrently (Catalog::Append) are not observed, and the snapshot is
+  /// recorded in BatchResult::epoch for later ExecuteDelta refreshes.
   StatusOr<BatchResult> Execute(const ParamPack& params = {}) const;
+
+  /// Like Execute, but pins the execution to an explicit epoch (obtained
+  /// from Catalog::SnapshotEpoch), reading exactly the rows committed at
+  /// that epoch regardless of appends since. The epoch must not exceed the
+  /// current watermarks.
+  StatusOr<BatchResult> ExecuteAt(const EpochSnapshot& epoch,
+                                  const ParamPack& params = {}) const;
+
+  /// Incrementally refreshes `base` (a result of Execute / ExecuteAt /
+  /// ExecuteDelta of this same batch shape under the same `params`) to the
+  /// current epoch, propagating only the rows appended since
+  /// `base.epoch`. Returns a new result, bit-for-bit equal to a full
+  /// Execute at the refresh epoch; `base` is not modified, so one base can
+  /// seed many refreshes.
+  ///
+  /// Since every aggregate is a SUM of products of per-relation factors,
+  /// the batch is multilinear in its relations: for changed relations
+  /// c_1 < ... < c_k,
+  ///   Q(R + dR) - Q(R) = sum_i Q(R_new for c_j<c_i, dR_i, R_old for c_j>c_i)
+  /// so each pass re-runs the unchanged compiled plan with one relation
+  /// served as its appended slice and the others pinned to old/new
+  /// watermarks, and the pass's query outputs are added into the base
+  /// results (ViewMap::MergeAdd).
+  ///
+  /// Errors: FailedPrecondition when the handle is stale (a non-append
+  /// mutation invalidated it) or when any relation's watermark moved
+  /// backwards vs `base.epoch` (non-append mutation without
+  /// InvalidateCaches); InvalidArgument when `base` came from a different
+  /// batch shape or different parameter bindings, or params are unbound.
+  StatusOr<BatchResult> ExecuteDelta(const BatchResult& base,
+                                     const ParamPack& params = {}) const;
 
   bool valid() const { return artifact_ != nullptr; }
   /// The artifact accessors below require valid() (checked): an empty or
@@ -225,6 +293,23 @@ class PreparedBatch {
  private:
   friend class Engine;
 
+  /// One execution pass over the compiled plans: every relation is served
+  /// at the extent `rows` says — except `delta_node` (when valid), which is
+  /// served as its appended slice [delta_lo, delta_hi) instead. The shared
+  /// machinery behind ExecuteAt (no delta node) and each ExecuteDelta term.
+  struct PassSpec {
+    const EpochSnapshot* rows = nullptr;
+    RelationId delta_node = kInvalidRelation;
+    size_t delta_lo = 0;
+    size_t delta_hi = 0;
+  };
+  StatusOr<BatchResult> RunPass(const PassSpec& spec,
+                                const ParamPack& params) const;
+
+  /// Validates the handle and the bound params (the common preamble of
+  /// every Execute flavor).
+  Status CheckExecutable(const ParamPack& params) const;
+
   Engine* engine_ = nullptr;
   std::shared_ptr<const CompiledArtifact> artifact_;
   EngineOptions options_;
@@ -240,14 +325,17 @@ class PreparedBatch {
 /// engine).
 ///
 /// Caching: sorted copies of node relations are cached across executions
-/// (keyed by relation and sort order), and compiled artifacts are cached
-/// by batch structure (see Prepare) — bounded to
-/// `EngineOptions::plan_cache_capacity` shapes with LRU eviction, every
-/// hit verified against the exact structural key (a signature-hash
-/// collision recompiles instead of serving the wrong plans). After
-/// mutating relations, call `InvalidateCaches()` — it drops both caches
-/// and bumps the generation counter, so outstanding PreparedBatch handles
-/// fail their next Execute instead of reading stale sorted data.
+/// (keyed by relation, sort order, and epoch watermark — appends extend a
+/// cached snapshot by sort-and-merge of the appended slice instead of a
+/// full re-sort), and compiled artifacts are cached by batch structure
+/// (see Prepare) — bounded to `EngineOptions::plan_cache_capacity` shapes
+/// with LRU eviction, every hit verified against the exact structural key
+/// (a signature-hash collision recompiles instead of serving the wrong
+/// plans). Appends through `Catalog::Append` invalidate NOTHING: handles
+/// stay valid and executions read epoch snapshots. After any *non-append*
+/// mutation, call `InvalidateCaches()` — it drops both caches and bumps
+/// the generation counter, so outstanding PreparedBatch handles fail their
+/// next Execute instead of reading stale sorted data.
 ///
 /// `mutable_options()` semantics: options are snapshotted into the
 /// PreparedBatch at Prepare time. Mutations affect only future Prepares
@@ -301,10 +389,23 @@ class Engine {
  private:
   friend class PreparedBatch;
 
-  /// Returns the node relation sorted by the subsequence of `order` present
-  /// in it (cached). Returns the original relation when no sort is needed.
-  StatusOr<const Relation*> SortedRelation(RelationId node,
-                                           const std::vector<AttrId>& order);
+  /// Returns the node relation restricted to its first `rows` committed
+  /// rows, sorted by the subsequence of `order` present in it. Snapshots
+  /// are immutable, shared, and cached per (node, order, rows); extending a
+  /// cached smaller epoch costs a sort of the appended slice plus one
+  /// linear stable merge (bit-identical to re-sorting from scratch, see
+  /// MergeSortedRelations), not a full re-sort. At most the two largest
+  /// epochs per (node, order) stay cached; executions pin the snapshots
+  /// they read, so pruning never invalidates an in-flight pass.
+  StatusOr<std::shared_ptr<const Relation>> SortedRelationAt(
+      RelationId node, const std::vector<AttrId>& order, size_t rows);
+
+  /// Builds rows [lo, hi) of `node` sorted by `order`'s subsequence — the
+  /// delta slice of one ExecuteDelta term. Uncached (slices are small and
+  /// read once per consuming group).
+  StatusOr<std::shared_ptr<const Relation>> SortedDeltaSlice(
+      RelationId node, const std::vector<AttrId>& order, size_t lo,
+      size_t hi);
 
   /// Compiles a fresh artifact (all three layers) for `batch` — the one
   /// compile pipeline behind both Compile and Prepare. The caller sets
@@ -315,8 +416,11 @@ class Engine {
   const Catalog* catalog_;
   const JoinTree* tree_;
   EngineOptions options_;
+  /// (node, sort order) -> epoch (row watermark) -> immutable sorted
+  /// snapshot. Ordered by epoch so extension finds the largest cached
+  /// prefix <= the requested watermark.
   std::map<std::pair<RelationId, std::vector<AttrId>>,
-           std::unique_ptr<Relation>>
+           std::map<size_t, std::shared_ptr<const Relation>>>
       sorted_cache_;
   std::mutex cache_mu_;
 

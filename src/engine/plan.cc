@@ -487,8 +487,23 @@ void AssignViewForms(const Workload& workload, const GroupedWorkload& grouped,
                                                  static_cast<int>(o)};
     }
   }
+  // Input-closure relation masks, in dependency order: a group's closure is
+  // its own node plus the closures of the groups producing its incoming
+  // views. Relations beyond 63 saturate (the mask then never prunes, which
+  // is correct, just not fast).
+  std::vector<uint64_t> group_mask(plans->size(), 0);
+  for (int g : grouped.TopologicalOrder()) {
+    const ViewGroup& group = grouped.groups[static_cast<size_t>(g)];
+    uint64_t mask = group.node < 64 ? (1ull << group.node) : ~0ull;
+    for (ViewId v : group.incoming) {
+      mask |= group_mask[static_cast<size_t>(
+          grouped.producer_group[static_cast<size_t>(v)])];
+    }
+    group_mask[static_cast<size_t>(g)] = mask;
+    (*plans)[static_cast<size_t>(g)].source_relation_mask = mask;
+  }
+
   if (!options.freeze_views) return;
-  (void)grouped;
   for (GroupPlan& plan : *plans) {
     for (GroupPlan::OutputInfo& out : plan.outputs) {
       out.payload_layout = PayloadLayout::kRowMajor;

@@ -85,6 +85,14 @@ struct GroupPlan {
   int group_id = -1;
   bool factorized = true;
 
+  /// Bitmask of the base relations in this group's input closure: the
+  /// group's own node plus every relation reachable through its incoming
+  /// views' producers (bit = RelationId, relations beyond 63 saturate the
+  /// whole mask). Set by AssignViewForms. Delta execution uses it to skip
+  /// groups whose closure does not contain the changed relation — their
+  /// delta term is identically zero.
+  uint64_t source_relation_mask = ~0ull;
+
   /// The trie attribute order (levels 1..L); all are relation attributes.
   std::vector<AttrId> attr_order;
   /// Per level: column index in the node relation.

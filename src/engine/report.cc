@@ -63,6 +63,13 @@ std::string ReportExecution(const ExecutionStats& stats,
       stats.viewgen_seconds * 1e3, stats.grouping_seconds * 1e3,
       stats.plan_seconds * 1e3, stats.execute_seconds * 1e3,
       stats.total_seconds * 1e3);
+  if (stats.delta_execution) {
+    out << StringPrintf(
+        "  delta refresh: %d pass%s over %zu appended rows, %d dirty group "
+        "executions\n",
+        stats.delta_passes, stats.delta_passes == 1 ? "" : "es",
+        stats.delta_rows, stats.delta_dirty_groups);
+  }
   constexpr double kMiB = 1024.0 * 1024.0;
   out << StringPrintf(
       "  view store: peak %zu live views (%.2f MiB peak: %.2f key + %.2f "

@@ -58,10 +58,56 @@ struct SigmaMatrix {
   }
 };
 
+/// \brief Assembles Sigma from the covariance batch's query results
+/// (the two-pass scatter behind ComputeSigmaLmfao, shared with
+/// SigmaRefresher). `results` must be parallel to `cov.info`.
+StatusOr<SigmaMatrix> AssembleSigma(const CovarianceBatch& cov,
+                                    const FeatureSet& features,
+                                    const std::vector<QueryResult>& results);
+
 /// \brief Computes Sigma with LMFAO (one aggregate batch).
 StatusOr<SigmaMatrix> ComputeSigmaLmfao(Engine* engine,
                                         const FeatureSet& features,
                                         const Catalog& catalog);
+
+/// \brief Incrementally maintained Sigma over an append-only database.
+///
+/// Prepares the covariance batch once and executes it once at creation;
+/// every `Refresh()` folds only the rows appended since the held epoch
+/// into the retained batch result (PreparedBatch::ExecuteDelta) and
+/// re-assembles Sigma — so a retrain after a trickle of appends pays the
+/// delta pass, not a full 800-aggregate recompute. New category values
+/// arriving in appended rows grow the one-hot blocks naturally: they show
+/// up as new group-by keys in the merged results.
+///
+/// After a structural (non-append) mutation the underlying handle is
+/// stale; Refresh surfaces FailedPrecondition and the caller rebuilds the
+/// refresher.
+class SigmaRefresher {
+ public:
+  static StatusOr<SigmaRefresher> Create(Engine* engine,
+                                         const FeatureSet& features,
+                                         const Catalog& catalog);
+
+  /// Sigma assembled from the held result (the epoch of the last
+  /// Create/Refresh).
+  StatusOr<SigmaMatrix> Current() const;
+
+  /// Folds rows appended since the held epoch and returns the refreshed
+  /// Sigma. A no-op (beyond an epoch check) when nothing was appended.
+  StatusOr<SigmaMatrix> Refresh();
+
+  /// Stats of the last execution (delta fields populated after Refresh).
+  const ExecutionStats& last_stats() const { return result_.stats; }
+
+ private:
+  SigmaRefresher() = default;
+
+  CovarianceBatch cov_;
+  FeatureSet features_;
+  PreparedBatch prepared_;
+  BatchResult result_;
+};
 
 /// \brief Computes Sigma by scanning the materialized join (baseline).
 StatusOr<SigmaMatrix> ComputeSigmaScan(const Relation& joined,

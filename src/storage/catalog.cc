@@ -1,9 +1,12 @@
 #include "storage/catalog.h"
 
+#include <mutex>
 #include <set>
 #include <sstream>
 
 namespace lmfao {
+
+Catalog::Catalog() : epoch_(std::make_unique<EpochState>()) {}
 
 StatusOr<AttrId> Catalog::AddAttribute(const std::string& name, AttrType type,
                                        int64_t domain_size) {
@@ -45,6 +48,10 @@ StatusOr<RelationId> Catalog::AddRelation(
   const RelationId id = static_cast<RelationId>(relations_.size());
   relations_.push_back(std::move(rel));
   relation_by_name_[name] = id;
+  {
+    std::unique_lock<std::shared_mutex> lock(epoch_->mu);
+    epoch_->watermarks.push_back(kUntrackedWatermark);
+  }
   return id;
 }
 
@@ -56,7 +63,67 @@ StatusOr<RelationId> Catalog::AddRelation(Relation relation) {
   const RelationId id = static_cast<RelationId>(relations_.size());
   relation_by_name_[relation.name()] = id;
   relations_.push_back(std::make_unique<Relation>(std::move(relation)));
+  {
+    std::unique_lock<std::shared_mutex> lock(epoch_->mu);
+    epoch_->watermarks.push_back(kUntrackedWatermark);
+  }
   return id;
+}
+
+Status Catalog::Append(RelationId id, const Relation& rows) {
+  if (id < 0 || static_cast<size_t>(id) >= relations_.size()) {
+    return Status::InvalidArgument("Append: unknown relation id " +
+                                   std::to_string(id));
+  }
+  Relation& rel = *relations_[static_cast<size_t>(id)];
+  std::unique_lock<std::shared_mutex> lock(epoch_->mu);
+  LMFAO_RETURN_NOT_OK(rel.Append(rows));
+  epoch_->watermarks[static_cast<size_t>(id)] = rel.num_rows();
+  ++epoch_->append_epoch;
+  return Status::OK();
+}
+
+Status Catalog::AppendRows(RelationId id,
+                           const std::vector<std::vector<Value>>& rows) {
+  if (id < 0 || static_cast<size_t>(id) >= relations_.size()) {
+    return Status::InvalidArgument("AppendRows: unknown relation id " +
+                                   std::to_string(id));
+  }
+  const Relation& rel = *relations_[static_cast<size_t>(id)];
+  std::vector<AttrType> types;
+  types.reserve(static_cast<size_t>(rel.num_columns()));
+  for (int c = 0; c < rel.num_columns(); ++c) {
+    types.push_back(rel.column(c).type());
+  }
+  Relation staged(rel.name(), rel.schema(), std::move(types));
+  for (const std::vector<Value>& row : rows) {
+    LMFAO_RETURN_NOT_OK(staged.AppendRow(row));
+  }
+  return Append(id, staged);
+}
+
+size_t Catalog::CommittedRows(RelationId id) const {
+  std::shared_lock<std::shared_mutex> lock(epoch_->mu);
+  const size_t w = epoch_->watermarks[static_cast<size_t>(id)];
+  if (w != kUntrackedWatermark) return w;
+  return relations_[static_cast<size_t>(id)]->num_rows();
+}
+
+EpochSnapshot Catalog::SnapshotEpoch() const {
+  std::shared_lock<std::shared_mutex> lock(epoch_->mu);
+  EpochSnapshot snap;
+  snap.rows.reserve(relations_.size());
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    const size_t w = epoch_->watermarks[i];
+    snap.rows.push_back(w != kUntrackedWatermark ? w
+                                                 : relations_[i]->num_rows());
+  }
+  return snap;
+}
+
+uint64_t Catalog::append_epoch() const {
+  std::shared_lock<std::shared_mutex> lock(epoch_->mu);
+  return epoch_->append_epoch;
 }
 
 StatusOr<RelationId> Catalog::RelationIdOf(const std::string& name) const {

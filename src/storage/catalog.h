@@ -10,7 +10,9 @@
 #ifndef LMFAO_STORAGE_CATALOG_H_
 #define LMFAO_STORAGE_CATALOG_H_
 
+#include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -21,10 +23,37 @@
 
 namespace lmfao {
 
+/// \brief One consistent per-relation row-count snapshot (indexed by
+/// RelationId): the *epoch* a batch execution reads.
+///
+/// Appends commit atomically — rows land and the relation's watermark
+/// advances under one exclusive lock — so a snapshot never observes half an
+/// append, and executing against a snapshot pins every scan to the rows
+/// that were committed when it was taken. `PreparedBatch::Execute` takes a
+/// snapshot at call start; `PreparedBatch::ExecuteDelta` propagates exactly
+/// the rows between two snapshots.
+struct EpochSnapshot {
+  std::vector<size_t> rows;
+
+  size_t at(RelationId id) const { return rows[static_cast<size_t>(id)]; }
+};
+
 /// \brief Owns all attribute metadata and relations of one database.
+///
+/// Mutation model (the epoch/watermark contract):
+///   - *Appends* go through `Append`/`AppendRows`. They commit a new epoch
+///     (per-relation row watermark + the catalog-wide append_epoch counter)
+///     without structurally changing the database, so compiled plans and
+///     outstanding `PreparedBatch` handles stay valid; concurrent
+///     executions that hold an `EpochSnapshot` keep reading the old epoch.
+///   - *Everything else* (deleting/updating rows via mutable_relation,
+///     adding relations or derived columns) is a structural mutation: it
+///     must not run concurrently with any engine use, and the owner must
+///     call `Engine::InvalidateCaches` afterwards so stale handles fail
+///     cleanly instead of reading rewritten data.
 class Catalog {
  public:
-  Catalog() = default;
+  Catalog();
 
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
@@ -66,6 +95,39 @@ class Catalog {
 
   int num_relations() const { return static_cast<int>(relations_.size()); }
 
+  /// \name Append API (epoch/watermark model).
+  /// @{
+
+  /// Appends `rows` (same schema and column types as relation `id`) and
+  /// commits a new epoch: rows land and the relation's watermark advances
+  /// under one exclusive hold of data_mutex(), so concurrent SnapshotEpoch
+  /// and shared-lock readers see either none or all of the append.
+  Status Append(RelationId id, const Relation& rows);
+
+  /// Convenience: appends value rows (each parallel to the schema,
+  /// type-checked) as one committed epoch.
+  Status AppendRows(RelationId id,
+                    const std::vector<std::vector<Value>>& rows);
+
+  /// Committed row count (watermark) of relation `id`. Until the first
+  /// Append to a relation this is its live row count (bulk loaders fill
+  /// rows directly, before any concurrent use starts).
+  size_t CommittedRows(RelationId id) const;
+
+  /// One consistent snapshot of every relation's watermark.
+  EpochSnapshot SnapshotEpoch() const;
+
+  /// Monotonic count of committed Append calls.
+  uint64_t append_epoch() const;
+
+  /// Guards live relation row data during appends: Append holds it
+  /// exclusively while mutating columns and committing the watermark;
+  /// readers of committed row prefixes (the engine's sorted-cache
+  /// extension and delta slicing) hold it shared.
+  std::shared_mutex& data_mutex() const { return epoch_->mu; }
+
+  /// @}
+
   /// \brief Recomputes each attribute's domain_size as the number of
   /// distinct values observed across all relations (int attributes only).
   void RefreshDomainSizes();
@@ -74,10 +136,24 @@ class Catalog {
   std::string ToString() const;
 
  private:
+  /// Sentinel: the relation has never been appended to through the epoch
+  /// API; its watermark is its live row count.
+  static constexpr size_t kUntrackedWatermark = static_cast<size_t>(-1);
+
+  /// Epoch bookkeeping behind a unique_ptr so the Catalog stays movable
+  /// (mutexes are not).
+  struct EpochState {
+    mutable std::shared_mutex mu;
+    /// Parallel to relations_; kUntrackedWatermark until first Append.
+    std::vector<size_t> watermarks;
+    uint64_t append_epoch = 0;
+  };
+
   std::vector<AttrInfo> attrs_;
   std::unordered_map<std::string, AttrId> attr_by_name_;
   std::vector<std::unique_ptr<Relation>> relations_;
   std::unordered_map<std::string, RelationId> relation_by_name_;
+  std::unique_ptr<EpochState> epoch_;
 };
 
 }  // namespace lmfao

@@ -45,6 +45,55 @@ void Relation::AppendRowUnchecked(const std::vector<Value>& values) {
   ++num_rows_;
 }
 
+Status Relation::Append(const Relation& other) {
+  if (other.schema_.attrs() != schema_.attrs()) {
+    return Status::InvalidArgument("appended rows' schema does not match " +
+                                   name_);
+  }
+  for (int i = 0; i < num_columns(); ++i) {
+    if (other.columns_[static_cast<size_t>(i)].type() !=
+        columns_[static_cast<size_t>(i)].type()) {
+      return Status::InvalidArgument("appended column " + std::to_string(i) +
+                                     " type does not match " + name_);
+    }
+  }
+  for (int i = 0; i < num_columns(); ++i) {
+    Column& dst = columns_[static_cast<size_t>(i)];
+    const Column& src = other.columns_[static_cast<size_t>(i)];
+    if (dst.type() == AttrType::kInt) {
+      dst.mutable_ints().insert(dst.mutable_ints().end(), src.ints().begin(),
+                                src.ints().end());
+    } else {
+      dst.mutable_doubles().insert(dst.mutable_doubles().end(),
+                                   src.doubles().begin(), src.doubles().end());
+    }
+  }
+  num_rows_ += other.num_rows_;
+  return Status::OK();
+}
+
+Relation Relation::SliceRows(size_t lo, size_t hi) const {
+  LMFAO_CHECK(lo <= hi && hi <= num_rows_);
+  std::vector<AttrType> types;
+  types.reserve(columns_.size());
+  for (const Column& c : columns_) types.push_back(c.type());
+  Relation slice(name_, schema_, std::move(types));
+  for (int i = 0; i < num_columns(); ++i) {
+    const Column& src = columns_[static_cast<size_t>(i)];
+    Column& dst = slice.columns_[static_cast<size_t>(i)];
+    if (src.type() == AttrType::kInt) {
+      dst.mutable_ints().assign(src.ints().begin() + static_cast<long>(lo),
+                                src.ints().begin() + static_cast<long>(hi));
+    } else {
+      dst.mutable_doubles().assign(
+          src.doubles().begin() + static_cast<long>(lo),
+          src.doubles().begin() + static_cast<long>(hi));
+    }
+  }
+  slice.num_rows_ = hi - lo;
+  return slice;
+}
+
 Value Relation::ValueAt(size_t row, int col) const {
   const Column& c = columns_[static_cast<size_t>(col)];
   if (c.type() == AttrType::kInt) return Value::Int(c.AsInt(row));

@@ -95,6 +95,18 @@ class Relation {
   /// Used by generators on hot paths.
   void AppendRowUnchecked(const std::vector<Value>& values);
 
+  /// Appends all rows of `other`, which must have the same schema (attribute
+  /// ids in order) and column types. Column-wise bulk append — the row-data
+  /// half of the append path; epoch commit (watermarks) lives in
+  /// `Catalog::Append`.
+  Status Append(const Relation& other);
+
+  /// Copies rows [lo, hi) into a fresh relation with the same name, schema
+  /// and types. Existing rows are immutable under append-only mutation, so a
+  /// prefix slice IS the relation's state at watermark `hi` — the building
+  /// block of the engine's epoch snapshots and delta slices.
+  Relation SliceRows(size_t lo, size_t hi) const;
+
   /// Value at (row, column) as a tagged scalar (for tests and printing).
   Value ValueAt(size_t row, int col) const;
 

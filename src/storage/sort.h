@@ -28,6 +28,18 @@ Status SortRelation(Relation* rel, const std::vector<AttrId>& order);
 /// \brief True if `rel` is sorted lexicographically by `order`.
 StatusOr<bool> IsSorted(const Relation& rel, const std::vector<AttrId>& order);
 
+/// \brief Stable merge of two relations that are each sorted by `order`
+/// (same schema and column types). On equal keys, rows of `a` come first.
+///
+/// Because SortPermutation breaks ties by original row index, merging
+/// sort(base) with sort(delta) — base first on ties — is bit-identical to
+/// sorting the concatenation base+delta from scratch. This is what lets the
+/// engine extend a cached sorted snapshot by a sorted delta run instead of
+/// re-sorting the whole relation. An empty `order` degenerates to
+/// concatenation.
+StatusOr<Relation> MergeSortedRelations(const Relation& a, const Relation& b,
+                                        const std::vector<AttrId>& order);
+
 }  // namespace lmfao
 
 #endif  // LMFAO_STORAGE_SORT_H_

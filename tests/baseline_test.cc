@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "data/favorita.h"
+#include "differential_harness.h"
 
 namespace lmfao {
 namespace {
@@ -81,10 +82,8 @@ TEST(ScanEvaluatorTest, SharedAndPerQueryAgree) {
   auto shared = EvaluateBatchSharedScan(*joined, batch);
   auto per_query = EvaluateBatchPerQueryScan(*joined, batch);
   ASSERT_TRUE(shared.ok() && per_query.ok());
-  ASSERT_EQ(shared->size(), per_query->size());
-  for (size_t q = 0; q < shared->size(); ++q) {
-    EXPECT_TRUE(ResultsEquivalent((*shared)[q], (*per_query)[q]));
-  }
+  ::lmfao::testing::ExpectResultsMatch(*shared, *per_query, 1e-9,
+                                       "shared scan vs per-query scan");
 }
 
 TEST(ScanEvaluatorTest, RejectsMissingAttribute) {

@@ -134,6 +134,53 @@ TEST_F(CartTest, LmfaoAndScanBackendsGrowTheSameTree) {
   EXPECT_NEAR(lmfao_sse, scan_sse, 1e-6 * std::max(1.0, scan_sse));
 }
 
+TEST_F(CartTest, LmfaoBackendTracksAppendsWithoutRebuild) {
+  CartOptions options;
+  options.max_depth = 2;
+  options.num_thresholds = 4;
+  CartTrainer trainer(features_, &data_->catalog, options);
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  LmfaoCartProvider provider(&engine);
+  ASSERT_TRUE(trainer.Train(&provider).ok());
+
+  // Grow Sales through the epoch append API; the SAME engine and provider
+  // retrain on the larger database (appends invalidate nothing) and must
+  // agree with the scan backend over the re-materialized join.
+  std::vector<std::vector<Value>> rows;
+  for (int64_t i = 0; i < 400; ++i) {
+    rows.push_back({Value::Int((i * 3) % 90), Value::Int(i % 18),
+                    Value::Int((i * 11) % 400),
+                    Value::Double(1.0 + static_cast<double>(i % 9)),
+                    Value::Int(i % 2)});
+  }
+  ASSERT_TRUE(data_->catalog.AppendRows(data_->sales, rows).ok());
+
+  auto lmfao_tree = trainer.Train(&provider);
+  ASSERT_TRUE(lmfao_tree.ok()) << lmfao_tree.status().ToString();
+
+  auto joined = MaterializeJoin(data_->catalog, data_->tree, data_->sales);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->num_rows(), 2400u);
+  ScanCartProvider scan_provider(&*joined);
+  auto scan_tree = trainer.Train(&scan_provider);
+  ASSERT_TRUE(scan_tree.ok());
+
+  EXPECT_EQ(lmfao_tree->num_nodes, scan_tree->num_nodes);
+  const int label_col = joined->ColumnIndex(features_.label);
+  auto sse = [&](const DecisionTree& tree) {
+    double out = 0.0;
+    for (size_t row = 0; row < joined->num_rows(); ++row) {
+      const double y = joined->column(label_col).AsDouble(row);
+      const double d = y - tree.Predict(*joined, row);
+      out += d * d;
+    }
+    return out;
+  };
+  const double lmfao_sse = sse(*lmfao_tree);
+  const double scan_sse = sse(*scan_tree);
+  EXPECT_NEAR(lmfao_sse, scan_sse, 1e-6 * std::max(1.0, scan_sse));
+}
+
 TEST_F(CartTest, TreeReducesTrainingError) {
   CartOptions options;
   options.max_depth = 4;

@@ -86,6 +86,60 @@ TEST(CatalogTest, RefreshSpansMultipleRelations) {
   EXPECT_EQ(cat.attr(0).domain_size, 2);
 }
 
+TEST(CatalogEpochTest, AppendCommitsRowsWatermarkAndEpoch) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddAttribute("k", AttrType::kInt).ok());
+  ASSERT_TRUE(cat.AddAttribute("v", AttrType::kDouble).ok());
+  auto r = cat.AddRelation("R", {"k", "v"});
+  ASSERT_TRUE(r.ok());
+  cat.mutable_relation(*r).AppendRowUnchecked(
+      {Value::Int(1), Value::Double(2.0)});
+  EXPECT_EQ(cat.append_epoch(), 0u);
+
+  ASSERT_TRUE(cat.AppendRows(*r, {{Value::Int(3), Value::Double(4.0)},
+                                  {Value::Int(5), Value::Double(6.0)}})
+                  .ok());
+  EXPECT_EQ(cat.CommittedRows(*r), 3u);
+  EXPECT_EQ(cat.relation(*r).num_rows(), 3u);
+  EXPECT_EQ(cat.append_epoch(), 1u);
+  const EpochSnapshot snap = cat.SnapshotEpoch();
+  ASSERT_EQ(snap.rows.size(), 1u);
+  EXPECT_EQ(snap.at(*r), 3u);
+
+  // An empty append still commits an epoch.
+  ASSERT_TRUE(cat.AppendRows(*r, {}).ok());
+  EXPECT_EQ(cat.append_epoch(), 2u);
+  EXPECT_EQ(cat.CommittedRows(*r), 3u);
+}
+
+TEST(CatalogEpochTest, UntrackedWatermarkFollowsBulkLoadedRows) {
+  // Until the first Append, the committed watermark is the live row count,
+  // so bulk loaders that fill relations directly stay fully visible.
+  Catalog cat;
+  ASSERT_TRUE(cat.AddAttribute("k", AttrType::kInt).ok());
+  auto r = cat.AddRelation("R", {"k"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(cat.CommittedRows(*r), 0u);
+  cat.mutable_relation(*r).AppendRowUnchecked({Value::Int(1)});
+  cat.mutable_relation(*r).AppendRowUnchecked({Value::Int(2)});
+  EXPECT_EQ(cat.CommittedRows(*r), 2u);
+  EXPECT_EQ(cat.SnapshotEpoch().at(*r), 2u);
+}
+
+TEST(CatalogEpochTest, AppendValidatesIdAndTypesWithoutCommitting) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddAttribute("k", AttrType::kInt).ok());
+  auto r = cat.AddRelation("R", {"k"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(cat.AppendRows(7, {{Value::Int(1)}}).code(),
+            StatusCode::kInvalidArgument);
+  // Wrong arity and wrong type both fail before any row lands.
+  EXPECT_FALSE(cat.AppendRows(*r, {{Value::Int(1), Value::Int(2)}}).ok());
+  EXPECT_FALSE(cat.AppendRows(*r, {{Value::Double(1.5)}}).ok());
+  EXPECT_EQ(cat.relation(*r).num_rows(), 0u);
+  EXPECT_EQ(cat.append_epoch(), 0u);
+}
+
 TEST(CatalogTest, ToStringListsRelations) {
   Catalog cat;
   ASSERT_TRUE(cat.AddAttribute("a", AttrType::kInt).ok());

@@ -1,0 +1,543 @@
+/// \file delta_execution_test.cc
+/// \brief Incremental delta execution (PreparedBatch::ExecuteDelta), pinned
+/// differentially: randomized append schedules must refresh results
+/// bit-for-bit equal to a full recompute AND to the naive scan baseline
+/// (exact: the generator emits integer-valued data whose sums stay well
+/// below 2^53, so floating-point addition is associative on it), across
+/// engine configurations; plus the epoch/watermark contract (appends keep
+/// handles valid, pinned old-epoch executions are unaffected, non-append
+/// mutations fail cleanly) and concurrent appends-vs-executes (exercised
+/// under TSan by the tsan ctest preset).
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/join.h"
+#include "baseline/naive_engine.h"
+#include "data/favorita.h"
+#include "differential_harness.h"
+#include "engine/engine.h"
+#include "util/random.h"
+
+namespace lmfao {
+namespace {
+
+using ::lmfao::testing::AppendSchedule;
+using ::lmfao::testing::ExpectResultsMatch;
+
+/// A random acyclic database with *integer-exact* values: every column
+/// (including double columns) holds small integers, so all aggregate sums
+/// are exact in double precision and "bit-for-bit" comparisons are
+/// meaningful across summation orders (full recompute vs base+delta vs
+/// scan baseline).
+struct ExactDatabase {
+  Catalog catalog;
+  JoinTree tree;
+  std::vector<AttrId> int_attrs;
+  std::vector<AttrId> double_attrs;
+};
+
+ExactDatabase MakeExactDatabase(Rng* rng) {
+  ExactDatabase db;
+  const int num_relations = static_cast<int>(rng->UniformInt(3, 4));
+  std::vector<std::pair<RelationId, RelationId>> edges;
+  std::vector<std::vector<std::string>> rel_attrs(
+      static_cast<size_t>(num_relations));
+  int attr_counter = 0;
+  auto new_int_attr = [&]() {
+    const std::string name = "i" + std::to_string(attr_counter++);
+    db.int_attrs.push_back(db.catalog.AddAttribute(name, AttrType::kInt)
+                               .value());
+    return name;
+  };
+  auto new_double_attr = [&]() {
+    const std::string name = "d" + std::to_string(attr_counter++);
+    db.double_attrs.push_back(
+        db.catalog.AddAttribute(name, AttrType::kDouble).value());
+    return name;
+  };
+  for (int r = 0; r < num_relations; ++r) {
+    if (r > 0) {
+      const int parent = static_cast<int>(rng->UniformInt(0, r - 1));
+      edges.emplace_back(parent, r);
+      const int sep = static_cast<int>(rng->UniformInt(1, 2));
+      for (int s = 0; s < sep; ++s) {
+        const std::string name = new_int_attr();
+        rel_attrs[static_cast<size_t>(parent)].push_back(name);
+        rel_attrs[static_cast<size_t>(r)].push_back(name);
+      }
+    }
+    const int private_ints = static_cast<int>(rng->UniformInt(0, 2));
+    for (int i = 0; i < private_ints; ++i) {
+      rel_attrs[static_cast<size_t>(r)].push_back(new_int_attr());
+    }
+    const int doubles = static_cast<int>(rng->UniformInt(0, 1));
+    for (int i = 0; i < doubles; ++i) {
+      rel_attrs[static_cast<size_t>(r)].push_back(new_double_attr());
+    }
+  }
+  for (int r = 0; r < num_relations; ++r) {
+    if (rel_attrs[static_cast<size_t>(r)].empty()) {
+      rel_attrs[static_cast<size_t>(r)].push_back(new_int_attr());
+    }
+    LMFAO_CHECK(db.catalog
+                    .AddRelation("R" + std::to_string(r),
+                                 rel_attrs[static_cast<size_t>(r)])
+                    .ok());
+  }
+  for (RelationId r = 0; r < num_relations; ++r) {
+    Relation& rel = db.catalog.mutable_relation(r);
+    const int rows = static_cast<int>(rng->UniformInt(5, 50));
+    for (int i = 0; i < rows; ++i) {
+      std::vector<Value> row;
+      for (int c = 0; c < rel.schema().arity(); ++c) {
+        // Keys include negatives; small domains force duplicates.
+        const int64_t v = rng->UniformInt(-3, 3);
+        if (rel.column(c).type() == AttrType::kInt) {
+          row.push_back(Value::Int(v));
+        } else {
+          row.push_back(Value::Double(static_cast<double>(v)));
+        }
+      }
+      rel.AppendRowUnchecked(row);
+    }
+  }
+  db.catalog.RefreshDomainSizes();
+  db.tree = JoinTree::FromEdges(db.catalog, edges).value();
+  return db;
+}
+
+/// A random batch whose every factor is integer-exact (identity, square,
+/// indicators with integer thresholds, integer-valued dictionaries).
+QueryBatch MakeExactBatch(const ExactDatabase& db, Rng* rng) {
+  auto dict = std::make_shared<FunctionDict>();
+  dict->name = "exact";
+  dict->default_value = 1.0;
+  for (int64_t k = -3; k <= 3; ++k) {
+    dict->table[k] = static_cast<double>(rng->UniformInt(-2, 2));
+  }
+  QueryBatch batch;
+  const int num_queries = static_cast<int>(rng->UniformInt(1, 4));
+  for (int qi = 0; qi < num_queries; ++qi) {
+    Query q;
+    q.name = "q" + std::to_string(qi);
+    const int group_arity = static_cast<int>(rng->UniformInt(0, 3));
+    for (int g = 0; g < group_arity; ++g) {
+      q.group_by.push_back(db.int_attrs[rng->Uniform(db.int_attrs.size())]);
+    }
+    const int num_aggs = static_cast<int>(rng->UniformInt(1, 3));
+    for (int a = 0; a < num_aggs; ++a) {
+      std::vector<Factor> factors;
+      const int num_factors = static_cast<int>(rng->UniformInt(0, 2));
+      for (int f = 0; f < num_factors; ++f) {
+        const bool use_double =
+            !db.double_attrs.empty() && rng->Bernoulli(0.5);
+        const AttrId attr =
+            use_double ? db.double_attrs[rng->Uniform(db.double_attrs.size())]
+                       : db.int_attrs[rng->Uniform(db.int_attrs.size())];
+        switch (rng->UniformInt(0, 3)) {
+          case 0:
+            factors.push_back(Factor{attr, Function::Identity()});
+            break;
+          case 1:
+            factors.push_back(Factor{attr, Function::Square()});
+            break;
+          case 2:
+            factors.push_back(Factor{
+                attr, Function::Indicator(FunctionKind::kIndicatorLe,
+                                          static_cast<double>(
+                                              rng->UniformInt(-2, 2)))});
+            break;
+          default:
+            factors.push_back(
+                Factor{db.int_attrs[rng->Uniform(db.int_attrs.size())],
+                       Function::Dictionary(dict)});
+            break;
+        }
+      }
+      q.aggregates.push_back(Aggregate(std::move(factors)));
+    }
+    batch.Add(std::move(q));
+  }
+  return batch;
+}
+
+/// One random append round: grows 0-2 relations by 0-5 rows each (empty
+/// appends, single rows, duplicate and negative keys all occur), recording
+/// the schedule for the failure reproducer.
+void AppendRandomRows(ExactDatabase* db, Rng* rng, AppendSchedule* schedule) {
+  const int touched = static_cast<int>(rng->UniformInt(0, 2));
+  for (int t = 0; t < touched; ++t) {
+    const RelationId r = static_cast<RelationId>(
+        rng->UniformInt(0, db->catalog.num_relations() - 1));
+    const Relation& rel = db->catalog.relation(r);
+    const int rows = static_cast<int>(rng->UniformInt(0, 5));
+    std::vector<std::vector<Value>> batch_rows;
+    for (int i = 0; i < rows; ++i) {
+      std::vector<Value> row;
+      if (rel.num_rows() > 0 && rng->Bernoulli(0.25)) {
+        // Exact duplicate of an existing row.
+        const size_t src = rng->Uniform(rel.num_rows());
+        for (int c = 0; c < rel.num_columns(); ++c) {
+          row.push_back(rel.ValueAt(src, c));
+        }
+      } else {
+        for (int c = 0; c < rel.num_columns(); ++c) {
+          const int64_t v = rng->UniformInt(-3, 3);
+          row.push_back(rel.column(c).type() == AttrType::kInt
+                            ? Value::Int(v)
+                            : Value::Double(static_cast<double>(v)));
+        }
+      }
+      batch_rows.push_back(std::move(row));
+    }
+    ASSERT_TRUE(db->catalog.AppendRows(r, batch_rows).ok());
+    schedule->Record(rel.name(), static_cast<size_t>(rows));
+  }
+}
+
+class DeltaFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeltaFuzzTest, RefreshMatchesRecomputeAndBaselineBitForBit) {
+  struct Config {
+    bool factorize = true;
+    bool freeze = true;
+    int threads = 1;
+  };
+  const std::vector<Config> configs = {
+      {true, true, 1},   // Default: frozen sorted views (both layouts).
+      {true, false, 1},  // All views stay in hash form.
+      {false, true, 1},  // Unfactorized leaf writes.
+      {true, true, 3},   // Hybrid scheduler.
+  };
+  for (size_t ci = 0; ci < configs.size(); ++ci) {
+    Rng rng(GetParam() * 131 + ci);
+    ExactDatabase db = MakeExactDatabase(&rng);
+    const QueryBatch batch = MakeExactBatch(db, &rng);
+    AppendSchedule schedule;
+    // SCOPED_TRACE renders its message eagerly, so the seed-only trace
+    // covers the pre-append assertions and each round re-scopes a trace
+    // with the schedule recorded so far.
+    LMFAO_REPRO_TRACE(GetParam() * 131 + ci);
+
+    EngineOptions options;
+    options.plan.factorize = configs[ci].factorize;
+    options.plan.freeze_views = configs[ci].freeze;
+    options.scheduler.num_threads = configs[ci].threads;
+    Engine engine(&db.catalog, &db.tree, options);
+    auto prepared = engine.Prepare(batch);
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+
+    const EpochSnapshot epoch0 = db.catalog.SnapshotEpoch();
+    auto current = prepared->Execute();
+    ASSERT_TRUE(current.ok()) << current.status().ToString();
+    const BatchResult result0 = *current;
+
+    for (int round = 0; round < 3; ++round) {
+      ASSERT_NO_FATAL_FAILURE(AppendRandomRows(&db, &rng, &schedule));
+      LMFAO_REPRO_TRACE(GetParam() * 131 + ci, schedule);
+      auto refreshed = prepared->ExecuteDelta(*current);
+      ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+      EXPECT_TRUE(refreshed->stats.delta_execution);
+
+      // Oracle 1: full recompute through the same prepared handle.
+      auto full = prepared->Execute();
+      ASSERT_TRUE(full.ok()) << full.status().ToString();
+      ExpectResultsMatch(refreshed->results, full->results, 0.0,
+                         "round " + std::to_string(round) +
+                             ": delta refresh vs full recompute");
+
+      // Oracle 2: the naive scan baseline over the re-materialized join.
+      auto joined = MaterializeJoin(db.catalog, db.tree, 0);
+      ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+      auto baseline = EvaluateBatchSharedScan(*joined, batch);
+      ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+      ExpectResultsMatch(refreshed->results, *baseline, 0.0,
+                         "round " + std::to_string(round) +
+                             ": delta refresh vs scan baseline");
+
+      current = std::move(refreshed);
+    }
+
+    // Epoch pinning: re-executing at the initial snapshot still returns
+    // the initial results bit-for-bit, all appends notwithstanding.
+    auto pinned = prepared->ExecuteAt(epoch0);
+    ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+    ExpectResultsMatch(pinned->results, result0.results, 0.0,
+                       "pinned old-epoch execute");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaFuzzTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+class DeltaContractTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto data = MakeFavorita(FavoritaOptions{.num_sales = 1500});
+    ASSERT_TRUE(data.ok());
+    data_ = std::move(data).value();
+  }
+
+  /// Appends `n` synthetic Sales rows that join with existing dimensions.
+  void AppendSales(int n, uint64_t seed = 7) {
+    Rng rng(seed);
+    std::vector<std::vector<Value>> rows;
+    for (int i = 0; i < n; ++i) {
+      rows.push_back({Value::Int(rng.UniformInt(0, 89)),
+                      Value::Int(rng.UniformInt(0, 17)),
+                      Value::Int(rng.UniformInt(0, 399)),
+                      Value::Double(static_cast<double>(
+                          rng.UniformInt(1, 20))),
+                      Value::Int(rng.UniformInt(0, 1))});
+    }
+    ASSERT_TRUE(data_->catalog.AppendRows(data_->sales, rows).ok());
+  }
+
+  std::unique_ptr<FavoritaData> data_;
+};
+
+TEST_F(DeltaContractTest, AppendKeepsHandlesValidAndDeltaMatchesRecompute) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  const QueryBatch batch = MakeExampleBatch(*data_);
+  auto prepared = engine.Prepare(batch);
+  ASSERT_TRUE(prepared.ok());
+  auto base = prepared->Execute();
+  ASSERT_TRUE(base.ok());
+
+  AppendSales(150);
+
+  // The handle survives the append (no InvalidateCaches) and a plain
+  // Execute sees the appended rows.
+  auto full = prepared->Execute();
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+
+  auto refreshed = prepared->ExecuteDelta(*base);
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+  EXPECT_TRUE(refreshed->stats.delta_execution);
+  EXPECT_EQ(refreshed->stats.delta_passes, 1);
+  EXPECT_EQ(refreshed->stats.delta_rows, 150u);
+  EXPECT_GT(refreshed->stats.delta_dirty_groups, 0);
+  // Favorita data has non-integer doubles, so base+delta vs one-pass
+  // summation differ by rounding only.
+  ExpectResultsMatch(refreshed->results, full->results, 1e-9,
+                     "delta refresh vs full recompute");
+
+  // A fresh engine (cold caches) agrees too.
+  Engine cold(&data_->catalog, &data_->tree, EngineOptions{});
+  auto cold_result = cold.Evaluate(batch);
+  ASSERT_TRUE(cold_result.ok());
+  ExpectResultsMatch(refreshed->results, cold_result->results, 1e-9,
+                     "delta refresh vs cold engine");
+}
+
+TEST_F(DeltaContractTest, NoAppendsIsAZeroPassCopy) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto prepared = engine.Prepare(MakeExampleBatch(*data_));
+  ASSERT_TRUE(prepared.ok());
+  auto base = prepared->Execute();
+  ASSERT_TRUE(base.ok());
+
+  // An empty append commits an epoch but changes no watermark.
+  ASSERT_TRUE(data_->catalog.AppendRows(data_->sales, {}).ok());
+
+  auto refreshed = prepared->ExecuteDelta(*base);
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+  EXPECT_TRUE(refreshed->stats.delta_execution);
+  EXPECT_EQ(refreshed->stats.delta_passes, 0);
+  EXPECT_EQ(refreshed->stats.delta_rows, 0u);
+  ExpectResultsMatch(refreshed->results, base->results, 0.0,
+                     "zero-delta refresh");
+}
+
+TEST_F(DeltaContractTest, RepeatedRefreshFromOneBase) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto prepared = engine.Prepare(MakeExampleBatch(*data_));
+  ASSERT_TRUE(prepared.ok());
+  auto base = prepared->Execute();
+  ASSERT_TRUE(base.ok());
+  AppendSales(80);
+
+  // ExecuteDelta is functional: the base is untouched, so refreshing from
+  // it twice gives identical results.
+  auto first = prepared->ExecuteDelta(*base);
+  auto second = prepared->ExecuteDelta(*base);
+  ASSERT_TRUE(first.ok() && second.ok());
+  ExpectResultsMatch(first->results, second->results, 0.0,
+                     "repeated refresh from one base");
+  // And the refreshed result seeds further refreshes.
+  AppendSales(40, /*seed=*/11);
+  auto chained = prepared->ExecuteDelta(*first);
+  auto full = prepared->Execute();
+  ASSERT_TRUE(chained.ok() && full.ok());
+  ExpectResultsMatch(chained->results, full->results, 1e-9,
+                     "chained refresh vs full recompute");
+}
+
+TEST_F(DeltaContractTest, StaleHandleAfterNonAppendMutation) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto prepared = engine.Prepare(MakeExampleBatch(*data_));
+  ASSERT_TRUE(prepared.ok());
+  auto base = prepared->Execute();
+  ASSERT_TRUE(base.ok());
+
+  // A structural mutation (simulated by its required InvalidateCaches
+  // call) must fail ExecuteDelta with FailedPrecondition, distinctly from
+  // appends, which keep the handle live.
+  engine.InvalidateCaches();
+  auto stale = prepared->ExecuteDelta(*base);
+  EXPECT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DeltaContractTest, ShrunkWatermarkFailsAsNonAppendMutation) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto prepared = engine.Prepare(MakeExampleBatch(*data_));
+  ASSERT_TRUE(prepared.ok());
+  auto base = prepared->Execute();
+  ASSERT_TRUE(base.ok());
+
+  // A base whose watermark exceeds the live relation means rows were
+  // deleted behind the epoch API's back.
+  BatchResult doctored = *base;
+  doctored.epoch.rows[static_cast<size_t>(data_->sales)] += 10;
+  auto refreshed = prepared->ExecuteDelta(doctored);
+  EXPECT_FALSE(refreshed.ok());
+  EXPECT_EQ(refreshed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DeltaContractTest, MismatchedBaseIsRejected) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  const QueryBatch batch = MakeExampleBatch(*data_);
+  auto prepared = engine.Prepare(batch);
+  ASSERT_TRUE(prepared.ok());
+
+  // Base from a different batch shape: artifact signature mismatch.
+  QueryBatch other;
+  {
+    Query q;
+    q.name = "count_only";
+    q.aggregates.push_back(Aggregate::Count());
+    other.Add(std::move(q));
+  }
+  auto other_prepared = engine.Prepare(other);
+  ASSERT_TRUE(other_prepared.ok());
+  auto other_base = other_prepared->Execute();
+  ASSERT_TRUE(other_base.ok());
+  auto mixed = prepared->ExecuteDelta(*other_base);
+  EXPECT_FALSE(mixed.ok());
+  EXPECT_EQ(mixed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DeltaContractTest, ParameterBindingsMustMatchTheBase) {
+  QueryBatch batch;
+  {
+    Query q;
+    q.name = "promo_units_by_family";
+    q.group_by = {data_->family};
+    q.aggregates.push_back(Aggregate(
+        {Factor{data_->promo,
+                Function::IndicatorParam(FunctionKind::kIndicatorEq, 0)},
+         Factor{data_->units, Function::Identity()}}));
+    batch.Add(std::move(q));
+  }
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto prepared = engine.Prepare(batch);
+  ASSERT_TRUE(prepared.ok());
+
+  ParamPack promo;
+  promo.Set(0, 1.0);
+  auto base = prepared->Execute(promo);
+  ASSERT_TRUE(base.ok());
+  AppendSales(60);
+
+  // Different binding: not a delta of this base.
+  ParamPack nonpromo;
+  nonpromo.Set(0, 0.0);
+  auto wrong = prepared->ExecuteDelta(*base, nonpromo);
+  EXPECT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kInvalidArgument);
+
+  // Same binding: refresh matches the full parameterized recompute.
+  auto refreshed = prepared->ExecuteDelta(*base, promo);
+  auto full = prepared->Execute(promo);
+  ASSERT_TRUE(refreshed.ok() && full.ok());
+  ExpectResultsMatch(refreshed->results, full->results, 1e-9,
+                     "parameterized delta refresh");
+}
+
+/// The concurrency pin of the epoch model: a writer thread appends while
+/// reader threads execute pinned to the pre-append epoch; every pinned
+/// result must be bit-identical to the pre-append reference (and the run
+/// must be TSan-clean — this test is in the tsan preset filter).
+TEST_F(DeltaContractTest, ConcurrentAppendsDoNotPerturbOldEpochExecutes) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto prepared = engine.Prepare(MakeExampleBatch(*data_));
+  ASSERT_TRUE(prepared.ok());
+
+  const EpochSnapshot epoch0 = data_->catalog.SnapshotEpoch();
+  auto ref = prepared->ExecuteAt(epoch0);
+  ASSERT_TRUE(ref.ok());
+
+  constexpr int kReaders = 4;
+  constexpr int kExecutesPerReader = 5;
+  constexpr int kAppendBatches = 24;
+  std::vector<std::vector<StatusOr<BatchResult>>> got(
+      kReaders);
+
+  std::thread writer([&] {
+    Rng rng(99);
+    for (int i = 0; i < kAppendBatches; ++i) {
+      std::vector<std::vector<Value>> rows;
+      for (int k = 0; k < 25; ++k) {
+        rows.push_back({Value::Int(rng.UniformInt(0, 89)),
+                        Value::Int(rng.UniformInt(0, 17)),
+                        Value::Int(rng.UniformInt(0, 399)),
+                        Value::Double(static_cast<double>(
+                            rng.UniformInt(1, 20))),
+                        Value::Int(rng.UniformInt(0, 1))});
+      }
+      LMFAO_CHECK(data_->catalog.AppendRows(data_->sales, rows).ok());
+    }
+  });
+  {
+    std::vector<std::thread> readers;
+    for (int t = 0; t < kReaders; ++t) {
+      readers.emplace_back([&, t] {
+        for (int i = 0; i < kExecutesPerReader; ++i) {
+          got[static_cast<size_t>(t)].push_back(
+              prepared->ExecuteAt(epoch0));
+        }
+      });
+    }
+    for (std::thread& th : readers) th.join();
+  }
+  writer.join();
+
+  for (int t = 0; t < kReaders; ++t) {
+    for (const auto& result : got[static_cast<size_t>(t)]) {
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ExpectResultsMatch(result->results, ref->results, 0.0,
+                         "pinned execute during concurrent appends, thread " +
+                             std::to_string(t));
+    }
+  }
+
+  // All appends committed: a delta refresh of the pre-append result now
+  // agrees with a full recompute.
+  auto refreshed = prepared->ExecuteDelta(*ref);
+  auto full = prepared->Execute();
+  ASSERT_TRUE(refreshed.ok() && full.ok());
+  EXPECT_EQ(refreshed->stats.delta_rows,
+            static_cast<size_t>(kAppendBatches) * 25u);
+  ExpectResultsMatch(refreshed->results, full->results, 1e-9,
+                     "post-concurrency delta refresh");
+}
+
+}  // namespace
+}  // namespace lmfao

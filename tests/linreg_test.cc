@@ -49,6 +49,60 @@ TEST_F(LinregTest, LmfaoSigmaMatchesScanSigma) {
   }
 }
 
+TEST_F(LinregTest, SigmaRefresherFoldsAppendsIncrementally) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto refresher = SigmaRefresher::Create(&engine, features_, data_->catalog);
+  ASSERT_TRUE(refresher.ok()) << refresher.status().ToString();
+  auto initial = refresher->Current();
+  ASSERT_TRUE(initial.ok());
+  EXPECT_DOUBLE_EQ(initial->count, 2000.0);
+
+  // Append 100 sales rows; some carry promo=2, a category value absent
+  // from the base data, so the one-hot block must grow on refresh.
+  std::vector<std::vector<Value>> rows;
+  for (int64_t i = 0; i < 100; ++i) {
+    rows.push_back({Value::Int(i % 90), Value::Int(i % 18),
+                    Value::Int((i * 7) % 400),
+                    Value::Double(1.0 + static_cast<double>(i % 13)),
+                    Value::Int(i % 10 == 0 ? 2 : i % 2)});
+  }
+  ASSERT_TRUE(data_->catalog.AppendRows(data_->sales, rows).ok());
+
+  auto refreshed = refresher->Refresh();
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+  EXPECT_TRUE(refresher->last_stats().delta_execution);
+  EXPECT_EQ(refresher->last_stats().delta_passes, 1);
+  EXPECT_EQ(refresher->last_stats().delta_rows, 100u);
+  EXPECT_DOUBLE_EQ(refreshed->count, 2100.0);
+  EXPECT_GT(refreshed->index.dim, initial->index.dim);
+
+  // Differential pin: the incrementally refreshed Sigma equals the scan
+  // Sigma over the re-materialized join, entry for entry.
+  auto joined = MaterializeJoin(data_->catalog, data_->tree, data_->sales);
+  ASSERT_TRUE(joined.ok());
+  auto scan = ComputeSigmaScan(*joined, features_, data_->catalog);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(refreshed->index.dim, scan->index.dim);
+  for (int i = 0; i < scan->index.dim; ++i) {
+    for (int j = 0; j < scan->index.dim; ++j) {
+      EXPECT_NEAR(refreshed->At(i, j), scan->At(i, j),
+                  1e-7 * std::max(1.0, std::fabs(scan->At(i, j))))
+          << "entry (" << i << "," << j << ")";
+    }
+  }
+
+  // Nothing new appended: Refresh is a zero-pass no-op.
+  auto again = refresher->Refresh();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(refresher->last_stats().delta_rows, 0u);
+  EXPECT_DOUBLE_EQ(again->count, 2100.0);
+
+  // A structural mutation strands the refresher; callers rebuild it.
+  engine.InvalidateCaches();
+  EXPECT_EQ(refresher->Refresh().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
 TEST_F(LinregTest, SigmaIsSymmetricWithCountAtOrigin) {
   Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
   auto sigma = ComputeSigmaLmfao(&engine, features_, data_->catalog);

@@ -5,6 +5,8 @@
 /// options-snapshot semantics, and concurrent Executes of one handle
 /// (exercised under TSan by the tsan ctest preset).
 
+#include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -12,10 +14,13 @@
 
 #include "baseline/naive_engine.h"
 #include "data/favorita.h"
+#include "differential_harness.h"
 #include "engine/engine.h"
 
 namespace lmfao {
 namespace {
+
+using ::lmfao::testing::ExpectResultsMatch;
 
 class PreparedBatchTest : public ::testing::Test {
  protected:
@@ -71,11 +76,9 @@ TEST_F(PreparedBatchTest, ExecuteMatchesEvaluateBitForBit) {
   for (int run = 0; run < 2; ++run) {
     auto executed = prepared->Execute();
     ASSERT_TRUE(executed.ok());
-    ASSERT_EQ(executed->results.size(), evaluated->results.size());
-    for (size_t q = 0; q < evaluated->results.size(); ++q) {
-      EXPECT_TRUE(ResultsEquivalent(executed->results[q],
-                                    evaluated->results[q], 0.0));
-    }
+    ExpectResultsMatch(executed->results, evaluated->results, 0.0,
+                       "prepared execute run " + std::to_string(run) +
+                           " vs one-shot evaluate");
     // A prepared Execute pays no compile.
     EXPECT_EQ(executed->stats.compile_seconds, 0.0);
     EXPECT_TRUE(executed->stats.plan_cache_hit);
@@ -106,11 +109,9 @@ TEST_F(PreparedBatchTest, ParamRebindMatchesBoundEvaluate) {
     Engine fresh(&data_->catalog, &data_->tree, EngineOptions{});
     auto evaluated = fresh.Evaluate(*bound);
     ASSERT_TRUE(evaluated.ok());
-    for (size_t q = 0; q < evaluated->results.size(); ++q) {
-      EXPECT_TRUE(ResultsEquivalent(executed->results[q],
-                                    evaluated->results[q], 0.0))
-          << "binding " << i << " query " << q;
-    }
+    ExpectResultsMatch(executed->results, evaluated->results, 0.0,
+                       "binding " + std::to_string(i) +
+                           " vs bound evaluate");
   }
 }
 
@@ -142,6 +143,41 @@ TEST_F(PreparedBatchTest, StaleHandleAfterInvalidateCaches) {
   ASSERT_TRUE(again.ok());
   EXPECT_FALSE(again->from_cache());
   EXPECT_TRUE(again->Execute().ok());
+}
+
+TEST_F(PreparedBatchTest, AppendsKeepHandlesLiveInvalidateDoesNot) {
+  // The two mutation classes are distinct: Catalog::Append advances the
+  // epoch but does NOT invalidate prepared handles (Execute sees the new
+  // rows, ExecuteDelta folds them in); a structural mutation signalled via
+  // InvalidateCaches strands the handle for both entry points.
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  const QueryBatch batch = MakeExampleBatch(*data_);
+  auto prepared = engine.Prepare(batch);
+  ASSERT_TRUE(prepared.ok());
+  auto base = prepared->Execute();
+  ASSERT_TRUE(base.ok());
+  const uint64_t epoch_before = data_->catalog.append_epoch();
+
+  ASSERT_TRUE(data_->catalog
+                  .AppendRows(data_->sales,
+                              {{Value::Int(3), Value::Int(7), Value::Int(11),
+                                Value::Double(5.0), Value::Int(1)}})
+                  .ok());
+  EXPECT_GT(data_->catalog.append_epoch(), epoch_before);
+
+  EXPECT_TRUE(prepared->valid());
+  auto full = prepared->Execute();
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  auto refreshed = prepared->ExecuteDelta(*base);
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+  ExpectResultsMatch(refreshed->results, full->results, 1e-9,
+                     "post-append delta refresh vs full execute");
+
+  engine.InvalidateCaches();
+  auto stale_execute = prepared->Execute();
+  EXPECT_EQ(stale_execute.status().code(), StatusCode::kFailedPrecondition);
+  auto stale_delta = prepared->ExecuteDelta(*refreshed);
+  EXPECT_EQ(stale_delta.status().code(), StatusCode::kFailedPrecondition);
 }
 
 TEST_F(PreparedBatchTest, PlanCacheSharesStructurallyEqualShapes) {
@@ -265,12 +301,8 @@ TEST_F(PreparedBatchTest, ConcurrentExecutesAgree) {
     const auto& got = results[static_cast<size_t>(t)];
     ASSERT_TRUE(got.ok()) << got.status().ToString();
     const BatchResult& ref = t % 2 == 0 ? *promo_ref : *nonpromo_ref;
-    ASSERT_EQ(got->results.size(), ref.results.size());
-    for (size_t q = 0; q < ref.results.size(); ++q) {
-      EXPECT_TRUE(
-          ResultsEquivalent(got->results[q], ref.results[q], 0.0))
-          << "thread " << t << " query " << q;
-    }
+    ExpectResultsMatch(got->results, ref.results, 0.0,
+                       "thread " + std::to_string(t));
   }
 }
 
@@ -291,10 +323,8 @@ TEST_F(PreparedBatchTest, EvaluateWrapperReportsCompileSplit) {
   EXPECT_GT(warm->stats.viewgen_seconds + warm->stats.grouping_seconds +
                 warm->stats.plan_seconds,
             0.0);
-  for (size_t q = 0; q < cold->results.size(); ++q) {
-    EXPECT_TRUE(
-        ResultsEquivalent(warm->results[q], cold->results[q], 0.0));
-  }
+  ExpectResultsMatch(warm->results, cold->results, 0.0,
+                     "warm evaluate vs cold evaluate");
 }
 
 }  // namespace

@@ -7,10 +7,13 @@
 /// (including attributes travelling across relations), skewed data with
 /// dangling keys (non-FK joins).
 
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 #include "baseline/join.h"
 #include "baseline/naive_engine.h"
+#include "differential_harness.h"
 #include "engine/engine.h"
 #include "util/random.h"
 
@@ -162,6 +165,7 @@ QueryBatch MakeRandomBatch(const RandomDatabase& db, Rng* rng) {
 class EngineFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(EngineFuzzTest, AgreesWithBaselineAcrossConfigs) {
+  LMFAO_REPRO_TRACE(GetParam());
   Rng rng(GetParam());
   const RandomDatabase db = MakeRandomDatabase(&rng);
   const QueryBatch batch = MakeRandomBatch(db, &rng);
@@ -208,16 +212,13 @@ TEST_P(EngineFuzzTest, AgreesWithBaselineAcrossConfigs) {
     Engine engine(&db.catalog, &db.tree, options);
     auto result = engine.Evaluate(batch);
     ASSERT_TRUE(result.ok()) << result.status().ToString();
-    for (size_t q = 0; q < baseline->size(); ++q) {
-      EXPECT_TRUE(
-          ResultsEquivalent(result->results[q], (*baseline)[q], 1e-7))
-          << "seed=" << GetParam() << " query=" << q
-          << " merge=" << config.merge << " multi=" << config.multi
-          << " factorize=" << config.factorize
+    std::ostringstream label;
+    label << "vs baseline, merge=" << config.merge
+          << " multi=" << config.multi << " factorize=" << config.factorize
           << " threads=" << config.threads << " task=" << config.task
-          << " domain=" << config.domain << "\nquery: "
-          << batch.query(static_cast<QueryId>(q)).ToString(&db.catalog);
-    }
+          << " domain=" << config.domain << " freeze=" << config.freeze;
+    ::lmfao::testing::ExpectResultsMatch(result->results, *baseline, 1e-7,
+                                         label.str());
   }
 }
 
@@ -226,6 +227,7 @@ TEST_P(EngineFuzzTest, AgreesWithBaselineAcrossConfigs) {
 /// agree bitwise-ish (same tolerance) on every query, and the runtime's
 /// eager eviction must never report more live views than the workload has.
 TEST_P(EngineFuzzTest, HybridMatchesSequential) {
+  LMFAO_REPRO_TRACE(GetParam() + 1000);
   Rng rng(GetParam() + 1000);
   const RandomDatabase db = MakeRandomDatabase(&rng);
   const QueryBatch batch = MakeRandomBatch(db, &rng);
@@ -241,12 +243,8 @@ TEST_P(EngineFuzzTest, HybridMatchesSequential) {
   auto got = hybrid.Evaluate(batch);
   ASSERT_TRUE(got.ok()) << got.status().ToString();
 
-  ASSERT_EQ(ref->results.size(), got->results.size());
-  for (size_t q = 0; q < ref->results.size(); ++q) {
-    EXPECT_TRUE(ResultsEquivalent(ref->results[q], got->results[q], 1e-9))
-        << "seed=" << GetParam() << " query=" << q << "\nquery: "
-        << batch.query(static_cast<QueryId>(q)).ToString(&db.catalog);
-  }
+  ::lmfao::testing::ExpectResultsMatch(got->results, ref->results, 1e-9,
+                                       "hybrid vs sequential");
   const size_t total_views = static_cast<size_t>(got->stats.num_views) +
                              static_cast<size_t>(got->stats.num_queries);
   EXPECT_LE(got->stats.peak_live_views, total_views);

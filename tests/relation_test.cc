@@ -105,6 +105,44 @@ TEST(RelationTest, ToStringTruncates) {
   EXPECT_NE(s.find("17 more"), std::string::npos);
 }
 
+TEST(RelationTest, AppendRelationConcatenatesColumns) {
+  Relation r = MakeRelation();
+  r.AppendRowUnchecked({Value::Int(1), Value::Int(2), Value::Double(3.0)});
+  Relation more = MakeRelation();
+  more.AppendRowUnchecked({Value::Int(4), Value::Int(5), Value::Double(6.0)});
+  more.AppendRowUnchecked({Value::Int(7), Value::Int(8), Value::Double(9.0)});
+  ASSERT_TRUE(r.Append(more).ok());
+  EXPECT_EQ(r.num_rows(), 3u);
+  EXPECT_EQ(r.column(0).ints(), (std::vector<int64_t>{1, 4, 7}));
+  EXPECT_DOUBLE_EQ(r.column(2).doubles()[2], 9.0);
+}
+
+TEST(RelationTest, AppendRelationRejectsMismatchedSchema) {
+  Relation r = MakeRelation();
+  Relation other("S", RelationSchema({0, 1}),
+                 {AttrType::kInt, AttrType::kInt});
+  EXPECT_FALSE(r.Append(other).ok());
+  // Same attrs, different column type.
+  Relation retyped("T", RelationSchema({0, 1, 2}),
+                   {AttrType::kInt, AttrType::kInt, AttrType::kInt});
+  EXPECT_FALSE(r.Append(retyped).ok());
+  EXPECT_EQ(r.num_rows(), 0u);
+}
+
+TEST(RelationTest, SliceRowsCopiesHalfOpenRange) {
+  Relation r = MakeRelation();
+  for (int64_t i = 0; i < 5; ++i) {
+    r.AppendRowUnchecked({Value::Int(i), Value::Int(10 + i),
+                          Value::Double(static_cast<double>(i) / 2)});
+  }
+  const Relation slice = r.SliceRows(1, 4);
+  EXPECT_EQ(slice.num_rows(), 3u);
+  EXPECT_EQ(slice.schema().attrs(), r.schema().attrs());
+  EXPECT_EQ(slice.column(0).ints(), (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(slice.column(2).doubles()[0], 0.5);
+  EXPECT_EQ(r.SliceRows(2, 2).num_rows(), 0u);
+}
+
 TEST(ValueTest, TypedAccess) {
   EXPECT_EQ(Value::Int(5).AsInt(), 5);
   EXPECT_DOUBLE_EQ(Value::Int(5).AsDouble(), 5.0);

@@ -83,6 +83,57 @@ TEST(SortTest, EmptyRelation) {
   EXPECT_TRUE(*sorted);
 }
 
+TEST(MergeSortedRelationsTest, MergeOfSortedSplitsEqualsFullStableSort) {
+  // The invariant the epoch-extended sorted cache rests on: sorting a
+  // prefix and a suffix separately and merging them (prefix wins ties)
+  // is bit-identical to one stable sort of the whole relation.
+  Rng rng(11);
+  Relation whole("W", RelationSchema({0, 1, 2}),
+                 {AttrType::kInt, AttrType::kInt, AttrType::kDouble});
+  for (int i = 0; i < 300; ++i) {
+    whole.AppendRowUnchecked({Value::Int(rng.UniformInt(-3, 3)),
+                              Value::Int(rng.UniformInt(0, 4)),
+                              Value::Double(static_cast<double>(i))});
+  }
+  for (const size_t split : {size_t{0}, size_t{1}, size_t{150}, size_t{300}}) {
+    Relation prefix = whole.SliceRows(0, split);
+    Relation suffix = whole.SliceRows(split, whole.num_rows());
+    ASSERT_TRUE(SortRelation(&prefix, {0, 1}).ok());
+    ASSERT_TRUE(SortRelation(&suffix, {0, 1}).ok());
+    auto merged = MergeSortedRelations(prefix, suffix, {0, 1});
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+
+    Relation resorted = whole;
+    ASSERT_TRUE(SortRelation(&resorted, {0, 1}).ok());
+    ASSERT_EQ(merged->num_rows(), resorted.num_rows());
+    EXPECT_EQ(merged->column(0).ints(), resorted.column(0).ints());
+    EXPECT_EQ(merged->column(1).ints(), resorted.column(1).ints());
+    // The payload column pins stability: every row carries its original
+    // index, so any tie broken differently from the full stable sort
+    // shows up here.
+    EXPECT_EQ(merged->column(2).doubles(), resorted.column(2).doubles())
+        << "split at " << split;
+  }
+}
+
+TEST(MergeSortedRelationsTest, EmptyOrderConcatenates) {
+  Relation a = MakeRelation();
+  Relation b = MakeRelation();
+  auto merged = MergeSortedRelations(a, b, {});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->num_rows(), 8u);
+  EXPECT_EQ(merged->column(0).ints()[4], a.column(0).ints()[0]);
+}
+
+TEST(MergeSortedRelationsTest, RejectsMismatchedSchemas) {
+  Relation a = MakeRelation();
+  Relation b("B", RelationSchema({0, 1}), {AttrType::kInt, AttrType::kInt});
+  EXPECT_FALSE(MergeSortedRelations(a, b, {0}).ok());
+  // Sort attribute absent from the schema.
+  Relation c = MakeRelation();
+  EXPECT_FALSE(MergeSortedRelations(a, c, {9}).ok());
+}
+
 TEST(SortTest, PermutationMatchesSort) {
   Relation r = MakeRelation();
   auto perm = SortPermutation(r, {0, 1});
