@@ -1,0 +1,150 @@
+/// \file bench_simd_kernels.cc
+/// \brief A/B the explicit AVX2 kernels against the scalar interpreter
+/// loops they replace, in isolation.
+///
+/// The end-to-end covariance batch spends most of its time in join
+/// navigation, hash upserts, and short per-key runs, so the SIMD tier is
+/// hard to see there (see EXPERIMENTS.md). These microbenchmarks measure
+/// the kernels on the executor's actual loop shapes at controlled run
+/// lengths: the crossover where AVX2 pays for itself is around a few dozen
+/// elements, and the dominant e2e gains come from the JIT tier instead.
+///
+/// Each scalar reference below is byte-for-byte the loop the interpreter
+/// runs (payload_columns.h SumRange, executor.cc DotRange and the fused
+/// beta runs); the simd:: entry points dispatch to AVX2 when available.
+
+#include <cstddef>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "engine/simd_kernels.h"
+#include "storage/payload_columns.h"
+
+namespace lmfao {
+namespace {
+
+std::vector<double> MakeData(size_t n, double seed) {
+  std::vector<double> v(n);
+  double x = seed;
+  for (size_t i = 0; i < n; ++i) {
+    // Cheap LCG-ish doubles; values in [0, 1) keep the sums well scaled.
+    x = x * 1103515245.0 + 12345.0;
+    v[i] = (static_cast<long long>(x) % 1000003) / 1000003.0;
+  }
+  return v;
+}
+
+void BM_Simd_SumRange(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<double> col = MakeData(n, 3.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::SumRange(col.data(), 0, n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["avx2"] = simd::HasAvx2() ? 1 : 0;
+}
+BENCHMARK(BM_Simd_SumRange)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_Scalar_SumRange(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<double> col = MakeData(n, 3.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lmfao::SumRange(col.data(), 0, n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Scalar_SumRange)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_Simd_DotRange(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<double> a = MakeData(n, 3.0);
+  const std::vector<double> b = MakeData(n, 7.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::DotRange(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["avx2"] = simd::HasAvx2() ? 1 : 0;
+}
+BENCHMARK(BM_Simd_DotRange)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_Scalar_DotRange(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<double> a = MakeData(n, 3.0);
+  const std::vector<double> b = MakeData(n, 7.0);
+  for (auto _ : state) {
+    // The interpreter's four-accumulator dot loop (executor.cc DotRange).
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      s0 += a[i] * b[i];
+      s1 += a[i + 1] * b[i + 1];
+      s2 += a[i + 2] * b[i + 2];
+      s3 += a[i + 3] * b[i + 3];
+    }
+    for (; i < n; ++i) s0 += a[i] * b[i];
+    benchmark::DoNotOptimize((s0 + s1) + (s2 + s3));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Scalar_DotRange)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_Simd_Axpy(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<double> src = MakeData(n, 3.0);
+  std::vector<double> dst = MakeData(n, 7.0);
+  for (auto _ : state) {
+    simd::Axpy(dst.data(), src.data(), 1.0000001, n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["avx2"] = simd::HasAvx2() ? 1 : 0;
+}
+BENCHMARK(BM_Simd_Axpy)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_Scalar_Axpy(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<double> src = MakeData(n, 3.0);
+  std::vector<double> dst = MakeData(n, 7.0);
+  for (auto _ : state) {
+    double* d = dst.data();
+    const double* s = src.data();
+    for (size_t i = 0; i < n; ++i) d[i] += s[i] * 1.0000001;
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Scalar_Axpy)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_Simd_MulAddPairs(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<double> a = MakeData(n, 3.0);
+  const std::vector<double> b = MakeData(n, 7.0);
+  std::vector<double> dst = MakeData(n, 11.0);
+  for (auto _ : state) {
+    simd::MulAddPairs(dst.data(), a.data(), b.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["avx2"] = simd::HasAvx2() ? 1 : 0;
+}
+BENCHMARK(BM_Simd_MulAddPairs)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_Scalar_MulAddPairs(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<double> a = MakeData(n, 3.0);
+  const std::vector<double> b = MakeData(n, 7.0);
+  std::vector<double> dst = MakeData(n, 11.0);
+  for (auto _ : state) {
+    double* d = dst.data();
+    const double* pa = a.data();
+    const double* pb = b.data();
+    for (size_t i = 0; i < n; ++i) d[i] += pa[i] * pb[i];
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Scalar_MulAddPairs)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+}  // namespace
+}  // namespace lmfao

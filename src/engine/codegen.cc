@@ -1,8 +1,10 @@
 #include "engine/codegen.h"
 
+#include <map>
 #include <set>
 #include <sstream>
 
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace lmfao {
@@ -27,15 +29,13 @@ std::set<int> UsedColumns(const GroupPlan& plan) {
   return cols;
 }
 
-/// Collects dictionary functions referenced by the plan.
-std::set<const FunctionDict*> UsedDicts(const GroupPlan& plan) {
-  std::set<const FunctionDict*> dicts;
-  auto scan_fn = [&dicts](const Function& fn) {
-    if (fn.kind() == FunctionKind::kDictionary) dicts.insert(fn.dict().get());
-  };
-  auto scan_parts = [&](const std::vector<PlanPart>& parts) {
+/// Visits every Function the plan references (register parts and leaf
+/// factors) — the one scan behind dictionary and parameter collection.
+template <typename Fn>
+void ForEachFunction(const GroupPlan& plan, Fn&& visit) {
+  auto scan_parts = [&visit](const std::vector<PlanPart>& parts) {
     for (const PlanPart& p : parts) {
-      if (!p.is_view()) scan_fn(p.factor.fn);
+      if (!p.is_view()) visit(p.factor.fn);
     }
   };
   for (const auto& a : plan.alphas) scan_parts(a.parts);
@@ -43,35 +43,164 @@ std::set<const FunctionDict*> UsedDicts(const GroupPlan& plan) {
   for (const auto& s : plan.leaf_sums) {
     for (const auto& [col, fn] : s.factors) {
       (void)col;
-      scan_fn(fn);
+      visit(fn);
     }
   }
   for (const auto& w : plan.leaf_writes) {
     scan_parts(w.parts);
     for (const auto& [col, fn] : w.leaf_factors) {
       (void)col;
-      scan_fn(fn);
+      visit(fn);
     }
   }
+}
+
+/// Collects dictionary functions referenced by the plan.
+std::set<const FunctionDict*> UsedDicts(const GroupPlan& plan) {
+  std::set<const FunctionDict*> dicts;
+  ForEachFunction(plan, [&dicts](const Function& fn) {
+    if (fn.kind() == FunctionKind::kDictionary) dicts.insert(fn.dict().get());
+  });
   return dicts;
 }
 
+/// Distinct parameter slots referenced by the plan, sorted (the dense
+/// order the runtime host marshals LmfaoJitInput::params in).
+std::vector<ParamId> UsedParams(const GroupPlan& plan) {
+  std::set<ParamId> ids;
+  ForEachFunction(plan, [&ids](const Function& fn) {
+    if (fn.IsParameterized()) ids.insert(fn.param());
+  });
+  return std::vector<ParamId>(ids.begin(), ids.end());
+}
+
+const char* IndicatorOpStr(FunctionKind kind) {
+  switch (kind) {
+    case FunctionKind::kIndicatorLe:
+      return "<=";
+    case FunctionKind::kIndicatorLt:
+      return "<";
+    case FunctionKind::kIndicatorGe:
+      return ">=";
+    case FunctionKind::kIndicatorGt:
+      return ">";
+    case FunctionKind::kIndicatorEq:
+      return "==";
+    case FunctionKind::kIndicatorNe:
+      return "!=";
+    default:
+      LMFAO_CHECK(false) << "not an indicator kind";
+      return "";
+  }
+}
+
+/// Binary-search helpers every emitted loop nest uses. Emitted once per
+/// translation unit (standalone program or runtime batch).
+const char kSearchHelpers[] =
+    "static inline size_t seek(const int64_t* a, size_t lo, size_t hi, "
+    "int64_t v) {\n"
+    "  while (lo < hi) {\n"
+    "    size_t mid = (lo + hi) / 2;\n"
+    "    if (a[mid] < v) lo = mid + 1; else hi = mid;\n"
+    "  }\n"
+    "  return lo;\n"
+    "}\n"
+    "static inline size_t run_end(const int64_t* a, size_t lo, size_t hi, "
+    "int64_t v) {\n"
+    "  while (lo < hi) {\n"
+    "    size_t mid = (lo + hi) / 2;\n"
+    "    if (a[mid] <= v) lo = mid + 1; else hi = mid;\n"
+    "  }\n"
+    "  return lo;\n"
+    "}\n";
+
+/// Range-sum helper: the interpreter's exact four-accumulator reduction
+/// shape (payload_columns.h SumRange), so generated code and interpreter
+/// produce bit-identical range sums on all data.
+const char kSumRangeHelper[] =
+    "static inline double sum_range(const double* col, size_t lo, size_t "
+    "hi) {\n"
+    "  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;\n"
+    "  size_t i = lo;\n"
+    "  for (; i + 4 <= hi; i += 4) {\n"
+    "    s0 += col[i];\n"
+    "    s1 += col[i + 1];\n"
+    "    s2 += col[i + 2];\n"
+    "    s3 += col[i + 3];\n"
+    "  }\n"
+    "  for (; i < hi; ++i) s0 += col[i];\n"
+    "  return (s0 + s1) + (s2 + s3);\n"
+    "}\n";
+
+/// Emits one dictionary function definition as a dense switch table.
+void EmitDictDefinition(std::ostringstream& out, const std::string& symbol,
+                        const FunctionDict& d, bool internal_linkage) {
+  out << (internal_linkage ? "static " : "") << "double " << symbol
+      << "(double x) {\n";
+  out << "  switch (static_cast<int64_t>(x)) {\n";
+  for (const auto& [k, v] : d.table) {
+    out << "    case " << k << "ll: return " << StringPrintf("%.17g", v)
+        << ";\n";
+  }
+  out << "    default: return " << StringPrintf("%.17g", d.default_value)
+      << ";\n  }\n}\n\n";
+}
+
 /// Emitter for one group's function.
+///
+/// Two modes share the entire loop-nest / register / write lowering — the
+/// core emits against local aliases (rel_<attr>, v<N>_size / _k<C> /
+/// _payload / _estride / _sstride, shard, num_shards, par<K>, up<O>) that
+/// only the per-mode prologue binds differently:
+///
+///   - kStandalone: the offline validator form. Aliases read the embedded
+///     `Input` struct; payload strides are compile-time constants; shard is
+///     pinned to 0/1; writes go to std::unordered_map outputs; function
+///     parameters are rejected (standalone programs bake constants in).
+///   - kRuntime: the JIT form (`extern "C" lmfao_jit_group_<id>`). Aliases
+///     read the LmfaoJitInput ABI struct (jit.h); payload strides come from
+///     the view descriptors so row-major and borrowed-columnar layouts both
+///     work; shard/num_shards come from the caller; writes go through the
+///     host upsert callback; parameterized thresholds read the dense
+///     params array.
+///
+/// Because the body text is produced by one code path, the offline
+/// validator and the runtime JIT cannot drift.
 class GroupEmitter {
  public:
-  GroupEmitter(const GroupPlan& plan, const Workload& workload,
-               const Catalog& catalog)
-      : plan_(plan),
+  enum class Mode { kStandalone, kRuntime };
+
+  GroupEmitter(Mode mode, const GroupPlan& plan, const Workload& workload,
+               const Catalog& catalog,
+               const std::map<const FunctionDict*, std::string>* dict_syms =
+                   nullptr)
+      : mode_(mode),
+        plan_(plan),
         workload_(workload),
         catalog_(catalog),
-        rel_(catalog.relation(plan.node)) {}
+        rel_(catalog.relation(plan.node)),
+        dict_syms_(dict_syms),
+        param_order_(UsedParams(plan)) {
+    const std::set<int> cols = UsedColumns(plan);
+    used_cols_.assign(cols.begin(), cols.end());
+    for (size_t i = 0; i < param_order_.size(); ++i) {
+      param_dense_[param_order_[i]] = static_cast<int>(i);
+    }
+  }
 
   std::string EmitFunction() {
     std::ostringstream out;
     EmitHeaderComment(out);
-    EmitStructs(out);
+    if (mode_ == Mode::kStandalone) EmitStructs(out);
     EmitBody(out);
     return out.str();
+  }
+
+  const std::vector<int>& used_cols() const { return used_cols_; }
+  const std::vector<ParamId>& param_order() const { return param_order_; }
+  std::string Symbol() const {
+    return (mode_ == Mode::kRuntime ? "lmfao_jit_group_" : "lmfao_group_") +
+           std::to_string(plan_.group_id);
   }
 
  private:
@@ -92,7 +221,23 @@ class GroupEmitter {
   }
 
   std::string RelCol(int col) {
-    return "in.rel_" + catalog_.attr(rel_.schema().attr(col)).name;
+    return "rel_" + catalog_.attr(rel_.schema().attr(col)).name;
+  }
+
+  std::string DictSymbol(const FunctionDict* d) const {
+    if (mode_ == Mode::kRuntime) {
+      LMFAO_CHECK(dict_syms_ != nullptr);
+      const auto it = dict_syms_->find(d);
+      LMFAO_CHECK(it != dict_syms_->end());
+      return it->second;
+    }
+    return "dict_" + d->name;
+  }
+
+  std::string ParamVar(ParamId id) const {
+    const auto it = param_dense_.find(id);
+    LMFAO_CHECK(it != param_dense_.end());
+    return "par" + std::to_string(it->second);
   }
 
   void EmitStructs(std::ostringstream& out) {
@@ -123,7 +268,7 @@ class GroupEmitter {
     }
     out << "\nstruct Input {\n";
     out << "  size_t rel_rows;\n";
-    for (int col : UsedColumns(plan_)) {
+    for (int col : used_cols_) {
       const AttrInfo& info = catalog_.attr(rel_.schema().attr(col));
       out << "  const "
           << (info.type == AttrType::kInt ? "int64_t" : "double") << "* rel_"
@@ -166,22 +311,9 @@ class GroupEmitter {
       }
     }
     out << "};\n\n";
-    out << "static inline size_t seek(const int64_t* a, size_t lo, size_t "
-           "hi, int64_t v) {\n"
-        << "  while (lo < hi) {\n"
-        << "    size_t mid = (lo + hi) / 2;\n"
-        << "    if (a[mid] < v) lo = mid + 1; else hi = mid;\n"
-        << "  }\n"
-        << "  return lo;\n"
-        << "}\n"
-        << "static inline size_t run_end(const int64_t* a, size_t lo, size_t "
-           "hi, int64_t v) {\n"
-        << "  while (lo < hi) {\n"
-        << "    size_t mid = (lo + hi) / 2;\n"
-        << "    if (a[mid] <= v) lo = mid + 1; else hi = mid;\n"
-        << "  }\n"
-        << "  return lo;\n"
-        << "}\n\n";
+    out << kSearchHelpers;
+    out << kSumRangeHelper;
+    out << "\n";
   }
 
   std::string OutputName(int o) const {
@@ -205,31 +337,56 @@ class GroupEmitter {
       if (p.kind != PlanPart::Kind::kViewRangeSum) continue;
       const std::string var = RangeSumVar(p);
       if (!emitted->insert(var).second) continue;
+      // Unit-stride scan of one contiguous payload column (multi-entry
+      // views are columnar: entry stride 1 — the runtime host enforces
+      // this before dispatching to generated code).
       Indent(out, depth);
-      out << "double " << var << " = 0.0;\n";
-      // Unit-stride scan of one contiguous payload column (hoisted base).
-      Indent(out, depth);
-      out << "const double* " << var << "_col = in.v" << p.view_index
-          << "_payload + " << p.slot << " * in.v" << p.view_index
-          << "_size;\n";
-      Indent(out, depth);
-      out << "for (size_t i = v" << p.view_index << "_lo" << p.level
-          << "; i < v" << p.view_index << "_hi" << p.level << "; ++i) " << var
-          << " += " << var << "_col[i];\n";
+      out << "const double " << var << " = sum_range(v" << p.view_index
+          << "_payload + " << p.slot << " * v" << p.view_index
+          << "_sstride, v" << p.view_index << "_lo" << p.level << ", v"
+          << p.view_index << "_hi" << p.level << ");\n";
+    }
+  }
+
+  /// The C++ expression of one unary factor applied to `arg`. Shared
+  /// across modes; parameterized thresholds are only legal in runtime
+  /// mode (standalone programs bake constants in, like Function::
+  /// CodegenExpr).
+  std::string FactorExpr(const Function& fn, const std::string& arg) const {
+    switch (fn.kind()) {
+      case FunctionKind::kIdentity:
+        return arg;
+      case FunctionKind::kSquare:
+        return "(" + arg + " * " + arg + ")";
+      case FunctionKind::kDictionary:
+        return DictSymbol(fn.dict().get()) + "(" + arg + ")";
+      default: {
+        std::string threshold;
+        if (fn.IsParameterized()) {
+          LMFAO_CHECK(mode_ == Mode::kRuntime)
+              << "parameterized function reached standalone codegen; "
+                 "Resolve() it first";
+          threshold = ParamVar(fn.param());
+        } else {
+          threshold = StringPrintf("%.17g", fn.threshold());
+        }
+        return "((" + arg + " " + IndicatorOpStr(fn.kind()) + " " +
+               threshold + ") ? 1.0 : 0.0)";
+      }
     }
   }
 
   std::string PartExpr(const PlanPart& p) {
     switch (p.kind) {
       case PlanPart::Kind::kViewPayload: {
-        // Single-entry views are row-major: the bound entry's slots sit on
-        // adjacent cache lines.
+        // One slot of the entry the view is bound to at its bind level;
+        // the stride aliases make the same expression correct for
+        // row-major and columnar layouts.
         const auto& in = plan_.incoming[static_cast<size_t>(p.view_index)];
-        return "in.v" + std::to_string(p.view_index) + "_payload[v" +
-               std::to_string(p.view_index) + "_lo" +
-               std::to_string(in.bound_level) + " * " +
-               std::to_string(in.width) + " + " + std::to_string(p.slot) +
-               "]";
+        const std::string v = std::to_string(p.view_index);
+        return "v" + v + "_payload[v" + v + "_lo" +
+               std::to_string(in.bound_level) + " * v" + v + "_estride + " +
+               std::to_string(p.slot) + " * v" + v + "_sstride]";
       }
       case PlanPart::Kind::kViewRangeSum:
         return RangeSumVar(p);
@@ -239,7 +396,7 @@ class GroupEmitter {
             catalog_.attr(
                     plan_.attr_order[static_cast<size_t>(p.level) - 1])
                 .name;
-        return p.factor.fn.CodegenExpr("static_cast<double>(" + var + ")");
+        return FactorExpr(p.factor.fn, "static_cast<double>(" + var + ")");
       }
     }
     return "1.0";
@@ -261,9 +418,116 @@ class GroupEmitter {
     for (int i = 0; i < depth; ++i) out << "  ";
   }
 
+  /// The per-mode prologue: binds every alias the shared body reads.
+  void EmitAliases(std::ostringstream& out) {
+    if (mode_ == Mode::kStandalone) {
+      out << "  const size_t rel_rows = in.rel_rows; (void)rel_rows;\n";
+      for (int col : used_cols_) {
+        const AttrInfo& info = catalog_.attr(rel_.schema().attr(col));
+        out << "  const "
+            << (info.type == AttrType::kInt ? "int64_t" : "double")
+            << "* rel_" << info.name << " = in.rel_" << info.name
+            << "; (void)rel_" << info.name << ";\n";
+      }
+      for (size_t v = 0; v < plan_.incoming.size(); ++v) {
+        const auto& in = plan_.incoming[v];
+        out << "  const size_t v" << v << "_size = in.v" << v
+            << "_size; (void)v" << v << "_size;\n";
+        for (int c = 0; c < ViewArity(in); ++c) {
+          out << "  const int64_t* v" << v << "_k" << c << " = in.v" << v
+              << "_k" << c << "; (void)v" << v << "_k" << c << ";\n";
+        }
+        out << "  const double* v" << v << "_payload = in.v" << v
+            << "_payload; (void)v" << v << "_payload;\n";
+        // Compile-time strides: columnar for multi-entry embedded data,
+        // row-major otherwise (mirrors GenerateStandaloneProgram's dump).
+        if (in.IsMultiEntry()) {
+          out << "  const size_t v" << v << "_estride = 1; (void)v" << v
+              << "_estride;\n";
+          out << "  const size_t v" << v << "_sstride = v" << v
+              << "_size; (void)v" << v << "_sstride;\n";
+        } else {
+          out << "  const size_t v" << v << "_estride = " << in.width
+              << "; (void)v" << v << "_estride;\n";
+          out << "  const size_t v" << v << "_sstride = 1; (void)v" << v
+              << "_sstride;\n";
+        }
+      }
+      out << "  const int32_t shard = 0; (void)shard;\n";
+      out << "  const int32_t num_shards = 1; (void)num_shards;\n";
+      for (size_t o = 0; o < plan_.outputs.size(); ++o) {
+        const auto& info = plan_.outputs[o];
+        if (info.key_sources.empty()) {
+          out << "  auto up" << o
+              << " = [&](const int64_t*) -> double* { return out.o" << o
+              << ".data(); }; (void)up" << o << ";\n";
+        } else {
+          out << "  auto up" << o
+              << " = [&](const int64_t* k) -> double* { return out.o" << o
+              << "[Key" << info.key_sources.size() << "{";
+          for (size_t i = 0; i < info.key_sources.size(); ++i) {
+            if (i > 0) out << ", ";
+            out << "k[" << i << "]";
+          }
+          out << "}].data(); }; (void)up" << o << ";\n";
+        }
+      }
+    } else {
+      out << "  const size_t rel_rows = static_cast<size_t>(in->rel_rows); "
+             "(void)rel_rows;\n";
+      for (size_t i = 0; i < used_cols_.size(); ++i) {
+        const AttrInfo& info =
+            catalog_.attr(rel_.schema().attr(used_cols_[i]));
+        const char* type =
+            info.type == AttrType::kInt ? "int64_t" : "double";
+        out << "  const " << type << "* rel_" << info.name
+            << " = static_cast<const " << type << "*>(in->rel_cols[" << i
+            << "]); (void)rel_" << info.name << ";\n";
+      }
+      for (size_t v = 0; v < plan_.incoming.size(); ++v) {
+        const auto& in = plan_.incoming[v];
+        out << "  const size_t v" << v << "_size = "
+            << "static_cast<size_t>(in->views[" << v << "].size); (void)v"
+            << v << "_size;\n";
+        for (int c = 0; c < ViewArity(in); ++c) {
+          out << "  const int64_t* v" << v << "_k" << c << " = in->views["
+              << v << "].keys[" << c << "]; (void)v" << v << "_k" << c
+              << ";\n";
+        }
+        out << "  const double* v" << v << "_payload = in->views[" << v
+            << "].payload; (void)v" << v << "_payload;\n";
+        out << "  const size_t v" << v << "_estride = "
+            << "static_cast<size_t>(in->views[" << v
+            << "].entry_stride); (void)v" << v << "_estride;\n";
+        out << "  const size_t v" << v << "_sstride = "
+            << "static_cast<size_t>(in->views[" << v
+            << "].slot_stride); (void)v" << v << "_sstride;\n";
+      }
+      out << "  const int32_t shard = in->shard; (void)shard;\n";
+      out << "  const int32_t num_shards = in->num_shards; "
+             "(void)num_shards;\n";
+      for (size_t i = 0; i < param_order_.size(); ++i) {
+        out << "  const double par" << i << " = in->params[" << i
+            << "]; (void)par" << i << ";\n";
+      }
+      for (size_t o = 0; o < plan_.outputs.size(); ++o) {
+        out << "  auto up" << o
+            << " = [&](const int64_t* k) -> double* { return "
+               "out->upsert(out->ctx, "
+            << o << ", k); }; (void)up" << o << ";\n";
+      }
+    }
+  }
+
   void EmitBody(std::ostringstream& out) {
-    out << "void lmfao_group_" << plan_.group_id
-        << "(const Input& in, Output& out) {\n";
+    if (mode_ == Mode::kStandalone) {
+      out << "void lmfao_group_" << plan_.group_id
+          << "(const Input& in, Output& out) {\n";
+    } else {
+      out << "extern \"C\" void " << Symbol()
+          << "(const LmfaoJitInput* in, LmfaoJitOutput* out) {\n";
+    }
+    EmitAliases(out);
     for (size_t a = 0; a < plan_.alphas.size(); ++a) {
       out << "  double alpha" << a << " = 0.0; (void)alpha" << a << ";\n";
     }
@@ -273,15 +537,17 @@ class GroupEmitter {
     for (size_t l = 0; l < plan_.leaf_sums.size(); ++l) {
       out << "  double leaf" << l << " = 0.0; (void)leaf" << l << ";\n";
     }
-    out << "  size_t r_lo0 = 0, r_hi0 = in.rel_rows;\n";
+    out << "  size_t r_lo0 = 0, r_hi0 = rel_rows;\n";
     out << "  (void)r_lo0; (void)r_hi0;\n";
     for (size_t v = 0; v < plan_.incoming.size(); ++v) {
-      out << "  size_t v" << v << "_lo0 = 0, v" << v << "_hi0 = in.v" << v
+      out << "  size_t v" << v << "_lo0 = 0, v" << v << "_hi0 = v" << v
           << "_size;\n";
       out << "  (void)v" << v << "_lo0; (void)v" << v << "_hi0;\n";
     }
     const int levels = plan_.num_levels();
     if (levels == 0) {
+      // Flat scan: only shard 0 contributes (the interpreter's rule).
+      out << "  if (shard != 0) return;\n";
       EmitLeaf(out, 1, 0);
       EmitWrites(out, 1, 0);
     } else {
@@ -321,6 +587,14 @@ class GroupEmitter {
       Indent(out, depth);
       out << "size_t v" << v << "_pos = v" << v << "_lo" << p << ";\n";
     }
+    if (level == 1) {
+      // Domain sharding: top-level value matches are dealt round-robin
+      // (match_index % num_shards == shard), like the interpreter. The
+      // standalone prologue pins shard/num_shards to 0/1 so this folds
+      // away.
+      Indent(out, depth);
+      out << "size_t match_index = 0; (void)match_index;\n";
+    }
     Indent(out, depth);
     out << "while (true) {\n";
     ++depth;
@@ -351,7 +625,7 @@ class GroupEmitter {
         << "[r_pos]; again = true; }\n";
     for (const auto& [v, c] : vps) {
       const std::string key =
-          "in.v" + std::to_string(v) + "_k" + std::to_string(c);
+          "v" + std::to_string(v) + "_k" + std::to_string(c);
       Indent(out, depth);
       out << "v" << v << "_pos = seek(" << key << ", v" << v << "_pos, v" << v
           << "_hi" << p << ", x" << l << "_" << attr << ");\n";
@@ -384,7 +658,7 @@ class GroupEmitter {
       if (participates) {
         out << "size_t v" << v << "_lo" << l << " = v" << v << "_pos;\n";
         Indent(out, depth);
-        out << "size_t v" << v << "_hi" << l << " = run_end(in.v" << v << "_k"
+        out << "size_t v" << v << "_hi" << l << " = run_end(v" << v << "_k"
             << comp << ", v" << v << "_pos, v" << v << "_hi" << p << ", x"
             << l << "_" << attr << ");\n";
       } else {
@@ -397,6 +671,17 @@ class GroupEmitter {
       Indent(out, depth);
       out << "(void)v" << v << "_lo" << l << "; (void)v" << v << "_hi" << l
           << ";\n";
+    }
+    if (level == 1) {
+      Indent(out, depth);
+      out << "const bool mine = num_shards <= 1 || (match_index % "
+             "static_cast<size_t>(num_shards)) == "
+             "static_cast<size_t>(shard);\n";
+      Indent(out, depth);
+      out << "++match_index;\n";
+      Indent(out, depth);
+      out << "if (mine) {\n";
+      ++depth;
     }
     // Alphas at this level (with any range sums they need).
     std::set<std::string> emitted_sums;
@@ -435,13 +720,20 @@ class GroupEmitter {
       const auto& reg = plan_.betas[static_cast<size_t>(b)];
       EmitRangeSums(out, depth, reg.parts, &emitted_sums);
       Indent(out, depth);
-      out << "beta" << b << " += ";
+      // Suffix first: the accumulation associates exactly like the
+      // interpreter's (suffix, then each part in order).
+      out << "beta" << b << " += " << SuffixExpr(reg.next);
       for (const PlanPart& part : reg.parts) {
-        out << PartExpr(part) << " * ";
+        out << " * " << PartExpr(part);
       }
-      out << SuffixExpr(reg.next) << ";\n";
+      out << ";\n";
     }
     EmitWrites(out, depth, level);
+    if (level == 1) {
+      --depth;
+      Indent(out, depth);
+      out << "}\n";
+    }
     Indent(out, depth);
     out << "r_pos = r_hi" << l << ";\n";
     for (const auto& [v, c] : vps) {
@@ -458,8 +750,35 @@ class GroupEmitter {
     out << "}\n";
   }
 
+  /// Emits the key-array initializer for `output` from bound level values
+  /// and (for view-sourced components) the given odometer cursors.
+  void EmitKeyArray(std::ostringstream& out, int depth, int output,
+                    const char* name) {
+    const auto& o = plan_.outputs[static_cast<size_t>(output)];
+    Indent(out, depth);
+    out << "int64_t " << name << "[" << o.key_sources.size() << "] = {";
+    for (size_t i = 0; i < o.key_sources.size(); ++i) {
+      if (i > 0) out << ", ";
+      const auto& src = o.key_sources[i];
+      if (src.from_level) {
+        out << "x" << src.level << "_"
+            << catalog_
+                   .attr(plan_.attr_order[static_cast<size_t>(src.level) - 1])
+                   .name;
+      } else {
+        size_t kv = 0;
+        for (; kv < o.key_views.size(); ++kv) {
+          if (o.key_views[kv] == src.view_index) break;
+        }
+        out << "v" << src.view_index << "_k" << src.comp << "[e" << kv
+            << "]";
+      }
+    }
+    out << "};\n";
+  }
+
   /// Emits one write: the odometer over key-view entry ranges, the key
-  /// expression, and the accumulation.
+  /// expression, and the accumulation through the output's upsert alias.
   void EmitWriteBody(std::ostringstream& out, int depth, int output,
                      int slot, const std::string& value_expr, int level,
                      const std::vector<int>& entry_slots) {
@@ -473,34 +792,17 @@ class GroupEmitter {
           << kv << " < v" << v << "_hi" << level << "; ++e" << kv << ") {\n";
       ++d;
     }
-    Indent(out, d);
-    if (o.key_sources.empty()) {
-      out << "out.o" << output << "[" << slot << "] += " << value_expr;
-    } else {
-      out << "out.o" << output << "[Key" << o.key_sources.size() << "{";
-      for (size_t i = 0; i < o.key_sources.size(); ++i) {
-        if (i > 0) out << ", ";
-        const auto& src = o.key_sources[i];
-        if (src.from_level) {
-          out << "x" << src.level << "_"
-              << catalog_.attr(
-                     plan_.attr_order[static_cast<size_t>(src.level) - 1])
-                     .name;
-        } else {
-          size_t kv = 0;
-          for (; kv < o.key_views.size(); ++kv) {
-            if (o.key_views[kv] == src.view_index) break;
-          }
-          out << "in.v" << src.view_index << "_k" << src.comp << "[e" << kv
-              << "]";
-        }
-      }
-      out << "}][" << slot << "] += " << value_expr;
+    std::string probe = "up" + std::to_string(output) + "(nullptr)";
+    if (!o.key_sources.empty()) {
+      EmitKeyArray(out, d, output, "wkey");
+      probe = "up" + std::to_string(output) + "(wkey)";
     }
+    Indent(out, d);
+    out << probe << "[" << slot << "] += " << value_expr;
     for (size_t kv = 0; kv < o.key_views.size(); ++kv) {
       const int v = o.key_views[kv];
-      out << " * in.v" << v << "_payload[" << entry_slots[kv] << " * in.v"
-          << v << "_size + e" << kv << "]";
+      out << " * v" << v << "_payload[e" << kv << " * v" << v
+          << "_estride + " << entry_slots[kv] << " * v" << v << "_sstride]";
     }
     out << ";\n";
     for (size_t kv = 0; kv < o.key_views.size(); ++kv) {
@@ -530,21 +832,26 @@ class GroupEmitter {
       } else {
         for (size_t f = 0; f < factors.size(); ++f) {
           if (f > 0) out << " * ";
-          out << factors[f].second.CodegenExpr(
+          out << FactorExpr(
+              factors[f].second,
               "static_cast<double>(" + RelCol(factors[f].first) + "[row])");
         }
       }
       out << ";\n";
     }
     for (const auto& w : plan_.leaf_writes) {
+      Indent(out, depth);
+      out << "{\n";
       std::string value = "1.0";
       for (const PlanPart& part : w.parts) value += " * " + PartExpr(part);
       for (const auto& [col, fn] : w.leaf_factors) {
-        value += " * " + fn.CodegenExpr("static_cast<double>(" +
-                                        RelCol(col) + "[row])");
+        value += " * " + FactorExpr(fn, "static_cast<double>(" +
+                                            RelCol(col) + "[row])");
       }
-      EmitWriteBody(out, depth, w.output, w.slot, value, level,
+      EmitWriteBody(out, depth + 1, w.output, w.slot, value, level,
                     w.entry_slots);
+      Indent(out, depth);
+      out << "}\n";
     }
     --depth;
     Indent(out, depth);
@@ -552,25 +859,69 @@ class GroupEmitter {
   }
 
   void EmitWrites(std::ostringstream& out, int depth, int level) {
-    for (const auto& w : plan_.writes_at_level[static_cast<size_t>(level)]) {
-      Indent(out, depth);
-      out << "// " << OutputName(w.output) << " slot " << w.slot << "\n";
-      std::string value;
-      if (w.alpha >= 0) {
-        value = "alpha" + std::to_string(w.alpha) + " * " +
-                SuffixExpr(w.suffix);
-      } else {
-        value = SuffixExpr(w.suffix);
+    const auto& writes = plan_.writes_at_level[static_cast<size_t>(level)];
+    size_t i = 0;
+    while (i < writes.size()) {
+      const auto& w = writes[i];
+      const auto& o = plan_.outputs[static_cast<size_t>(w.output)];
+      auto value_of = [this](const GroupPlan::Write& wr) {
+        if (wr.alpha >= 0) {
+          return "alpha" + std::to_string(wr.alpha) + " * " +
+                 SuffixExpr(wr.suffix);
+        }
+        return SuffixExpr(wr.suffix);
+      };
+      if (!o.key_views.empty()) {
+        Indent(out, depth);
+        out << "// " << OutputName(w.output) << " slot " << w.slot << "\n";
+        Indent(out, depth);
+        out << "{\n";
+        EmitWriteBody(out, depth + 1, w.output, w.slot, value_of(w), level,
+                      w.entry_slots);
+        Indent(out, depth);
+        out << "}\n";
+        ++i;
+        continue;
       }
-      EmitWriteBody(out, depth, w.output, w.slot, value, level,
-                    w.entry_slots);
+      // Consecutive writes to the same key-view-free output share one
+      // upsert probe per match (the interpreter's WriteOutputs sharing).
+      size_t j = i;
+      while (j < writes.size() && writes[j].output == w.output &&
+             plan_.outputs[static_cast<size_t>(writes[j].output)]
+                 .key_views.empty()) {
+        ++j;
+      }
+      Indent(out, depth);
+      out << "{\n";
+      const int d = depth + 1;
+      std::string probe = "up" + std::to_string(w.output) + "(nullptr)";
+      if (!o.key_sources.empty()) {
+        EmitKeyArray(out, d, w.output, "wkey");
+        probe = "up" + std::to_string(w.output) + "(wkey)";
+      }
+      Indent(out, d);
+      out << "double* p = " << probe << ";\n";
+      for (size_t k = i; k < j; ++k) {
+        Indent(out, d);
+        out << "p[" << writes[k].slot << "] += " << value_of(writes[k])
+            << ";  // " << OutputName(writes[k].output) << " slot "
+            << writes[k].slot << "\n";
+      }
+      Indent(out, depth);
+      out << "}\n";
+      i = j;
     }
   }
 
+  const Mode mode_;
   const GroupPlan& plan_;
   const Workload& workload_;
   const Catalog& catalog_;
   const Relation& rel_;
+  const std::map<const FunctionDict*, std::string>* dict_syms_;
+  std::vector<int> used_cols_;
+  std::vector<ParamId> param_order_;
+  std::map<ParamId, int> param_dense_;
 };
 
 std::string EmitPreamble() {
@@ -582,8 +933,72 @@ std::string EmitPreamble() {
 
 std::string GenerateGroupCode(const GroupPlan& plan, const Workload& workload,
                               const Catalog& catalog) {
-  GroupEmitter emitter(plan, workload, catalog);
+  GroupEmitter emitter(GroupEmitter::Mode::kStandalone, plan, workload,
+                       catalog);
   return EmitPreamble() + emitter.EmitFunction();
+}
+
+StatusOr<RuntimeBatchCode> GenerateRuntimeBatchCode(
+    const std::vector<GroupPlan>& plans, const Workload& workload,
+    const Catalog& catalog) {
+  std::ostringstream out;
+  out << "// Generated by LMFAO's runtime Code Generation layer: one\n"
+         "// translation unit per compiled batch, one extern \"C\" function\n"
+         "// per group, dispatched through the LmfaoJit* ABI (engine/"
+         "jit.h).\n";
+  out << "#include <cstddef>\n#include <cstdint>\n\n";
+  // The ABI mirror: struct text duplicated in jit.h, pinned there by
+  // static_asserts on sizes and offsets so the two cannot drift silently.
+  out << "struct LmfaoJitView {\n"
+         "  uint64_t size;\n"
+         "  const int64_t* keys[12];  // TupleKey::kMaxArity\n"
+         "  const double* payload;\n"
+         "  uint64_t entry_stride;\n"
+         "  uint64_t slot_stride;\n"
+         "};\n"
+         "struct LmfaoJitInput {\n"
+         "  uint64_t rel_rows;\n"
+         "  const void* const* rel_cols;\n"
+         "  const LmfaoJitView* views;\n"
+         "  const double* params;\n"
+         "  int32_t shard;\n"
+         "  int32_t num_shards;\n"
+         "};\n"
+         "struct LmfaoJitOutput {\n"
+         "  void* ctx;\n"
+         "  double* (*upsert)(void* ctx, int32_t output, const int64_t* "
+         "key);\n"
+         "};\n\n";
+  out << kSearchHelpers;
+  out << kSumRangeHelper;
+  out << "\n";
+  // Dictionary tables: interned per distinct FunctionDict so groups that
+  // share a dictionary share one switch table, and same-named dictionaries
+  // from different sources cannot collide.
+  std::map<const FunctionDict*, std::string> dict_syms;
+  for (const GroupPlan& plan : plans) {
+    for (const FunctionDict* d : UsedDicts(plan)) {
+      if (dict_syms.count(d) != 0) continue;
+      std::string symbol =
+          "dict_" + std::to_string(dict_syms.size()) + "_" + d->name;
+      EmitDictDefinition(out, symbol, *d, /*internal_linkage=*/true);
+      dict_syms.emplace(d, std::move(symbol));
+    }
+  }
+  RuntimeBatchCode code;
+  for (const GroupPlan& plan : plans) {
+    GroupEmitter emitter(GroupEmitter::Mode::kRuntime, plan, workload,
+                         catalog, &dict_syms);
+    out << emitter.EmitFunction() << "\n";
+    RuntimeGroupMeta meta;
+    meta.group_id = plan.group_id;
+    meta.symbol = emitter.Symbol();
+    meta.used_cols = emitter.used_cols();
+    meta.param_order = emitter.param_order();
+    code.groups.push_back(std::move(meta));
+  }
+  code.source = out.str();
+  return code;
 }
 
 StatusOr<std::string> GenerateStandaloneProgram(
@@ -598,14 +1013,8 @@ StatusOr<std::string> GenerateStandaloneProgram(
   out << EmitPreamble();
 
   for (const FunctionDict* d : UsedDicts(plan)) {
-    out << "double dict_" << d->name << "(double x) {\n";
-    out << "  switch (static_cast<int64_t>(x)) {\n";
-    for (const auto& [k, v] : d->table) {
-      out << "    case " << k << "ll: return " << StringPrintf("%.17g", v)
-          << ";\n";
-    }
-    out << "    default: return " << StringPrintf("%.17g", d->default_value)
-        << ";\n  }\n}\n\n";
+    EmitDictDefinition(out, "dict_" + d->name, *d,
+                       /*internal_linkage=*/false);
   }
 
   const std::set<int> cols = UsedColumns(plan);
@@ -661,7 +1070,8 @@ StatusOr<std::string> GenerateStandaloneProgram(
   }
   out << "\n";
 
-  GroupEmitter emitter(plan, workload, catalog);
+  GroupEmitter emitter(GroupEmitter::Mode::kStandalone, plan, workload,
+                       catalog);
   out << emitter.EmitFunction();
 
   out << "\nint main() {\n";
@@ -701,8 +1111,8 @@ StatusOr<std::string> GenerateStandaloneProgram(
           << ".size());\n";
       out << "    for (int s = 0; s < " << info.width
           << "; ++s) std::printf(\" %.17g\", total[s]);\n";
-      out << "    std::printf(\"\\n\");\n";
       out << "  }\n";
+      out << "  std::printf(\"\\n\");\n";
     }
   }
   out << "  return 0;\n}\n";

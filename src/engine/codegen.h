@@ -15,6 +15,7 @@
 #define LMFAO_ENGINE_CODEGEN_H_
 
 #include <string>
+#include <vector>
 
 #include "engine/executor.h"
 #include "engine/plan.h"
@@ -43,6 +44,43 @@ StatusOr<std::string> GenerateStandaloneProgram(
     const GroupPlan& plan, const Workload& workload, const Catalog& catalog,
     const Relation& sorted_relation,
     const std::vector<const ConsumedView*>& views);
+
+/// \brief How the runtime host calls one JIT-compiled group function.
+///
+/// The emitted symbol takes (const LmfaoJitInput*, LmfaoJitOutput*) — see
+/// engine/jit.h for the ABI structs. The host marshals exactly the relation
+/// columns in `used_cols` (in order) into LmfaoJitInput::rel_cols, and the
+/// resolved parameter values in `param_order` (in order) into
+/// LmfaoJitInput::params.
+struct RuntimeGroupMeta {
+  int group_id = -1;
+  /// The extern "C" symbol name ("lmfao_jit_group_<id>").
+  std::string symbol;
+  /// Node-relation column indices the emitted code reads, sorted.
+  std::vector<int> used_cols;
+  /// Parameter slots referenced by the group's functions, sorted; the
+  /// emitted code reads params[i] for param_order[i].
+  std::vector<ParamId> param_order;
+};
+
+/// \brief One translation unit covering a whole compiled batch.
+struct RuntimeBatchCode {
+  std::string source;
+  std::vector<RuntimeGroupMeta> groups;  ///< Parallel to the input plans.
+};
+
+/// \brief Emits the runtime (JIT) translation unit for a batch of plans.
+///
+/// Same loop-nest/register/write lowering as GenerateGroupCode — the two
+/// modes share one emitter core, so the offline validator and the runtime
+/// backend cannot drift — but data access goes through the LmfaoJit* ABI
+/// (pointer indirection instead of embedded literals), writes go through
+/// the host upsert callback, sharding honours the caller's
+/// (shard, num_shards), and parameterized function thresholds are read
+/// from the params array instead of being baked in.
+StatusOr<RuntimeBatchCode> GenerateRuntimeBatchCode(
+    const std::vector<GroupPlan>& plans, const Workload& workload,
+    const Catalog& catalog);
 
 }  // namespace lmfao
 

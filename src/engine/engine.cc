@@ -26,6 +26,10 @@ uint64_t OptionsFingerprint(const EngineOptions& o) {
   h = HashCombine(h, static_cast<uint64_t>(o.grouping.multi_output));
   h = HashCombine(h, static_cast<uint64_t>(o.plan.factorize));
   h = HashCombine(h, static_cast<uint64_t>(o.plan.freeze_views));
+  // The artifact carries its JIT module, so jit-on and jit-off Prepares
+  // must not share cache entries (simd_kernels and the jit *mode flavor*
+  // are execution-only and deliberately excluded).
+  h = HashCombine(h, static_cast<uint64_t>(o.jit.mode != JitMode::kOff));
   return h;
 }
 
@@ -129,6 +133,23 @@ Engine::PlanCacheStats Engine::plan_cache_stats() const {
   stats.hits = plan_cache_hits_;
   stats.misses = plan_cache_misses_;
   stats.entries = plan_cache_.size();
+  stats.jit_hits = jit_hits_;
+  stats.jit_compiles = jit_compiles_;
+  jit_modules_.erase(
+      std::remove_if(jit_modules_.begin(), jit_modules_.end(),
+                     [](const std::weak_ptr<JitModule>& w) {
+                       return w.expired();
+                     }),
+      jit_modules_.end());
+  for (const std::weak_ptr<JitModule>& w : jit_modules_) {
+    const std::shared_ptr<JitModule> m = w.lock();
+    if (m == nullptr) continue;
+    const JitModule::State s = m->state();
+    if (s == JitModule::State::kFailed) ++stats.jit_failures;
+    if (s != JitModule::State::kCompiling) {
+      stats.jit_compile_ms += m->compile_ms();
+    }
+  }
   return stats;
 }
 
@@ -198,6 +219,7 @@ StatusOr<PreparedBatch> Engine::Prepare(const QueryBatch& batch) {
     if (it != plan_cache_.end()) {
       if (it->second.structural_key == structural_key) {
         ++plan_cache_hits_;
+        if (it->second.artifact->jit != nullptr) ++jit_hits_;
         plan_lru_.splice(plan_lru_.end(), plan_lru_, it->second.lru_pos);
         prepared.artifact_ = it->second.artifact;
         prepared.from_cache_ = true;
@@ -216,6 +238,20 @@ StatusOr<PreparedBatch> Engine::Prepare(const QueryBatch& batch) {
   LMFAO_ASSIGN_OR_RETURN(std::shared_ptr<CompiledArtifact> fresh,
                          CompileArtifact(batch));
   fresh->signature = signature;
+  if (options_.jit.mode != JitMode::kOff) {
+    // Kick the native backend. Failures at any stage (emission, compiler,
+    // dlopen) are non-fatal: execution falls back to the interpreter
+    // tiers, and plan_cache_stats() surfaces the failure.
+    StatusOr<RuntimeBatchCode> code = GenerateRuntimeBatchCode(
+        fresh->compiled.plans, fresh->compiled.workload, *catalog_);
+    if (code.ok()) {
+      fresh->jit =
+          JitModule::Compile(std::move(code).value(), options_.jit);
+      std::lock_guard<std::mutex> lock(plan_mu_);
+      ++jit_compiles_;
+      jit_modules_.push_back(fresh->jit);
+    }
+  }
   const std::shared_ptr<const CompiledArtifact> artifact = std::move(fresh);
   prepared.artifact_ = artifact;
   if (capacity > 0 && !collision) {
@@ -288,6 +324,9 @@ StatusOr<BatchResult> PreparedBatch::RunPass(const PassSpec& spec,
   } pin_set;
 
   Timer exec_timer;
+  ExecBackend backend;
+  backend.jit = artifact_->jit.get();
+  backend.simd = options_.simd_kernels;
   ExecutionContext context(
       compiled.workload, compiled.grouped, compiled.plans,
       options_.scheduler,
@@ -308,7 +347,7 @@ StatusOr<BatchResult> PreparedBatch::RunPass(const PassSpec& spec,
         pin_set.pins.push_back(std::move(snap));
         return raw;
       },
-      &params);
+      &params, backend);
   LMFAO_RETURN_NOT_OK(context.Run(&result.stats));
   result.stats.execute_seconds = exec_timer.ElapsedSeconds();
 
@@ -410,6 +449,9 @@ StatusOr<BatchResult> PreparedBatch::ExecuteDelta(const BatchResult& base,
   result.stats.delta_rows = delta_rows;
   result.stats.delta_dirty_groups = 0;
   result.stats.execute_seconds = 0.0;
+  result.stats.groups_jit = 0;
+  result.stats.groups_simd = 0;
+  result.stats.groups_interp = 0;
 
   // Multilinearity: summing, over changed relations c_1 < ... < c_k, the
   // batch evaluated with c_i served as its appended slice, c_1..c_{i-1} at
@@ -425,6 +467,9 @@ StatusOr<BatchResult> PreparedBatch::ExecuteDelta(const BatchResult& base,
     spec.delta_hi = result.epoch.at(r);
     LMFAO_ASSIGN_OR_RETURN(BatchResult term, RunPass(spec, params));
     result.stats.execute_seconds += term.stats.execute_seconds;
+    result.stats.groups_jit += term.stats.groups_jit;
+    result.stats.groups_simd += term.stats.groups_simd;
+    result.stats.groups_interp += term.stats.groups_interp;
     for (const GroupPlan& plan : plans) {
       if (r < 64 && ((plan.source_relation_mask >> r) & 1)) {
         ++result.stats.delta_dirty_groups;
@@ -436,6 +481,7 @@ StatusOr<BatchResult> PreparedBatch::ExecuteDelta(const BatchResult& base,
     serve.rows[static_cast<size_t>(r)] =
         result.epoch.at(r);  // Later terms see this relation's new extent.
   }
+  result.stats.DeriveBackend();
   result.stats.total_seconds = total_timer.ElapsedSeconds();
   return result;
 }

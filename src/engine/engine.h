@@ -46,6 +46,7 @@
 
 #include "engine/grouping.h"
 #include "engine/ir.h"
+#include "engine/jit.h"
 #include "engine/parallel.h"
 #include "engine/plan.h"
 #include "engine/view_generation.h"
@@ -77,6 +78,18 @@ struct EngineOptions {
   /// disables caching — every Prepare compiles fresh. Execution-only: not
   /// part of the cache key.
   size_t plan_cache_capacity = 64;
+  /// Runtime JIT backend (engine/jit.h): Prepare lowers the batch's plans
+  /// through the runtime emitter and compiles them into a shared object;
+  /// groups whose native function is ready execute it instead of the
+  /// interpreter. Defaults from the environment (LMFAO_JIT=off|on|async|
+  /// sync, LMFAO_JIT_CC=<compiler>); kOff when unset. The mode (on/off) is
+  /// part of the plan-cache key — artifacts carry their module.
+  JitOptions jit = JitOptions::FromEnv();
+  /// Routes interpreter hot kernels (range sums, scratch product sums,
+  /// fused beta runs) through the explicit AVX2 tier (simd_kernels.h).
+  /// Bit-identical to the scalar shapes on all inputs, so it defaults on;
+  /// execution-only, not part of the cache key.
+  bool simd_kernels = true;
 };
 
 /// \brief Per-group execution statistics.
@@ -90,6 +103,10 @@ struct GroupStats {
   int shards = 1;
   /// Seconds the group waited between becoming ready and starting.
   double wait_seconds = 0.0;
+  /// Execution backend the group ran on: "jit" (native compiled function),
+  /// "simd" (interpreter with explicit AVX2 kernels), or "interp" (scalar
+  /// interpreter). Points at static strings.
+  const char* backend = "interp";
   /// Live ViewStore bytes right after the group published its outputs and
   /// released its inputs (the view-memory frontier at this point of the
   /// schedule), split into key-side bytes (packed keys, cached hashes,
@@ -151,6 +168,31 @@ struct ExecutionStats {
   /// inputs.
   int delta_dirty_groups = 0;
   /// @}
+  /// \name Execution backend (see GroupStats::backend).
+  /// @{
+  /// Group executions per backend tier this call. Delta passes accumulate
+  /// across passes, so the three can sum to a multiple of num_groups.
+  int groups_jit = 0;
+  int groups_simd = 0;
+  int groups_interp = 0;
+  /// "jit" / "simd" / "interp" when every group ran one tier, "mixed"
+  /// otherwise (e.g. async JIT still compiling for part of a pass).
+  std::string backend = "interp";
+  /// Recomputes `backend` from the per-tier counters.
+  void DeriveBackend() {
+    const int kinds = (groups_jit > 0 ? 1 : 0) + (groups_simd > 0 ? 1 : 0) +
+                      (groups_interp > 0 ? 1 : 0);
+    if (kinds > 1) {
+      backend = "mixed";
+    } else if (groups_jit > 0) {
+      backend = "jit";
+    } else if (groups_simd > 0) {
+      backend = "simd";
+    } else {
+      backend = "interp";
+    }
+  }
+  /// @}
   std::vector<GroupStats> groups;
 };
 
@@ -202,6 +244,12 @@ struct CompiledArtifact {
   double viewgen_seconds = 0.0;
   double grouping_seconds = 0.0;
   double plan_seconds = 0.0;
+  /// The batch's JIT module (null when the JIT is off or runtime codegen
+  /// was skipped). May still be compiling (async mode): executions probe
+  /// its state per group and fall back to the interpreter tiers until it
+  /// is ready. Shared with the plan cache, so a cached artifact's module
+  /// is reused — the compile is paid once per batch shape.
+  std::shared_ptr<JitModule> jit;
 };
 
 /// \brief A compiled batch ready for repeated execution.
@@ -379,6 +427,14 @@ class Engine {
     size_t hits = 0;
     size_t misses = 0;
     size_t entries = 0;
+    /// Prepares served a cached artifact that carries a JIT module.
+    size_t jit_hits = 0;
+    /// JIT module compilations kicked off by Prepare.
+    size_t jit_compiles = 0;
+    /// Modules that reached a terminal failed state (so far).
+    size_t jit_failures = 0;
+    /// Total compiler+link wall-clock of terminal modules still alive, ms.
+    double jit_compile_ms = 0.0;
   };
   PlanCacheStats plan_cache_stats() const;
 
@@ -439,6 +495,12 @@ class Engine {
   std::list<uint64_t> plan_lru_;
   size_t plan_cache_hits_ = 0;
   size_t plan_cache_misses_ = 0;
+  /// JIT observability (under plan_mu_): kick/hit counters plus weak refs
+  /// to every module this engine started, for failure/latency aggregation
+  /// in plan_cache_stats() without pinning dead artifacts.
+  size_t jit_hits_ = 0;
+  size_t jit_compiles_ = 0;
+  mutable std::vector<std::weak_ptr<JitModule>> jit_modules_;
   mutable std::mutex plan_mu_;
 
   /// Bumped (and the plan cache cleared) atomically under plan_mu_, so a

@@ -1,9 +1,11 @@
 #include "engine/execution_context.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "engine/executor.h"
+#include "util/hash.h"
 #include "util/timer.h"
 
 namespace lmfao {
@@ -46,6 +48,23 @@ class AcquiredViews {
   std::vector<ViewId> views_;
 };
 
+/// Host side of the JIT output callback: resolves (output, key) to the
+/// payload row of the right ViewMap, hashing exactly like the interpreter's
+/// write path so native and interpreted executions build identical maps.
+struct JitUpsertCtx {
+  const std::vector<ViewMap*>* outputs = nullptr;
+  const int* arities = nullptr;  ///< Key arity per output.
+};
+
+double* JitUpsert(void* ctx, int32_t output, const int64_t* key) {
+  static const int64_t kNoKey[1] = {0};
+  const auto* c = static_cast<const JitUpsertCtx*>(ctx);
+  const int n = c->arities[output];
+  const int64_t* k = key != nullptr ? key : kNoKey;
+  return (*c->outputs)[static_cast<size_t>(output)]->UpsertHashed(
+      k, HashKeySpan(k, n));
+}
+
 }  // namespace
 
 ExecutionContext::ExecutionContext(const Workload& workload,
@@ -53,13 +72,15 @@ ExecutionContext::ExecutionContext(const Workload& workload,
                                    const std::vector<GroupPlan>& plans,
                                    const SchedulerOptions& options,
                                    SortedRelationProvider sorted_relation,
-                                   const ParamPack* params)
+                                   const ParamPack* params,
+                                   ExecBackend backend)
     : workload_(workload),
       grouped_(grouped),
       plans_(plans),
       options_(options),
       sorted_relation_(std::move(sorted_relation)),
-      params_(params) {
+      params_(params),
+      backend_(backend) {
   LMFAO_CHECK_EQ(grouped_.groups.size(), plans_.size());
 }
 
@@ -98,6 +119,16 @@ Status ExecutionContext::Run(ExecutionStats* stats) {
         return RunGroup(gid, start,
                         &stats->groups[static_cast<size_t>(gid)]);
       }));
+  for (const GroupStats& gs : stats->groups) {
+    if (std::strcmp(gs.backend, "jit") == 0) {
+      ++stats->groups_jit;
+    } else if (std::strcmp(gs.backend, "simd") == 0) {
+      ++stats->groups_simd;
+    } else {
+      ++stats->groups_interp;
+    }
+  }
+  stats->DeriveBackend();
   stats->peak_live_views = store_.peak_live_views();
   stats->peak_view_bytes = store_.peak_bytes();
   stats->peak_view_key_bytes = store_.peak_key_bytes();
@@ -150,6 +181,82 @@ Status ExecutionContext::RunGroup(int gid, const GroupStart& start,
       ptrs->push_back(maps->back().get());
     }
   };
+  // Backend selection, per group: a ready native function wins; a module
+  // still compiling (async), failed, or rejecting this group's shape
+  // degrades just this group to the interpreter tiers.
+  const JitGroupFn jit_fn =
+      backend_.jit != nullptr ? backend_.jit->GetFn(gid) : nullptr;
+  const RuntimeGroupMeta* jit_meta =
+      jit_fn != nullptr ? backend_.jit->GetMeta(gid) : nullptr;
+  std::vector<const void*> jit_rel_cols;
+  std::vector<LmfaoJitView> jit_views;
+  std::vector<double> jit_params;
+  std::vector<int> jit_arities;
+  bool use_jit = jit_fn != nullptr && jit_meta != nullptr;
+  // The emitted range-sum helper reduces payload runs contiguously, which
+  // requires multi-entry views in columnar layout (entry stride 1); any
+  // other layout sends the group to the interpreter tiers.
+  for (size_t v = 0; use_jit && v < consumed.size(); ++v) {
+    if (plan.incoming[v].IsMultiEntry() &&
+        consumed[v].payload_entry_stride != 1) {
+      use_jit = false;
+    }
+  }
+  if (use_jit) {
+    jit_views.reserve(consumed.size());
+    for (const ConsumedView& cv : consumed) {
+      LmfaoJitView jv;
+      jv.size = cv.size;
+      for (int c = 0; c < cv.arity; ++c) jv.keys[c] = cv.col(c);
+      jv.payload = cv.payload_base;
+      jv.entry_stride = cv.payload_entry_stride;
+      jv.slot_stride = cv.payload_slot_stride;
+      jit_views.push_back(jv);
+    }
+    jit_rel_cols.reserve(jit_meta->used_cols.size());
+    for (int col : jit_meta->used_cols) {
+      const Column& c = rel->column(col);
+      jit_rel_cols.push_back(c.type() == AttrType::kInt
+                                 ? static_cast<const void*>(c.ints().data())
+                                 : static_cast<const void*>(
+                                       c.doubles().data()));
+    }
+    jit_params.reserve(jit_meta->param_order.size());
+    for (ParamId p : jit_meta->param_order) {
+      jit_params.push_back(params_ != nullptr ? params_->Get(p) : 0.0);
+    }
+    for (const GroupPlan::OutputInfo& out : plan.outputs) {
+      jit_arities.push_back(static_cast<int>(out.key_sources.size()));
+    }
+  }
+  // One shard of the group's scan, on whichever backend was chosen (the
+  // emitted code shards by the same level-1 match_index % num_shards rule
+  // as GroupExecutor::ExecuteShard, so the two tile the domain alike).
+  auto run_shard = [&](const std::vector<ViewMap*>& ptrs, int shard,
+                       int num_shards) -> Status {
+    if (use_jit) {
+      JitUpsertCtx uctx;
+      uctx.outputs = &ptrs;
+      uctx.arities = jit_arities.data();
+      LmfaoJitInput input;
+      input.rel_rows = rel->num_rows();
+      input.rel_cols = jit_rel_cols.data();
+      input.views = jit_views.data();
+      input.params = jit_params.data();
+      input.shard = shard;
+      input.num_shards = num_shards;
+      LmfaoJitOutput output;
+      output.ctx = &uctx;
+      output.upsert = &JitUpsert;
+      jit_fn(&input, &output);
+      return Status::OK();
+    }
+    GroupExecutor executor(plan, *rel, consumed_ptrs, params_,
+                           backend_.simd);
+    return num_shards <= 1 ? executor.Execute(ptrs)
+                           : executor.ExecuteShard(ptrs, shard, num_shards);
+  };
+
   // Shard count from true pool occupancy: busy_threads_ counts group
   // runners plus active shard helpers (the scheduler alone only sees whole
   // groups, so a fully sharded pool would look idle to it).
@@ -164,8 +271,7 @@ Status ExecutionContext::RunGroup(int gid, const GroupStart& start,
   std::vector<ViewMap*> out_ptrs;
   if (shards <= 1) {
     make_output_maps(1, &out_maps, &out_ptrs);
-    GroupExecutor executor(plan, *rel, consumed_ptrs, params_);
-    LMFAO_RETURN_NOT_OK(executor.Execute(out_ptrs));
+    LMFAO_RETURN_NOT_OK(run_shard(out_ptrs, 0, 1));
   } else {
     // Domain parallelism: each shard fills private maps. The merge targets
     // are only built afterwards so their reservations do not overlap with
@@ -181,9 +287,8 @@ Status ExecutionContext::RunGroup(int gid, const GroupStart& start,
           pool_.get(), static_cast<size_t>(shards), [&](size_t s) {
             make_output_maps(static_cast<size_t>(shards), &shard_maps[s],
                              &shard_ptrs[s]);
-            GroupExecutor executor(plan, *rel, consumed_ptrs, params_);
-            shard_status[s] = executor.ExecuteShard(
-                shard_ptrs[s], static_cast<int>(s), shards);
+            shard_status[s] =
+                run_shard(shard_ptrs[s], static_cast<int>(s), shards);
           });
     }
     for (const Status& st : shard_status) LMFAO_RETURN_NOT_OK(st);
@@ -214,6 +319,7 @@ Status ExecutionContext::RunGroup(int gid, const GroupStart& start,
   gs->output_entries = entries;
   gs->shards = shards;
   gs->wait_seconds = start.wait_seconds;
+  gs->backend = use_jit ? "jit" : backend_.simd ? "simd" : "interp";
   gs->store_key_bytes = store_.current_key_bytes();
   gs->store_payload_bytes = store_.current_payload_bytes();
   return Status::OK();

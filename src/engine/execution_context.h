@@ -37,6 +37,15 @@
 
 namespace lmfao {
 
+/// Which execution tiers this context may use, in preference order:
+/// a ready JIT module's native function, else the interpreter with (simd)
+/// or without explicit AVX2 kernels. Per-group fallback — a module still
+/// compiling (or failed, or missing a group) degrades only that group.
+struct ExecBackend {
+  const JitModule* jit = nullptr;
+  bool simd = false;
+};
+
 class ExecutionContext {
  public:
   /// Supplies the node relation sorted by (the relation subsequence of) the
@@ -54,7 +63,8 @@ class ExecutionContext {
                    const std::vector<GroupPlan>& plans,
                    const SchedulerOptions& options,
                    SortedRelationProvider sorted_relation,
-                   const ParamPack* params = nullptr);
+                   const ParamPack* params = nullptr,
+                   ExecBackend backend = {});
 
   ExecutionContext(const ExecutionContext&) = delete;
   ExecutionContext& operator=(const ExecutionContext&) = delete;
@@ -78,6 +88,7 @@ class ExecutionContext {
   SchedulerOptions options_;
   SortedRelationProvider sorted_relation_;
   const ParamPack* params_ = nullptr;
+  ExecBackend backend_;
   ViewStore store_;
   std::unique_ptr<ThreadPool> pool_;
   /// Threads occupied by group runners *and* their domain-shard helpers —

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "engine/simd_kernels.h"
+
 namespace lmfao {
 
 namespace {
@@ -151,8 +153,11 @@ ConsumedView BuildConsumedView(const SortView& produced,
 GroupExecutor::GroupExecutor(const GroupPlan& plan,
                              const Relation& sorted_relation,
                              std::vector<const ConsumedView*> views,
-                             const ParamPack* params)
-    : plan_(plan), relation_(sorted_relation), views_(std::move(views)) {
+                             const ParamPack* params, bool simd)
+    : plan_(plan),
+      relation_(sorted_relation),
+      views_(std::move(views)),
+      simd_(simd) {
   const int levels = plan_.num_levels();
   level_rel_column_.assign(static_cast<size_t>(levels) + 1, nullptr);
   level_views_.assign(static_cast<size_t>(levels) + 1, {});
@@ -334,6 +339,85 @@ GroupExecutor::GroupExecutor(const GroupPlan& plan,
     for (const PlanPart& p : lw.parts) lower_part(p);
     leaf_write_parts_.emplace_back(begin,
                                    static_cast<uint32_t>(exec_parts_.size()));
+  }
+  if (views_.size() == plan_.incoming.size()) FuseBetaRuns();
+}
+
+void GroupExecutor::FuseBetaRuns() {
+  // Covariance-style batches lower hundreds of betas per level that each
+  // read the next payload slot of the same bound view (one slot per
+  // aggregate column); detect those runs once so AccumulateBetas replaces
+  // the op-at-a-time scan with one contiguous elementwise loop per run.
+  // Fusable ops read a row-major single-entry view (slot stride 1): the
+  // run's payload block is then unit-stride off the cached match pointer,
+  // and the level-major register renumbering makes the destination
+  // beta_vals_ block contiguous as well.
+  auto fusable = [this](const RegOp& op) {
+    return op.shape == RegShape::kPayload && op.view >= 0 &&
+           views_[static_cast<size_t>(op.view)]->payload_slot_stride == 1;
+  };
+  auto contiguous = [&fusable](const RegOp& a, const RegOp& b) {
+    return fusable(b) && b.view == a.view && b.slot == a.slot + 1 &&
+           b.reg == a.reg + 1;
+  };
+  const uint8_t beta_kind =
+      static_cast<uint8_t>(GroupPlan::SuffixKind::kBeta);
+  const int levels = plan_.num_levels();
+  for (int l = 0; l <= levels; ++l) {
+    const uint32_t slice_end = beta_level_begin_[static_cast<size_t>(l) + 1];
+    uint32_t i = beta_level_begin_[static_cast<size_t>(l)];
+    while (i < slice_end) {
+      RegOp& head = beta_ops_[i];
+      if (!fusable(head) || i + 1 >= slice_end) {
+        ++i;
+        continue;
+      }
+      const RegOp& second = beta_ops_[i + 1];
+      RunKind kind;
+      if (contiguous(head, second) &&
+          second.suffix_kind == head.suffix_kind &&
+          second.suffix_index == head.suffix_index) {
+        kind = RunKind::kScalarSuffix;
+      } else if (contiguous(head, second) && head.suffix_kind == beta_kind &&
+                 second.suffix_kind == beta_kind &&
+                 second.suffix_index == head.suffix_index + 1) {
+        kind = RunKind::kPairSuffix;
+      } else {
+        ++i;
+        continue;
+      }
+      uint32_t j = i + 1;
+      while (j < slice_end) {
+        const RegOp& prev = beta_ops_[j - 1];
+        const RegOp& cur = beta_ops_[j];
+        if (!contiguous(prev, cur)) break;
+        if (kind == RunKind::kScalarSuffix
+                ? (cur.suffix_kind != head.suffix_kind ||
+                   cur.suffix_index != head.suffix_index)
+                : (cur.suffix_kind != beta_kind ||
+                   cur.suffix_index != prev.suffix_index + 1)) {
+          break;
+        }
+        ++j;
+      }
+      const int32_t len = static_cast<int32_t>(j - i);
+      bool ok = len > 1;
+      if (ok && kind == RunKind::kPairSuffix) {
+        // Pair runs read beta_vals_[suffix..] while writing
+        // beta_vals_[reg..]; the suffixes are deeper-level betas so the
+        // intervals never overlap in practice, but fusing an overlapping
+        // run would change results — require disjointness.
+        const int32_t r0 = head.reg;
+        const int32_t s0 = head.suffix_index;
+        ok = s0 + len <= r0 || r0 + len <= s0;
+      }
+      if (ok) {
+        head.run_len = len;
+        head.run_kind = kind;
+        for (uint32_t k = i + 1; k < j; ++k) beta_ops_[k].run_len = 0;
+      }
+      i = j;
+    }
   }
 }
 
@@ -569,13 +653,21 @@ double GroupExecutor::ScratchProductSum(const std::vector<int>& kernel_ids,
   switch (kernel_ids.size()) {
     case 0:
       return static_cast<double>(rows);  // SUM(1): the tuple count.
-    case 1:
-      return SumRange(leaf_scratch_[static_cast<size_t>(kernel_ids[0])].data(),
-                      0, rows);
-    case 2:
-      return DotRange(
-          leaf_scratch_[static_cast<size_t>(kernel_ids[0])].data(),
-          leaf_scratch_[static_cast<size_t>(kernel_ids[1])].data(), rows);
+    case 1: {
+      const double* a =
+          leaf_scratch_[static_cast<size_t>(kernel_ids[0])].data();
+      return simd_ && rows >= simd::kMinVectorLen ? simd::SumRange(a, 0, rows)
+                                                  : SumRange(a, 0, rows);
+    }
+    case 2: {
+      const double* a =
+          leaf_scratch_[static_cast<size_t>(kernel_ids[0])].data();
+      const double* b =
+          leaf_scratch_[static_cast<size_t>(kernel_ids[1])].data();
+      return simd_ && rows >= simd::kMinVectorLen
+                 ? simd::DotRange(a, b, rows)
+                 : DotRange(a, b, rows);
+    }
     default: {
       double* prod = leaf_prod_scratch_.data();
       std::memcpy(prod,
@@ -584,11 +676,17 @@ double GroupExecutor::ScratchProductSum(const std::vector<int>& kernel_ids,
       for (size_t f = 1; f + 1 < kernel_ids.size(); ++f) {
         const double* a =
             leaf_scratch_[static_cast<size_t>(kernel_ids[f])].data();
-        for (size_t i = 0; i < rows; ++i) prod[i] *= a[i];
+        if (simd_ && rows >= simd::kMinVectorLen) {
+          simd::MulInPlace(prod, a, rows);
+        } else {
+          for (size_t i = 0; i < rows; ++i) prod[i] *= a[i];
+        }
       }
-      return DotRange(
-          prod, leaf_scratch_[static_cast<size_t>(kernel_ids.back())].data(),
-          rows);
+      const double* last =
+          leaf_scratch_[static_cast<size_t>(kernel_ids.back())].data();
+      return simd_ && rows >= simd::kMinVectorLen
+                 ? simd::DotRange(prod, last, rows)
+                 : DotRange(prod, last, rows);
     }
   }
 }
@@ -647,13 +745,17 @@ double GroupExecutor::EvalExecPart(const ExecPart& part) {
         RangeSumCache& c =
             range_sum_cache_[static_cast<size_t>(part.range_sum_id)];
         if (c.lo == r.lo && c.hi == r.hi) return c.sum;
-        const double sum = SumRange(v->pcol(part.slot), r.lo, r.hi);
+        const double sum = simd_ && r.hi - r.lo >= simd::kMinVectorLen
+                               ? simd::SumRange(v->pcol(part.slot), r.lo, r.hi)
+                               : SumRange(v->pcol(part.slot), r.lo, r.hi);
         c.lo = r.lo;
         c.hi = r.hi;
         c.sum = sum;
         return sum;
       }
-      return SumRange(v->pcol(part.slot), r.lo, r.hi);
+      return simd_ && r.hi - r.lo >= simd::kMinVectorLen
+                 ? simd::SumRange(v->pcol(part.slot), r.lo, r.hi)
+                 : SumRange(v->pcol(part.slot), r.lo, r.hi);
     }
   }
   return 1.0;
@@ -694,6 +796,34 @@ void GroupExecutor::AccumulateBetas(int level) {
   for (uint32_t i = beta_level_begin_[static_cast<size_t>(level)]; i < end;
        ++i) {
     const RegOp& op = beta_ops_[i];
+    if (op.run_len != 1) {
+      if (op.run_len == 0) continue;  // Member of a fused run.
+      // Fused kPayload run: one contiguous elementwise loop over the
+      // bound entry's payload block (slot stride 1, see FuseBetaRuns).
+      // Each element does the same multiply-add the per-op path does, so
+      // results are bit-identical — scalar or SIMD.
+      const PayloadRef& pr = view_payload_cache_[static_cast<size_t>(op.view)];
+      const double* src = pr.ptr + static_cast<size_t>(op.slot);
+      double* dst = beta_vals_.data() + static_cast<size_t>(op.reg);
+      const size_t n = static_cast<size_t>(op.run_len);
+      if (op.run_kind == RunKind::kScalarSuffix) {
+        const double s = SuffixValue(op.suffix_kind, op.suffix_index);
+        if (simd_ && n >= simd::kMinVectorLen) {
+          simd::Axpy(dst, src, s, n);
+        } else {
+          for (size_t k = 0; k < n; ++k) dst[k] += src[k] * s;
+        }
+      } else {
+        const double* suf =
+            beta_vals_.data() + static_cast<size_t>(op.suffix_index);
+        if (simd_ && n >= simd::kMinVectorLen) {
+          simd::MulAddPairs(dst, src, suf, n);
+        } else {
+          for (size_t k = 0; k < n; ++k) dst[k] += src[k] * suf[k];
+        }
+      }
+      continue;
+    }
     double v = SuffixValue(op.suffix_kind, op.suffix_index);
     if (op.shape == RegShape::kPayload) {
       const PayloadRef& pr = view_payload_cache_[static_cast<size_t>(op.view)];

@@ -121,9 +121,15 @@ class GroupExecutor {
   /// literal and parameterized batches. May be null when the plan uses no
   /// parameterized functions; all referenced slots must be bound
   /// (validated by PreparedBatch::Execute before any executor is built).
+  ///
+  /// `simd` routes the hot kernels (range sums, scratch product sums, and
+  /// the fused kPayload beta runs) through the explicit AVX2 tier
+  /// (simd_kernels.h). The SIMD kernels are bit-identical to the scalar
+  /// shapes on all inputs, so the flag changes performance, never results;
+  /// it degrades to scalar automatically on non-AVX2 hardware.
   GroupExecutor(const GroupPlan& plan, const Relation& sorted_relation,
                 std::vector<const ConsumedView*> views,
-                const ParamPack* params = nullptr);
+                const ParamPack* params = nullptr, bool simd = false);
 
   /// Runs the whole group.
   Status Execute(const std::vector<ViewMap*>& outputs);
@@ -177,6 +183,16 @@ class GroupExecutor {
   /// accumulation loop then does two loads and a multiply-add with no
   /// part dispatch at all. Everything else takes the generic part loop.
   enum class RegShape : uint8_t { kGeneric, kPayload };
+  /// Fused runs of consecutive kPayload betas (detected once at lowering,
+  /// see FuseBetaRuns): `run_len > 1` marks a run head — the next
+  /// `run_len` ops read consecutive slots (unit payload stride) of the
+  /// same view, so the whole run is one elementwise loop over a contiguous
+  /// payload block; members carry `run_len == 0` and are skipped by the
+  /// accumulation scan. `run_len == 1` is an ordinary op.
+  enum class RunKind : uint8_t {
+    kScalarSuffix,  ///< All ops share one suffix: beta[r..] += p[..] * s.
+    kPairSuffix,    ///< Suffixes are consecutive betas: += p[i] * suf[i].
+  };
   struct RegOp {
     int32_t reg;            ///< alpha_vals_ / beta_vals_ index (op order).
     int32_t prev;           ///< Alphas: chained register, -1 for none.
@@ -187,6 +203,8 @@ class GroupExecutor {
     int32_t suffix_index;
     uint32_t part_begin;    ///< [part_begin, part_end) into exec_parts_.
     uint32_t part_end;
+    int32_t run_len = 1;    ///< >1: fused run head; 0: run member (skip).
+    RunKind run_kind = RunKind::kScalarSuffix;
   };
   struct WriteOp {
     const GroupPlan::Write* write;  ///< Keyed path (entry_slots).
@@ -229,10 +247,16 @@ class GroupExecutor {
   /// Sum over the current leaf run of the product of the given scratch
   /// columns (empty = the run length, i.e. the tuple count).
   double ScratchProductSum(const std::vector<int>& kernel_ids, size_t rows);
+  /// Detects fused kPayload runs in each level's beta slice (lowering-time
+  /// pass over beta_ops_; see RunKind). Fusion is applied regardless of
+  /// the simd flag — the fused loops are bit-identical to the op-at-a-time
+  /// scan — but only the SIMD tier vectorizes them.
+  void FuseBetaRuns();
 
   const GroupPlan& plan_;
   const Relation& relation_;
   std::vector<const ConsumedView*> views_;
+  const bool simd_;
 
   // Per-level participation, precomputed.
   std::vector<const int64_t*> level_rel_column_;

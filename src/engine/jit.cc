@@ -1,0 +1,199 @@
+#include "engine/jit.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+#include <utility>
+
+namespace lmfao {
+namespace {
+
+std::string ShellQuote(const std::string& s) {
+  std::string quoted = "'";
+  for (char c : s) {
+    if (c == '\'') {
+      quoted += "'\\''";
+    } else {
+      quoted += c;
+    }
+  }
+  quoted += "'";
+  return quoted;
+}
+
+/// Runs `cmd` under the shell, capturing stdout+stderr into `output`.
+/// Returns the shell's exit status (non-zero = failure).
+int RunCommand(const std::string& cmd, std::string* output) {
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) {
+    *output = "popen() failed";
+    return -1;
+  }
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) output->append(buf, n);
+  return pclose(pipe);
+}
+
+std::string DefaultCompiler() {
+#ifdef LMFAO_HOST_CXX
+  return LMFAO_HOST_CXX;
+#else
+  return "c++";
+#endif
+}
+
+}  // namespace
+
+JitOptions JitOptions::FromEnv() {
+  JitOptions o;
+  if (const char* mode = std::getenv("LMFAO_JIT")) {
+    const std::string m(mode);
+    if (m == "on" || m == "async") {
+      o.mode = JitMode::kAsync;
+    } else if (m == "sync") {
+      o.mode = JitMode::kSync;
+    }
+  }
+  if (const char* cc = std::getenv("LMFAO_JIT_CC")) o.compiler = cc;
+  return o;
+}
+
+std::shared_ptr<JitModule> JitModule::Compile(RuntimeBatchCode code,
+                                              const JitOptions& options) {
+  std::shared_ptr<JitModule> m(new JitModule());
+  for (auto& meta : code.groups) {
+    const int gid = meta.group_id;
+    m->metas_.emplace(gid, std::move(meta));
+  }
+  if (options.mode == JitMode::kAsync) {
+    // The thread keeps the module alive until it reaches a terminal state;
+    // the destructor therefore never races the compile.
+    std::thread([m, source = std::move(code.source), options] {
+      m->CompileNow(source, options);
+    }).detach();
+  } else {
+    m->CompileNow(code.source, options);
+  }
+  return m;
+}
+
+JitModule::~JitModule() {
+  if (handle_ != nullptr) dlclose(handle_);
+}
+
+void JitModule::Wait() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] {
+    return state_.load(std::memory_order_acquire) != State::kCompiling;
+  });
+}
+
+JitGroupFn JitModule::GetFn(int group_id) const {
+  // The acquire load in ready() pairs with the release transition in
+  // CompileNow: fns_ is fully populated before kReady becomes visible.
+  if (!ready()) return nullptr;
+  const auto it = fns_.find(group_id);
+  return it == fns_.end() ? nullptr : it->second;
+}
+
+const RuntimeGroupMeta* JitModule::GetMeta(int group_id) const {
+  const auto it = metas_.find(group_id);
+  return it == metas_.end() ? nullptr : &it->second;
+}
+
+void JitModule::CompileNow(const std::string& source,
+                           const JitOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto finish = [&](State s) {
+    compile_ms_ = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      state_.store(s, std::memory_order_release);
+    }
+    cv_.notify_all();
+  };
+
+  const char* tmp = std::getenv("TMPDIR");
+  std::string tmpl = std::string(tmp != nullptr && *tmp != '\0' ? tmp : "/tmp");
+  tmpl += "/lmfao_jit_XXXXXX";
+  std::vector<char> dir_buf(tmpl.begin(), tmpl.end());
+  dir_buf.push_back('\0');
+  if (mkdtemp(dir_buf.data()) == nullptr) {
+    error_ = "jit: mkdtemp failed for " + tmpl;
+    finish(State::kFailed);
+    return;
+  }
+  const std::string dir = dir_buf.data();
+  const std::string src_path = dir + "/batch.cc";
+  const std::string so_path = dir + "/batch.so";
+  auto cleanup = [&] {
+    std::remove(src_path.c_str());
+    std::remove(so_path.c_str());
+    rmdir(dir.c_str());
+  };
+  {
+    std::ofstream f(src_path);
+    f << source;
+    f.flush();
+    if (!f.good()) {
+      error_ = "jit: cannot write " + src_path;
+      cleanup();
+      finish(State::kFailed);
+      return;
+    }
+  }
+
+  const std::string cc =
+      options.compiler.empty() ? DefaultCompiler() : options.compiler;
+  const std::string base = ShellQuote(cc) +
+                           " -std=c++17 -O2 -ffp-contract=off -fPIC -shared"
+                           " -fno-exceptions -fno-rtti ";
+  const std::string tail =
+      ShellQuote(src_path) + " -o " + ShellQuote(so_path);
+  std::string log;
+  int rc = RunCommand(base + "-march=native " + tail, &log);
+  if (rc != 0) {
+    // Some toolchains/targets reject -march=native; the flag is only an
+    // optimization, so retry without it before giving up.
+    log.clear();
+    rc = RunCommand(base + tail, &log);
+  }
+  if (rc != 0) {
+    if (log.size() > 2000) log.resize(2000);
+    error_ = "jit: compile failed (" + cc + "): " + log;
+    cleanup();
+    finish(State::kFailed);
+    return;
+  }
+
+  handle_ = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  // The mapping survives unlink on Linux; drop the files either way.
+  cleanup();
+  if (handle_ == nullptr) {
+    const char* err = dlerror();
+    error_ = std::string("jit: dlopen failed: ") + (err != nullptr ? err : "");
+    finish(State::kFailed);
+    return;
+  }
+  for (const auto& [gid, meta] : metas_) {
+    void* sym = dlsym(handle_, meta.symbol.c_str());
+    if (sym == nullptr) {
+      error_ = "jit: missing symbol " + meta.symbol;
+      fns_.clear();
+      finish(State::kFailed);
+      return;
+    }
+    fns_[gid] = reinterpret_cast<JitGroupFn>(sym);
+  }
+  finish(State::kReady);
+}
+
+}  // namespace lmfao

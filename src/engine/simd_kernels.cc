@@ -1,0 +1,175 @@
+#include "engine/simd_kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define LMFAO_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace lmfao {
+namespace simd {
+
+namespace {
+
+/// Scalar shapes — byte-for-byte the loops the interpreter runs (see
+/// payload_columns.h SumRange and executor.cc DotRange); the vector
+/// versions below must match these exactly.
+double SumRangeScalar(const double* col, size_t lo, size_t hi) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t i = lo;
+  for (; i + 4 <= hi; i += 4) {
+    s0 += col[i];
+    s1 += col[i + 1];
+    s2 += col[i + 2];
+    s3 += col[i + 3];
+  }
+  for (; i < hi; ++i) s0 += col[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+double DotRangeScalar(const double* a, const double* b, size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) s0 += a[i] * b[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+void MulInPlaceScalar(double* dst, const double* a, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] *= a[i];
+}
+
+void AxpyScalar(double* dst, const double* src, double s, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += src[i] * s;
+}
+
+void MulAddPairsScalar(double* dst, const double* a, const double* b,
+                       size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += a[i] * b[i];
+}
+
+#if defined(LMFAO_SIMD_X86)
+
+/// Lane k of the accumulator is exactly the scalar s_k: both see the same
+/// operand sequence in the same order, and the tail adds into lane 0. The
+/// final reduction preserves the scalar (s0+s1)+(s2+s3) association. No
+/// FMA: mul rounds before add, like the scalar build.
+__attribute__((target("avx2"))) double SumRangeAvx2(const double* col,
+                                                    size_t lo, size_t hi) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = lo;
+  for (; i + 4 <= hi; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(col + i));
+  }
+  double s[4];
+  _mm256_storeu_pd(s, acc);
+  for (; i < hi; ++i) s[0] += col[i];
+  return (s[0] + s[1]) + (s[2] + s[3]);
+}
+
+__attribute__((target("avx2"))) double DotRangeAvx2(const double* a,
+                                                    const double* b,
+                                                    size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d p =
+        _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    acc = _mm256_add_pd(acc, p);
+  }
+  double s[4];
+  _mm256_storeu_pd(s, acc);
+  for (; i < n; ++i) s[0] += a[i] * b[i];
+  return (s[0] + s[1]) + (s[2] + s[3]);
+}
+
+__attribute__((target("avx2"))) void MulInPlaceAvx2(double* dst,
+                                                    const double* a,
+                                                    size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        dst + i, _mm256_mul_pd(_mm256_loadu_pd(dst + i),
+                               _mm256_loadu_pd(a + i)));
+  }
+  for (; i < n; ++i) dst[i] *= a[i];
+}
+
+__attribute__((target("avx2"))) void AxpyAvx2(double* dst, const double* src,
+                                              double s, size_t n) {
+  const __m256d vs = _mm256_set1_pd(s);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d p = _mm256_mul_pd(_mm256_loadu_pd(src + i), vs);
+    _mm256_storeu_pd(dst + i, _mm256_add_pd(_mm256_loadu_pd(dst + i), p));
+  }
+  for (; i < n; ++i) dst[i] += src[i] * s;
+}
+
+__attribute__((target("avx2"))) void MulAddPairsAvx2(double* dst,
+                                                     const double* a,
+                                                     const double* b,
+                                                     size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d p =
+        _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    _mm256_storeu_pd(dst + i, _mm256_add_pd(_mm256_loadu_pd(dst + i), p));
+  }
+  for (; i < n; ++i) dst[i] += a[i] * b[i];
+}
+
+#endif  // LMFAO_SIMD_X86
+
+}  // namespace
+
+bool HasAvx2() {
+#if defined(LMFAO_SIMD_X86)
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+#else
+  return false;
+#endif
+}
+
+double SumRange(const double* col, size_t lo, size_t hi) {
+#if defined(LMFAO_SIMD_X86)
+  if (hi - lo >= kMinVectorLen && HasAvx2()) return SumRangeAvx2(col, lo, hi);
+#endif
+  return SumRangeScalar(col, lo, hi);
+}
+
+double DotRange(const double* a, const double* b, size_t n) {
+#if defined(LMFAO_SIMD_X86)
+  if (n >= kMinVectorLen && HasAvx2()) return DotRangeAvx2(a, b, n);
+#endif
+  return DotRangeScalar(a, b, n);
+}
+
+void MulInPlace(double* dst, const double* a, size_t n) {
+#if defined(LMFAO_SIMD_X86)
+  if (n >= kMinVectorLen && HasAvx2()) return MulInPlaceAvx2(dst, a, n);
+#endif
+  MulInPlaceScalar(dst, a, n);
+}
+
+void Axpy(double* dst, const double* src, double s, size_t n) {
+#if defined(LMFAO_SIMD_X86)
+  if (n >= kMinVectorLen && HasAvx2()) return AxpyAvx2(dst, src, s, n);
+#endif
+  AxpyScalar(dst, src, s, n);
+}
+
+void MulAddPairs(double* dst, const double* a, const double* b, size_t n) {
+#if defined(LMFAO_SIMD_X86)
+  if (n >= kMinVectorLen && HasAvx2()) return MulAddPairsAvx2(dst, a, b, n);
+#endif
+  MulAddPairsScalar(dst, a, b, n);
+}
+
+}  // namespace simd
+}  // namespace lmfao

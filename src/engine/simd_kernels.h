@@ -1,0 +1,71 @@
+/// \file simd_kernels.h
+/// \brief Explicit SIMD (AVX2) kernels for the executor's dominant loop
+/// shapes, with runtime CPU dispatch and scalar fallback.
+///
+/// Every kernel here is *bit-identical* to the scalar code it replaces, on
+/// all inputs — not merely "close". That is what lets the SIMD tier default
+/// on under the engine's bit-for-bit differential tests (the append
+/// property suite compares results with rel_tol 0.0):
+///
+///   - The reductions (SumRange / DotRange / product-sum) replicate the
+///     interpreter's exact four-accumulator shape: one 256-bit accumulator
+///     whose lane k holds exactly the scalar code's s_k (each lane sees the
+///     same operands in the same order), a scalar tail into lane 0, and the
+///     same final (s0+s1)+(s2+s3) association. IEEE-754 lane arithmetic is
+///     deterministic, so the lanes reproduce the scalar partials bitwise.
+///   - No FMA is used anywhere: the scalar loops compile to separate
+///     multiply and add on baseline x86-64 (the repo builds without -march
+///     flags, and the target has no scalar FMA instruction), so the vector
+///     kernels also round the product before the add.
+///   - The elementwise kernels (axpy, pairwise multiply-add, in-place
+///     multiply) perform exactly one multiply and one add per element —
+///     vectorization changes which register holds a value, never a
+///     rounding.
+///
+/// Dispatch: each entry point tests AVX2 availability once (cached cpuid)
+/// and falls back to the scalar shape on non-AVX2 x86 and on non-x86
+/// architectures entirely.
+
+#ifndef LMFAO_ENGINE_SIMD_KERNELS_H_
+#define LMFAO_ENGINE_SIMD_KERNELS_H_
+
+#include <cstddef>
+
+namespace lmfao {
+namespace simd {
+
+/// True when the running CPU supports AVX2 (always false off x86).
+bool HasAvx2();
+
+/// Below this length the vector path costs more than it saves (AVX2
+/// load/reduce setup, plus the out-of-line call vs the interpreter's
+/// inlined scalar loops). The dispatchers below apply the cutoff
+/// internally; hot callers should ALSO branch on it themselves so short
+/// runs stay on their inlined scalar path and skip the call entirely —
+/// the covariance workloads are full of short per-key runs. Both paths
+/// compute the identical value, so the switch is invisible to the
+/// bit-for-bit contract.
+constexpr size_t kMinVectorLen = 16;
+
+/// sum(col[lo..hi)) — same value as lmfao::SumRange (payload_columns.h).
+double SumRange(const double* col, size_t lo, size_t hi);
+
+/// sum(a[i] * b[i]) — same value as the interpreter's DotRange.
+double DotRange(const double* a, const double* b, size_t n);
+
+/// dst[i] *= a[i] (the generic ScratchProductSum pre-multiply).
+void MulInPlace(double* dst, const double* a, size_t n);
+
+/// dst[i] += src[i] * s — the fused kPayload beta run with one shared
+/// suffix. Exactly one multiply and one add per element.
+void Axpy(double* dst, const double* src, double s, size_t n);
+
+/// dst[i] += a[i] * b[i] elementwise — the fused kPayload beta run whose
+/// suffixes are consecutive deeper-level betas. `dst` must not overlap
+/// `a` or `b`.
+void MulAddPairs(double* dst, const double* a, const double* b, size_t n);
+
+}  // namespace simd
+}  // namespace lmfao
+
+#endif  // LMFAO_ENGINE_SIMD_KERNELS_H_
