@@ -139,6 +139,17 @@ inline void ExportBackendCounters(benchmark::State& state,
   state.counters["jit_compile_ms"] = cache.jit_compile_ms;
 }
 
+/// Exports the resource-governance counters of one evaluation: how many
+/// times a deadline/budget limit tripped and how many groups ran degraded
+/// (interpreter fallback or unsharded retry). The bench-smoke CI job greps
+/// these out of the uploaded BENCH_*.json — an untripped governed run must
+/// report zeros.
+inline void ExportLimitCounters(benchmark::State& state,
+                                const ExecutionStats& stats) {
+  state.counters["limit_trips"] = stats.limit_trips;
+  state.counters["degraded_groups"] = stats.degraded_groups;
+}
+
 /// A Favorita learning task (for covariance/e2e benches).
 inline FeatureSet FavoritaFeatures(const FavoritaData& db) {
   FeatureSet features;

@@ -124,6 +124,38 @@ BENCHMARK(BM_E2E_RetailerCovariance_LmfaoPreparedExecute)
     ->Unit(benchmark::kMillisecond)
     ->MinTime(2.0);
 
+/// PreparedExecute with generous-but-armed ExecLimits: identical work to
+/// the ungoverned variant above, except every group boundary, publish,
+/// and (amortized) trie match also consults the pass's CancelToken. The
+/// pair quantifies the governance overhead — the acceptance bar is <2%
+/// versus BM_E2E_RetailerCovariance_LmfaoPreparedExecute — and the
+/// exported limit_trips/degraded_groups counters must stay zero.
+void BM_E2E_RetailerCovariance_LmfaoPreparedExecuteLimitOverhead(
+    benchmark::State& state) {
+  RetailerData& db = bench::Retailer(kRetailerRows);
+  auto cov = BuildCovarianceBatch(bench::RetailerFeatures(db), db.catalog);
+  LMFAO_CHECK(cov.ok());
+  Engine engine(&db.catalog, &db.tree, EngineOptions{});
+  auto prepared = engine.Prepare(cov->batch);
+  LMFAO_CHECK(prepared.ok());
+  ExecLimits limits;
+  limits.deadline_seconds = 3600.0;
+  limits.max_view_bytes = size_t{1} << 40;
+  ExecutionStats stats;
+  for (auto _ : state) {
+    auto result = prepared->Execute(ParamPack{}, limits);
+    LMFAO_CHECK(result.ok()) << result.status().ToString();
+    stats = result->stats;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["queries"] = cov->batch.size();
+  bench::ExportTimingCounters(state, stats);
+  bench::ExportLimitCounters(state, stats);
+}
+BENCHMARK(BM_E2E_RetailerCovariance_LmfaoPreparedExecuteLimitOverhead)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(2.0);
+
 /// Backend A/B on the same prepared batch: the default PreparedExecute
 /// above runs the SIMD interpreter tier; this variant disables the AVX2
 /// kernels too — the scalar-interpreter floor.

@@ -34,6 +34,10 @@ Status LoadRelationCsvText(const std::string& text, const Catalog& catalog,
                            Relation* relation, const CsvOptions& options) {
   LMFAO_ASSIGN_OR_RETURN(CsvTable table, ParseCsv(text, options));
   const int arity = relation->schema().arity();
+  // Stage every row before touching the relation: a malformed field in
+  // the middle of the file must leave the relation exactly as it was.
+  std::vector<std::vector<Value>> staged;
+  staged.reserve(table.rows.size());
   std::vector<Value> row(static_cast<size_t>(arity));
   for (size_t r = 0; r < table.rows.size(); ++r) {
     if (static_cast<int>(table.rows[r].size()) != arity) {
@@ -53,8 +57,9 @@ Status LoadRelationCsvText(const std::string& text, const Catalog& catalog,
         row[static_cast<size_t>(c)] = Value::Double(v);
       }
     }
-    relation->AppendRowUnchecked(row);
+    staged.push_back(row);
   }
+  for (const std::vector<Value>& r : staged) relation->AppendRowUnchecked(r);
   return Status::OK();
 }
 

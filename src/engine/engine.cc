@@ -10,6 +10,8 @@
 #include "engine/attribute_order.h"
 #include "engine/execution_context.h"
 #include "storage/sort.h"
+#include "util/cancel.h"
+#include "util/failpoint.h"
 #include "util/hash.h"
 #include "util/timer.h"
 
@@ -298,8 +300,12 @@ Status PreparedBatch::CheckExecutable(const ParamPack& params) const {
 }
 
 StatusOr<BatchResult> PreparedBatch::RunPass(const PassSpec& spec,
-                                             const ParamPack& params) const {
+                                             const ParamPack& params,
+                                             const ExecLimits& limits) const {
   Timer total_timer;
+  // A failure parked by a void seam during some earlier pass on this
+  // thread must not be blamed on this one.
+  if (Failpoints::enabled()) Failpoints::ClearParked();
   BatchResult result;
   const CompiledBatch& compiled = artifact_->compiled;
   result.stats.num_queries = artifact_->num_queries;
@@ -327,6 +333,13 @@ StatusOr<BatchResult> PreparedBatch::RunPass(const PassSpec& spec,
   ExecBackend backend;
   backend.jit = artifact_->jit.get();
   backend.simd = options_.simd_kernels;
+  // The pass's shared governance token. Stack-owned: every worker the
+  // context spawns joins before Run returns, so no reference escapes.
+  CancelToken cancel;
+  if (limits.enabled()) {
+    cancel.ArmDeadline(limits.deadline_seconds);
+    cancel.ArmBudget(limits.max_view_bytes);
+  }
   ExecutionContext context(
       compiled.workload, compiled.grouped, compiled.plans,
       options_.scheduler,
@@ -347,7 +360,7 @@ StatusOr<BatchResult> PreparedBatch::RunPass(const PassSpec& spec,
         pin_set.pins.push_back(std::move(snap));
         return raw;
       },
-      &params, backend);
+      &params, backend, limits.enabled() ? &cancel : nullptr);
   LMFAO_RETURN_NOT_OK(context.Run(&result.stats));
   result.stats.execute_seconds = exec_timer.ElapsedSeconds();
 
@@ -366,15 +379,26 @@ StatusOr<BatchResult> PreparedBatch::RunPass(const PassSpec& spec,
 }
 
 StatusOr<BatchResult> PreparedBatch::Execute(const ParamPack& params) const {
+  return Execute(params, options_.limits);
+}
+
+StatusOr<BatchResult> PreparedBatch::Execute(const ParamPack& params,
+                                             const ExecLimits& limits) const {
   if (engine_ == nullptr || artifact_ == nullptr) {
     return Status::FailedPrecondition(
         "PreparedBatch::Execute on an empty handle");
   }
-  return ExecuteAt(engine_->catalog_->SnapshotEpoch(), params);
+  return ExecuteAt(engine_->catalog_->SnapshotEpoch(), params, limits);
 }
 
 StatusOr<BatchResult> PreparedBatch::ExecuteAt(const EpochSnapshot& epoch,
                                                const ParamPack& params) const {
+  return ExecuteAt(epoch, params, options_.limits);
+}
+
+StatusOr<BatchResult> PreparedBatch::ExecuteAt(const EpochSnapshot& epoch,
+                                               const ParamPack& params,
+                                               const ExecLimits& limits) const {
   LMFAO_RETURN_NOT_OK(CheckExecutable(params));
   if (epoch.rows.size() !=
       static_cast<size_t>(engine_->catalog_->num_relations())) {
@@ -385,7 +409,7 @@ StatusOr<BatchResult> PreparedBatch::ExecuteAt(const EpochSnapshot& epoch,
   }
   PassSpec spec;
   spec.rows = &epoch;
-  LMFAO_ASSIGN_OR_RETURN(BatchResult result, RunPass(spec, params));
+  LMFAO_ASSIGN_OR_RETURN(BatchResult result, RunPass(spec, params, limits));
   result.epoch = epoch;
   result.artifact_signature = artifact_->signature;
   result.param_fingerprint =
@@ -395,6 +419,13 @@ StatusOr<BatchResult> PreparedBatch::ExecuteAt(const EpochSnapshot& epoch,
 
 StatusOr<BatchResult> PreparedBatch::ExecuteDelta(const BatchResult& base,
                                                   const ParamPack& params)
+    const {
+  return ExecuteDelta(base, params, options_.limits);
+}
+
+StatusOr<BatchResult> PreparedBatch::ExecuteDelta(const BatchResult& base,
+                                                  const ParamPack& params,
+                                                  const ExecLimits& limits)
     const {
   LMFAO_RETURN_NOT_OK(CheckExecutable(params));
   if (base.artifact_signature != artifact_->signature) {
@@ -452,6 +483,8 @@ StatusOr<BatchResult> PreparedBatch::ExecuteDelta(const BatchResult& base,
   result.stats.groups_jit = 0;
   result.stats.groups_simd = 0;
   result.stats.groups_interp = 0;
+  result.stats.limit_trips = 0;
+  result.stats.degraded_groups = 0;
 
   // Multilinearity: summing, over changed relations c_1 < ... < c_k, the
   // batch evaluated with c_i served as its appended slice, c_1..c_{i-1} at
@@ -465,11 +498,16 @@ StatusOr<BatchResult> PreparedBatch::ExecuteDelta(const BatchResult& base,
     spec.delta_node = r;
     spec.delta_lo = base.epoch.at(r);
     spec.delta_hi = result.epoch.at(r);
-    LMFAO_ASSIGN_OR_RETURN(BatchResult term, RunPass(spec, params));
+    // Each delta term is one governed pass; a trip (or any failure)
+    // propagates out here, before `result` is returned — the caller's
+    // `base` is untouched and can seed a later retry.
+    LMFAO_ASSIGN_OR_RETURN(BatchResult term, RunPass(spec, params, limits));
     result.stats.execute_seconds += term.stats.execute_seconds;
     result.stats.groups_jit += term.stats.groups_jit;
     result.stats.groups_simd += term.stats.groups_simd;
     result.stats.groups_interp += term.stats.groups_interp;
+    result.stats.limit_trips += term.stats.limit_trips;
+    result.stats.degraded_groups += term.stats.degraded_groups;
     for (const GroupPlan& plan : plans) {
       if (r < 64 && ((plan.source_relation_mask >> r) & 1)) {
         ++result.stats.delta_dirty_groups;
@@ -506,6 +544,9 @@ StatusOr<std::shared_ptr<const Relation>> Engine::SortedRelationAt(
   }
 
   const std::pair<RelationId, std::vector<AttrId>> key{node, sub};
+  // The cache-extension seam: sorting/merging a snapshot is the largest
+  // transient allocation the engine itself makes.
+  LMFAO_FAILPOINT("engine.sorted_cache");
   std::shared_ptr<const Relation> prefix;  // Largest cached epoch <= rows.
   {
     std::lock_guard<std::mutex> lock(cache_mu_);

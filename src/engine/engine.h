@@ -61,6 +61,29 @@ namespace lmfao {
 
 class Engine;
 
+/// \brief Resource limits governing one execution pass.
+///
+/// Enforced by a CancelToken shared across the pass's workers: checked at
+/// group boundaries, after every publish, and (interpreter tiers) amortized
+/// inside the trie iteration. A tripped deadline returns DeadlineExceeded,
+/// a tripped memory budget ResourceExhausted; either way the pass unwinds
+/// cleanly — consumed views released, partial outputs dropped, the engine's
+/// caches and generation untouched — so the same PreparedBatch can be
+/// re-executed afterwards. Both fields default to "unlimited"; enabling
+/// them costs <2% on untripped executions (bench_e2e_batch LimitOverhead).
+struct ExecLimits {
+  /// Wall-clock budget in seconds for the whole pass; <= 0 = no deadline.
+  double deadline_seconds = 0.0;
+  /// Budget for live view memory (ViewStore bytes plus in-flight output
+  /// maps); 0 = unlimited. A trip on a domain-sharded group retries once
+  /// unsharded (lower peak memory) before failing the pass.
+  size_t max_view_bytes = 0;
+
+  bool enabled() const {
+    return deadline_seconds > 0.0 || max_view_bytes != 0;
+  }
+};
+
 /// \brief All engine options, including the ablation toggles benchmarked by
 /// bench_ablation.
 struct EngineOptions {
@@ -90,6 +113,10 @@ struct EngineOptions {
   /// Bit-identical to the scalar shapes on all inputs, so it defaults on;
   /// execution-only, not part of the cache key.
   bool simd_kernels = true;
+  /// Default resource limits for every Execute of batches prepared under
+  /// these options; the per-call Execute(params, limits) overloads
+  /// override them. Execution-only, not part of the cache key.
+  ExecLimits limits;
 };
 
 /// \brief Per-group execution statistics.
@@ -107,6 +134,10 @@ struct GroupStats {
   /// "simd" (interpreter with explicit AVX2 kernels), or "interp" (scalar
   /// interpreter). Points at static strings.
   const char* backend = "interp";
+  /// True when the group ran below its requested tier or shape: a JIT
+  /// module was configured but this group fell back to the interpreter
+  /// tiers, or a memory trip forced the once-unsharded retry.
+  bool degraded = false;
   /// Live ViewStore bytes right after the group published its outputs and
   /// released its inputs (the view-memory frontier at this point of the
   /// schedule), split into key-side bytes (packed keys, cached hashes,
@@ -178,6 +209,15 @@ struct ExecutionStats {
   /// "jit" / "simd" / "interp" when every group ran one tier, "mixed"
   /// otherwise (e.g. async JIT still compiling for part of a pass).
   std::string backend = "interp";
+  /// \name Resource governance (ExecLimits).
+  /// Limit trips observed during the pass — deadline or memory-budget
+  /// trips, including injected OOM failpoints and trips the unsharded
+  /// retry recovered from — and groups that ran degraded (see
+  /// GroupStats::degraded). Delta executions accumulate across passes.
+  /// @{
+  int limit_trips = 0;
+  int degraded_groups = 0;
+  /// @}
   /// Recomputes `backend` from the per-tier counters.
   void DeriveBackend() {
     const int kinds = (groups_jit > 0 ? 1 : 0) + (groups_simd > 0 ? 1 : 0) +
@@ -280,7 +320,16 @@ class PreparedBatch {
   /// The execution reads the epoch snapshotted at call start: rows appended
   /// concurrently (Catalog::Append) are not observed, and the snapshot is
   /// recorded in BatchResult::epoch for later ExecuteDelta refreshes.
+  ///
+  /// Resource governance: the options snapshot's `limits` (when enabled)
+  /// bound the pass's wall-clock and view memory; the two-argument
+  /// overload overrides them per call. A tripped limit returns
+  /// DeadlineExceeded / ResourceExhausted (message includes per-group
+  /// progress), the pass unwinds with zero leaked views, and the handle
+  /// stays valid — a subsequent Execute with laxer limits succeeds.
   StatusOr<BatchResult> Execute(const ParamPack& params = {}) const;
+  StatusOr<BatchResult> Execute(const ParamPack& params,
+                                const ExecLimits& limits) const;
 
   /// Like Execute, but pins the execution to an explicit epoch (obtained
   /// from Catalog::SnapshotEpoch), reading exactly the rows committed at
@@ -288,6 +337,9 @@ class PreparedBatch {
   /// current watermarks.
   StatusOr<BatchResult> ExecuteAt(const EpochSnapshot& epoch,
                                   const ParamPack& params = {}) const;
+  StatusOr<BatchResult> ExecuteAt(const EpochSnapshot& epoch,
+                                  const ParamPack& params,
+                                  const ExecLimits& limits) const;
 
   /// Incrementally refreshes `base` (a result of Execute / ExecuteAt /
   /// ExecuteDelta of this same batch shape under the same `params`) to the
@@ -310,8 +362,15 @@ class PreparedBatch {
   /// backwards vs `base.epoch` (non-append mutation without
   /// InvalidateCaches); InvalidArgument when `base` came from a different
   /// batch shape or different parameter bindings, or params are unbound.
+  ///
+  /// A failed (or limit-tripped) ExecuteDelta leaves `base` untouched and
+  /// re-refreshable: the delta passes fold into a private copy of the base
+  /// results, which is only returned on full success.
   StatusOr<BatchResult> ExecuteDelta(const BatchResult& base,
                                      const ParamPack& params = {}) const;
+  StatusOr<BatchResult> ExecuteDelta(const BatchResult& base,
+                                     const ParamPack& params,
+                                     const ExecLimits& limits) const;
 
   bool valid() const { return artifact_ != nullptr; }
   /// The artifact accessors below require valid() (checked): an empty or
@@ -351,8 +410,8 @@ class PreparedBatch {
     size_t delta_lo = 0;
     size_t delta_hi = 0;
   };
-  StatusOr<BatchResult> RunPass(const PassSpec& spec,
-                                const ParamPack& params) const;
+  StatusOr<BatchResult> RunPass(const PassSpec& spec, const ParamPack& params,
+                                const ExecLimits& limits) const;
 
   /// Validates the handle and the bound params (the common preamble of
   /// every Execute flavor).

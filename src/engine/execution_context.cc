@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "engine/executor.h"
+#include "util/failpoint.h"
 #include "util/hash.h"
 #include "util/timer.h"
 
@@ -73,14 +74,16 @@ ExecutionContext::ExecutionContext(const Workload& workload,
                                    const SchedulerOptions& options,
                                    SortedRelationProvider sorted_relation,
                                    const ParamPack* params,
-                                   ExecBackend backend)
+                                   ExecBackend backend,
+                                   const CancelToken* cancel)
     : workload_(workload),
       grouped_(grouped),
       plans_(plans),
       options_(options),
       sorted_relation_(std::move(sorted_relation)),
       params_(params),
-      backend_(backend) {
+      backend_(backend),
+      cancel_(cancel != nullptr && cancel->armed() ? cancel : nullptr) {
   LMFAO_CHECK_EQ(grouped_.groups.size(), plans_.size());
 }
 
@@ -102,6 +105,7 @@ Status ExecutionContext::Run(ExecutionStats* stats) {
     }
   }
   for (size_t v = 0; v < workload_.views.size(); ++v) {
+    LMFAO_FAILPOINT("viewstore.register");
     store_.Register(static_cast<ViewId>(v), consumers[v], forms[v],
                     workload_.views[v].IsQueryOutput(), layouts[v]);
   }
@@ -113,12 +117,29 @@ Status ExecutionContext::Run(ExecutionStats* stats) {
 
   stats->groups.assign(grouped_.groups.size(), GroupStats{});
   ThreadPool* task_pool = options_.task_parallel ? pool_.get() : nullptr;
-  LMFAO_RETURN_NOT_OK(ScheduleGroupsTimed(
+  Status sched = ScheduleGroupsTimed(
       grouped_, task_pool,
       [&](int gid, const GroupStart& start) {
         return RunGroup(gid, start,
                         &stats->groups[static_cast<size_t>(gid)]);
-      }));
+      });
+  stats->limit_trips = limit_trips_.load();
+  for (const GroupStats& gs : stats->groups) {
+    if (gs.degraded) ++stats->degraded_groups;
+  }
+  if (!sched.ok()) {
+    // A cut-short pass yields no ExecutionStats to the caller (StatusOr
+    // carries only the Status), so the progress rides in the message.
+    if (sched.code() == StatusCode::kDeadlineExceeded ||
+        sched.code() == StatusCode::kResourceExhausted) {
+      sched = Status(sched.code(),
+                     sched.message() + " (after " +
+                         std::to_string(groups_completed_.load()) + "/" +
+                         std::to_string(grouped_.groups.size()) +
+                         " groups completed)");
+    }
+    return sched;
+  }
   for (const GroupStats& gs : stats->groups) {
     if (std::strcmp(gs.backend, "jit") == 0) {
       ++stats->groups_jit;
@@ -141,6 +162,12 @@ Status ExecutionContext::RunGroup(int gid, const GroupStart& start,
                                   GroupStats* gs) {
   Timer group_timer;
   BusyScope self(&busy_threads_, 1);
+  // Group boundary: the cheap coarse-grained governance point every group
+  // passes through regardless of backend (the JIT tier is not polled
+  // mid-scan, so this is its trip granularity).
+  if (cancel_ != nullptr) {
+    LMFAO_RETURN_NOT_OK(cancel_->Check(store_.current_bytes()));
+  }
   const ViewGroup& group = grouped_.groups[static_cast<size_t>(gid)];
   const GroupPlan& plan = plans_[static_cast<size_t>(gid)];
   LMFAO_ASSIGN_OR_RETURN(const Relation* rel,
@@ -229,11 +256,15 @@ Status ExecutionContext::RunGroup(int gid, const GroupStart& start,
       jit_arities.push_back(static_cast<int>(out.key_sources.size()));
     }
   }
+  if (backend_.jit != nullptr && !use_jit) gs->degraded = true;
+  // Baseline the budget charge at the store's live bytes as of this
+  // group's start; the executor adds its in-flight output maps on top.
+  const size_t charge_base = store_.current_bytes();
   // One shard of the group's scan, on whichever backend was chosen (the
   // emitted code shards by the same level-1 match_index % num_shards rule
   // as GroupExecutor::ExecuteShard, so the two tile the domain alike).
-  auto run_shard = [&](const std::vector<ViewMap*>& ptrs, int shard,
-                       int num_shards) -> Status {
+  auto run_shard_inner = [&](const std::vector<ViewMap*>& ptrs, int shard,
+                             int num_shards) -> Status {
     if (use_jit) {
       JitUpsertCtx uctx;
       uctx.outputs = &ptrs;
@@ -252,9 +283,21 @@ Status ExecutionContext::RunGroup(int gid, const GroupStart& start,
       return Status::OK();
     }
     GroupExecutor executor(plan, *rel, consumed_ptrs, params_,
-                           backend_.simd);
+                           backend_.simd, cancel_, charge_base);
     return num_shards <= 1 ? executor.Execute(ptrs)
                            : executor.ExecuteShard(ptrs, shard, num_shards);
+  };
+  // Wrapper collecting any failure a void seam (ViewMap growth) parked on
+  // this thread during the scan — parks are thread-local, so they must be
+  // harvested before the shard result crosses threads.
+  auto run_shard = [&](const std::vector<ViewMap*>& ptrs, int shard,
+                       int num_shards) -> Status {
+    Status st = run_shard_inner(ptrs, shard, num_shards);
+    if (Failpoints::enabled()) {
+      Status parked = Failpoints::TakeParked();
+      if (st.ok() && !parked.ok()) st = std::move(parked);
+    }
+    return st;
   };
 
   // Shard count from true pool occupancy: busy_threads_ counts group
@@ -262,43 +305,77 @@ Status ExecutionContext::RunGroup(int gid, const GroupStart& start,
   // groups, so a fully sharded pool would look idle to it).
   const int free_threads =
       std::max(0, options_.ResolvedThreads() - busy_threads_.load());
-  const int shards =
+  int shards =
       plan.num_levels() == 0
           ? 1
           : ChooseShardCount(static_cast<int64_t>(rel->num_rows()), options_,
                              free_threads);
   std::vector<std::unique_ptr<ViewMap>> out_maps;
   std::vector<ViewMap*> out_ptrs;
-  if (shards <= 1) {
-    make_output_maps(1, &out_maps, &out_ptrs);
-    LMFAO_RETURN_NOT_OK(run_shard(out_ptrs, 0, 1));
-  } else {
-    // Domain parallelism: each shard fills private maps. The merge targets
-    // are only built afterwards so their reservations do not overlap with
-    // the shard maps' during the scan.
-    std::vector<std::vector<std::unique_ptr<ViewMap>>> shard_maps(
-        static_cast<size_t>(shards));
-    std::vector<std::vector<ViewMap*>> shard_ptrs(
-        static_cast<size_t>(shards));
-    std::vector<Status> shard_status(static_cast<size_t>(shards));
-    {
-      BusyScope helpers(&busy_threads_, shards - 1);
-      ParallelForShared(
-          pool_.get(), static_cast<size_t>(shards), [&](size_t s) {
-            make_output_maps(static_cast<size_t>(shards), &shard_maps[s],
-                             &shard_ptrs[s]);
-            shard_status[s] =
-                run_shard(shard_ptrs[s], static_cast<int>(s), shards);
-          });
-    }
-    for (const Status& st : shard_status) LMFAO_RETURN_NOT_OK(st);
-    make_output_maps(1, &out_maps, &out_ptrs);
-    for (int s = 0; s < shards; ++s) {
-      for (size_t o = 0; o < out_ptrs.size(); ++o) {
-        out_ptrs[o]->MergeAdd(*shard_maps[static_cast<size_t>(s)][o]);
+  // Scan + merge at the given shard count, filling out_maps/out_ptrs.
+  auto scan_all = [&](int num_shards) -> Status {
+    out_maps.clear();
+    out_ptrs.clear();
+    if (num_shards <= 1) {
+      make_output_maps(1, &out_maps, &out_ptrs);
+      LMFAO_RETURN_NOT_OK(run_shard(out_ptrs, 0, 1));
+    } else {
+      // Domain parallelism: each shard fills private maps. The merge
+      // targets are only built afterwards so their reservations do not
+      // overlap with the shard maps' during the scan.
+      std::vector<std::vector<std::unique_ptr<ViewMap>>> shard_maps(
+          static_cast<size_t>(num_shards));
+      std::vector<std::vector<ViewMap*>> shard_ptrs(
+          static_cast<size_t>(num_shards));
+      std::vector<Status> shard_status(static_cast<size_t>(num_shards));
+      {
+        BusyScope helpers(&busy_threads_, num_shards - 1);
+        ParallelForShared(
+            pool_.get(), static_cast<size_t>(num_shards), [&](size_t s) {
+              make_output_maps(static_cast<size_t>(num_shards),
+                               &shard_maps[s], &shard_ptrs[s]);
+              shard_status[s] =
+                  run_shard(shard_ptrs[s], static_cast<int>(s), num_shards);
+            });
+      }
+      for (const Status& st : shard_status) LMFAO_RETURN_NOT_OK(st);
+      make_output_maps(1, &out_maps, &out_ptrs);
+      for (int s = 0; s < num_shards; ++s) {
+        for (size_t o = 0; o < out_ptrs.size(); ++o) {
+          out_ptrs[o]->MergeAdd(*shard_maps[static_cast<size_t>(s)][o]);
+        }
       }
     }
+    // Harvest parks from the merge-map builds and MergeAdd rehashes (this
+    // thread); the shard scans harvested their own inside run_shard.
+    if (Failpoints::enabled()) {
+      LMFAO_RETURN_NOT_OK(Failpoints::TakeParked());
+    }
+    return Status::OK();
+  };
+
+  Status scan_st = scan_all(shards);
+  if (!scan_st.ok() && (scan_st.code() == StatusCode::kResourceExhausted ||
+                        scan_st.code() == StatusCode::kDeadlineExceeded)) {
+    limit_trips_.fetch_add(1);
   }
+  if (scan_st.code() == StatusCode::kResourceExhausted && shards > 1 &&
+      (cancel_ == nullptr || !cancel_->cancelled())) {
+    // Graceful degradation: an out-of-memory trip on a domain-sharded scan
+    // is retried once unsharded — the dropped per-shard private maps are
+    // the memory multiplier the narrow execution avoids. This must happen
+    // while the consumed views are still acquired (a Release below may
+    // evict an input this retry needs). Budget trips are not sticky on the
+    // token, so the retry's own Checks start clean.
+    gs->degraded = true;
+    shards = 1;
+    scan_st = scan_all(1);
+    if (!scan_st.ok() && (scan_st.code() == StatusCode::kResourceExhausted ||
+                          scan_st.code() == StatusCode::kDeadlineExceeded)) {
+      limit_trips_.fetch_add(1);
+    }
+  }
+  LMFAO_RETURN_NOT_OK(scan_st);
 
   // Release the consumed views *before* publishing: the scan is done, so
   // any input whose last consumer this group was evicts now instead of
@@ -311,7 +388,25 @@ Status ExecutionContext::RunGroup(int gid, const GroupStart& start,
     LMFAO_RETURN_NOT_OK(
         store_.Publish(plan.outputs[o].view, std::move(out_maps[o])));
   }
+  // Freeze sorts and ShrinkToFit rehashes run inside Publish with no
+  // park-collection point of their own.
+  if (Failpoints::enabled()) {
+    LMFAO_RETURN_NOT_OK(Failpoints::TakeParked());
+  }
+  // Publish boundary: precise charge now that outputs are accounted and
+  // dead inputs evicted.
+  if (cancel_ != nullptr) {
+    Status st = cancel_->Check(store_.current_bytes());
+    if (!st.ok()) {
+      if (st.code() == StatusCode::kResourceExhausted ||
+          st.code() == StatusCode::kDeadlineExceeded) {
+        limit_trips_.fetch_add(1);
+      }
+      return st;
+    }
+  }
 
+  groups_completed_.fetch_add(1);
   gs->group_id = gid;
   gs->node = group.node;
   gs->num_outputs = static_cast<int>(group.outputs.size());

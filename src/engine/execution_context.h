@@ -32,6 +32,7 @@
 #include "engine/plan.h"
 #include "storage/relation.h"
 #include "storage/view_store.h"
+#include "util/cancel.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -59,12 +60,20 @@ class ExecutionContext {
   /// functions at each group's bind time — the compiled plans themselves
   /// are never mutated, which is what makes one compiled batch safe to
   /// execute from many contexts concurrently.
+  /// `cancel` (optional, borrowed) governs the pass: checked at group
+  /// boundaries, after each publish (charging the store's live bytes), and
+  /// amortized inside the interpreter's trie iteration. A budget trip on a
+  /// domain-sharded group is retried once unsharded — private per-shard
+  /// maps are the multiplier a narrower execution avoids — before the pass
+  /// gives up; the retry is possible because budget trips are not sticky
+  /// on the token (see CancelToken).
   ExecutionContext(const Workload& workload, const GroupedWorkload& grouped,
                    const std::vector<GroupPlan>& plans,
                    const SchedulerOptions& options,
                    SortedRelationProvider sorted_relation,
                    const ParamPack* params = nullptr,
-                   ExecBackend backend = {});
+                   ExecBackend backend = {},
+                   const CancelToken* cancel = nullptr);
 
   ExecutionContext(const ExecutionContext&) = delete;
   ExecutionContext& operator=(const ExecutionContext&) = delete;
@@ -89,8 +98,15 @@ class ExecutionContext {
   SortedRelationProvider sorted_relation_;
   const ParamPack* params_ = nullptr;
   ExecBackend backend_;
+  const CancelToken* cancel_ = nullptr;
   ViewStore store_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Limit trips observed during this pass (deadline/budget/injected OOM),
+  /// including ones the unsharded retry recovered from.
+  std::atomic<int> limit_trips_{0};
+  /// Groups finished so far — progress reported in the error message when
+  /// the pass is cut short (the caller gets no ExecutionStats on error).
+  std::atomic<int> groups_completed_{0};
   /// Threads occupied by group runners *and* their domain-shard helpers —
   /// the true occupancy the shard cost model divides the pool by (the
   /// scheduler's running-group count alone would count a fully sharded

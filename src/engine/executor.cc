@@ -153,11 +153,14 @@ ConsumedView BuildConsumedView(const SortView& produced,
 GroupExecutor::GroupExecutor(const GroupPlan& plan,
                              const Relation& sorted_relation,
                              std::vector<const ConsumedView*> views,
-                             const ParamPack* params, bool simd)
+                             const ParamPack* params, bool simd,
+                             const CancelToken* cancel, size_t charge_base)
     : plan_(plan),
       relation_(sorted_relation),
       views_(std::move(views)),
-      simd_(simd) {
+      simd_(simd),
+      cancel_(cancel != nullptr && cancel->armed() ? cancel : nullptr),
+      charge_base_(charge_base) {
   const int levels = plan_.num_levels();
   level_rel_column_.assign(static_cast<size_t>(levels) + 1, nullptr);
   level_views_.assign(static_cast<size_t>(levels) + 1, {});
@@ -481,6 +484,11 @@ Status GroupExecutor::ExecuteShard(const std::vector<ViewMap*>& outputs,
     }
   }
   Prepare(outputs);
+  abort_status_ = Status::OK();
+  cancel_countdown_ = kCancelCheckInterval;
+  if (cancel_ != nullptr) {
+    LMFAO_RETURN_NOT_OK(cancel_->Check(charge_base_));
+  }
   const int levels = plan_.num_levels();
   if (levels == 0) {
     // Single flat scan; only shard 0 contributes.
@@ -495,6 +503,7 @@ Status GroupExecutor::ExecuteShard(const std::vector<ViewMap*>& outputs,
     beta_vals_[static_cast<size_t>(beta_ops_[i].reg)] = 0.0;
   }
   IterateLevel(1, shard, num_shards);
+  LMFAO_RETURN_NOT_OK(abort_status_);
   // Write outputs with empty write level; their beta values are
   // shard-partial sums, so every shard emits and the caller merges.
   WriteOutputs(0);
@@ -581,6 +590,7 @@ void GroupExecutor::IterateLevel(int level, int shard, int num_shards) {
             static_cast<size_t>(shard);
     if (mine) {
       ProcessMatch(level, target, shard, num_shards);
+      if (!abort_status_.ok()) return;
     }
     ++match_index;
 
@@ -598,6 +608,19 @@ void GroupExecutor::IterateLevel(int level, int shard, int num_shards) {
 
 void GroupExecutor::ProcessMatch(int level, int64_t value, int shard,
                                  int num_shards) {
+  // Amortized deadline/budget poll: once every kCancelCheckInterval
+  // matches, charging the pass baseline plus this executor's in-flight
+  // output maps. A trip unwinds the whole trie iteration via
+  // abort_status_ (checked after every ProcessMatch in IterateLevel).
+  if (cancel_ != nullptr && --cancel_countdown_ <= 0) {
+    cancel_countdown_ = kCancelCheckInterval;
+    size_t charged = charge_base_;
+    if (cancel_->budget_bytes() != 0) {  // deadline-only passes skip the sum
+      for (const ViewMap* m : outputs_) charged += m->MemoryUsage();
+    }
+    abort_status_ = cancel_->Check(charged);
+    if (!abort_status_.ok()) return;
+  }
   bound_[static_cast<size_t>(level)] = value;
   for (int v : level_bound_views_[static_cast<size_t>(level)]) {
     const Range& r = view_range_[static_cast<size_t>(v) * level_stride_ +
@@ -618,6 +641,7 @@ void GroupExecutor::ProcessMatch(int level, int64_t value, int shard,
       beta_vals_[static_cast<size_t>(beta_ops_[i].reg)] = 0.0;
     }
     IterateLevel(level + 1, shard, num_shards);
+    if (!abort_status_.ok()) return;
   }
   AccumulateBetas(level);
   WriteOutputs(level);

@@ -27,6 +27,7 @@
 #include "storage/payload_columns.h"
 #include "storage/relation.h"
 #include "storage/view.h"
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace lmfao {
@@ -127,9 +128,16 @@ class GroupExecutor {
   /// (simd_kernels.h). The SIMD kernels are bit-identical to the scalar
   /// shapes on all inputs, so the flag changes performance, never results;
   /// it degrades to scalar automatically on non-AVX2 hardware.
+  /// `cancel` (optional) is polled amortized — once every
+  /// kCancelCheckInterval trie matches — charging `charge_base` plus the
+  /// current memory of this executor's output maps against the token's
+  /// budget. On a trip the iteration unwinds early and Execute/ExecuteShard
+  /// return the token's status; partially-filled outputs are the caller's
+  /// to discard.
   GroupExecutor(const GroupPlan& plan, const Relation& sorted_relation,
                 std::vector<const ConsumedView*> views,
-                const ParamPack* params = nullptr, bool simd = false);
+                const ParamPack* params = nullptr, bool simd = false,
+                const CancelToken* cancel = nullptr, size_t charge_base = 0);
 
   /// Runs the whole group.
   Status Execute(const std::vector<ViewMap*>& outputs);
@@ -257,6 +265,15 @@ class GroupExecutor {
   const Relation& relation_;
   std::vector<const ConsumedView*> views_;
   const bool simd_;
+
+  /// Matches between two cancellation checks: frequent enough that a trip
+  /// is noticed within microseconds, rare enough to stay invisible in the
+  /// overhead bench (<2% with limits enabled but untripped).
+  static constexpr int kCancelCheckInterval = 1024;
+  const CancelToken* cancel_;
+  const size_t charge_base_;
+  int cancel_countdown_ = kCancelCheckInterval;
+  Status abort_status_;
 
   // Per-level participation, precomputed.
   std::vector<const int64_t*> level_rel_column_;

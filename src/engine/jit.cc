@@ -1,14 +1,19 @@
 #include "engine/jit.h"
 
 #include <dlfcn.h>
+#include <sys/stat.h>
+#include <sys/types.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <thread>
 #include <utility>
+
+#include "util/failpoint.h"
 
 namespace lmfao {
 namespace {
@@ -49,6 +54,15 @@ std::string DefaultCompiler() {
 }
 
 }  // namespace
+
+std::string JitModule::ScratchDir() {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string base(tmp != nullptr && *tmp != '\0' ? tmp : "/tmp");
+  // One directory per process: concurrent processes sharing TMPDIR never
+  // collide, and leftovers are attributable to a pid (a crashed run leaves
+  // at most its own directory behind).
+  return base + "/lmfao_jit_p" + std::to_string(getpid());
+}
 
 JitOptions JitOptions::FromEnv() {
   JitOptions o;
@@ -121,9 +135,13 @@ void JitModule::CompileNow(const std::string& source,
     cv_.notify_all();
   };
 
-  const char* tmp = std::getenv("TMPDIR");
-  std::string tmpl = std::string(tmp != nullptr && *tmp != '\0' ? tmp : "/tmp");
-  tmpl += "/lmfao_jit_XXXXXX";
+  const std::string scratch = ScratchDir();
+  if (mkdir(scratch.c_str(), 0700) != 0 && errno != EEXIST) {
+    error_ = "jit: cannot create scratch dir " + scratch;
+    finish(State::kFailed);
+    return;
+  }
+  std::string tmpl = scratch + "/mXXXXXX";
   std::vector<char> dir_buf(tmpl.begin(), tmpl.end());
   dir_buf.push_back('\0');
   if (mkdtemp(dir_buf.data()) == nullptr) {
@@ -138,7 +156,20 @@ void JitModule::CompileNow(const std::string& source,
     std::remove(src_path.c_str());
     std::remove(so_path.c_str());
     rmdir(dir.c_str());
+    // Best effort: succeeds only once no other module of this process has
+    // an in-flight compile, which is exactly when it should.
+    rmdir(scratch.c_str());
   };
+
+  if (Failpoints::enabled()) {
+    Status fp = Failpoints::Check("jit.compile");
+    if (!fp.ok()) {
+      error_ = "jit: " + fp.ToString();
+      cleanup();
+      finish(State::kFailed);
+      return;
+    }
+  }
   {
     std::ofstream f(src_path);
     f << source;
@@ -174,6 +205,15 @@ void JitModule::CompileNow(const std::string& source,
     return;
   }
 
+  if (Failpoints::enabled()) {
+    Status fp = Failpoints::Check("jit.dlopen");
+    if (!fp.ok()) {
+      error_ = "jit: " + fp.ToString();
+      cleanup();
+      finish(State::kFailed);
+      return;
+    }
+  }
   handle_ = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
   // The mapping survives unlink on Linux; drop the files either way.
   cleanup();

@@ -144,6 +144,13 @@ class JitModule {
   /// Compiler/loader diagnostics (valid once terminal; empty on success).
   const std::string& error() const { return error_; }
 
+  /// This process's private scratch directory for emitted TUs and shared
+  /// objects: `$TMPDIR/lmfao_jit_p<pid>`. Each compile gets a fresh
+  /// mkdtemp'd subdirectory inside it, removed (with the emitted files) on
+  /// every exit path of the compile — success, compile failure, and dlopen
+  /// failure alike. Exposed so tests can assert nothing is left behind.
+  static std::string ScratchDir();
+
  private:
   JitModule() = default;
 

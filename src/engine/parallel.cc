@@ -5,6 +5,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "util/failpoint.h"
+
 namespace lmfao {
 
 namespace {
@@ -66,6 +68,7 @@ Status ScheduleGroupsTimed(
   if (n == 0) return Status::OK();
   if (pool == nullptr || pool->num_threads() <= 1) {
     for (int g : grouped.TopologicalOrder()) {
+      LMFAO_FAILPOINT("scheduler.spawn");
       LMFAO_RETURN_NOT_OK(run_group(g, GroupStart{}));
     }
     return Status::OK();
@@ -94,7 +97,12 @@ Status ScheduleGroupsTimed(
                 Clock::now() - state.ready_at[static_cast<size_t>(gid)])
                 .count();
       }
-      const Status st = run_group(gid, start);
+      // An injected spawn failure takes the place of the group's own
+      // status, flowing through the same first_error/abort unwind a real
+      // task-creation failure would trigger.
+      Status st = Status::OK();
+      if (Failpoints::enabled()) st = Failpoints::Check("scheduler.spawn");
+      if (st.ok()) st = run_group(gid, start);
       std::vector<int> ready;
       {
         std::lock_guard<std::mutex> lock(state.mu);

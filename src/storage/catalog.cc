@@ -4,6 +4,8 @@
 #include <set>
 #include <sstream>
 
+#include "util/failpoint.h"
+
 namespace lmfao {
 
 Catalog::Catalog() : epoch_(std::make_unique<EpochState>()) {}
@@ -77,6 +79,10 @@ Status Catalog::Append(RelationId id, const Relation& rows) {
   }
   Relation& rel = *relations_[static_cast<size_t>(id)];
   std::unique_lock<std::shared_mutex> lock(epoch_->mu);
+  // Before any mutation: an injected failure here must leave rows,
+  // watermark, and append_epoch exactly as they were (the atomicity the
+  // catalog_test append-rejection cases pin).
+  LMFAO_FAILPOINT("catalog.append");
   LMFAO_RETURN_NOT_OK(rel.Append(rows));
   epoch_->watermarks[static_cast<size_t>(id)] = rel.num_rows();
   ++epoch_->append_epoch;

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <numeric>
 
+#include "util/failpoint.h"
+
 namespace lmfao {
 
 namespace {
@@ -55,6 +57,7 @@ const double* ViewMap::Lookup(const TupleKey& key) const {
 }
 
 void ViewMap::Reserve(size_t n) {
+  LMFAO_FAILPOINT_PARK("viewmap.reserve");
   size_t capacity = capacity_mask_ + 1;
   while (n * 10 >= capacity * 7) capacity *= 2;
   if (capacity > capacity_mask_ + 1) Rehash(capacity);
@@ -67,6 +70,10 @@ void ViewMap::ShrinkToFit() {
 }
 
 void ViewMap::Rehash(size_t new_capacity) {
+  // The allocation seam of the hot upsert path. An injected failure parks
+  // (no Status channel here); the rehash itself still completes so the map
+  // stays structurally valid for the unwind.
+  LMFAO_FAILPOINT_PARK("viewmap.rehash");
   std::vector<int64_t> old_keys = std::move(keys_);
   std::vector<uint64_t> old_hashes = std::move(hashes_);
   std::vector<uint8_t> old_occupied = std::move(occupied_);

@@ -1,9 +1,36 @@
 #include "storage/view_store.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
+#include "util/failpoint.h"
+
 namespace lmfao {
+
+namespace {
+// Process-wide live accounting, shared by all ViewStore instances.
+std::atomic<size_t> g_global_live_bytes{0};
+std::atomic<size_t> g_global_live_views{0};
+}  // namespace
+
+ViewStore::~ViewStore() {
+  // Discharge whatever is still live (pinned outputs after a failed pass,
+  // views an aborted scheduler never released) so the process-wide globals
+  // track reachable memory, not history.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_) {
+    if (e.map != nullptr || e.frozen != nullptr) EvictLocked(&e);
+  }
+}
+
+size_t ViewStore::GlobalLiveBytes() {
+  return g_global_live_bytes.load(std::memory_order_relaxed);
+}
+
+size_t ViewStore::GlobalLiveViews() {
+  return g_global_live_views.load(std::memory_order_relaxed);
+}
 
 void ViewStore::Register(int32_t view_id, int consumers, ViewForm form,
                          bool pinned, PayloadLayout payload_layout) {
@@ -24,9 +51,11 @@ Status ViewStore::Publish(int32_t view_id, std::unique_ptr<ViewMap> map) {
   }
   // The form is immutable after Register, so the (possibly expensive)
   // freeze sort runs outside the lock.
+  LMFAO_FAILPOINT("viewstore.publish");
   const Entry& meta = entries_[static_cast<size_t>(view_id)];
   std::unique_ptr<SortView> frozen;
   if (meta.form == ViewForm::kFrozenSorted) {
+    LMFAO_FAILPOINT("viewstore.freeze");
     frozen = std::make_unique<SortView>(
         SortView::FromMap(*map, meta.payload_layout));
     map.reset();
@@ -55,6 +84,9 @@ Status ViewStore::Publish(int32_t view_id, std::unique_ptr<ViewMap> map) {
   }
   key_bytes_ += e.key_bytes;
   payload_bytes_ += e.payload_bytes;
+  g_global_live_bytes.fetch_add(e.key_bytes + e.payload_bytes,
+                                std::memory_order_relaxed);
+  g_global_live_views.fetch_add(1, std::memory_order_relaxed);
   peak_key_bytes_ = std::max(peak_key_bytes_, key_bytes_);
   peak_payload_bytes_ = std::max(peak_payload_bytes_, payload_bytes_);
   peak_bytes_ = std::max(peak_bytes_, key_bytes_ + payload_bytes_);
@@ -103,6 +135,9 @@ void ViewStore::EvictLocked(Entry* entry) {
   entry->frozen.reset();
   key_bytes_ -= entry->key_bytes;
   payload_bytes_ -= entry->payload_bytes;
+  g_global_live_bytes.fetch_sub(entry->key_bytes + entry->payload_bytes,
+                                std::memory_order_relaxed);
+  g_global_live_views.fetch_sub(1, std::memory_order_relaxed);
   entry->key_bytes = 0;
   entry->payload_bytes = 0;
   --live_views_;

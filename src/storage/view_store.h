@@ -37,6 +37,7 @@ namespace lmfao {
 class ViewStore {
  public:
   ViewStore() = default;
+  ~ViewStore();
   ViewStore(const ViewStore&) = delete;
   ViewStore& operator=(const ViewStore&) = delete;
 
@@ -83,6 +84,16 @@ class ViewStore {
   size_t peak_key_bytes() const;
   size_t peak_payload_bytes() const;
   int num_frozen() const;
+  /// @}
+
+  /// \name Process-wide accounting across every live ViewStore. Charged at
+  /// Publish, discharged at eviction / TakeResult / store destruction.
+  /// Tests use these to prove that a failed or cancelled execution leaks
+  /// zero views: after its ExecutionContext unwinds, the globals return to
+  /// their pre-execution baseline.
+  /// @{
+  static size_t GlobalLiveBytes();
+  static size_t GlobalLiveViews();
   /// @}
 
  private:

@@ -27,6 +27,12 @@ enum class StatusCode {
   kUnimplemented = 6,
   kInternal = 7,
   kIOError = 8,
+  /// The execution's wall-clock deadline (ExecLimits::deadline_seconds)
+  /// expired before it finished.
+  kDeadlineExceeded = 9,
+  /// A resource budget was exhausted (ExecLimits::max_view_bytes, or an
+  /// injected out-of-memory failpoint).
+  kResourceExhausted = 10,
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -71,6 +77,12 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   /// @}
 

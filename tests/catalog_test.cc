@@ -140,6 +140,43 @@ TEST(CatalogEpochTest, AppendValidatesIdAndTypesWithoutCommitting) {
   EXPECT_EQ(cat.append_epoch(), 0u);
 }
 
+/// Append atomicity: a batch with a bad row anywhere (wrong arity, wrong
+/// type, even as the last row) commits nothing — rows, watermark, and
+/// append_epoch all stay exactly as they were, and the next good batch
+/// commits normally.
+TEST(CatalogTest, RejectedAppendBatchCommitsNothing) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddAttribute("k", AttrType::kInt).ok());
+  ASSERT_TRUE(cat.AddAttribute("x", AttrType::kDouble).ok());
+  auto r = cat.AddRelation("R", {"k", "x"});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(
+      cat.AppendRows(*r, {{Value::Int(1), Value::Double(0.5)}}).ok());
+  const size_t rows_before = cat.relation(*r).num_rows();
+  const uint64_t epoch_before = cat.append_epoch();
+
+  const std::vector<std::vector<std::vector<Value>>> bad_batches = {
+      // Wrong arity mid-batch.
+      {{Value::Int(2), Value::Double(1.0)}, {Value::Int(3)}},
+      // Wrong type for the int column, as the LAST row: the good prefix
+      // must not land.
+      {{Value::Int(2), Value::Double(1.0)},
+       {Value::Int(3), Value::Double(2.0)},
+       {Value::Double(4.5), Value::Double(3.0)}},
+  };
+  for (const auto& rows : bad_batches) {
+    Status st = cat.AppendRows(*r, rows);
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(cat.relation(*r).num_rows(), rows_before);
+    EXPECT_EQ(cat.CommittedRows(*r), rows_before);
+    EXPECT_EQ(cat.append_epoch(), epoch_before);
+  }
+
+  ASSERT_TRUE(cat.AppendRows(*r, {{Value::Int(9), Value::Double(9.0)}}).ok());
+  EXPECT_EQ(cat.relation(*r).num_rows(), rows_before + 1);
+  EXPECT_EQ(cat.append_epoch(), epoch_before + 1);
+}
+
 TEST(CatalogTest, ToStringListsRelations) {
   Catalog cat;
   ASSERT_TRUE(cat.AddAttribute("a", AttrType::kInt).ok());

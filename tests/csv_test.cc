@@ -85,5 +85,22 @@ TEST(CsvTest, ReadMissingFileFails) {
   EXPECT_EQ(result.status().code(), StatusCode::kIOError);
 }
 
+/// Structurally malformed inputs all surface InvalidArgument — a Status,
+/// never an abort — regardless of where in the text the defect sits.
+TEST(CsvTest, MalformedInputsReturnInvalidArgument) {
+  const char* bad_inputs[] = {
+      "a,b\n1\n",            // too few fields
+      "a,b\n1,2,3\n",        // too many fields
+      "a,b\n1,2\n3\n",       // ragged later row
+      "a,b\n1,2\n3,4,5\n",   // ragged last row
+      "a,b,c\n1,2\n",        // short first data row
+  };
+  for (const char* text : bad_inputs) {
+    auto table = ParseCsv(text);
+    ASSERT_FALSE(table.ok()) << text;
+    EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument) << text;
+  }
+}
+
 }  // namespace
 }  // namespace lmfao

@@ -9,6 +9,8 @@
 /// (LMFAO_JIT_CC=/bin/false ends in a failed module and an interpreter
 /// execution, never an error).
 
+#include <dirent.h>
+
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -463,6 +465,52 @@ TEST(JitFallbackTest, BrokenCompilerFallsBackToInterpreterTiers) {
   ASSERT_TRUE(interp_result.ok()) << interp_result.status().ToString();
   ExpectResultsMatch(result->results, interp_result->results, 0.0,
                      "broken-compiler fallback vs interp");
+}
+
+// --- Temp-file hygiene --------------------------------------------------
+
+/// Entries under the per-process scratch dir, or -1 when the dir does
+/// not exist (also clean: the last compile removed it entirely).
+int ScratchEntryCount() {
+  DIR* dir = opendir(JitModule::ScratchDir().c_str());
+  if (dir == nullptr) return -1;
+  int count = 0;
+  while (struct dirent* e = readdir(dir)) {
+    const std::string name = e->d_name;
+    if (name != "." && name != "..") ++count;
+  }
+  closedir(dir);
+  return count;
+}
+
+/// Every compile — successful or failed — must clean up its scratch
+/// files; nothing may accumulate under $TMPDIR across compiles.
+TEST(JitHygieneTest, ScratchDirLeftCleanAfterSuccessfulCompiles) {
+  LMFAO_REQUIRE_JIT();
+  auto data = MakeFavorita(FavoritaOptions{.num_sales = 500});
+  ASSERT_TRUE(data.ok());
+  for (int i = 0; i < 2; ++i) {
+    Engine engine(&(*data)->catalog, &(*data)->tree, JitOptionsSync());
+    auto result = engine.Evaluate(MakeExampleBatch(**data));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_LE(ScratchEntryCount(), 0) << "leftover files after compile " << i;
+  }
+}
+
+/// The documented /bin/false scenario: the compile fails after the
+/// sources were written, and the failure path must remove them too.
+TEST(JitHygieneTest, ScratchDirLeftCleanAfterFailedCompiles) {
+  auto data = MakeFavorita(FavoritaOptions{.num_sales = 500});
+  ASSERT_TRUE(data.ok());
+  EngineOptions options = JitOptionsSync();
+  options.jit.compiler = "/bin/false";
+  for (int i = 0; i < 2; ++i) {
+    Engine engine(&(*data)->catalog, &(*data)->tree, options);
+    auto result = engine.Evaluate(MakeExampleBatch(**data));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_LE(ScratchEntryCount(), 0)
+        << "leftover files after failed compile " << i;
+  }
 }
 
 /// Async mode with a broken compiler: the first Execute may race the

@@ -1,0 +1,250 @@
+/// \file limits_test.cc
+/// \brief Resource-governed execution (ExecLimits): deadline and
+/// view-byte-budget trips surface as DeadlineExceeded/ResourceExhausted
+/// with per-group progress, unwind without leaking views, and leave the
+/// PreparedBatch fully reusable; a budget trip on a domain-sharded group
+/// recovers by retrying unsharded; the CART provider degrades one node's
+/// evaluation instead of failing a training run.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/favorita.h"
+#include "differential_harness.h"
+#include "engine/engine.h"
+#include "ml/cart.h"
+#include "storage/view_store.h"
+#include "util/failpoint.h"
+
+namespace lmfao {
+namespace {
+
+using ::lmfao::testing::ExpectResultsMatch;
+
+class LimitsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Failpoints::Clear();
+    Failpoints::ClearParked();
+    auto data = MakeFavorita(FavoritaOptions{.num_sales = 2000});
+    ASSERT_TRUE(data.ok());
+    data_ = std::move(data).value();
+  }
+
+  void TearDown() override {
+    Failpoints::Clear();
+    Failpoints::ClearParked();
+  }
+
+  std::unique_ptr<FavoritaData> data_;
+};
+
+TEST_F(LimitsTest, TinyDeadlineTripsWithProgressInMessage) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto prepared = engine.Prepare(MakeExampleBatch(*data_));
+  ASSERT_TRUE(prepared.ok());
+
+  const size_t base_views = ViewStore::GlobalLiveViews();
+  const size_t base_bytes = ViewStore::GlobalLiveBytes();
+  ExecLimits limits;
+  limits.deadline_seconds = 1e-9;
+  auto result = prepared->Execute(ParamPack{}, limits);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(result.status().message().find("groups completed"),
+            std::string::npos)
+      << result.status().ToString();
+  EXPECT_EQ(ViewStore::GlobalLiveViews(), base_views);
+  EXPECT_EQ(ViewStore::GlobalLiveBytes(), base_bytes);
+
+  // The handle is untouched: a follow-up unlimited Execute is exact.
+  auto clean = prepared->Execute();
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  Engine oracle(&data_->catalog, &data_->tree, EngineOptions{});
+  auto want = oracle.Evaluate(MakeExampleBatch(*data_));
+  ASSERT_TRUE(want.ok());
+  ExpectResultsMatch(clean->results, want->results, 0.0,
+                     "execute after deadline trip");
+}
+
+TEST_F(LimitsTest, TinyViewBudgetTripsAsResourceExhausted) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto prepared = engine.Prepare(MakeExampleBatch(*data_));
+  ASSERT_TRUE(prepared.ok());
+
+  ExecLimits limits;
+  limits.max_view_bytes = 1;
+  for (int i = 0; i < 5; ++i) {
+    const size_t base_views = ViewStore::GlobalLiveViews();
+    const size_t base_bytes = ViewStore::GlobalLiveBytes();
+    auto result = prepared->Execute(ParamPack{}, limits);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+    // Every trip unwinds completely — no view survives a failed pass.
+    EXPECT_EQ(ViewStore::GlobalLiveViews(), base_views) << "iteration " << i;
+    EXPECT_EQ(ViewStore::GlobalLiveBytes(), base_bytes) << "iteration " << i;
+  }
+  EXPECT_TRUE(prepared->Execute().ok());
+}
+
+TEST_F(LimitsTest, GenerousLimitsAreExactAndUntripped) {
+  Engine unlimited(&data_->catalog, &data_->tree, EngineOptions{});
+  auto want = unlimited.Evaluate(MakeExampleBatch(*data_));
+  ASSERT_TRUE(want.ok());
+
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto prepared = engine.Prepare(MakeExampleBatch(*data_));
+  ASSERT_TRUE(prepared.ok());
+  ExecLimits limits;
+  limits.deadline_seconds = 300.0;
+  limits.max_view_bytes = size_t{1} << 40;
+  auto result = prepared->Execute(ParamPack{}, limits);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->stats.limit_trips, 0);
+  EXPECT_EQ(result->stats.degraded_groups, 0);
+  ExpectResultsMatch(result->results, want->results, 0.0,
+                     "governed vs ungoverned execute");
+}
+
+TEST_F(LimitsTest, EngineOptionDefaultsApplyAndPerCallOverrides) {
+  EngineOptions options;
+  options.limits.deadline_seconds = 1e-9;
+  Engine engine(&data_->catalog, &data_->tree, options);
+  auto prepared = engine.Prepare(MakeExampleBatch(*data_));
+  ASSERT_TRUE(prepared.ok());
+
+  // Execute() inherits the options' limits...
+  auto governed = prepared->Execute();
+  ASSERT_FALSE(governed.ok());
+  EXPECT_EQ(governed.status().code(), StatusCode::kDeadlineExceeded);
+  // ...and the per-call overload overrides them (here: back to unlimited).
+  auto overridden = prepared->Execute(ParamPack{}, ExecLimits{});
+  EXPECT_TRUE(overridden.ok()) << overridden.status().ToString();
+}
+
+/// The degradation path: a budget trip on a domain-sharded group (whose
+/// per-shard private maps are the memory multiplier) is retried once
+/// unsharded and the pass completes. Injected via viewmap.reserve=oom#1
+/// so exactly the first shard-map allocation "fails".
+TEST_F(LimitsTest, BudgetTripOnShardedGroupRetriesUnsharded) {
+  // One relation, one group: the first viewmap.reserve hit is guaranteed
+  // to land in that group's (sharded) scan.
+  Catalog catalog;
+  const AttrId key = catalog.AddAttribute("k", AttrType::kInt).value();
+  const AttrId val = catalog.AddAttribute("v", AttrType::kDouble).value();
+  (void)val;
+  const RelationId rid = catalog.AddRelation("R", {"k", "v"}).value();
+  Relation& rel = catalog.mutable_relation(rid);
+  for (int i = 0; i < 600; ++i) {
+    rel.AppendRowUnchecked(
+        {Value::Int(i % 97), Value::Double(static_cast<double>(i % 7))});
+  }
+  catalog.RefreshDomainSizes();
+  JoinTree tree = JoinTree::FromEdges(catalog, {}).value();
+
+  Query q;
+  q.name = "by_key";
+  q.group_by = {key};
+  q.aggregates.push_back(Aggregate::Count());
+  QueryBatch batch;
+  batch.Add(std::move(q));
+
+  EngineOptions options;
+  options.scheduler.num_threads = 4;
+  options.scheduler.domain_parallel = true;
+  options.scheduler.min_shard_rows = 8;
+  Engine engine(&catalog, &tree, options);
+  auto prepared = engine.Prepare(batch);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+
+  // Validate the recipe: the clean run really shards.
+  auto clean = prepared->Execute();
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  bool sharded = false;
+  for (const GroupStats& gs : clean->stats.groups) {
+    if (gs.shards > 1) sharded = true;
+  }
+  ASSERT_TRUE(sharded) << "recipe did not shard; cost model changed?";
+
+  ASSERT_TRUE(Failpoints::Configure("viewmap.reserve=oom#1").ok());
+  auto result = prepared->Execute();
+  Failpoints::Clear();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->stats.limit_trips, 1);
+  EXPECT_GE(result->stats.degraded_groups, 1);
+  ExpectResultsMatch(result->results, clean->results, 0.0,
+                     "unsharded retry vs clean sharded run");
+}
+
+TEST_F(LimitsTest, DeltaFailureLeavesHeldBaseIntact) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  auto prepared = engine.Prepare(MakeExampleBatch(*data_));
+  ASSERT_TRUE(prepared.ok());
+  auto base = prepared->Execute();
+  ASSERT_TRUE(base.ok());
+
+  ASSERT_TRUE(data_->catalog
+                  .AppendRows(data_->sales,
+                              {{Value::Int(2), Value::Int(5), Value::Int(9),
+                                Value::Double(4.0), Value::Int(0)}})
+                  .ok());
+
+  // The governed refresh trips...
+  ExecLimits limits;
+  limits.deadline_seconds = 1e-9;
+  auto failed = prepared->ExecuteDelta(*base, ParamPack{}, limits);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kDeadlineExceeded);
+
+  // ...but `base` is untouched: the same refresh re-run without limits
+  // matches a full recompute exactly.
+  auto refreshed = prepared->ExecuteDelta(*base);
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+  auto full = prepared->Execute();
+  ASSERT_TRUE(full.ok());
+  ExpectResultsMatch(refreshed->results, full->results, 1e-9,
+                     "delta refresh after failed governed refresh");
+}
+
+TEST_F(LimitsTest, CartProviderRetriesBudgetTripsOnce) {
+  Engine engine(&data_->catalog, &data_->tree, EngineOptions{});
+  LmfaoCartProvider provider(&engine);
+
+  QueryBatch batch;
+  Query q;
+  q.name = "node";
+  q.aggregates.push_back(Aggregate::Count());
+  q.aggregates.push_back(
+      Aggregate({Factor{data_->units, Function::Identity()}}));
+  batch.Add(std::move(q));
+
+  // Unlimited reference.
+  auto want = provider.EvaluateBatch(batch, ParamPack{});
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  EXPECT_EQ(provider.limit_retries(), 0);
+
+  // A budget every node batch trips: the provider retries unlimited and
+  // still answers — one oversized node degrades, training survives.
+  ExecLimits limits;
+  limits.max_view_bytes = 1;
+  provider.set_limits(limits);
+  auto got = provider.EvaluateBatch(batch, ParamPack{});
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(provider.limit_retries(), 1);
+  ExpectResultsMatch(*got, *want, 0.0, "provider retry vs unlimited");
+
+  // Deadline trips are NOT retried: the time is spent either way.
+  ExecLimits deadline;
+  deadline.deadline_seconds = 1e-9;
+  provider.set_limits(deadline);
+  auto timed_out = provider.EvaluateBatch(batch, ParamPack{});
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(provider.limit_retries(), 1);
+}
+
+}  // namespace
+}  // namespace lmfao

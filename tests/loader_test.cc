@@ -69,6 +69,45 @@ TEST(LoaderTest, RoundTrip) {
   EXPECT_EQ(rel2.column(1).doubles(), rel.column(1).doubles());
 }
 
+/// Error-propagation sweep: every malformed file comes back as a non-OK
+/// Status (InvalidArgument for bad values/shape), never an abort.
+TEST(LoaderTest, MalformedFilesReturnInvalidArgument) {
+  const char* bad_files[] = {
+      "k,x\n1\n",                        // too few fields
+      "k,x\n1,2,3\n",                    // too many fields
+      "k,x\n1.5,2\n",                    // float for int column
+      "k,x\nabc,2\n",                    // text for int column
+      "k,x\n,2\n",                       // empty int field
+      "k,x\n1,\n",                       // empty double field
+      "k,x\n1,oops\n",                   // text for double column
+      "k,x\n99999999999999999999,2\n",   // int overflow
+      "k,x\n1,1e999999\n",               // double overflow
+      "k,x\n1,2\n3,nan?\n",              // defect in a later row
+  };
+  for (const char* text : bad_files) {
+    Catalog cat = MakeCatalog();
+    Relation& rel = cat.mutable_relation(0);
+    Status st = LoadRelationCsvText(text, cat, &rel);
+    ASSERT_FALSE(st.ok()) << text;
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument)
+        << text << " -> " << st.ToString();
+  }
+}
+
+/// A defect in the middle of the file leaves the relation untouched —
+/// no prefix of the file is half-loaded.
+TEST(LoaderTest, FailedLoadLeavesRelationUnchanged) {
+  Catalog cat = MakeCatalog();
+  Relation& rel = cat.mutable_relation(0);
+  rel.AppendRowUnchecked({Value::Int(7), Value::Double(1.5)});
+  ASSERT_FALSE(LoadRelationCsvText("k,x\n1,2\n2,3\nbad,4\n", cat, &rel).ok());
+  ASSERT_EQ(rel.num_rows(), 1u);
+  EXPECT_EQ(rel.column(0).ints(), (std::vector<int64_t>{7}));
+  // And the same text with the defect removed loads fully.
+  ASSERT_TRUE(LoadRelationCsvText("k,x\n1,2\n2,3\n", cat, &rel).ok());
+  EXPECT_EQ(rel.num_rows(), 3u);
+}
+
 TEST(LoaderTest, FileRoundTrip) {
   Catalog cat = MakeCatalog();
   Relation& rel = cat.mutable_relation(0);

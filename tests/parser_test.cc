@@ -130,6 +130,68 @@ TEST_F(ParserTest, Rejections) {
   EXPECT_FALSE(ParseQuery("SELECT SUM(units FROM D", data_->catalog).ok());
 }
 
+/// Error propagation sweep: malformed syntax of every production must
+/// come back as InvalidArgument — a Status, never an abort or a parse
+/// into something silently wrong.
+TEST_F(ParserTest, MalformedQueriesReturnInvalidArgument) {
+  const char* bad_queries[] = {
+      "SELECT",                                       // truncated
+      "SELECT SUM(units)",                            // missing FROM
+      "SELECT SUM(units) FROM",                       // missing source
+      "SELECT SUM(units) FROM D GROUP",               // truncated GROUP BY
+      "SELECT SUM(units) FROM D GROUP BY",            // empty GROUP BY
+      "SELECT SUM(units) FROM D WHERE",               // empty WHERE
+      "SELECT SUM(units) FROM D WHERE price",         // comparison-less
+      "SELECT SUM(units) FROM D WHERE price <=",      // missing rhs
+      "SELECT SUM(units) FROM D WHERE <= 3",          // missing lhs
+      "SELECT SUM(units) FROM D WHERE price <= abc",  // non-numeric rhs
+      "SELECT SUM(units) FROM D WHERE price <= 3 AND",   // dangling AND
+      "SELECT SUM(units) FROM D WHERE price ~ 3",     // unknown operator
+      "SELECT SUM() FROM D",                          // empty SUM
+      "SELECT SUM(units *) FROM D",                   // dangling product
+      "SELECT SUM(* units) FROM D",                   // leading product
+      "SELECT SUM(units ^ x) FROM D",                 // non-numeric power
+      "SELECT SUM((units <= )) FROM D",               // broken indicator
+      "SELECT SUM(units)) FROM D",                    // unbalanced paren
+      "SELECT , FROM D",                              // empty select item
+      "FROM D SELECT SUM(units)",                     // clause order
+      "SELECT SUM(units) GROUP BY store FROM D",      // clause order
+      ";;;",                                          // no statement
+  };
+  for (const char* text : bad_queries) {
+    auto q = ParseQuery(text, data_->catalog);
+    ASSERT_FALSE(q.ok()) << text;
+    EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument)
+        << text << " -> " << q.status().ToString();
+  }
+}
+
+/// Names that parse but do not resolve are InvalidArgument too: the
+/// query text is the argument at fault.
+TEST_F(ParserTest, UnknownNamesSurfaceLookupErrors) {
+  EXPECT_EQ(
+      ParseQuery("SELECT SUM(ghost) FROM D", data_->catalog).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseQuery("SELECT SUM(units) FROM D GROUP BY ghost",
+                       data_->catalog)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // An unregistered dictionary function is a parse-level error.
+  EXPECT_FALSE(
+      ParseQuery("SELECT SUM(nosuchfn(store)) FROM D", data_->catalog).ok());
+}
+
+/// A batch with one bad statement fails as a whole; the good statements
+/// do not mask it.
+TEST_F(ParserTest, BatchWithOneBadStatementFails) {
+  auto batch = ParseQueryBatch(
+      "SELECT SUM(units) FROM D; SELECT SUM( FROM D; SELECT SUM(1) FROM D",
+      data_->catalog);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST_F(ParserTest, BatchSplitsOnSemicolons) {
   auto batch = ParseQueryBatch(
       "SELECT SUM(units) FROM D;\n"

@@ -79,6 +79,18 @@ TEST(StatusOrTest, MacroAssignsValue) {
   EXPECT_EQ(got, 7);
 }
 
+TEST(StatusTest, ResourceGovernanceCodes) {
+  Status deadline = Status::DeadlineExceeded("too slow");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(deadline.ToString().find("DeadlineExceeded"), std::string::npos);
+  EXPECT_NE(deadline.ToString().find("too slow"), std::string::npos);
+
+  Status oom = Status::ResourceExhausted("over budget");
+  EXPECT_EQ(oom.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(oom.ToString().find("ResourceExhausted"), std::string::npos);
+  EXPECT_FALSE(deadline == oom);
+}
+
 TEST(StatusTest, ReturnNotOkMacro) {
   auto f = [](bool fail) -> Status {
     LMFAO_RETURN_NOT_OK(fail ? Status::IOError("io") : Status::OK());
