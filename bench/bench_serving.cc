@@ -1,0 +1,171 @@
+/// \file bench_serving.cc
+/// \brief Serving-layer benchmarks: sustained mixed-class throughput and
+/// behavior at 2x overload. The uploaded counters (qps, p50/p95/p99 ms,
+/// shed, retries, deadline_trips, degraded) are the regression surface the
+/// bench-smoke CI job asserts on.
+///
+/// Both benchmarks use private dataset instances (not the shared
+/// bench_common caches): the workloads append rows, and a benchmark must
+/// not grow a fixture another binary's numbers depend on.
+
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/favorita.h"
+#include "engine/engine.h"
+#include "serve/server.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace lmfao {
+namespace {
+
+/// Appends `n` duplicates of random committed rows — join-compatible by
+/// construction, so the epoch keeps moving for delta refreshes.
+Status AppendDuplicateRows(Catalog* catalog, RelationId rel_id, size_t n,
+                           Rng* rng) {
+  const Relation& rel = catalog->relation(rel_id);
+  const size_t committed = catalog->CommittedRows(rel_id);
+  if (committed == 0) return Status::OK();
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t src = rng->Uniform(committed);
+    std::vector<Value> row;
+    row.reserve(static_cast<size_t>(rel.num_columns()));
+    for (int c = 0; c < rel.num_columns(); ++c) {
+      const double v = rel.column(c).AsDouble(src);
+      row.push_back(rel.column(c).type() == AttrType::kInt
+                        ? Value::Int(static_cast<int64_t>(v))
+                        : Value::Double(v));
+    }
+    rows.push_back(std::move(row));
+  }
+  return catalog->AppendRows(rel_id, rows);
+}
+
+/// Private Favorita instance per benchmark (appends mutate it).
+std::unique_ptr<FavoritaData> MakeServingInstance(int64_t num_sales) {
+  auto data = MakeFavorita(FavoritaOptions{.num_sales = num_sales});
+  LMFAO_CHECK(data.ok()) << data.status().ToString();
+  return std::move(data).value();
+}
+
+void ExportServingCounters(benchmark::State& state, const ServerStats& stats,
+                           double elapsed_seconds) {
+  const ClassStats total = stats.Totals();
+  state.counters["qps"] =
+      elapsed_seconds > 0.0
+          ? static_cast<double>(total.completed_ok + total.failed) /
+                elapsed_seconds
+          : 0.0;
+  state.counters["p50_ms"] = total.latency.Percentile(50) * 1e3;
+  state.counters["p95_ms"] = total.latency.Percentile(95) * 1e3;
+  state.counters["p99_ms"] = total.latency.Percentile(99) * 1e3;
+  state.counters["shed"] =
+      static_cast<double>(total.shed_queue_full + total.shed_watermark);
+  state.counters["retries"] = static_cast<double>(total.retries);
+  state.counters["deadline_trips"] = static_cast<double>(total.deadline_trips);
+  state.counters["degraded"] = static_cast<double>(total.degraded);
+  state.counters["queue_highwater"] =
+      static_cast<double>(stats.total_queue_depth_highwater);
+}
+
+/// Steady-state mixed workload: prepared covariance executes, delta
+/// refreshes over a moving epoch, ad-hoc parses — all admitted.
+void BM_Serving_MixedWorkload(benchmark::State& state) {
+  auto db = MakeServingInstance(20000);
+  auto cov = BuildCovarianceBatch(bench::FavoritaFeatures(*db), db->catalog);
+  LMFAO_CHECK(cov.ok()) << cov.status().ToString();
+  Engine engine(&db->catalog, &db->tree, EngineOptions{});
+  ServerOptions options;
+  options.num_workers = 2;
+  Server server(&engine, &db->catalog, options);
+  LMFAO_CHECK(server.RegisterBatch("cov", cov->batch).ok());
+
+  Rng rng(0xbe7c);
+  double serving_seconds = 0.0;
+  for (auto _ : state) {
+    // Keep the epoch moving so the delta class has rows to propagate.
+    LMFAO_CHECK(
+        AppendDuplicateRows(&db->catalog, db->sales, 32, &rng).ok());
+    Timer burst;
+    std::vector<std::future<Response>> futures;
+    for (int i = 0; i < 20; ++i) {
+      Request req;
+      const uint64_t draw = rng.Uniform(10);
+      if (draw < 7) {
+        req.cls = RequestClass::kPreparedExecute;
+        req.batch = "cov";
+      } else if (draw < 9) {
+        req.cls = RequestClass::kDeltaRefresh;
+        req.batch = "cov";
+      } else {
+        req.cls = RequestClass::kAdHoc;
+        req.text = "SELECT store, SUM(units) FROM D GROUP BY store";
+      }
+      futures.push_back(server.Submit(std::move(req)));
+    }
+    for (auto& f : futures) {
+      Response resp = f.get();
+      LMFAO_CHECK(resp.status.ok()) << resp.status.ToString();
+      benchmark::DoNotOptimize(resp);
+    }
+    serving_seconds += burst.ElapsedSeconds();
+  }
+  ExportServingCounters(state, server.stats(), serving_seconds);
+  server.Shutdown();
+}
+BENCHMARK(BM_Serving_MixedWorkload)->Unit(benchmark::kMillisecond);
+
+/// 2x-overload burst against a deliberately small server: admission
+/// control must shed with ResourceExhausted (never crash, never queue
+/// unboundedly) while every admitted request still completes OK.
+void BM_Serving_Overload(benchmark::State& state) {
+  auto db = MakeServingInstance(20000);
+  auto cov = BuildCovarianceBatch(bench::FavoritaFeatures(*db), db->catalog);
+  LMFAO_CHECK(cov.ok()) << cov.status().ToString();
+  Engine engine(&db->catalog, &db->tree, EngineOptions{});
+  ServerOptions options;
+  options.num_workers = 1;
+  options.prepared_queue_capacity = 4;
+  options.delta_queue_capacity = 2;
+  options.adhoc_queue_capacity = 2;
+  Server server(&engine, &db->catalog, options);
+  LMFAO_CHECK(server.RegisterBatch("cov", cov->batch).ok());
+
+  const size_t capacity =
+      options.prepared_queue_capacity + options.delta_queue_capacity +
+      options.adhoc_queue_capacity;
+  double serving_seconds = 0.0;
+  for (auto _ : state) {
+    Timer burst;
+    std::vector<std::future<Response>> futures;
+    for (size_t i = 0; i < 2 * capacity; ++i) {
+      Request req;
+      req.cls = RequestClass::kPreparedExecute;
+      req.batch = "cov";
+      futures.push_back(server.Submit(std::move(req)));
+    }
+    for (auto& f : futures) {
+      Response resp = f.get();
+      // Shed requests report ResourceExhausted; anything else must be OK.
+      LMFAO_CHECK(resp.status.ok() ||
+                  resp.status.code() == StatusCode::kResourceExhausted)
+          << resp.status.ToString();
+      benchmark::DoNotOptimize(resp);
+    }
+    LMFAO_CHECK_LE(server.stats().total_queue_depth_highwater, capacity);
+    serving_seconds += burst.ElapsedSeconds();
+  }
+  ExportServingCounters(state, server.stats(), serving_seconds);
+  server.Shutdown();
+}
+BENCHMARK(BM_Serving_Overload)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lmfao

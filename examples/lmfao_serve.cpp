@@ -1,0 +1,223 @@
+/// \file lmfao_serve.cpp
+/// \brief Serving-front-end driver: stands up a Server over a generated
+/// database, pushes a mixed workload (prepared covariance executes,
+/// delta refreshes racing live appends, ad-hoc queries) through it, and
+/// prints the serving report.
+///
+/// Usage:
+///   ./lmfao_serve favorita|retailer [rows] [options]
+///     --workers N        worker threads (default 2)
+///     --requests N       total requests to push (default 200)
+///     --deadline-ms D    per-request deadline (default 0 = none)
+///     --adhoc "sql"      ad-hoc query text (default: a simple SUM)
+///
+/// Exit is non-zero when any accepted request fails for a reason other
+/// than admission control (shed requests are the server doing its job).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/favorita.h"
+#include "data/retailer.h"
+#include "engine/engine.h"
+#include "engine/report.h"
+#include "ml/feature.h"
+#include "serve/server.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+using namespace lmfao;
+
+namespace {
+
+/// Appends `n` rows to `rel_id`, each a duplicate of a random committed
+/// row — always join-compatible, and sum aggregates simply grow.
+Status AppendDuplicateRows(Catalog* catalog, RelationId rel_id, size_t n,
+                           Rng* rng) {
+  const Relation& rel = catalog->relation(rel_id);
+  const size_t committed = catalog->CommittedRows(rel_id);
+  if (committed == 0) return Status::OK();
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t src = rng->Uniform(committed);
+    std::vector<Value> row;
+    row.reserve(static_cast<size_t>(rel.num_columns()));
+    for (int c = 0; c < rel.num_columns(); ++c) {
+      const double v = rel.column(c).AsDouble(src);
+      row.push_back(rel.column(c).type() == AttrType::kInt
+                        ? Value::Int(static_cast<int64_t>(v))
+                        : Value::Double(v));
+    }
+    rows.push_back(std::move(row));
+  }
+  return catalog->AppendRows(rel_id, rows);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s favorita|retailer [rows] [--workers N] "
+                 "[--requests N] [--deadline-ms D] [--adhoc \"sql\"]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string dataset = argv[1];
+  int64_t rows = 20000;
+  size_t num_workers = 2;
+  size_t num_requests = 200;
+  double deadline_ms = 0.0;
+  std::string adhoc_text;
+  int arg = 2;
+  if (arg < argc && argv[arg][0] != '-') rows = std::atoll(argv[arg++]);
+  for (; arg < argc; ++arg) {
+    const auto next = [&]() -> const char* {
+      if (arg + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", argv[arg]);
+        std::exit(2);
+      }
+      return argv[++arg];
+    };
+    if (std::strcmp(argv[arg], "--workers") == 0) {
+      num_workers = static_cast<size_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[arg], "--requests") == 0) {
+      num_requests = static_cast<size_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[arg], "--deadline-ms") == 0) {
+      deadline_ms = std::atof(next());
+    } else if (std::strcmp(argv[arg], "--adhoc") == 0) {
+      adhoc_text = next();
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[arg]);
+      return 2;
+    }
+  }
+
+  Catalog* catalog = nullptr;
+  JoinTree* tree = nullptr;
+  RelationId fact_relation = kInvalidRelation;
+  FeatureSet features;
+  std::unique_ptr<FavoritaData> favorita;
+  std::unique_ptr<RetailerData> retailer;
+  if (dataset == "favorita") {
+    auto data = MakeFavorita(FavoritaOptions{.num_sales = rows});
+    if (!data.ok()) {
+      std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+      return 1;
+    }
+    favorita = std::move(data).value();
+    catalog = &favorita->catalog;
+    tree = &favorita->tree;
+    fact_relation = favorita->sales;
+    features.label = favorita->units;
+    features.continuous = {favorita->txns, favorita->price};
+    features.categorical = {favorita->promo, favorita->cluster};
+    if (adhoc_text.empty()) adhoc_text = "SELECT SUM(units) FROM D";
+  } else if (dataset == "retailer") {
+    RetailerOptions options;
+    options.num_inventory = rows;
+    auto data = MakeRetailer(options);
+    if (!data.ok()) {
+      std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+      return 1;
+    }
+    retailer = std::move(data).value();
+    catalog = &retailer->catalog;
+    tree = &retailer->tree;
+    fact_relation = retailer->inventory;
+    features.label = retailer->inventoryunits;
+    for (AttrId a : retailer->continuous) {
+      if (a != retailer->inventoryunits) features.continuous.push_back(a);
+    }
+    features.categorical = retailer->categorical;
+    if (adhoc_text.empty()) adhoc_text = "SELECT SUM(inventoryunits) FROM D";
+  } else {
+    std::fprintf(stderr, "unknown dataset: %s\n", dataset.c_str());
+    return 2;
+  }
+
+  Engine engine(catalog, tree, EngineOptions{});
+  auto cov = BuildCovarianceBatch(features, *catalog);
+  if (!cov.ok()) {
+    std::fprintf(stderr, "%s\n", cov.status().ToString().c_str());
+    return 1;
+  }
+
+  ServerOptions options;
+  options.num_workers = num_workers;
+  options.default_deadline_seconds = deadline_ms * 1e-3;
+  Server server(&engine, catalog, options);
+  if (Status st = server.RegisterBatch("cov", cov->batch); !st.ok()) {
+    std::fprintf(stderr, "register: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Appender: keeps the catalog's epoch moving while delta refreshes run,
+  // like a live ingest feed.
+  std::atomic<bool> stop_appender{false};
+  std::thread appender([&] {
+    Rng rng(0xfeed);
+    while (!stop_appender.load(std::memory_order_relaxed)) {
+      if (Status st = AppendDuplicateRows(catalog, fact_relation, 16, &rng);
+          !st.ok()) {
+        std::fprintf(stderr, "append: %s\n", st.ToString().c_str());
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  // Mixed workload: ~70% prepared executes, ~20% delta refreshes, ~10%
+  // ad-hoc.
+  Timer wall;
+  Rng mix_rng(0x5e12e);
+  std::vector<std::future<Response>> futures;
+  futures.reserve(num_requests);
+  for (size_t i = 0; i < num_requests; ++i) {
+    Request req;
+    const uint64_t draw = mix_rng.Uniform(10);
+    if (draw < 7) {
+      req.cls = RequestClass::kPreparedExecute;
+      req.batch = "cov";
+    } else if (draw < 9) {
+      req.cls = RequestClass::kDeltaRefresh;
+      req.batch = "cov";
+    } else {
+      req.cls = RequestClass::kAdHoc;
+      req.text = adhoc_text;
+    }
+    futures.push_back(server.Submit(std::move(req)));
+  }
+
+  size_t hard_failures = 0;
+  for (auto& f : futures) {
+    Response resp = f.get();
+    if (resp.status.ok()) continue;
+    // Admission-control rejections are the server working as designed.
+    if (resp.status.code() == StatusCode::kResourceExhausted ||
+        resp.status.code() == StatusCode::kDeadlineExceeded) {
+      continue;
+    }
+    ++hard_failures;
+    std::fprintf(stderr, "request failed: %s\n",
+                 resp.status.ToString().c_str());
+  }
+  const double elapsed = wall.ElapsedSeconds();
+  stop_appender.store(true, std::memory_order_relaxed);
+  appender.join();
+  server.Shutdown();
+
+  std::printf("%s", ReportServing(server.stats()).c_str());
+  std::printf("  %zu requests in %.2f s (%.1f qps), %zu hard failures\n",
+              num_requests, elapsed,
+              static_cast<double>(num_requests) / elapsed, hard_failures);
+  return hard_failures == 0 ? 0 : 1;
+}

@@ -535,6 +535,18 @@ StatusOr<BatchResult> Engine::Evaluate(const QueryBatch& batch,
   return result;
 }
 
+StatusOr<BatchResult> Engine::Evaluate(const QueryBatch& batch,
+                                       const ParamPack& params,
+                                       const ExecLimits& limits) {
+  Timer total_timer;
+  LMFAO_ASSIGN_OR_RETURN(PreparedBatch prepared, Prepare(batch));
+  LMFAO_ASSIGN_OR_RETURN(BatchResult result, prepared.Execute(params, limits));
+  result.stats.compile_seconds = prepared.compile_seconds();
+  result.stats.plan_cache_hit = prepared.from_cache();
+  result.stats.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
 StatusOr<std::shared_ptr<const Relation>> Engine::SortedRelationAt(
     RelationId node, const std::vector<AttrId>& order, size_t rows) {
   const Relation& base = catalog_->relation(node);

@@ -465,9 +465,16 @@ class Engine {
   StatusOr<PreparedBatch> Prepare(const QueryBatch& batch);
 
   /// One-shot convenience: Prepare + Execute. `params` binds parameterized
-  /// functions, as in PreparedBatch::Execute.
+  /// functions, as in PreparedBatch::Execute. The three-argument overload
+  /// bounds the execution pass with `limits` (overriding the options
+  /// snapshot), as in PreparedBatch::Execute(params, limits) — the serving
+  /// layer uses it to give ad-hoc queries the same deadline budget as
+  /// prepared ones.
   StatusOr<BatchResult> Evaluate(const QueryBatch& batch,
                                  const ParamPack& params = {});
+  StatusOr<BatchResult> Evaluate(const QueryBatch& batch,
+                                 const ParamPack& params,
+                                 const ExecLimits& limits);
 
   /// Drops cached sorted relations and compiled artifacts, and bumps the
   /// generation counter: every PreparedBatch handed out so far becomes

@@ -98,4 +98,47 @@ std::string ReportExecution(const ExecutionStats& stats,
   return out.str();
 }
 
+std::string ReportServing(const ServerStats& stats) {
+  std::ostringstream out;
+  out << "Serving\n";
+  out << StringPrintf(
+      "  %-17s %9s %9s %6s %6s %6s %8s %7s %6s %9s %9s %9s\n", "class",
+      "submitted", "admitted", "shed", "ok", "fail", "retries", "ddl", "degr",
+      "p50 ms", "p95 ms", "p99 ms");
+  auto row = [&out](const char* name, const ClassStats& c) {
+    out << StringPrintf(
+        "  %-17s %9llu %9llu %6llu %6llu %6llu %8llu %7llu %6llu %9.2f "
+        "%9.2f %9.2f\n",
+        name, static_cast<unsigned long long>(c.submitted),
+        static_cast<unsigned long long>(c.admitted),
+        static_cast<unsigned long long>(c.shed_queue_full + c.shed_watermark),
+        static_cast<unsigned long long>(c.completed_ok),
+        static_cast<unsigned long long>(c.failed),
+        static_cast<unsigned long long>(c.retries),
+        static_cast<unsigned long long>(c.deadline_trips),
+        static_cast<unsigned long long>(c.degraded),
+        c.latency.Percentile(50) * 1e3, c.latency.Percentile(95) * 1e3,
+        c.latency.Percentile(99) * 1e3);
+  };
+  for (size_t i = 0; i < kNumRequestClasses; ++i) {
+    row(RequestClassName(static_cast<RequestClass>(i)), stats.classes[i]);
+  }
+  row("total", stats.Totals());
+  const ClassStats total = stats.Totals();
+  out << StringPrintf(
+      "  queue depth high-water: %zu (per class:",
+      stats.total_queue_depth_highwater);
+  for (size_t i = 0; i < kNumRequestClasses; ++i) {
+    out << StringPrintf(" %zu", stats.classes[i].queue_depth_highwater);
+  }
+  out << ")\n";
+  if (total.expired_in_queue > 0 || total.rejected_draining > 0) {
+    out << StringPrintf(
+        "  expired in queue: %llu, rejected while draining: %llu\n",
+        static_cast<unsigned long long>(total.expired_in_queue),
+        static_cast<unsigned long long>(total.rejected_draining));
+  }
+  return out.str();
+}
+
 }  // namespace lmfao

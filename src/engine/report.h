@@ -8,6 +8,7 @@
 #include <string>
 
 #include "engine/engine.h"
+#include "serve/stats.h"
 
 namespace lmfao {
 
@@ -24,6 +25,10 @@ std::string ReportViewGroups(const CompiledBatch& compiled,
 /// \brief Execution breakdown: per-phase and per-group timings.
 std::string ReportExecution(const ExecutionStats& stats,
                             const Catalog& catalog);
+
+/// \brief Serving panel: per-class admission / shedding / retry counters
+/// and latency percentiles of a Server's lifetime (serve/server.h).
+std::string ReportServing(const ServerStats& stats);
 
 }  // namespace lmfao
 

@@ -29,11 +29,10 @@ StatusOr<std::vector<QueryResult>> LmfaoCartProvider::EvaluateBatch(
   // compiled artifact and only pay execution here.
   LMFAO_ASSIGN_OR_RETURN(PreparedBatch prepared, engine_->Prepare(batch));
   StatusOr<BatchResult> result = prepared.Execute(params, limits_);
-  if (!result.ok() &&
-      result.status().code() == StatusCode::kResourceExhausted &&
-      limits_.enabled()) {
-    // One node's batch blew the view-byte budget: degrade this node by
-    // re-running it without limits rather than failing the training run.
+  if (!result.ok() && result.status().IsRetryable() && limits_.enabled()) {
+    // One node's batch blew the view-byte budget (or hit a transient
+    // fault): degrade this node by re-running it without limits rather
+    // than failing the training run.
     ++limit_retries_;
     result = prepared.Execute(params, ExecLimits{});
   }

@@ -27,6 +27,42 @@ struct Token {
   size_t offset = 0;
 };
 
+/// Renders a byte offset into `text` as 1-based "line L, column C" — raw
+/// offsets are useless to a user once the statement spans multiple lines.
+std::string AtPosition(const std::string& text, size_t offset) {
+  size_t line = 1;
+  size_t column = 1;
+  for (size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+  }
+  return "line " + std::to_string(line) + ", column " + std::to_string(column);
+}
+
+/// What the parser actually saw, for "expected X, got Y" messages.
+std::string TokenDesc(const Token& token) {
+  if (token.kind == TokenKind::kEnd) return "end of input";
+  if (!token.text.empty()) return "'" + token.text + "'";
+  switch (token.kind) {
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kCaret:
+      return "'^'";
+    default:
+      return "token";
+  }
+}
+
 /// Hand-rolled tokenizer (the dialect is tiny).
 class Lexer {
  public:
@@ -104,14 +140,14 @@ class Lexer {
             i = j;
             if (token.text == "!" ) {
               return Status::InvalidArgument(
-                  "stray '!' at offset " + std::to_string(token.offset));
+                  "stray '!' at " + AtPosition(text_, token.offset));
             }
             break;
           }
           default:
             return Status::InvalidArgument(
-                std::string("unexpected character '") + c + "' at offset " +
-                std::to_string(i));
+                std::string("unexpected character '") + c + "' at " +
+                AtPosition(text_, i));
         }
       }
       out.push_back(std::move(token));
@@ -127,9 +163,12 @@ class Lexer {
 /// Recursive-descent parser over the token stream.
 class Parser {
  public:
-  Parser(std::vector<Token> tokens, const Catalog& catalog,
-         const FunctionRegistry& functions)
-      : tokens_(std::move(tokens)), catalog_(catalog), functions_(functions) {}
+  Parser(const std::string& text, std::vector<Token> tokens,
+         const Catalog& catalog, const FunctionRegistry& functions)
+      : text_(text),
+        tokens_(std::move(tokens)),
+        catalog_(catalog),
+        functions_(functions) {}
 
   StatusOr<Query> Parse() {
     Query query;
@@ -188,8 +227,8 @@ class Parser {
       }
     }
     if (Peek().kind != TokenKind::kEnd) {
-      return Status::InvalidArgument("trailing input at offset " +
-                                     std::to_string(Peek().offset));
+      return Status::InvalidArgument("trailing input starting with " +
+                                     TokenDesc(Peek()) + " at " + Here());
     }
     // Bare select attributes must be grouped by (SQL semantics).
     for (AttrId attr : select_attrs) {
@@ -214,6 +253,9 @@ class Parser {
  private:
   const Token& Peek() const { return tokens_[pos_]; }
 
+  /// Position of the current token, as "line L, column C".
+  std::string Here() const { return AtPosition(text_, Peek().offset); }
+
   bool PeekKeyword(const char* keyword) const {
     return Peek().kind == TokenKind::kIdentifier &&
            ToLower(Peek().text) == ToLower(keyword);
@@ -222,8 +264,8 @@ class Parser {
   Status ExpectKeyword(const char* keyword) {
     if (!PeekKeyword(keyword)) {
       return Status::InvalidArgument(std::string("expected ") + keyword +
-                                     " near offset " +
-                                     std::to_string(Peek().offset));
+                                     " at " + Here() + ", got " +
+                                     TokenDesc(Peek()));
     }
     ++pos_;
     return Status::OK();
@@ -231,9 +273,8 @@ class Parser {
 
   Status Expect(TokenKind kind, const char* what) {
     if (Peek().kind != kind) {
-      return Status::InvalidArgument(std::string("expected ") + what +
-                                     " near offset " +
-                                     std::to_string(Peek().offset));
+      return Status::InvalidArgument(std::string("expected ") + what + " at " +
+                                     Here() + ", got " + TokenDesc(Peek()));
     }
     ++pos_;
     return Status::OK();
@@ -241,25 +282,27 @@ class Parser {
 
   StatusOr<std::string> ExpectIdentifier() {
     if (Peek().kind != TokenKind::kIdentifier) {
-      return Status::InvalidArgument("expected identifier near offset " +
-                                     std::to_string(Peek().offset));
+      return Status::InvalidArgument("expected identifier at " + Here() +
+                                     ", got " + TokenDesc(Peek()));
     }
     return tokens_[pos_++].text;
   }
 
   StatusOr<AttrId> ParseAttribute() {
+    const std::string at = Here();
     LMFAO_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
     auto id = catalog_.AttrIdOf(name);
     if (!id.ok()) {
-      return Status::InvalidArgument("unknown attribute: " + name);
+      return Status::InvalidArgument("unknown attribute '" + name + "' at " +
+                                     at);
     }
     return *id;
   }
 
   StatusOr<double> ParseNumber() {
     if (Peek().kind != TokenKind::kNumber) {
-      return Status::InvalidArgument("expected number near offset " +
-                                     std::to_string(Peek().offset));
+      return Status::InvalidArgument("expected number at " + Here() +
+                                     ", got " + TokenDesc(Peek()));
     }
     return std::strtod(tokens_[pos_++].text.c_str(), nullptr);
   }
@@ -278,8 +321,8 @@ class Parser {
   StatusOr<Factor> ParseComparison() {
     LMFAO_ASSIGN_OR_RETURN(AttrId attr, ParseAttribute());
     if (Peek().kind != TokenKind::kComparison) {
-      return Status::InvalidArgument("expected comparison near offset " +
-                                     std::to_string(Peek().offset));
+      return Status::InvalidArgument("expected comparison at " + Here() +
+                                     ", got " + TokenDesc(Peek()));
     }
     LMFAO_ASSIGN_OR_RETURN(FunctionKind op, ComparisonOp(tokens_[pos_].text));
     ++pos_;
@@ -295,8 +338,8 @@ class Parser {
         // Only the literal 1 (the count) is allowed as a standalone factor.
         if (StripWhitespace(Peek().text) != "1") {
           return Status::InvalidArgument(
-              "only the constant 1 is allowed inside SUM; got " +
-              Peek().text);
+              "only the constant 1 is allowed inside SUM; got " + Peek().text +
+              " at " + Here());
         }
         ++pos_;
       } else if (Peek().kind == TokenKind::kLParen) {
@@ -318,9 +361,10 @@ class Parser {
           LMFAO_ASSIGN_OR_RETURN(AttrId attr, ParseAttribute());
           if (Peek().kind == TokenKind::kCaret) {
             ++pos_;
+            const std::string at = Here();
             LMFAO_ASSIGN_OR_RETURN(double power, ParseNumber());
             if (power != 2.0) {
-              return Status::InvalidArgument("only ^2 is supported");
+              return Status::InvalidArgument("only ^2 is supported, at " + at);
             }
             factors.push_back(Factor{attr, Function::Square()});
           } else {
@@ -328,8 +372,8 @@ class Parser {
           }
         }
       } else {
-        return Status::InvalidArgument("expected factor near offset " +
-                                       std::to_string(Peek().offset));
+        return Status::InvalidArgument("expected factor at " + Here() +
+                                       ", got " + TokenDesc(Peek()));
       }
       if (Peek().kind == TokenKind::kStar) {
         ++pos_;
@@ -340,6 +384,7 @@ class Parser {
     return Aggregate(std::move(factors));
   }
 
+  const std::string& text_;
   std::vector<Token> tokens_;
   size_t pos_ = 0;
   const Catalog& catalog_;
@@ -352,7 +397,7 @@ StatusOr<Query> ParseQuery(const std::string& text, const Catalog& catalog,
                            const FunctionRegistry& functions) {
   Lexer lexer(text);
   LMFAO_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
-  Parser parser(std::move(tokens), catalog, functions);
+  Parser parser(text, std::move(tokens), catalog, functions);
   return parser.Parse();
 }
 
@@ -360,13 +405,21 @@ StatusOr<QueryBatch> ParseQueryBatch(const std::string& text,
                                      const Catalog& catalog,
                                      const FunctionRegistry& functions) {
   QueryBatch batch;
+  size_t statement_index = 0;
   for (const std::string& statement : SplitString(text, ';')) {
     const std::string_view stripped = StripWhitespace(statement);
     if (stripped.empty()) continue;
-    LMFAO_ASSIGN_OR_RETURN(
-        Query q, ParseQuery(std::string(stripped), catalog, functions));
-    q.name = "q" + std::to_string(batch.size());
-    batch.Add(std::move(q));
+    ++statement_index;
+    StatusOr<Query> q = ParseQuery(std::string(stripped), catalog, functions);
+    if (!q.ok()) {
+      // Line/column in the message is relative to this statement; say which
+      // one so the position is actionable in multi-statement input.
+      return Status::InvalidArgument(
+          "statement " + std::to_string(statement_index) + ": " +
+          std::string(q.status().message()));
+    }
+    q->name = "q" + std::to_string(batch.size());
+    batch.Add(*std::move(q));
   }
   if (batch.empty()) {
     return Status::InvalidArgument("no queries in input");

@@ -248,8 +248,13 @@ Status Failpoints::Check(const char* name) {
   }
   switch (action) {
     case FpAction::kFail:
+      // Injected failures stand in for flaky infrastructure (a compiler
+      // invocation, an allocation, a cache rebuild), so they carry the
+      // transient tag: Status::IsRetryable() is true and retry loops (the
+      // serving layer, the CART provider) treat them as recoverable.
       return Status::Internal(std::string("injected failure at failpoint '") +
-                              name + "'");
+                              name + "'")
+          .MarkTransient();
     case FpAction::kOom:
       return Status::ResourceExhausted(
           std::string("injected allocation failure at failpoint '") + name +

@@ -16,7 +16,10 @@
 ///   LMFAO_FAILPOINTS=jit.compile=fail,viewmap.rehash=oom@0.01
 ///
 /// Each entry is `name=action[:ms][@prob][#nth][*count]`:
-///   - action `fail`  -> Status::Internal (a generic hard failure),
+///   - action `fail`  -> Status::Internal tagged transient (a generic
+///     injected failure; Status::IsRetryable() is true so retrying callers
+///     — the serving layer, the CART provider — treat it as recoverable
+///     flaky infrastructure; `panic` below is the non-retryable variant),
 ///     `oom`   -> Status::ResourceExhausted (allocation failure),
 ///     `panic` -> Status::Internal tagged as a panic ("panic-as-Status":
 ///     the library never aborts across its API, so even a simulated panic

@@ -33,6 +33,7 @@ const char* StatusCodeName(StatusCode code) {
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeName(code_);
+  if (transient_) out += " (transient)";
   out += ": ";
   out += msg_;
   return out;

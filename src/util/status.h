@@ -51,6 +51,32 @@ class Status {
   Status(StatusCode code, std::string msg)
       : code_(code), msg_(std::move(msg)) {}
 
+  /// Tags this status as a *transient* fault: the operation failed for a
+  /// reason that is expected to clear on its own (an injected fault, a
+  /// race with a cache rebuild), so retrying the same call can succeed.
+  /// Returns *this so factories can chain: `Status::Internal(m).MarkTransient()`.
+  Status&& MarkTransient() && {
+    transient_ = true;
+    return std::move(*this);
+  }
+  Status& MarkTransient() & {
+    transient_ = true;
+    return *this;
+  }
+
+  /// True when the tagged fault is transient (see MarkTransient).
+  bool transient() const { return transient_; }
+
+  /// True when re-issuing the failed operation is a sensible recovery:
+  /// resource exhaustion (a budget trip or allocation failure — pressure
+  /// recedes as other work completes and frees memory) and faults tagged
+  /// transient (e.g. injected failpoint failures standing in for flaky
+  /// infrastructure). Deadline trips are deliberately NOT retryable: the
+  /// caller's time budget is spent, and retrying cannot un-spend it.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kResourceExhausted || transient_;
+  }
+
   /// \name Factory helpers, one per error category.
   /// @{
   static Status OK() { return Status(); }
@@ -100,6 +126,10 @@ class Status {
  private:
   StatusCode code_;
   std::string msg_;
+  /// Not part of equality: a transient and a permanent status with the
+  /// same code and message compare equal (the tag is retry advice, not
+  /// identity).
+  bool transient_ = false;
 };
 
 /// \brief A Status or a value of type T.

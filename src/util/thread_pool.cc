@@ -6,6 +6,16 @@
 
 namespace lmfao {
 
+namespace {
+/// The pool whose WorkerLoop the current thread is inside (null on
+/// non-worker threads). Lets Submit distinguish a continuation submitted
+/// by a draining task (must be accepted, or in-flight task graphs would
+/// wedge mid-shutdown) from a new external task racing the shutdown
+/// (must be rejected, or it could land after the workers exited and never
+/// run).
+thread_local const ThreadPool* g_current_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
@@ -14,21 +24,30 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
   cv_work_.notify_all();
-  for (auto& w : workers_) w.join();
+  // Workers exit only once the queue is empty AND no task is running (a
+  // running task may still submit continuations), so join() here IS the
+  // drain barrier: everything accepted before the stop flag runs first.
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ && g_current_pool != this) return false;
     queue_.push_back(std::move(task));
   }
   cv_work_.notify_one();
+  return true;
 }
 
 void ThreadPool::WaitIdle() {
@@ -37,6 +56,7 @@ void ThreadPool::WaitIdle() {
 }
 
 void ThreadPool::WorkerLoop() {
+  g_current_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -72,22 +92,32 @@ void ParallelFor(ThreadPool* pool, size_t n,
   std::atomic<size_t> done{0};
   std::mutex mu;
   std::condition_variable cv;
-  const size_t workers = std::min(n, pool->num_threads());
-  for (size_t w = 0; w < workers; ++w) {
-    pool->Submit([&] {
-      for (;;) {
-        const size_t i = next.fetch_add(1);
-        if (i >= n) break;
-        fn(i);
-      }
-      if (done.fetch_add(1) + 1 == workers) {
-        std::lock_guard<std::mutex> lock(mu);
-        cv.notify_all();
-      }
-    });
+  auto work = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1);
+      if (i >= n) break;
+      fn(i);
+    }
+  };
+  // The caller claims indices alongside up to (threads - 1) accepted
+  // helpers, so a Submit rejected by a shutting-down pool only costs
+  // parallelism — every index still runs, and the wait below is on the
+  // helpers that were actually accepted.
+  const size_t max_helpers = std::min(n, pool->num_threads()) - 1;
+  size_t accepted = 0;
+  for (size_t w = 0; w < max_helpers; ++w) {
+    if (pool->Submit([&] {
+          work();
+          std::lock_guard<std::mutex> lock(mu);
+          done.fetch_add(1);
+          cv.notify_all();
+        })) {
+      ++accepted;
+    }
   }
+  work();
   std::unique_lock<std::mutex> lock(mu);
-  cv.wait(lock, [&] { return done.load() == workers; });
+  cv.wait(lock, [&] { return done.load() == accepted; });
 }
 
 void ParallelForShared(ThreadPool* pool, size_t n,

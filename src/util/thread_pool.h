@@ -21,6 +21,14 @@ namespace lmfao {
 /// and all workers are idle, which is how the engine implements barriers
 /// between dependency-graph strata. The pool is not work-stealing; the
 /// engine's scheduler enqueues ready groups explicitly.
+///
+/// Shutdown contract: `Shutdown()` (and the destructor, which calls it)
+/// drains deterministically — every task accepted before the shutdown
+/// started runs to completion (including tasks those tasks submit from
+/// worker context) before the workers are joined. A Submit that races with
+/// or follows shutdown is *rejected* (returns false) instead of being
+/// silently enqueued into a pool whose workers may already have exited —
+/// accepted tasks always run, rejected tasks visibly don't.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least one).
@@ -30,12 +38,19 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task for execution. Returns true when the task was
+  /// accepted; false when the pool is shutting down (the task is dropped
+  /// *before* enqueue — it will never run, and the caller knows).
+  bool Submit(std::function<void()> task);
 
   /// Blocks until all submitted tasks (including those submitted by running
   /// tasks) have completed.
   void WaitIdle();
+
+  /// Drains then joins: stops accepting new external Submits, runs every
+  /// already-accepted task (worker-submitted continuations included), and
+  /// joins the workers. Idempotent; called by the destructor.
+  void Shutdown();
 
   size_t num_threads() const { return workers_.size(); }
 

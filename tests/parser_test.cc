@@ -166,6 +166,43 @@ TEST_F(ParserTest, MalformedQueriesReturnInvalidArgument) {
   }
 }
 
+/// Parse errors point at the offending token with 1-based line/column
+/// positions — a raw byte offset is useless once statements span lines.
+TEST_F(ParserTest, ErrorsCarryLineAndColumn) {
+  // "%" is at offset 7 on line 1 -> column 8.
+  auto lex = ParseQuery("SELECT %", data_->catalog);
+  ASSERT_FALSE(lex.ok());
+  EXPECT_NE(lex.status().message().find("line 1, column 8"), std::string::npos)
+      << lex.status().ToString();
+
+  // Truncated on the third line: the error names line 3 and what was seen.
+  auto trunc = ParseQuery("SELECT SUM(units)\nFROM D\nWHERE price <=",
+                          data_->catalog);
+  ASSERT_FALSE(trunc.ok());
+  EXPECT_NE(trunc.status().message().find("line 3"), std::string::npos)
+      << trunc.status().ToString();
+  EXPECT_NE(trunc.status().message().find("end of input"), std::string::npos)
+      << trunc.status().ToString();
+
+  // Unknown attributes are located too.
+  auto unknown = ParseQuery("SELECT SUM(units)\nFROM D GROUP BY ghost",
+                            data_->catalog);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().message().find("'ghost' at line 2"),
+            std::string::npos)
+      << unknown.status().ToString();
+}
+
+/// In multi-statement input the line/column is relative to the statement,
+/// so the error says which statement it is in.
+TEST_F(ParserTest, BatchErrorsNameTheStatement) {
+  auto batch = ParseQueryBatch(
+      "SELECT SUM(units) FROM D; SELECT SUM( FROM D", data_->catalog);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().message().rfind("statement 2: ", 0), 0u)
+      << batch.status().ToString();
+}
+
 /// Names that parse but do not resolve are InvalidArgument too: the
 /// query text is the argument at fault.
 TEST_F(ParserTest, UnknownNamesSurfaceLookupErrors) {

@@ -91,6 +91,33 @@ TEST(StatusTest, ResourceGovernanceCodes) {
   EXPECT_FALSE(deadline == oom);
 }
 
+TEST(StatusTest, IsRetryable) {
+  // ResourceExhausted is inherently retryable: capacity pressure clears.
+  EXPECT_TRUE(Status::ResourceExhausted("queue full").IsRetryable());
+  // A deadline trip is final — retrying cannot recover spent budget.
+  EXPECT_FALSE(Status::DeadlineExceeded("too slow").IsRetryable());
+  EXPECT_FALSE(Status::Internal("bug").IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("bad query").IsRetryable());
+  EXPECT_FALSE(Status::OK().IsRetryable());
+}
+
+TEST(StatusTest, MarkTransientTagsRetryable) {
+  Status transient = Status::Internal("flaky compile").MarkTransient();
+  EXPECT_TRUE(transient.transient());
+  EXPECT_TRUE(transient.IsRetryable());
+  EXPECT_EQ(transient.code(), StatusCode::kInternal);
+  EXPECT_NE(transient.ToString().find("(transient)"), std::string::npos);
+  // The tag survives copies (retry loops pass statuses around).
+  Status copy = transient;
+  EXPECT_TRUE(copy.IsRetryable());
+  // The lvalue overload works too.
+  Status tagged = Status::IOError("blip");
+  tagged.MarkTransient();
+  EXPECT_TRUE(tagged.IsRetryable());
+  // Not part of equality: code+message define identity.
+  EXPECT_TRUE(transient == Status::Internal("flaky compile"));
+}
+
 TEST(StatusTest, ReturnNotOkMacro) {
   auto f = [](bool fail) -> Status {
     LMFAO_RETURN_NOT_OK(fail ? Status::IOError("io") : Status::OK());

@@ -72,6 +72,74 @@ TEST(ThreadPoolTest, ParallelWorkActuallyOverlaps) {
   EXPECT_GT(max_concurrent.load(), 1);
 }
 
+/// Shutdown's contract: every task accepted before shutdown runs to
+/// completion before the destructor returns — queued tasks are drained,
+/// never dropped.
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  constexpr int kTasks = 200;
+  {
+    ThreadPool pool(2);
+    // A slow head task piles the rest up in the queue, so destruction
+    // races a deep backlog.
+    pool.Submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    });
+    for (int i = 0; i < kTasks; ++i) {
+      ASSERT_TRUE(pool.Submit([&count] { count.fetch_add(1); }));
+    }
+  }  // ~ThreadPool: drain + join.
+  EXPECT_EQ(count.load(), kTasks);
+}
+
+/// Continuations submitted by a draining task (from worker context) are
+/// accepted and run; the whole in-flight task graph completes.
+TEST(ThreadPoolTest, ShutdownDrainsWorkerSubmittedContinuations) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    pool.Submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      // By now Shutdown may already be in progress; these must still run.
+      for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(pool.Submit([&count] { count.fetch_add(1); }));
+      }
+    });
+  }
+  EXPECT_EQ(count.load(), 10);
+}
+
+/// An external Submit racing (or following) shutdown is visibly rejected
+/// instead of being enqueued into a pool whose workers may have exited.
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejected) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  ASSERT_TRUE(pool.Submit([&count] { count.fetch_add(1); }));
+  pool.Shutdown();
+  EXPECT_EQ(count.load(), 1);
+  EXPECT_FALSE(pool.Submit([&count] { count.fetch_add(1); }));
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Shutdown();
+  pool.Shutdown();  // Second call must be a no-op, not a crash or hang.
+  EXPECT_EQ(count.load(), 1);
+}
+
+/// ParallelFor completes every index even when the pool rejects helper
+/// submissions (shutdown in progress): the caller participates.
+TEST(ParallelForTest, CompletesAgainstShutDownPool) {
+  ThreadPool pool(4);
+  pool.Shutdown();
+  std::vector<int> hits(64, 0);
+  ParallelFor(&pool, hits.size(), [&](size_t i) { hits[i] = 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
 TEST(ParallelForTest, CoversAllIndexes) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(257);
