@@ -1,0 +1,84 @@
+#include "dist/coordinator.h"
+
+#include "dist/view_wire.h"
+#include "util/failpoint.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace lmfao {
+
+namespace {
+
+/// Folds one decoded frame into `map`: upsert by packed key, add payloads.
+/// The decoded payload matrix is read through layout-aware strides, so both
+/// wire layouts fold identically.
+void FoldFrame(const DecodedView& frame, ViewMap* map) {
+  const int arity = frame.arity;
+  const int width = frame.width;
+  map->Reserve(map->size() + frame.rows);
+  const int64_t* cols[TupleKey::kMaxArity];
+  for (int c = 0; c < arity; ++c) cols[c] = frame.keys.col(c);
+  const double* payload = frame.payloads.data();
+  const size_t entry_stride = frame.payloads.entry_stride();
+  const size_t slot_stride = frame.payloads.slot_stride();
+  int64_t kb[TupleKey::kMaxArity];
+  for (size_t i = 0; i < frame.rows; ++i) {
+    for (int c = 0; c < arity; ++c) kb[c] = cols[c][i];
+    double* dst = map->UpsertHashed(kb, HashKeySpan(kb, arity));
+    const double* src = payload + i * entry_stride;
+    for (int s = 0; s < width; ++s) {
+      dst[s] += src[static_cast<size_t>(s) * slot_stride];
+    }
+  }
+}
+
+}  // namespace
+
+Status MergeShardOutputs(const std::vector<ShardOutput>& shards,
+                         std::vector<QueryResult>* results,
+                         CoordinatorStats* stats) {
+  LMFAO_CHECK(results != nullptr);
+  LMFAO_CHECK(stats != nullptr);
+  const size_t num_queries = results->size();
+  // Per-query frame shape pinned by the first shard; later shards must
+  // agree (they ran the same compiled batch, so a mismatch means a
+  // corrupted exchange, not a legitimate schema difference).
+  std::vector<int> widths(num_queries, -1);
+
+  for (const ShardOutput& shard : shards) {
+    stats->exchange_bytes += shard.wire.size();
+    size_t offset = 0;
+    for (size_t q = 0; q < num_queries; ++q) {
+      LMFAO_FAILPOINT("dist.exchange_decode");
+      StatusOr<DecodedView> frame = DecodeView(shard.wire, &offset);
+      if (!frame.ok()) return frame.status();
+      QueryResult& qr = (*results)[q];
+      if (frame->arity != static_cast<int>(qr.group_by.size())) {
+        return Status::InvalidArgument(
+            "coordinator: shard " + std::to_string(shard.shard) +
+            " sent arity " + std::to_string(frame->arity) + " for query " +
+            std::to_string(q) + ", expected " +
+            std::to_string(qr.group_by.size()));
+      }
+      if (widths[q] < 0) {
+        widths[q] = frame->width;
+        qr.data = ViewMap(frame->arity, frame->width);
+      } else if (frame->width != widths[q]) {
+        return Status::InvalidArgument(
+            "coordinator: shard " + std::to_string(shard.shard) +
+            " sent width " + std::to_string(frame->width) + " for query " +
+            std::to_string(q) + ", expected " + std::to_string(widths[q]));
+      }
+      FoldFrame(*frame, &qr.data);
+    }
+    if (offset != shard.wire.size()) {
+      return Status::InvalidArgument(
+          "coordinator: shard " + std::to_string(shard.shard) + " sent " +
+          std::to_string(shard.wire.size() - offset) +
+          " trailing bytes after the last query frame");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lmfao

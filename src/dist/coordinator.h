@@ -1,0 +1,57 @@
+/// \file coordinator.h
+/// \brief Coordinator merge stage: fold shard-local partial results —
+/// received as ViewWire bytes — into the final query result maps.
+///
+/// Each shard's local phase produces one encoded frame per query, in
+/// batch query order, concatenated into one wire buffer. The coordinator
+/// decodes shard by shard (in shard order, so the float summation order is
+/// deterministic) and folds every decoded entry into the query's output
+/// ViewMap with key-hash upserts and payload addition — the same
+/// sum-of-partials fold MergeAdd performs for thread-local maps, driven
+/// from decoded bytes instead of live slots.
+
+#ifndef LMFAO_DIST_COORDINATOR_H_
+#define LMFAO_DIST_COORDINATOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "util/status.h"
+
+namespace lmfao {
+
+/// \brief One shard's local-phase product: its encoded views plus the
+/// per-shard figures the coordinator aggregates into ExecutionStats.
+struct ShardOutput {
+  int shard = 0;
+  /// Rows of the partitioned relation this shard scanned.
+  size_t rows = 0;
+  /// Local execute wall time (skew numerator/denominator).
+  double seconds = 0.0;
+  /// Encoded frames, one per query, in batch query order.
+  std::string wire;
+};
+
+/// \brief What the merge stage measured.
+struct CoordinatorStats {
+  /// Total encoded bytes received across shards.
+  size_t exchange_bytes = 0;
+};
+
+/// Decodes every shard's wire buffer and folds the partial results into
+/// `(*results)[q].data`. Precondition: `*results` carries one entry per
+/// query with `query_id` and `group_by` already set; each entry's map is
+/// (re)built here. Frame shapes are validated against `group_by` and
+/// against each other across shards; any malformed or inconsistent input
+/// returns InvalidArgument with `*results` in an unspecified (but safe to
+/// destroy) state. Carries the `dist.exchange_decode` failpoint seam,
+/// hit once per decoded frame.
+Status MergeShardOutputs(const std::vector<ShardOutput>& shards,
+                         std::vector<QueryResult>* results,
+                         CoordinatorStats* stats);
+
+}  // namespace lmfao
+
+#endif  // LMFAO_DIST_COORDINATOR_H_

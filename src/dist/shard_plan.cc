@@ -1,0 +1,86 @@
+#include "dist/shard_plan.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace lmfao {
+
+StatusOr<ShardedPlan> MakeShardedPlan(const CompiledBatch& compiled,
+                                      const Catalog& catalog,
+                                      const EpochSnapshot& epoch,
+                                      const ShardSpec& spec) {
+  if (epoch.rows.size() != static_cast<size_t>(catalog.num_relations())) {
+    return Status::InvalidArgument(
+        "MakeShardedPlan: epoch snapshot tracks " +
+        std::to_string(epoch.rows.size()) + " relations, catalog has " +
+        std::to_string(catalog.num_relations()));
+  }
+
+  // Relations some group actually reads. Splitting anything else would
+  // multiply the result by the shard count instead of partitioning it:
+  // the batch is constant — not linear — in a relation outside every
+  // group's input closure.
+  uint64_t eligible = 0;
+  for (const GroupPlan& plan : compiled.plans) {
+    eligible |= plan.source_relation_mask;
+  }
+
+  ShardedPlan sharded;
+  if (spec.relation != kInvalidRelation) {
+    if (spec.relation < 0 || spec.relation >= catalog.num_relations()) {
+      return Status::InvalidArgument(
+          "MakeShardedPlan: pinned shard relation " +
+          std::to_string(spec.relation) + " is not in the catalog");
+    }
+    if (spec.relation >= 64 || ((eligible >> spec.relation) & 1) == 0) {
+      return Status::InvalidArgument(
+          "MakeShardedPlan: relation " +
+          catalog.relation(spec.relation).name() +
+          " is outside every group's input closure; partitioning it would "
+          "duplicate the result per shard");
+    }
+    sharded.relation = spec.relation;
+  } else {
+    for (RelationId r = 0; r < catalog.num_relations() && r < 64; ++r) {
+      if (((eligible >> r) & 1) == 0) continue;
+      if (sharded.relation == kInvalidRelation ||
+          epoch.at(r) > epoch.at(sharded.relation)) {
+        sharded.relation = r;
+      }
+    }
+    if (sharded.relation == kInvalidRelation) {
+      return Status::InvalidArgument(
+          "MakeShardedPlan: no group plan reads any relation; nothing to "
+          "partition");
+    }
+  }
+
+  for (const GroupPlan& plan : compiled.plans) {
+    if (sharded.relation < 64 &&
+        ((plan.source_relation_mask >> sharded.relation) & 1)) {
+      ++sharded.dirty_groups;
+    }
+  }
+
+  const size_t rows = epoch.at(sharded.relation);
+  const size_t requested =
+      spec.num_shards > 1 ? static_cast<size_t>(spec.num_shards) : 1;
+  const size_t n = std::max<size_t>(1, std::min(requested, std::max<size_t>(
+                                                               rows, 1)));
+  // Balanced contiguous ranges: base rows each, the first rows % n shards
+  // take one extra.
+  const size_t base = rows / n;
+  const size_t extra = rows % n;
+  size_t lo = 0;
+  sharded.ranges.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    const size_t len = base + (s < extra ? 1 : 0);
+    sharded.ranges.push_back(ShardRange{lo, lo + len});
+    lo += len;
+  }
+  LMFAO_CHECK_EQ(lo, rows);
+  return sharded;
+}
+
+}  // namespace lmfao

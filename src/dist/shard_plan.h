@@ -1,0 +1,64 @@
+/// \file shard_plan.h
+/// \brief Plan splitting: partition one base relation into row-range
+/// shards and derive the per-shard local executions.
+///
+/// The local/coordinator decomposition: a ShardedPlan names the
+/// partitioned relation and its contiguous row ranges; each range becomes
+/// one full execution pass of the UNCHANGED compiled group plans, with the
+/// partitioned relation served as that slice through the engine's
+/// relation-provider seam (the same seam delta passes use — GroupExecutor
+/// never learns about shards). Multilinearity of the aggregate batch in
+/// every base relation makes the per-shard partial results sum to exactly
+/// the unsharded result.
+
+#ifndef LMFAO_DIST_SHARD_PLAN_H_
+#define LMFAO_DIST_SHARD_PLAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/shard_spec.h"
+#include "engine/engine.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace lmfao {
+
+/// \brief One shard's slice of the partitioned relation: rows [lo, hi).
+struct ShardRange {
+  size_t lo = 0;
+  size_t hi = 0;
+
+  size_t rows() const { return hi - lo; }
+};
+
+/// \brief The split: which relation is partitioned, into which ranges.
+struct ShardedPlan {
+  RelationId relation = kInvalidRelation;
+  /// Contiguous, disjoint, covering [0, epoch rows) in order; balanced to
+  /// within one row.
+  std::vector<ShardRange> ranges;
+  /// Group plans whose input closure (GroupPlan::source_relation_mask)
+  /// contains the partitioned relation — the groups whose work genuinely
+  /// differs per shard (the others recompute identical intermediate views
+  /// in every shard, the price of keeping the compiled plans unchanged).
+  int dirty_groups = 0;
+
+  int num_shards() const { return static_cast<int>(ranges.size()); }
+};
+
+/// Splits `compiled` across `spec.num_shards` shards of one relation at
+/// the given epoch. The partitioned relation is `spec.relation` when
+/// pinned (must be in some group's input closure — partitioning an
+/// untouched relation would duplicate the result per shard), otherwise
+/// the eligible relation with the most committed rows (ties to the lowest
+/// id, so the choice is deterministic). The effective shard count is
+/// clamped to the relation's row count, and never below one.
+StatusOr<ShardedPlan> MakeShardedPlan(const CompiledBatch& compiled,
+                                      const Catalog& catalog,
+                                      const EpochSnapshot& epoch,
+                                      const ShardSpec& spec);
+
+}  // namespace lmfao
+
+#endif  // LMFAO_DIST_SHARD_PLAN_H_

@@ -1,0 +1,40 @@
+/// \file shard_spec.h
+/// \brief How a batch execution is split across shards of one relation.
+///
+/// Leaf header (no engine dependencies): the spec travels on the
+/// PreparedBatch handle (engine.h holds one by value), while the machinery
+/// that consumes it — plan splitting, view exchange, coordinator merge —
+/// lives in the rest of src/dist/.
+
+#ifndef LMFAO_DIST_SHARD_SPEC_H_
+#define LMFAO_DIST_SHARD_SPEC_H_
+
+#include "storage/types.h"
+
+namespace lmfao {
+
+/// \brief Requested sharding of one batch execution.
+///
+/// A sharded execution partitions ONE base relation into contiguous
+/// row-range shards and runs the full compiled plan once per shard with
+/// that relation served as its slice; every aggregate is a sum of products
+/// of per-relation factors, so the batch is multilinear in each relation
+/// and the per-shard partial results sum to exactly the unsharded result
+/// (the identity PR 6's delta passes rely on). Which relation to partition
+/// is normally chosen by the planner (largest epoch watermark among the
+/// relations in the plans' input closure — partitioning a relation the
+/// join never touches would *duplicate* the result per shard, so those are
+/// never eligible); `relation` pins the choice instead.
+struct ShardSpec {
+  /// Requested shard count; <= 1 executes as a single shard. The effective
+  /// count is clamped to the partitioned relation's row count (an empty
+  /// relation still runs one shard, over an empty slice).
+  int num_shards = 0;
+  /// Pins the partitioned relation; kInvalidRelation lets MakeShardedPlan
+  /// pick the largest eligible one.
+  RelationId relation = kInvalidRelation;
+};
+
+}  // namespace lmfao
+
+#endif  // LMFAO_DIST_SHARD_SPEC_H_

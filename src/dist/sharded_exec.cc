@@ -1,0 +1,167 @@
+/// \file sharded_exec.cc
+/// \brief Sharded distributed execution: the PreparedBatch::ExecuteSharded
+/// and Engine::PrepareSharded entry points declared in engine/engine.h.
+///
+/// Three stages per call, mirroring a coordinator/worker deployment while
+/// keeping every stage an in-process function:
+///   1. plan splitting (shard_plan.h) — partition one relation's rows;
+///   2. local phase — one RunPass per shard through the relation-provider
+///      seam (the partitioned relation served as the shard's slice, exactly
+///      how delta terms serve appended slices), then freeze and ViewWire-
+///      encode the shard's query outputs;
+///   3. coordinator merge (coordinator.h) — decode and fold in shard
+///      order, so the floating-point summation order is deterministic.
+/// The shard loop is sequential: the point of this PR is the
+/// decomposition and the byte-level exchange contract, and the merged
+/// result must not depend on scheduling. Shard slices are uncached
+/// (SortedDeltaSlice), so concurrent sharded executions never fight over
+/// the sorted-relation cache either.
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "dist/shard_plan.h"
+#include "dist/view_wire.h"
+#include "engine/engine.h"
+#include "util/failpoint.h"
+#include "util/timer.h"
+
+namespace lmfao {
+
+StatusOr<BatchResult> PreparedBatch::ExecuteSharded(
+    int num_shards, const ParamPack& params) const {
+  return ExecuteSharded(num_shards, params, options_.limits);
+}
+
+StatusOr<BatchResult> PreparedBatch::ExecuteSharded(
+    int num_shards, const ParamPack& params, const ExecLimits& limits) const {
+  LMFAO_RETURN_NOT_OK(CheckExecutable(params));
+  Timer total_timer;
+  const EpochSnapshot epoch = engine_->catalog_->SnapshotEpoch();
+  ShardSpec spec = shard_spec_;
+  if (num_shards > 0) spec.num_shards = num_shards;
+  LMFAO_ASSIGN_OR_RETURN(
+      ShardedPlan plan,
+      MakeShardedPlan(artifact_->compiled, *engine_->catalog_, epoch, spec));
+
+  // Local phase. Each shard is one full governed pass whose failure (real
+  // or injected) propagates out before anything is merged — partial shard
+  // results die with their pass, so a failed sharded execution leaks
+  // nothing and the handle stays re-executable.
+  BatchResult result;
+  std::vector<ShardOutput> outputs;
+  outputs.reserve(plan.ranges.size());
+  bool first_shard = true;
+  for (int s = 0; s < plan.num_shards(); ++s) {
+    LMFAO_FAILPOINT("dist.shard_execute");
+    Timer shard_timer;
+    PassSpec pass;
+    pass.rows = &epoch;
+    pass.delta_node = plan.relation;
+    pass.delta_lo = plan.ranges[static_cast<size_t>(s)].lo;
+    pass.delta_hi = plan.ranges[static_cast<size_t>(s)].hi;
+    LMFAO_ASSIGN_OR_RETURN(BatchResult term, RunPass(pass, params, limits));
+
+    ShardOutput out;
+    out.shard = s;
+    out.rows = plan.ranges[static_cast<size_t>(s)].rows();
+    for (const QueryResult& qr : term.results) {
+      AppendEncodedView(SortView::FromMap(qr.data, PayloadLayout::kRowMajor),
+                        &out.wire);
+    }
+    out.seconds = shard_timer.ElapsedSeconds();
+
+    if (first_shard) {
+      // Stats scaffold (compile phases, counts) and result metadata come
+      // from the first shard's pass; the shard's maps are NOT kept — only
+      // its encoded bytes cross the exchange, like any worker's would.
+      first_shard = false;
+      result.stats = term.stats;
+      result.stats.execute_seconds = 0.0;
+      result.stats.groups_jit = 0;
+      result.stats.groups_simd = 0;
+      result.stats.groups_interp = 0;
+      result.stats.limit_trips = 0;
+      result.stats.degraded_groups = 0;
+      result.stats.peak_live_views = 0;
+      result.stats.peak_view_bytes = 0;
+      result.stats.peak_view_key_bytes = 0;
+      result.stats.peak_view_payload_bytes = 0;
+      result.results.resize(term.results.size());
+      for (size_t q = 0; q < term.results.size(); ++q) {
+        result.results[q].query_id = term.results[q].query_id;
+        result.results[q].group_by = term.results[q].group_by;
+      }
+    }
+    result.stats.execute_seconds += term.stats.execute_seconds;
+    result.stats.groups_jit += term.stats.groups_jit;
+    result.stats.groups_simd += term.stats.groups_simd;
+    result.stats.groups_interp += term.stats.groups_interp;
+    result.stats.limit_trips += term.stats.limit_trips;
+    result.stats.degraded_groups += term.stats.degraded_groups;
+    result.stats.peak_live_views =
+        std::max(result.stats.peak_live_views, term.stats.peak_live_views);
+    result.stats.peak_view_bytes =
+        std::max(result.stats.peak_view_bytes, term.stats.peak_view_bytes);
+    result.stats.peak_view_key_bytes = std::max(
+        result.stats.peak_view_key_bytes, term.stats.peak_view_key_bytes);
+    result.stats.peak_view_payload_bytes =
+        std::max(result.stats.peak_view_payload_bytes,
+                 term.stats.peak_view_payload_bytes);
+    outputs.push_back(std::move(out));
+  }
+
+  // Coordinator merge: decode every shard's frames, fold into the final
+  // result maps (shard-major order — deterministic summation).
+  Timer merge_timer;
+  CoordinatorStats coord;
+  LMFAO_RETURN_NOT_OK(MergeShardOutputs(outputs, &result.results, &coord));
+  result.stats.merge_seconds = merge_timer.ElapsedSeconds();
+
+  result.stats.dist_execution = true;
+  result.stats.dist_shards = plan.num_shards();
+  result.stats.dist_relation = plan.relation;
+  result.stats.exchange_bytes = coord.exchange_bytes;
+  for (const ShardOutput& out : outputs) {
+    DistShardStats ss;
+    ss.shard = out.shard;
+    ss.rows = out.rows;
+    ss.seconds = out.seconds;
+    ss.exchange_bytes = out.wire.size();
+    result.stats.shard_max_seconds =
+        std::max(result.stats.shard_max_seconds, out.seconds);
+    result.stats.shard_mean_seconds += out.seconds;
+    result.stats.dist_shard_stats.push_back(ss);
+  }
+  result.stats.shard_mean_seconds /=
+      static_cast<double>(plan.num_shards());
+  result.stats.DeriveBackend();
+  result.stats.total_seconds = total_timer.ElapsedSeconds();
+
+  // Identical result identity to ExecuteAt at this epoch: ExecuteDelta of
+  // a sharded base is valid, and the delta slice of the partitioned
+  // relation is exactly the owning (highest-range) shard's extension.
+  result.epoch = epoch;
+  result.artifact_signature = artifact_->signature;
+  result.param_fingerprint =
+      internal::ParamFingerprint(artifact_->required_params, params);
+  return result;
+}
+
+StatusOr<PreparedBatch> Engine::PrepareSharded(const QueryBatch& batch,
+                                               const ShardSpec& spec) {
+  LMFAO_ASSIGN_OR_RETURN(PreparedBatch prepared, Prepare(batch));
+  // Validate the spec against the compiled plans now (in particular a
+  // pinned relation outside the plans' input closure), so a bad spec fails
+  // the Prepare instead of every later Execute.
+  LMFAO_RETURN_NOT_OK(MakeShardedPlan(prepared.artifact_->compiled, *catalog_,
+                                      catalog_->SnapshotEpoch(), spec)
+                          .status());
+  prepared.shard_spec_ = spec;
+  return prepared;
+}
+
+}  // namespace lmfao

@@ -86,10 +86,10 @@ uint64_t KeySignature(const std::vector<uint64_t>& key) {
   return h;
 }
 
-/// Hash of the bound values of the batch's required parameter slots.
-/// Recorded in BatchResult so ExecuteDelta can verify the base result was
-/// computed under the same bindings (a delta under different parameters is
-/// not a delta of that result).
+}  // namespace
+
+namespace internal {
+
 uint64_t ParamFingerprint(const std::vector<ParamId>& required,
                           const ParamPack& params) {
   uint64_t h = Mix64(0x243f6a88u);
@@ -103,7 +103,7 @@ uint64_t ParamFingerprint(const std::vector<ParamId>& required,
   return h;
 }
 
-}  // namespace
+}  // namespace internal
 
 Engine::Engine(const Catalog* catalog, const JoinTree* tree,
                EngineOptions options)
@@ -413,7 +413,7 @@ StatusOr<BatchResult> PreparedBatch::ExecuteAt(const EpochSnapshot& epoch,
   result.epoch = epoch;
   result.artifact_signature = artifact_->signature;
   result.param_fingerprint =
-      ParamFingerprint(artifact_->required_params, params);
+      internal::ParamFingerprint(artifact_->required_params, params);
   return result;
 }
 
@@ -434,7 +434,7 @@ StatusOr<BatchResult> PreparedBatch::ExecuteDelta(const BatchResult& base,
         "(artifact signature mismatch)");
   }
   const uint64_t fingerprint =
-      ParamFingerprint(artifact_->required_params, params);
+      internal::ParamFingerprint(artifact_->required_params, params);
   if (base.param_fingerprint != fingerprint) {
     return Status::InvalidArgument(
         "ExecuteDelta: base result was computed under different parameter "

@@ -44,6 +44,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dist/shard_spec.h"
 #include "engine/grouping.h"
 #include "engine/ir.h"
 #include "engine/jit.h"
@@ -148,6 +149,20 @@ struct GroupStats {
   size_t store_bytes() const { return store_key_bytes + store_payload_bytes; }
 };
 
+/// \brief One shard's figures from a sharded execution
+/// (PreparedBatch::ExecuteSharded): its slice of the partitioned
+/// relation, its local execute time, and the bytes it shipped to the
+/// coordinator.
+struct DistShardStats {
+  int shard = 0;
+  /// Rows of the partitioned relation in this shard's slice.
+  size_t rows = 0;
+  /// Local execute wall time (includes encoding the shard's views).
+  double seconds = 0.0;
+  /// Encoded view-exchange bytes this shard produced.
+  size_t exchange_bytes = 0;
+};
+
 /// \brief Statistics of one batch evaluation.
 ///
 /// Timing is split along the Prepare/Execute boundary: `compile_seconds`
@@ -198,6 +213,28 @@ struct ExecutionStats {
   /// the groups that computed true deltas rather than replaying unchanged
   /// inputs.
   int delta_dirty_groups = 0;
+  /// @}
+  /// \name Sharded distributed execution (PreparedBatch::ExecuteSharded).
+  /// @{
+  /// True when this result was produced by merging per-shard partial
+  /// results through the view-exchange / coordinator path.
+  bool dist_execution = false;
+  /// Effective shard count (after clamping to the partitioned relation's
+  /// rows); 0 on non-sharded executions.
+  int dist_shards = 0;
+  /// The relation whose row ranges the shards partitioned.
+  RelationId dist_relation = kInvalidRelation;
+  /// Total encoded view-exchange bytes shipped from shards to the
+  /// coordinator.
+  size_t exchange_bytes = 0;
+  /// Coordinator time: decoding shard frames and folding them into the
+  /// final result maps.
+  double merge_seconds = 0.0;
+  /// Max / mean local execute time across shards; their ratio is the
+  /// shard skew (1.0 = perfectly balanced).
+  double shard_max_seconds = 0.0;
+  double shard_mean_seconds = 0.0;
+  std::vector<DistShardStats> dist_shard_stats;
   /// @}
   /// \name Execution backend (see GroupStats::backend).
   /// @{
@@ -372,6 +409,29 @@ class PreparedBatch {
                                      const ParamPack& params,
                                      const ExecLimits& limits) const;
 
+  /// Sharded distributed execution (src/dist/): partitions one base
+  /// relation into `num_shards` row-range shards (num_shards <= 0 uses the
+  /// handle's ShardSpec — see Engine::PrepareSharded), runs the unchanged
+  /// compiled plans once per shard with that relation served as its slice,
+  /// ships every shard's frozen query outputs through the ViewWire
+  /// serialization, and folds them in the coordinator merge stage.
+  /// Multilinearity makes the merged result bit-for-bit equal to Execute
+  /// on integer-exact data (the per-key float summation order is shard-
+  /// major and deterministic). The returned BatchResult carries the same
+  /// epoch/signature/fingerprint a plain Execute would, so ExecuteDelta
+  /// composes: a sharded base refreshes incrementally, and the delta slice
+  /// of the partitioned relation is exactly the owning (last) shard's
+  /// extension. Defined in src/dist/sharded_exec.cc.
+  StatusOr<BatchResult> ExecuteSharded(int num_shards,
+                                       const ParamPack& params = {}) const;
+  StatusOr<BatchResult> ExecuteSharded(int num_shards,
+                                       const ParamPack& params,
+                                       const ExecLimits& limits) const;
+
+  /// The sharding spec frozen into this handle (PrepareSharded); default
+  /// (num_shards = 0) means ExecuteSharded picks everything per call.
+  const ShardSpec& shard_spec() const { return shard_spec_; }
+
   bool valid() const { return artifact_ != nullptr; }
   /// The artifact accessors below require valid() (checked): an empty or
   /// moved-from handle has no artifact.
@@ -402,8 +462,10 @@ class PreparedBatch {
 
   /// One execution pass over the compiled plans: every relation is served
   /// at the extent `rows` says — except `delta_node` (when valid), which is
-  /// served as its appended slice [delta_lo, delta_hi) instead. The shared
-  /// machinery behind ExecuteAt (no delta node) and each ExecuteDelta term.
+  /// served as its row slice [delta_lo, delta_hi) instead. The shared
+  /// machinery behind ExecuteAt (no delta node), each ExecuteDelta term
+  /// (the slice is the relation's appended rows), and each ExecuteSharded
+  /// shard (the slice is the shard's partition of the relation).
   struct PassSpec {
     const EpochSnapshot* rows = nullptr;
     RelationId delta_node = kInvalidRelation;
@@ -423,6 +485,9 @@ class PreparedBatch {
   uint64_t generation_ = 0;
   bool from_cache_ = false;
   double compile_seconds_ = 0.0;
+  /// Sharding defaults for ExecuteSharded (set by Engine::PrepareSharded;
+  /// inert otherwise).
+  ShardSpec shard_spec_;
 };
 
 /// \brief The optimization and execution engine.
@@ -463,6 +528,14 @@ class Engine {
   /// Compiles the batch (or fetches the structurally equal compiled
   /// artifact from the plan cache) and returns the execute-many handle.
   StatusOr<PreparedBatch> Prepare(const QueryBatch& batch);
+
+  /// Prepare plus a frozen sharding spec: the handle's ExecuteSharded
+  /// defaults to `spec` (per-call shard counts still override it). A
+  /// pinned `spec.relation` is validated against the compiled plans here,
+  /// so an ineligible relation fails at prepare time, not mid-execution.
+  /// Defined in src/dist/sharded_exec.cc.
+  StatusOr<PreparedBatch> PrepareSharded(const QueryBatch& batch,
+                                         const ShardSpec& spec);
 
   /// One-shot convenience: Prepare + Execute. `params` binds parameterized
   /// functions, as in PreparedBatch::Execute. The three-argument overload
@@ -574,6 +647,17 @@ class Engine {
   /// entry.
   std::atomic<uint64_t> generation_{0};
 };
+
+namespace internal {
+
+/// Hash of the bound values of the batch's required parameter slots.
+/// Recorded in BatchResult so ExecuteDelta / ExecuteSharded can verify
+/// results were computed under the same bindings. Defined in engine.cc;
+/// exposed here for the sharded-execution layer (src/dist/).
+uint64_t ParamFingerprint(const std::vector<ParamId>& required,
+                          const ParamPack& params);
+
+}  // namespace internal
 
 }  // namespace lmfao
 

@@ -40,9 +40,13 @@ Response RejectedResponse(Status status) {
 Server::Server(Engine* engine, const Catalog* catalog, ServerOptions options)
     : engine_(engine), catalog_(catalog), options_(std::move(options)) {
   if (options_.num_workers == 0) options_.num_workers = 1;
+  // At least one general worker must remain, or the other classes starve.
+  options_.prepared_reserved_workers = std::min(
+      options_.prepared_reserved_workers, options_.num_workers - 1);
   workers_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    const bool prepared_only = i < options_.prepared_reserved_workers;
+    workers_.emplace_back([this, prepared_only] { WorkerLoop(prepared_only); });
   }
 }
 
@@ -177,12 +181,27 @@ std::future<Response> Server::Submit(Request request) {
     stats_.total_queue_depth_highwater =
         std::max(stats_.total_queue_depth_highwater, queued_total_);
   }
+  if (cls == RequestClass::kPreparedExecute) cv_prepared_.notify_one();
   cv_work_.notify_one();
   return future;
 }
 
-std::unique_ptr<Server::QueuedRequest> Server::PopNext() {
+std::unique_ptr<Server::QueuedRequest> Server::PopNext(bool prepared_only) {
   std::unique_lock<std::mutex> lock(mu_);
+  if (prepared_only) {
+    // Reserved workers sleep through non-prepared backlog; they wake only
+    // for prepared admissions (or shutdown), so they are always available
+    // the moment one arrives.
+    auto& prepared =
+        queues_[static_cast<size_t>(RequestClass::kPreparedExecute)];
+    cv_prepared_.wait(lock,
+                      [this, &prepared] { return stop_ || !prepared.empty(); });
+    if (prepared.empty()) return nullptr;  // stop_ with a drained queue
+    std::unique_ptr<QueuedRequest> item = std::move(prepared.front());
+    prepared.pop_front();
+    --queued_total_;
+    return item;
+  }
   cv_work_.wait(lock, [this] { return stop_ || queued_total_ > 0; });
   if (queued_total_ == 0) return nullptr;  // stop_ with drained queues
   for (auto& queue : queues_) {  // strict class-priority order
@@ -195,9 +214,9 @@ std::unique_ptr<Server::QueuedRequest> Server::PopNext() {
   return nullptr;  // unreachable: queued_total_ > 0
 }
 
-void Server::WorkerLoop() {
+void Server::WorkerLoop(bool prepared_only) {
   for (;;) {
-    std::unique_ptr<QueuedRequest> item = PopNext();
+    std::unique_ptr<QueuedRequest> item = PopNext(prepared_only);
     if (item == nullptr) return;
     const RequestClass cls = item->request.cls;
     const bool expired_in_queue = Clock::now() > item->deadline;
@@ -271,6 +290,10 @@ StatusOr<BatchResult> Server::Attempt(const QueuedRequest& item,
       const ParamPack& params = item.request.params.size() > 0
                                     ? item.request.params
                                     : batch->params;
+      if (item.request.shards > 0) {
+        return batch->prepared.ExecuteSharded(item.request.shards, params,
+                                              limits);
+      }
       return batch->prepared.Execute(params, limits);
     }
     case RequestClass::kDeltaRefresh: {
@@ -395,6 +418,7 @@ void Server::Shutdown(bool drain) {
     stop_ = true;
   }
   cv_work_.notify_all();
+  cv_prepared_.notify_all();
   // Resolve flushed promises outside the lock: a future continuation must
   // not run under the server mutex.
   for (auto& item : flushed) {

@@ -66,6 +66,11 @@ struct Request {
   /// Per-request deadline from admission to completion; <= 0 uses the
   /// server's default_deadline_seconds (0 there too = no deadline).
   double deadline_seconds = 0.0;
+  /// Shard count for prepared execution (kPreparedExecute only): > 0 runs
+  /// PreparedBatch::ExecuteSharded(shards) instead of Execute — same
+  /// result, computed through the distributed plan-split / view-exchange /
+  /// coordinator-merge path.
+  int shards = 0;
 };
 
 /// \brief The answer to one request.
@@ -94,6 +99,15 @@ struct Response {
 struct ServerOptions {
   /// Worker threads popping the queues.
   size_t num_workers = 2;
+  /// Workers (of num_workers) that pop ONLY the prepared-execute queue.
+  /// Class-priority popping alone cannot prevent head-of-line blocking:
+  /// with every worker busy on long ad-hoc queries, a prepared request
+  /// admitted next still waits for one of them to finish. Reserving K
+  /// workers keeps a capacity floor for the steady-state prepared workload
+  /// (general workers still serve prepared requests too — reservation is a
+  /// floor, not an affinity). Clamped to num_workers - 1 so the other
+  /// classes always keep at least one worker.
+  size_t prepared_reserved_workers = 0;
   /// Per-class queue capacities; admission beyond these rejects with
   /// ResourceExhausted.
   size_t prepared_queue_capacity = 64;
@@ -184,10 +198,11 @@ class Server {
     mutable std::mutex mu;
   };
 
-  void WorkerLoop();
-  /// Pops the highest-priority queued request; null when stopping and
-  /// (drain ? all queues empty : always).
-  std::unique_ptr<QueuedRequest> PopNext();
+  void WorkerLoop(bool prepared_only);
+  /// Pops the highest-priority queued request (prepared_only workers pop
+  /// only the prepared-execute queue); null when stopping and
+  /// (drain ? the worker's queues empty : always).
+  std::unique_ptr<QueuedRequest> PopNext(bool prepared_only);
   Response Process(QueuedRequest& item);
   Response RunWithRetries(const QueuedRequest& item, RegisteredBatch* batch);
   /// One execution attempt for `item` (class dispatch).
@@ -207,6 +222,10 @@ class Server {
 
   mutable std::mutex mu_;
   std::condition_variable cv_work_;
+  /// Reserved workers wait here: a shared notify_one on cv_work_ could
+  /// wake a reserved worker for an ad-hoc item it will never pop (a lost
+  /// wakeup). Prepared admissions notify both.
+  std::condition_variable cv_prepared_;
   /// One FIFO per class, popped in class-priority order.
   std::array<std::deque<std::unique_ptr<QueuedRequest>>, kNumRequestClasses>
       queues_;

@@ -43,6 +43,10 @@
 ///   catalog.append               — epoch commit
 ///   engine.sorted_cache          — sorted-relation cache (re)build
 ///   scheduler.spawn              — group task spawn
+///   dist.shard_execute           — sharded execution, before each shard's
+///                                  local pass
+///   dist.exchange_decode         — coordinator merge, before each frame
+///                                  decode
 ///
 /// Void seams: ViewMap::Reserve/Rehash run inside hot scan loops with no
 /// Status channel. They *park* the injected Status in a thread-local slot

@@ -1,0 +1,460 @@
+/// \file dist_execution_test.cc
+/// \brief Sharded distributed execution (PreparedBatch::ExecuteSharded),
+/// pinned differentially: for every shard count the merged result must be
+/// bit-for-bit equal to the unsharded prepared Execute AND to the naive
+/// scan baseline (the exact generator emits integer data, so per-key sums
+/// are associative), across randomized databases and append schedules;
+/// plus the plan-splitting contract (balanced covering ranges, eligibility
+/// of the partitioned relation), ExecuteDelta composition on a sharded
+/// base, shard/exchange observability, and fault injection through the
+/// dist.* failpoint seams with zero leaked views.
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/join.h"
+#include "baseline/naive_engine.h"
+#include "data/favorita.h"
+#include "differential_harness.h"
+#include "dist/shard_plan.h"
+#include "engine/engine.h"
+#include "engine/report.h"
+#include "exact_generator.h"
+#include "storage/view_store.h"
+#include "util/failpoint.h"
+#include "util/random.h"
+
+namespace lmfao {
+namespace {
+
+using ::lmfao::testing::AppendRandomRows;
+using ::lmfao::testing::AppendSchedule;
+using ::lmfao::testing::ExactDatabase;
+using ::lmfao::testing::ExpectResultsMatch;
+using ::lmfao::testing::MakeExactBatch;
+using ::lmfao::testing::MakeExactDatabase;
+
+/// Saves the ambient failpoint configuration (the CI failpoints job sets
+/// LMFAO_FAILPOINTS for the whole binary) and restores it on scope exit.
+class FailpointGuard {
+ public:
+  FailpointGuard() : saved_(Failpoints::CurrentSpec()) {}
+  ~FailpointGuard() {
+    if (saved_.empty()) {
+      Failpoints::Clear();
+    } else {
+      (void)Failpoints::Configure(saved_);
+    }
+    Failpoints::ClearParked();
+  }
+
+ private:
+  std::string saved_;
+};
+
+/// The differential shard-count matrix. The CI dist job widens it through
+/// LMFAO_DIST_SHARDS (one extra count per matrix leg).
+std::vector<int> ShardCounts() {
+  std::vector<int> counts = {1, 2, 4, 8};
+  if (const char* env = std::getenv("LMFAO_DIST_SHARDS")) {
+    const int n = std::atoi(env);
+    if (n > 0 && std::find(counts.begin(), counts.end(), n) == counts.end()) {
+      counts.push_back(n);
+    }
+  }
+  return counts;
+}
+
+class DistFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DistFuzzTest, ShardedMatchesExecuteAndBaselineBitForBit) {
+  struct Config {
+    bool freeze = true;
+    int threads = 1;
+  };
+  // Frozen single-thread is the default path; the others make sure shard
+  // passes compose with hash-form views and the hybrid scheduler.
+  const std::vector<Config> configs = {{true, 1}, {false, 1}, {true, 3}};
+  const std::vector<int> shard_counts = ShardCounts();
+  for (size_t ci = 0; ci < configs.size(); ++ci) {
+    Rng rng(GetParam() * 977 + ci);
+    ExactDatabase db = MakeExactDatabase(&rng);
+    const QueryBatch batch = MakeExactBatch(db, &rng);
+    AppendSchedule schedule;
+    LMFAO_REPRO_TRACE(GetParam() * 977 + ci);
+
+    EngineOptions options;
+    options.plan.freeze_views = configs[ci].freeze;
+    options.scheduler.num_threads = configs[ci].threads;
+    Engine engine(&db.catalog, &db.tree, options);
+    auto prepared = engine.Prepare(batch);
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+
+    auto check_all_counts = [&](const std::string& label) {
+      // Oracle 1: the unsharded prepared execute at the same epoch.
+      auto full = prepared->Execute();
+      ASSERT_TRUE(full.ok()) << full.status().ToString();
+      // Oracle 2: the naive scan baseline over the materialized join.
+      auto joined = MaterializeJoin(db.catalog, db.tree, 0);
+      ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+      auto baseline = EvaluateBatchSharedScan(*joined, batch);
+      ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+      for (int n : shard_counts) {
+        auto sharded = prepared->ExecuteSharded(n);
+        ASSERT_TRUE(sharded.ok())
+            << label << " n=" << n << ": " << sharded.status().ToString();
+        EXPECT_TRUE(sharded->stats.dist_execution);
+        EXPECT_GE(sharded->stats.dist_shards, 1);
+        EXPECT_LE(sharded->stats.dist_shards, n);
+        ExpectResultsMatch(sharded->results, full->results, 0.0,
+                           label + " n=" + std::to_string(n) +
+                               ": sharded vs unsharded execute");
+        ExpectResultsMatch(sharded->results, *baseline, 0.0,
+                           label + " n=" + std::to_string(n) +
+                               ": sharded vs scan baseline");
+      }
+    };
+    ASSERT_NO_FATAL_FAILURE(check_all_counts("initial"));
+
+    // A sharded result is a first-class base: its epoch/signature/
+    // fingerprint identity lets ExecuteDelta refresh it incrementally.
+    auto base = prepared->ExecuteSharded(4);
+    ASSERT_TRUE(base.ok()) << base.status().ToString();
+    for (int round = 0; round < 2; ++round) {
+      ASSERT_NO_FATAL_FAILURE(AppendRandomRows(&db, &rng, &schedule));
+      LMFAO_REPRO_TRACE(GetParam() * 977 + ci, schedule);
+
+      auto refreshed = prepared->ExecuteDelta(*base);
+      ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+      auto full = prepared->Execute();
+      ASSERT_TRUE(full.ok()) << full.status().ToString();
+      ExpectResultsMatch(refreshed->results, full->results, 0.0,
+                         "round " + std::to_string(round) +
+                             ": delta refresh of a sharded base");
+
+      // And sharded execution keeps matching after the appends.
+      ASSERT_NO_FATAL_FAILURE(
+          check_all_counts("round " + std::to_string(round)));
+      base = std::move(refreshed);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistFuzzTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// --- Plan splitting ------------------------------------------------------
+
+class ShardPlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto data = MakeFavorita(FavoritaOptions{.num_sales = 1500});
+    ASSERT_TRUE(data.ok());
+    data_ = std::move(data).value();
+    engine_ = std::make_unique<Engine>(&data_->catalog, &data_->tree,
+                                       EngineOptions{});
+    auto prepared = engine_->Prepare(MakeExampleBatch(*data_));
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    prepared_ = std::move(prepared).value();
+  }
+
+  std::unique_ptr<FavoritaData> data_;
+  std::unique_ptr<Engine> engine_;
+  PreparedBatch prepared_;
+};
+
+TEST_F(ShardPlanTest, BalancedRangesCoverTheRelation) {
+  const EpochSnapshot epoch = data_->catalog.SnapshotEpoch();
+  ShardSpec spec;
+  spec.num_shards = 4;
+  auto plan = MakeShardedPlan(prepared_.compiled(), data_->catalog, epoch,
+                              spec);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Auto-pick partitions the eligible relation with the most rows.
+  for (RelationId r = 0; r < data_->catalog.num_relations(); ++r) {
+    EXPECT_LE(epoch.at(r), epoch.at(plan->relation))
+        << data_->catalog.relation(r).name();
+  }
+  ASSERT_EQ(plan->num_shards(), 4);
+  const size_t rows = epoch.at(plan->relation);
+  size_t covered = 0;
+  for (int s = 0; s < 4; ++s) {
+    const ShardRange& r = plan->ranges[static_cast<size_t>(s)];
+    EXPECT_EQ(r.lo, covered) << "shard " << s << " not contiguous";
+    EXPECT_GE(r.rows(), rows / 4);
+    EXPECT_LE(r.rows(), rows / 4 + 1);
+    covered = r.hi;
+  }
+  EXPECT_EQ(covered, rows);
+  EXPECT_GT(plan->dirty_groups, 0);
+}
+
+TEST_F(ShardPlanTest, ShardCountClampsToRowCountAndNeverBelowOne) {
+  const EpochSnapshot epoch = data_->catalog.SnapshotEpoch();
+  ShardSpec spec;
+  spec.num_shards = 1 << 20;  // Far more shards than rows.
+  auto plan = MakeShardedPlan(prepared_.compiled(), data_->catalog, epoch,
+                              spec);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(static_cast<size_t>(plan->num_shards()),
+            epoch.at(plan->relation));
+  for (const ShardRange& r : plan->ranges) EXPECT_EQ(r.rows(), 1u);
+
+  spec.num_shards = 0;  // Unset: a single shard.
+  auto one = MakeShardedPlan(prepared_.compiled(), data_->catalog, epoch,
+                             spec);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->num_shards(), 1);
+  EXPECT_EQ(one->ranges[0].lo, 0u);
+  EXPECT_EQ(one->ranges[0].hi, epoch.at(one->relation));
+}
+
+TEST_F(ShardPlanTest, PinnedRelationIsHonored) {
+  const EpochSnapshot epoch = data_->catalog.SnapshotEpoch();
+  ShardSpec spec;
+  spec.num_shards = 3;
+  spec.relation = data_->sales;
+  auto plan = MakeShardedPlan(prepared_.compiled(), data_->catalog, epoch,
+                              spec);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->relation, data_->sales);
+}
+
+TEST_F(ShardPlanTest, PinnedUnknownRelationRejected) {
+  const EpochSnapshot epoch = data_->catalog.SnapshotEpoch();
+  ShardSpec spec;
+  spec.num_shards = 2;
+  spec.relation = 99;  // Not in the catalog.
+  auto plan = MakeShardedPlan(prepared_.compiled(), data_->catalog, epoch,
+                              spec);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ShardPlanTest, PinnedRelationOutsideInputClosureRejected) {
+  // Doctor the compiled plans so no group reads relation 0: partitioning
+  // it would duplicate the result per shard, so the split must refuse.
+  CompiledBatch doctored = prepared_.compiled();
+  for (GroupPlan& plan : doctored.plans) {
+    plan.source_relation_mask &= ~1ull;
+  }
+  const EpochSnapshot epoch = data_->catalog.SnapshotEpoch();
+  ShardSpec spec;
+  spec.num_shards = 2;
+  spec.relation = 0;
+  auto plan = MakeShardedPlan(doctored, data_->catalog, epoch, spec);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+
+  // With no eligible relation at all, auto-pick has nothing to partition.
+  for (GroupPlan& p : doctored.plans) p.source_relation_mask = 0;
+  spec.relation = kInvalidRelation;
+  auto none = MakeShardedPlan(doctored, data_->catalog, epoch, spec);
+  EXPECT_FALSE(none.ok());
+  EXPECT_EQ(none.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- PrepareSharded and observability ------------------------------------
+
+TEST(PrepareShardedTest, PinnedSpecDrivesExecuteSharded) {
+  Rng rng(4242);
+  ExactDatabase db = MakeExactDatabase(&rng);
+  const QueryBatch batch = MakeExactBatch(db, &rng);
+  Engine engine(&db.catalog, &db.tree, EngineOptions{});
+
+  ShardSpec spec;
+  spec.num_shards = 3;
+  auto prepared = engine.PrepareSharded(batch, spec);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_EQ(prepared->shard_spec().num_shards, 3);
+
+  // num_shards <= 0 defers to the pinned spec.
+  auto sharded = prepared->ExecuteSharded(0);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_EQ(sharded->stats.dist_shards, 3);
+  auto full = prepared->Execute();
+  ASSERT_TRUE(full.ok());
+  ExpectResultsMatch(sharded->results, full->results, 0.0,
+                     "pinned-spec sharded execute");
+
+  // An explicit per-call count overrides the pinned one.
+  auto two = prepared->ExecuteSharded(2);
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(two->stats.dist_shards, 2);
+}
+
+TEST(PrepareShardedTest, BadSpecFailsAtPrepareNotAtExecute) {
+  Rng rng(777);
+  ExactDatabase db = MakeExactDatabase(&rng);
+  Engine engine(&db.catalog, &db.tree, EngineOptions{});
+  ShardSpec spec;
+  spec.num_shards = 2;
+  spec.relation = 99;
+  auto prepared = engine.PrepareSharded(MakeExactBatch(db, &rng), spec);
+  EXPECT_FALSE(prepared.ok());
+  EXPECT_EQ(prepared.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DistStatsTest, ShardAndExchangeCountersAreCoherent) {
+  auto data = MakeFavorita(FavoritaOptions{.num_sales = 1500});
+  ASSERT_TRUE(data.ok());
+  Engine engine(&(*data)->catalog, &(*data)->tree, EngineOptions{});
+  auto prepared = engine.Prepare(MakeExampleBatch(**data));
+  ASSERT_TRUE(prepared.ok());
+
+  auto sharded = prepared->ExecuteSharded(4);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  const ExecutionStats& stats = sharded->stats;
+  EXPECT_TRUE(stats.dist_execution);
+  EXPECT_EQ(stats.dist_shards, 4);
+  ASSERT_NE(stats.dist_relation, kInvalidRelation);
+  ASSERT_EQ(stats.dist_shard_stats.size(), 4u);
+
+  const size_t sharded_rows =
+      (*data)->catalog.SnapshotEpoch().at(stats.dist_relation);
+  size_t rows = 0;
+  size_t bytes = 0;
+  for (const DistShardStats& s : stats.dist_shard_stats) {
+    rows += s.rows;
+    bytes += s.exchange_bytes;
+    EXPECT_GT(s.exchange_bytes, 0u);
+    EXPECT_GE(s.seconds, 0.0);
+  }
+  EXPECT_EQ(rows, sharded_rows);
+  EXPECT_EQ(bytes, stats.exchange_bytes);
+  EXPECT_GT(stats.exchange_bytes, 0u);
+  EXPECT_GE(stats.merge_seconds, 0.0);
+  EXPECT_GE(stats.shard_max_seconds, stats.shard_mean_seconds);
+
+  // Favorita has non-integer doubles: sharded vs unsharded differ by
+  // association order only.
+  auto full = prepared->Execute();
+  ASSERT_TRUE(full.ok());
+  ExpectResultsMatch(sharded->results, full->results, 1e-9,
+                     "favorita sharded execute");
+
+  const std::string report = ReportExecution(stats, (*data)->catalog);
+  EXPECT_NE(report.find("sharded: 4 shards"), std::string::npos) << report;
+  EXPECT_NE(report.find("shard 0:"), std::string::npos) << report;
+}
+
+// --- Fault injection through the dist seams -------------------------------
+
+class DistFailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Failpoints::Clear();
+    Failpoints::ClearParked();
+    Rng rng(31337);
+    db_ = std::make_unique<ExactDatabase>(MakeExactDatabase(&rng));
+    batch_ = MakeExactBatch(*db_, &rng);
+    engine_ = std::make_unique<Engine>(&db_->catalog, &db_->tree,
+                                       EngineOptions{});
+    auto prepared = engine_->Prepare(batch_);
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    prepared_ = std::move(prepared).value();
+    auto oracle = prepared_.Execute();
+    ASSERT_TRUE(oracle.ok());
+    oracle_ = std::move(oracle).value();
+  }
+
+  /// Injects at `spec` (whose seam is `seam`), expects the sharded execute
+  /// to fail without leaking views, then expects full recovery after Clear.
+  void CheckInjectionAndRecovery(const std::string& spec,
+                                 const char* seam) {
+    FailpointGuard guard;
+    const size_t base_views = ViewStore::GlobalLiveViews();
+    const size_t base_bytes = ViewStore::GlobalLiveBytes();
+    ASSERT_TRUE(Failpoints::Configure(spec).ok());
+
+    auto failed = prepared_.ExecuteSharded(4);
+    EXPECT_FALSE(failed.ok()) << spec << " did not inject";
+    EXPECT_NE(failed.status().code(), StatusCode::kOk);
+    EXPECT_GT(Failpoints::Hits(seam), 0u);
+    // The failed execution unwound completely: no shard pass or half-merged
+    // coordinator state keeps views alive.
+    EXPECT_EQ(ViewStore::GlobalLiveViews(), base_views);
+    EXPECT_EQ(ViewStore::GlobalLiveBytes(), base_bytes);
+
+    Failpoints::Clear();
+    Failpoints::ClearParked();
+    auto recovered = prepared_.ExecuteSharded(4);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    ExpectResultsMatch(recovered->results, oracle_.results, 0.0,
+                       "recovery after " + spec);
+  }
+
+  std::unique_ptr<ExactDatabase> db_;
+  QueryBatch batch_;
+  std::unique_ptr<Engine> engine_;
+  PreparedBatch prepared_;
+  BatchResult oracle_;
+};
+
+TEST_F(DistFailpointTest, ShardExecuteInjectionFailsCleanly) {
+  CheckInjectionAndRecovery("dist.shard_execute=fail", "dist.shard_execute");
+  // Also mid-stream: the first shards succeed, the third fails.
+  CheckInjectionAndRecovery("dist.shard_execute=fail#3",
+                            "dist.shard_execute");
+}
+
+TEST_F(DistFailpointTest, ExchangeDecodeInjectionFailsCleanly) {
+  CheckInjectionAndRecovery("dist.exchange_decode=fail",
+                            "dist.exchange_decode");
+  CheckInjectionAndRecovery("dist.exchange_decode=oom#2",
+                            "dist.exchange_decode");
+}
+
+/// Runs under whatever LMFAO_FAILPOINTS the environment installed (the CI
+/// failpoints job sweeps dist.* specs through this test); with none
+/// configured it is a plain smoke test. Nothing may crash or leak views,
+/// and clearing the injection must restore exact answers.
+TEST(DistSweepTest, AmbientInjectionNeverCrashesAndRecovers) {
+  FailpointGuard guard;
+  // Build the fixture with injection suspended so ambient catalog/view
+  // specs cannot fail construction before any ExecuteSharded runs.
+  const std::string ambient = Failpoints::CurrentSpec();
+  Failpoints::Clear();
+  Failpoints::ClearParked();
+  Rng rng(90210);
+  ExactDatabase db = MakeExactDatabase(&rng);
+  const QueryBatch batch = MakeExactBatch(db, &rng);
+  Engine engine(&db.catalog, &db.tree, EngineOptions{});
+  auto prepared = engine.Prepare(batch);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  auto oracle = prepared->Execute();
+  ASSERT_TRUE(oracle.ok());
+  if (!ambient.empty()) {
+    ASSERT_TRUE(Failpoints::Configure(ambient).ok());
+  }
+
+  const size_t base_views = ViewStore::GlobalLiveViews();
+  int failures = 0;
+  for (int i = 0; i < 15; ++i) {
+    auto result = prepared->ExecuteSharded(1 + i % 4);
+    if (!result.ok()) {
+      ++failures;
+    } else {
+      ExpectResultsMatch(result->results, oracle->results, 0.0,
+                         "injected-but-ok sharded run " + std::to_string(i));
+    }
+    EXPECT_EQ(ViewStore::GlobalLiveViews(), base_views) << "iteration " << i;
+  }
+  Failpoints::Clear();
+  Failpoints::ClearParked();
+  auto clean = prepared->ExecuteSharded(4);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  ExpectResultsMatch(clean->results, oracle->results, 0.0,
+                     "clean sharded execute after ambient sweep (" +
+                         std::to_string(failures) + "/15 runs failed)");
+}
+
+}  // namespace
+}  // namespace lmfao

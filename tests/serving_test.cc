@@ -707,6 +707,95 @@ TEST(ServingTest, AdmissionValidationAndParseErrors) {
   server.Shutdown();
 }
 
+/// The head-of-line fix: with every general worker stalled on a long
+/// ad-hoc query, a reserved worker must still pop and finish prepared
+/// requests. Made deterministic with a delay failpoint pinning the ad-hoc
+/// execution inside its first sorted-relation fetch.
+TEST(ServingTest, ReservedWorkersPreventHeadOfLineBlocking) {
+  FailpointGuard guard;
+  Failpoints::Clear();
+
+  ExactServingDb db = MakeExactServingDb(0x5e1f);
+  Engine engine(&db.catalog, &db.tree, EngineOptions{});
+  ServerOptions options;
+  options.num_workers = 2;
+  options.prepared_reserved_workers = 1;  // One general, one reserved.
+  Server server(&engine, &db.catalog, options);
+  ASSERT_TRUE(server.RegisterBatch("exact", MakeExactServingBatch(db)).ok());
+
+  // The seam fires on every sorted fetch, so #1 counted from here is the
+  // ad-hoc query's first fetch (registration already ran its executes).
+  ASSERT_TRUE(
+      Failpoints::Configure("engine.sorted_cache=delay:3000#1", 1).ok());
+  Request adhoc;
+  adhoc.cls = RequestClass::kAdHoc;
+  adhoc.text = kAdHocText;
+  auto blocked = server.Submit(std::move(adhoc));
+  // Only the general worker may pop ad-hoc work; wait until it is inside
+  // the delayed fetch before offering prepared requests.
+  while (Failpoints::Hits("engine.sorted_cache") < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  for (int i = 0; i < 4; ++i) {
+    Response resp = server.Submit(PreparedRequest()).get();
+    EXPECT_TRUE(resp.status.ok()) << resp.status.ToString();
+  }
+  // The prepared requests finished while the ad-hoc query is still stalled
+  // — without the reservation they would be queued behind it.
+  EXPECT_EQ(blocked.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout);
+  Response late = blocked.get();
+  EXPECT_TRUE(late.status.ok()) << late.status.ToString();
+  server.Shutdown();
+}
+
+/// Reservation never starves the other classes: a reservation >= the
+/// worker count is clamped so at least one general worker remains.
+TEST(ServingTest, ReservationClampKeepsAGeneralWorker) {
+  FailpointGuard guard;
+  Failpoints::Clear();
+
+  ExactServingDb db = MakeExactServingDb(0xc1a3);
+  Engine engine(&db.catalog, &db.tree, EngineOptions{});
+  ServerOptions options;
+  options.num_workers = 1;
+  options.prepared_reserved_workers = 8;  // Clamped to 0.
+  Server server(&engine, &db.catalog, options);
+  ASSERT_TRUE(server.RegisterBatch("exact", MakeExactServingBatch(db)).ok());
+
+  Request adhoc;
+  adhoc.cls = RequestClass::kAdHoc;
+  adhoc.text = kAdHocText;
+  Response resp = server.Submit(std::move(adhoc)).get();
+  EXPECT_TRUE(resp.status.ok()) << resp.status.ToString();
+  server.Shutdown();
+}
+
+/// Request::shards routes a prepared execute through the sharded
+/// distributed path; on the integer-exact db the response must be
+/// bit-for-bit the unsharded one.
+TEST(ServingTest, ShardedPreparedRequestMatchesUnsharded) {
+  FailpointGuard guard;
+  Failpoints::Clear();
+
+  ExactServingDb db = MakeExactServingDb(0xd157);
+  Engine engine(&db.catalog, &db.tree, EngineOptions{});
+  Server server(&engine, &db.catalog, ServerOptions{});
+  ASSERT_TRUE(server.RegisterBatch("exact", MakeExactServingBatch(db)).ok());
+
+  Response plain = server.Submit(PreparedRequest()).get();
+  ASSERT_TRUE(plain.status.ok()) << plain.status.ToString();
+
+  Request sharded_req = PreparedRequest();
+  sharded_req.shards = 3;
+  Response sharded = server.Submit(std::move(sharded_req)).get();
+  ASSERT_TRUE(sharded.status.ok()) << sharded.status.ToString();
+  ExpectResultsMatch(sharded.results, plain.results, 0.0,
+                     "sharded prepared request");
+  server.Shutdown();
+}
+
 TEST(LatencyHistogramTest, PercentilesAreConservativeAndOrdered) {
   LatencyHistogram h;
   EXPECT_EQ(h.Percentile(99), 0.0);
